@@ -1,0 +1,387 @@
+// Command mrabench regenerates the experiment series documented in
+// EXPERIMENTS.md (E1–E10).  Each experiment prints one table of measurements
+// to stdout; -run selects a subset by experiment id.
+//
+// The paper itself contains no measured tables or figures (it is a formal
+// paper); the experiments quantify its theorems, worked examples and explicit
+// practical claims on this implementation.  See EXPERIMENTS.md for the
+// mapping.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mra/internal/algebra"
+	"mra/internal/eval"
+	"mra/internal/multiset"
+	"mra/internal/rewrite"
+	"mra/internal/scalar"
+	"mra/internal/setalg"
+	"mra/internal/stmt"
+	"mra/internal/storage"
+	"mra/internal/txn"
+	"mra/internal/value"
+	"mra/internal/workload"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids to run (e.g. E1,E5,E7) or 'all'")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(strings.ToUpper(*run), ",") {
+		selected[strings.TrimSpace(id)] = true
+	}
+	want := func(id string) bool { return selected["ALL"] || selected[id] }
+
+	experiments := []struct {
+		id   string
+		name string
+		fn   func()
+	}{
+		{"E1", "Theorem 3.1: native vs derived intersection and join", e1},
+		{"E2", "Theorem 3.2: selection/projection distribution over union", e2},
+		{"E3", "Theorem 3.3: join associativity and order cost", e3},
+		{"E4", "Example 3.1: the Dutch-beers query at scale", e4},
+		{"E5", "Example 3.2: aggregate projection push-in, bag vs set semantics", e5},
+		{"E6", "Example 4.1: update statement throughput", e6},
+		{"E7", "Duplicate-removal cost (bag vs set operators)", e7},
+		{"E8", "Transaction atomicity and throughput", e8},
+		{"E9", "Optimizer ablation: rewritten vs naive plans", e9},
+		{"E10", "Transitive-closure extension scaling", e10},
+	}
+	for _, e := range experiments {
+		if !want(e.id) {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.name)
+		e.fn()
+		fmt.Println()
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing selected")
+	}
+}
+
+// timeIt measures a single evaluation.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// evalMust evaluates an expression with the physical engine.
+func evalMust(e algebra.Expr, src eval.Source) *multiset.Relation {
+	r, err := (&eval.Engine{}).Eval(e, src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func header(cols ...string) { fmt.Println(strings.Join(cols, "\t")) }
+
+func e1() {
+	header("rows/side", "intersect_native", "intersect_derived", "join_native", "join_as_sigma_product", "equal")
+	for _, n := range []int{200, 1000, 4000} {
+		fact, dim := workload.JoinPair(workload.JoinConfig{LeftTuples: n, RightTuples: n / 2, Seed: 1})
+		src := eval.MapSource{"a": fact, "b": fact.Clone(), "fact": fact, "dim": dim}
+		a, b := algebra.NewRel("a"), algebra.NewRel("b")
+
+		var nativeI, derivedI, nativeJ, sigmaJ *multiset.Relation
+		tNI := timeIt(func() { nativeI = evalMust(algebra.NewIntersect(a, b), src) })
+		tDI := timeIt(func() {
+			derivedI = evalMust(algebra.NewDifference(a, algebra.NewDifference(a, b)), src)
+		})
+		joinCond := scalar.Eq(0, 2)
+		tNJ := timeIt(func() {
+			nativeJ = evalMust(algebra.NewJoin(joinCond, algebra.NewRel("fact"), algebra.NewRel("dim")), src)
+		})
+		tSJ := timeIt(func() {
+			sigmaJ = evalMust(algebra.NewSelect(joinCond, algebra.NewProduct(algebra.NewRel("fact"), algebra.NewRel("dim"))), src)
+		})
+		equal := nativeI.Equal(derivedI) && nativeJ.Equal(sigmaJ)
+		fmt.Printf("%d\t%v\t%v\t%v\t%v\t%v\n", n, tNI, tDI, tNJ, tSJ, equal)
+	}
+}
+
+func e2() {
+	header("rows/side", "sigma_over_union", "union_of_sigmas", "pi_over_union", "union_of_pis", "results_equal", "delta_distributes")
+	for _, n := range []int{1000, 10000} {
+		r1 := workload.Duplicated(workload.DuplicationConfig{DistinctTuples: n, DuplicationFactor: 2, Seed: 1})
+		r2 := workload.Duplicated(workload.DuplicationConfig{DistinctTuples: n, DuplicationFactor: 2, Seed: 2})
+		src := eval.MapSource{"e1": r1, "e2": r2}
+		pred := scalar.NewCompare(value.CmpLt, scalar.NewAttr(1), scalar.NewConst(value.NewInt(1<<15)))
+		e1r, e2r := algebra.NewRel("e1"), algebra.NewRel("e2")
+
+		var a, b, c, d *multiset.Relation
+		t1 := timeIt(func() { a = evalMust(algebra.NewSelect(pred, algebra.NewUnion(e1r, e2r)), src) })
+		t2 := timeIt(func() {
+			b = evalMust(algebra.NewUnion(algebra.NewSelect(pred, e1r), algebra.NewSelect(pred, e2r)), src)
+		})
+		t3 := timeIt(func() { c = evalMust(algebra.NewProject([]int{0}, algebra.NewUnion(e1r, e2r)), src) })
+		t4 := timeIt(func() {
+			d = evalMust(algebra.NewUnion(algebra.NewProject([]int{0}, e1r), algebra.NewProject([]int{0}, e2r)), src)
+		})
+		deltaLeft := evalMust(algebra.NewUnique(algebra.NewUnion(e1r, e1r)), src)
+		deltaRight := evalMust(algebra.NewUnion(algebra.NewUnique(e1r), algebra.NewUnique(e1r)), src)
+		fmt.Printf("%d\t%v\t%v\t%v\t%v\t%v\t%v\n", n, t1, t2, t3, t4,
+			a.Equal(b) && c.Equal(d), deltaLeft.Equal(deltaRight))
+	}
+}
+
+func e3() {
+	header("fact_rows", "(fact⋈dim)⋈dim2", "fact⋈(dim⋈dim2)", "equal")
+	for _, n := range []int{2000, 8000} {
+		fact, dim := workload.JoinPair(workload.JoinConfig{LeftTuples: n, RightTuples: 200, Seed: 3})
+		_, dim2 := workload.JoinPair(workload.JoinConfig{LeftTuples: 10, RightTuples: 200, Seed: 4})
+		src := eval.MapSource{"fact": fact, "dim": dim, "dim2": dim2}
+		f, d1, d2 := algebra.NewRel("fact"), algebra.NewRel("dim"), algebra.NewRel("dim2")
+
+		var left, right *multiset.Relation
+		tl := timeIt(func() {
+			left = evalMust(algebra.NewJoin(scalar.Eq(2, 4), algebra.NewJoin(scalar.Eq(0, 2), f, d1), d2), src)
+		})
+		tr := timeIt(func() {
+			right = evalMust(algebra.NewJoin(scalar.Eq(0, 2), f, algebra.NewJoin(scalar.Eq(0, 2), d1, d2)), src)
+		})
+		fmt.Printf("%d\t%v\t%v\t%v\n", n, tl, tr, left.Equal(right))
+	}
+}
+
+func e4() {
+	header("breweries", "beers", "algebra_time", "result_tuples", "duplicates_present")
+	for _, b := range []int{20, 100, 400} {
+		beer, brewery := workload.Beers(workload.BeerConfig{Breweries: b, BeersPerBrewery: 20, DuplicateNames: true, Seed: 5})
+		src := eval.MapSource{"beer": beer, "brewery": brewery}
+		expr := algebra.NewProject([]int{0},
+			algebra.NewSelect(
+				scalar.NewCompare(value.CmpEq, scalar.NewAttr(5), scalar.NewConst(value.NewString("netherlands"))),
+				algebra.NewJoin(scalar.Eq(1, 3), algebra.NewRel("beer"), algebra.NewRel("brewery"))))
+		var res *multiset.Relation
+		t := timeIt(func() { res = evalMust(expr, src) })
+		fmt.Printf("%d\t%d\t%v\t%d\t%v\n", b, beer.Cardinality(), t, res.Cardinality(),
+			res.Cardinality() > uint64(res.DistinctCount()))
+	}
+}
+
+func e5() {
+	header("beers", "bag_direct", "bag_pushed", "bag_equal", "set_pushed_matches_bag(expected_false)", "intermediate_direct", "intermediate_pushed")
+	for _, b := range []int{50, 200} {
+		beer, brewery := workload.Beers(workload.BeerConfig{Breweries: b, BeersPerBrewery: 20, DuplicateNames: true, DiscreteAlcohol: true, Seed: 6})
+		src := eval.MapSource{"beer": beer, "brewery": brewery}
+		join := algebra.NewJoin(scalar.Eq(1, 3), algebra.NewRel("beer"), algebra.NewRel("brewery"))
+		direct := algebra.NewGroupBy([]int{5}, algebra.AggAvg, 2, join)
+		pushed := algebra.NewGroupBy([]int{1}, algebra.AggAvg, 0, algebra.NewProject([]int{2, 5}, join))
+
+		engDirect := &eval.Engine{CollectStats: true}
+		engPushed := &eval.Engine{CollectStats: true}
+		var rd, rp *multiset.Relation
+		td := timeIt(func() {
+			var err error
+			rd, err = engDirect.Eval(direct, src)
+			if err != nil {
+				panic(err)
+			}
+		})
+		tp := timeIt(func() {
+			var err error
+			rp, err = engPushed.Eval(pushed, src)
+			if err != nil {
+				panic(err)
+			}
+		})
+		setRes, err := (setalg.Engine{}).Eval(pushed, src)
+		if err != nil {
+			panic(err)
+		}
+		// Floating-point sums accumulate in map order, so compare the per-group
+		// averages with a tolerance rather than bit-exactly.
+		fmt.Printf("%d\t%v\t%v\t%v\t%v\t%d\t%d\n",
+			beer.Cardinality(), td, tp, avgsMatch(rd, rp, 1e-9), avgsMatch(rd, setRes, 1e-9),
+			engDirect.Stats.IntermediateTuples, engPushed.Stats.IntermediateTuples)
+	}
+}
+
+// avgsMatch compares two (group, average) relations group-wise with an
+// absolute tolerance.
+func avgsMatch(a, b *multiset.Relation, tol float64) bool {
+	collect := func(r *multiset.Relation) map[string]float64 {
+		m := make(map[string]float64)
+		for _, t := range r.Tuples() {
+			m[t.At(0).Str()] = t.At(1).Float()
+		}
+		return m
+	}
+	ma, mb := collect(a), collect(b)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k, va := range ma {
+		vb, ok := mb[k]
+		if !ok || va-vb > tol || vb-va > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func e6() {
+	header("accounts", "updates", "total_time", "per_update")
+	for _, n := range []int{100, 1000} {
+		db := storage.NewDatabase()
+		if err := db.CreateRelation(workload.AccountsSchema()); err != nil {
+			panic(err)
+		}
+		if _, err := db.Apply(map[string]*multiset.Relation{"account": workload.Accounts(n, 7)}); err != nil {
+			panic(err)
+		}
+		mgr := txn.NewManager(db)
+		const updates = 50
+		items := []scalar.Expr{
+			scalar.NewAttr(0), scalar.NewAttr(1),
+			scalar.NewArith(value.OpMul, scalar.NewAttr(2), scalar.NewConst(value.NewFloat(1.01))),
+		}
+		total := timeIt(func() {
+			for i := 0; i < updates; i++ {
+				sel := algebra.NewSelect(
+					scalar.NewCompare(value.CmpLt, scalar.NewAttr(0), scalar.NewConst(value.NewInt(int64(n/2)))),
+					algebra.NewRel("account"))
+				if _, err := mgr.Run(stmt.Program{stmt.Update{Target: "account", Selection: sel, Items: items}}); err != nil {
+					panic(err)
+				}
+			}
+		})
+		fmt.Printf("%d\t%d\t%v\t%v\n", n, updates, total, total/updates)
+	}
+}
+
+func e7() {
+	header("dup_factor", "distinct", "total", "bag_project", "set_project(dedup)", "set/bag_ratio")
+	for _, dup := range []int{1, 2, 4, 8, 16, 32, 64} {
+		r := workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 2000, DuplicationFactor: dup, Seed: 8})
+		src := eval.MapSource{"r": r}
+		proj := algebra.NewProject([]int{1}, algebra.NewRel("r"))
+		var bagTime, setTime time.Duration
+		bagTime = timeIt(func() { evalMust(proj, src) })
+		setTime = timeIt(func() {
+			if _, err := (setalg.Engine{}).Eval(proj, src); err != nil {
+				panic(err)
+			}
+		})
+		ratio := float64(setTime) / float64(bagTime)
+		fmt.Printf("%d\t%d\t%d\t%v\t%v\t%.2f\n", dup, r.DistinctCount(), r.Cardinality(), bagTime, setTime, ratio)
+	}
+}
+
+func e8() {
+	header("accounts", "transactions", "committed", "aborted_by_conflict", "atomicity_held", "throughput_tx_per_s")
+	n := 200
+	db := storage.NewDatabase()
+	if err := db.CreateRelation(workload.AccountsSchema()); err != nil {
+		panic(err)
+	}
+	if _, err := db.Apply(map[string]*multiset.Relation{"account": workload.Accounts(n, 9)}); err != nil {
+		panic(err)
+	}
+	mgr := txn.NewManager(db)
+	const txCount = 200
+	committed, aborted := 0, 0
+	items := []scalar.Expr{
+		scalar.NewAttr(0), scalar.NewAttr(1),
+		scalar.NewArith(value.OpAdd, scalar.NewAttr(2), scalar.NewConst(value.NewFloat(1))),
+	}
+	start := time.Now()
+	for i := 0; i < txCount; i++ {
+		tx := mgr.Begin()
+		sel := algebra.NewSelect(
+			scalar.NewCompare(value.CmpEq, scalar.NewAttr(0), scalar.NewConst(value.NewInt(int64(i%n)))),
+			algebra.NewRel("account"))
+		if err := tx.Exec(stmt.Update{Target: "account", Selection: sel, Items: items}); err != nil {
+			panic(err)
+		}
+		if i%10 == 9 {
+			// Force an abort: the database state must remain exactly D_t.
+			tx.Abort()
+			aborted++
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			aborted++
+			continue
+		}
+		committed++
+	}
+	elapsed := time.Since(start)
+	// Atomicity check: total balance equals initial total plus one unit per
+	// committed transaction (aborted transactions must have left no trace).
+	sum := sumBalances(db)
+	initial := sumOf(workload.Accounts(n, 9))
+	atomic := int(sum-initial+0.5) == committed
+	fmt.Printf("%d\t%d\t%d\t%d\t%v\t%.0f\n", n, txCount, committed, aborted, atomic,
+		float64(txCount)/elapsed.Seconds())
+}
+
+func sumBalances(db *storage.Database) float64 {
+	r, _ := db.Relation("account")
+	return sumOf(r)
+}
+
+func sumOf(r *multiset.Relation) float64 {
+	total := 0.0
+	for _, t := range r.Tuples() {
+		total += t.At(2).Float()
+	}
+	return total
+}
+
+func e9() {
+	header("query", "reference_eval", "physical_naive_plan", "physical_optimised_plan", "speedup_vs_naive_plan", "results_equal")
+	fact, dim := workload.JoinPair(workload.JoinConfig{LeftTuples: 3000, RightTuples: 150, Seed: 10})
+	src := eval.MapSource{"fact": fact, "dim": dim}
+	cat := src.Catalog()
+	rw := rewrite.NewRewriter()
+	queries := map[string]algebra.Expr{
+		"sigma_product": algebra.NewSelect(
+			scalar.NewAnd(scalar.Eq(0, 2), scalar.NewCompare(value.CmpGe, scalar.NewAttr(3), scalar.NewConst(value.NewInt(50)))),
+			algebra.NewProduct(algebra.NewRel("fact"), algebra.NewRel("dim"))),
+		"groupby_wide_join": algebra.NewGroupBy([]int{3}, algebra.AggSum, 1,
+			algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim"))),
+		"selection_cascade": algebra.NewSelect(
+			scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(100))),
+			algebra.NewSelect(
+				scalar.NewCompare(value.CmpLt, scalar.NewAttr(0), scalar.NewConst(value.NewInt(100))),
+				algebra.NewRel("fact"))),
+	}
+	for name, q := range queries {
+		var reference, naive, optimised *multiset.Relation
+		tRef := timeIt(func() {
+			var err error
+			reference, err = (eval.Reference{}).Eval(q, src)
+			if err != nil {
+				panic(err)
+			}
+		})
+		tn := timeIt(func() { naive = evalMust(q, src) })
+		opt, _ := rw.Rewrite(q, cat)
+		to := timeIt(func() { optimised = evalMust(opt, src) })
+		speedup := float64(tn) / float64(to)
+		fmt.Printf("%s\t%v\t%v\t%v\t%.2fx\t%v\n", name, tRef, tn, to, speedup,
+			naive.Equal(optimised) && reference.Equal(naive))
+	}
+}
+
+func e10() {
+	header("nodes", "edges", "closure_pairs", "time")
+	for _, nodes := range []int{32, 64, 128, 256} {
+		g := workload.Graph(workload.GraphConfig{Nodes: nodes, OutDegree: 2, Seed: 11})
+		src := eval.MapSource{"edge": g}
+		var res *multiset.Relation
+		t := timeIt(func() { res = evalMust(algebra.NewTClose(algebra.NewRel("edge")), src) })
+		fmt.Printf("%d\t%d\t%d\t%v\n", nodes, g.Cardinality(), res.Cardinality(), t)
+	}
+}

@@ -1,0 +1,181 @@
+// Command xra is an interactive shell and script runner for the multi-set
+// extended relational algebra.  It speaks the XRA language (the PRISMA/DB-
+// style textual algebra) and, with -sql, the SQL subset of the front-end.
+//
+// Usage:
+//
+//	xra                     # interactive XRA shell on an empty database
+//	xra -init schema.xra    # run an initialisation script first
+//	xra script.xra ...      # run scripts and exit
+//	xra -sql                # interactive SQL shell
+//
+// Inside the shell, statements end with ';'.  `begin ... end;` groups
+// statements into one transaction.  The meta-commands are:
+//
+//	\d                list relations
+//	\d name           show a relation's schema and cardinality
+//	\explain <expr>   show the original and optimised plan of an XRA expression
+//	\time on|off      toggle per-statement timing
+//	\q                quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mra"
+)
+
+func main() {
+	sqlMode := flag.Bool("sql", false, "interpret input as SQL instead of XRA")
+	initScript := flag.String("init", "", "XRA script to run before the shell starts")
+	flag.Parse()
+
+	db := mra.Open()
+	if *initScript != "" {
+		data, err := os.ReadFile(*initScript)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := db.ExecXRA(string(data)); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Script mode: run every file argument and exit.
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := runScript(db, string(data), *sqlMode, os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	repl(db, *sqlMode, os.Stdin, os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xra:", err)
+	os.Exit(1)
+}
+
+// runScript executes a whole script in the selected language, printing query
+// outputs as tables.
+func runScript(db *mra.DB, script string, sqlMode bool, out io.Writer) error {
+	var results []*mra.Result
+	var err error
+	if sqlMode {
+		results, err = db.ExecSQL(script)
+	} else {
+		results, err = db.ExecXRA(script)
+	}
+	for _, r := range results {
+		fmt.Fprintln(out, r.Table())
+	}
+	return err
+}
+
+// repl runs the interactive shell.
+func repl(db *mra.DB, sqlMode bool, in io.Reader, out io.Writer) {
+	lang := "xra"
+	if sqlMode {
+		lang = "sql"
+	}
+	fmt.Fprintf(out, "multi-set extended relational algebra shell (%s mode); \\q quits\n", lang)
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	timing := false
+	prompt := func() { fmt.Fprintf(out, "%s> ", lang) }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "\\") && buf.Len() == 0 {
+			if handleMeta(db, trimmed, &timing, out) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") || unbalancedTransaction(buf.String()) {
+			fmt.Fprint(out, "... ")
+			continue
+		}
+		start := time.Now()
+		err := runScript(db, buf.String(), sqlMode, out)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+		if timing {
+			fmt.Fprintf(out, "time: %v\n", time.Since(start))
+		}
+		buf.Reset()
+		prompt()
+	}
+}
+
+// unbalancedTransaction reports whether the buffered input opens a begin/end
+// block that has not been closed yet.
+func unbalancedTransaction(src string) bool {
+	lower := strings.ToLower(src)
+	return strings.Count(lower, "begin") > strings.Count(lower, "end")
+}
+
+// handleMeta processes a backslash meta-command; it returns true when the
+// shell should exit.
+func handleMeta(db *mra.DB, cmd string, timing *bool, out io.Writer) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\d":
+		if len(fields) == 1 {
+			for _, name := range db.Relations() {
+				fmt.Fprintf(out, "%s (%d tuples)\n", name, db.Cardinality(name))
+			}
+			return false
+		}
+		name := fields[1]
+		rel, ok := db.Catalog().RelationSchema(name)
+		if !ok {
+			fmt.Fprintf(out, "no such relation %q\n", name)
+			return false
+		}
+		fmt.Fprintf(out, "%s (%d tuples)\n", rel, db.Cardinality(name))
+	case "\\time":
+		if len(fields) > 1 && fields[1] == "on" {
+			*timing = true
+		} else if len(fields) > 1 && fields[1] == "off" {
+			*timing = false
+		} else {
+			*timing = !*timing
+		}
+		fmt.Fprintf(out, "timing: %v\n", *timing)
+	case "\\explain":
+		expr := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
+		orig, opt, rules, err := db.Explain(expr)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintln(out, "original :", orig)
+		fmt.Fprintln(out, "optimised:", opt)
+		fmt.Fprintln(out, "rules    :", strings.Join(rules, ", "))
+	default:
+		fmt.Fprintf(out, "unknown meta-command %s\n", fields[0])
+	}
+	return false
+}

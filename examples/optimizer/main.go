@@ -1,0 +1,96 @@
+// Command optimizer walks through the rewrite engine on the synthetic join
+// workload: it shows the equivalence-based rewrites (Theorem 3.1 as
+// join-introduction, Theorem 3.2 as selection/projection pushdown, the
+// Example 3.2 projection push-in below a group-by), the cost model's ranking
+// of original vs. rewritten plans, and the measured effect on intermediate
+// result sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mra"
+)
+
+func main() {
+	db := mra.Open()
+	db.MustCreateRelation("fact",
+		mra.Col("key", mra.Int), mra.Col("payload", mra.Int))
+	db.MustCreateRelation("dim",
+		mra.Col("key", mra.Int), mra.Col("attr", mra.Int))
+
+	// A modest star-schema workload: 4000 fact rows over 200 dimension keys.
+	const factRows, dimRows = 4000, 200
+	facts := make([][]any, 0, factRows)
+	for i := 0; i < factRows; i++ {
+		facts = append(facts, []any{i % dimRows, i})
+	}
+	dims := make([][]any, 0, dimRows)
+	for k := 0; k < dimRows; k++ {
+		dims = append(dims, []any{k, k * 10})
+	}
+	if err := db.InsertValues("fact", facts...); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.InsertValues("dim", dims...); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []struct {
+		name string
+		xra  string
+	}{
+		{
+			name: "selection over a product (Theorem 3.1 read backwards)",
+			xra:  "select[%1 = %3 and %4 >= 1500](product(fact, dim))",
+		},
+		{
+			name: "selection above a join (pushdown, Theorem 3.2 family)",
+			xra:  "select[%4 >= 1500](join[%1 = %3](fact, dim))",
+		},
+		{
+			name: "aggregate over a wide join (Example 3.2 projection push-in)",
+			xra:  "groupby[(%4), SUM, %2](join[%1 = %3](fact, dim))",
+		},
+		{
+			name: "double duplicate elimination",
+			xra:  "unique(unique(project[%1](fact)))",
+		},
+	}
+
+	for _, q := range queries {
+		fmt.Println("==", q.name)
+		orig, opt, rules, err := db.Explain(q.xra)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  original :", orig)
+		fmt.Println("  optimised:", opt)
+		fmt.Println("  rules    :", rules)
+
+		// Measure both plans end to end.
+		db.Optimize = false
+		t0 := time.Now()
+		slow, err := db.QueryXRA(q.xra)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive := time.Since(t0)
+
+		db.Optimize = true
+		t0 = time.Now()
+		fast, err := db.QueryXRA(q.xra)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optimised := time.Since(t0)
+
+		if slow.String() != fast.String() {
+			log.Fatalf("optimisation changed the result of %q", q.xra)
+		}
+		fmt.Printf("  result   : %d tuples; naive %v, optimised %v (identical results)\n\n",
+			fast.Len(), naive, optimised)
+	}
+}

@@ -1,0 +1,73 @@
+// Command quickstart is the smallest end-to-end walk through the public API:
+// create relations, load tuples, run a bag-semantics query through the XRA and
+// SQL front-ends, and update the database inside a transaction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mra"
+)
+
+func main() {
+	db := mra.Open()
+
+	// The paper's running example: beer(name, brewery, alcperc) and
+	// brewery(name, city, country).
+	db.MustCreateRelation("beer",
+		mra.Col("name", mra.String), mra.Col("brewery", mra.String), mra.Col("alcperc", mra.Float))
+	db.MustCreateRelation("brewery",
+		mra.Col("name", mra.String), mra.Col("city", mra.String), mra.Col("country", mra.String))
+
+	if err := db.InsertValues("beer",
+		[]any{"pils", "guineken", 5.0},
+		[]any{"pils", "brolsch", 5.2},
+		[]any{"bock", "guineken", 6.5},
+		[]any{"stout", "guinness", 4.2},
+	); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.InsertValues("brewery",
+		[]any{"guineken", "amsterdam", "netherlands"},
+		[]any{"brolsch", "enschede", "netherlands"},
+		[]any{"guinness", "dublin", "ireland"},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 3.1: names of beers brewed in the Netherlands.  Bag semantics
+	// keeps the duplicate "pils".
+	res, err := db.QueryXRA("project[%1](select[%6 = 'netherlands'](join[%2 = %4](beer, brewery)))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Dutch beers (XRA, duplicates preserved):")
+	fmt.Println(res.Table())
+
+	// The same query through the SQL front-end.
+	res, err = db.QuerySQL(`SELECT beer.name FROM beer, brewery
+		WHERE beer.brewery = brewery.name AND brewery.country = 'netherlands'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Dutch beers (SQL):")
+	fmt.Println(res.Table())
+
+	// Example 4.1: raise guineken's alcohol percentages by 10% inside a
+	// transaction, then inspect the result.
+	tx := db.Begin()
+	if err := tx.ExecSQL("UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'guineken'"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	res, err = db.QuerySQL("SELECT brewery, AVG(alcperc) AS avg_alc FROM beer GROUP BY brewery")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Average strength per brewery after the update:")
+	fmt.Println(res.Table())
+	fmt.Printf("logical time: %d (one committed transition per updating transaction)\n", db.LogicalTime())
+}

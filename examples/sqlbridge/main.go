@@ -1,0 +1,101 @@
+// Command sqlbridge demonstrates the algebra as a formal background for SQL:
+// it runs a small order-management workload entirely through the SQL
+// front-end, prints the algebra expression each query compiles to, and shows
+// where bag semantics matters (duplicate rows in projections, aggregates over
+// duplicates).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mra"
+)
+
+func main() {
+	db := mra.Open()
+	db.MustCreateRelation("customer",
+		mra.Col("id", mra.Int), mra.Col("name", mra.String), mra.Col("city", mra.String))
+	db.MustCreateRelation("orders",
+		mra.Col("id", mra.Int), mra.Col("customer", mra.Int), mra.Col("product", mra.String), mra.Col("amount", mra.Float))
+
+	must(db.InsertValues("customer",
+		[]any{1, "alice", "amsterdam"},
+		[]any{2, "bob", "enschede"},
+		[]any{3, "carol", "amsterdam"},
+	))
+	must(db.InsertValues("orders",
+		[]any{100, 1, "pils", 24.0},
+		[]any{101, 1, "pils", 24.0}, // a genuine duplicate order line (same product, same amount)
+		[]any{102, 2, "bock", 36.5},
+		[]any{103, 3, "stout", 18.0},
+		[]any{104, 3, "pils", 24.0},
+	))
+
+	queries := []string{
+		// Duplicate-preserving projection: two identical order lines for alice.
+		"SELECT product, amount FROM orders WHERE customer = 1",
+		// Join through the comma syntax with a WHERE clause.
+		`SELECT customer.name, orders.product FROM customer, orders
+		 WHERE customer.id = orders.customer AND customer.city = 'amsterdam'`,
+		// Explicit JOIN ... ON with aggregation per city: the aggregate runs
+		// over the multi-set, so the duplicate order lines both count.
+		`SELECT city, SUM(amount) AS turnover FROM customer
+		 JOIN orders ON customer.id = orders.customer GROUP BY city`,
+		// HAVING over the aggregate.
+		`SELECT customer.name, COUNT(*) AS lines FROM customer
+		 JOIN orders ON customer.id = orders.customer
+		 GROUP BY customer.name HAVING COUNT(*) >= 2`,
+		// DISTINCT is the explicit duplicate-elimination operator δ.
+		"SELECT DISTINCT product FROM orders",
+	}
+
+	for _, q := range queries {
+		fmt.Println("SQL:   ", oneLine(q))
+		res, err := db.QuerySQL(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Table())
+	}
+
+	// DML through SQL, executed as one atomic program.
+	fmt.Println("Applying: 10% discount on pils orders, then dropping orders below 20.")
+	if _, err := db.ExecSQL(`
+		UPDATE orders SET amount = amount * 0.9 WHERE product = 'pils';
+		DELETE FROM orders WHERE amount < 20;
+		SELECT product, SUM(amount) AS total FROM orders GROUP BY product;
+	`); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.QuerySQL("SELECT product, SUM(amount) AS total FROM orders GROUP BY product")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Table())
+	fmt.Printf("database logical time: %d\n", db.LogicalTime())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func oneLine(s string) string {
+	out := make([]byte, 0, len(s))
+	space := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\n' || c == '\t' || c == ' ' {
+			space = true
+			continue
+		}
+		if space && len(out) > 0 {
+			out = append(out, ' ')
+		}
+		space = false
+		out = append(out, c)
+	}
+	return string(out)
+}

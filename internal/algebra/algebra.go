@@ -1,0 +1,366 @@
+// Package algebra implements the expression language of the multi-set
+// extended relational algebra (Section 3 of Grefen & de By, ICDE 1994): the
+// basic algebra (union ⊎, difference −, product ×, selection σ, projection π),
+// the standard algebra (intersection ∩, join ⋈), and the extended algebra
+// (extended/arithmetic projection, unique δ, groupby Γ with the aggregate
+// functions CNT, SUM, AVG, MIN and MAX), plus the transitive-closure operator
+// the paper names as its canonical extension.
+//
+// The package defines only the *logical* expressions: operator trees with
+// schema inference and validation.  Execution lives in package eval; rewriting
+// for query optimisation lives in package rewrite.
+package algebra
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mra/internal/scalar"
+	"mra/internal/schema"
+	"mra/internal/value"
+)
+
+// ErrPlan is the sentinel wrapped by all expression validation errors.
+var ErrPlan = errors.New("algebra error")
+
+// Catalog resolves database relation names to their schemas.  The storage
+// engine's database schema and the facade both implement it; tests use small
+// map-backed catalogs.
+type Catalog interface {
+	// RelationSchema returns the schema of the named database relation.
+	RelationSchema(name string) (schema.Relation, bool)
+}
+
+// MapCatalog is a Catalog backed by a plain map; the key lookup is
+// case-insensitive like the storage engine's.
+type MapCatalog map[string]schema.Relation
+
+// RelationSchema implements Catalog.
+func (m MapCatalog) RelationSchema(name string) (schema.Relation, bool) {
+	if s, ok := m[name]; ok {
+		return s, true
+	}
+	for k, s := range m {
+		if strings.EqualFold(k, name) {
+			return s, true
+		}
+	}
+	return schema.Relation{}, false
+}
+
+// Expr is a multi-set relational expression.  Expressions are immutable trees.
+type Expr interface {
+	// Schema infers the expression's output schema against a catalog,
+	// validating operand compatibility, attribute ranges, and condition and
+	// arithmetic typing along the way.
+	Schema(cat Catalog) (schema.Relation, error)
+	// Children returns the expression's direct relational sub-expressions.
+	Children() []Expr
+	// String renders the expression in a compact linear syntax close to the
+	// paper's notation (union, diff, product, select[...], project[...], ...).
+	String() string
+}
+
+// Validate walks the expression bottom-up and reports the first planning
+// error, if any.  It is equivalent to calling Schema and discarding the
+// result, but reads better at call sites that only need the check.
+func Validate(e Expr, cat Catalog) error {
+	_, err := e.Schema(cat)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Leaves
+// ---------------------------------------------------------------------------
+
+// Rel references a database relation by name; its schema comes from the
+// catalog at validation time.  A database relation is the base case of the
+// basic relational expressions (Definition 3.1).
+type Rel struct {
+	// Name is the database relation's name.
+	Name string
+}
+
+// NewRel returns a reference to the named database relation.
+func NewRel(name string) Rel { return Rel{Name: name} }
+
+// Schema implements Expr.
+func (r Rel) Schema(cat Catalog) (schema.Relation, error) {
+	if cat == nil {
+		return schema.Relation{}, fmt.Errorf("%w: no catalog to resolve relation %q", ErrPlan, r.Name)
+	}
+	s, ok := cat.RelationSchema(r.Name)
+	if !ok {
+		return schema.Relation{}, fmt.Errorf("%w: unknown relation %q", ErrPlan, r.Name)
+	}
+	return s, nil
+}
+
+// Children implements Expr.
+func (r Rel) Children() []Expr { return nil }
+
+// String implements Expr.
+func (r Rel) String() string { return r.Name }
+
+// Literal is a constant relation embedded in an expression.  It is used for
+// INSERT ... VALUES statements and by tests; the paper's algebra allows any
+// multi-set as an operand.
+type Literal struct {
+	// Rel is the literal's schema.
+	Rel schema.Relation
+	// Rows are the literal's tuple rows, as value lists; duplicates are
+	// meaningful (each row contributes multiplicity one).
+	Rows [][]value.Value
+}
+
+// Schema implements Expr.
+func (l Literal) Schema(Catalog) (schema.Relation, error) {
+	for i, row := range l.Rows {
+		if len(row) != l.Rel.Arity() {
+			return schema.Relation{}, fmt.Errorf("%w: literal row %d has %d values, schema has arity %d", ErrPlan, i+1, len(row), l.Rel.Arity())
+		}
+		for j, v := range row {
+			want := l.Rel.Attribute(j).Type
+			if v.IsNull() || v.Kind() == want {
+				continue
+			}
+			if v.Kind().Numeric() && want.Numeric() {
+				continue
+			}
+			return schema.Relation{}, fmt.Errorf("%w: literal row %d attribute %d is %s, schema expects %s", ErrPlan, i+1, j+1, v.Kind(), want)
+		}
+	}
+	return l.Rel, nil
+}
+
+// Children implements Expr.
+func (l Literal) Children() []Expr { return nil }
+
+// String implements Expr.
+func (l Literal) String() string {
+	return fmt.Sprintf("literal[%d rows]", len(l.Rows))
+}
+
+// ---------------------------------------------------------------------------
+// Basic relational algebra (Definition 3.1)
+// ---------------------------------------------------------------------------
+
+// Union is the multi-set union E1 ⊎ E2: multiplicities add.
+type Union struct {
+	Left, Right Expr
+}
+
+// NewUnion returns the union of two expressions.
+func NewUnion(left, right Expr) Union { return Union{Left: left, Right: right} }
+
+// Schema implements Expr.
+func (u Union) Schema(cat Catalog) (schema.Relation, error) {
+	return compatibleSchema("union", u.Left, u.Right, cat)
+}
+
+// Children implements Expr.
+func (u Union) Children() []Expr { return []Expr{u.Left, u.Right} }
+
+// String implements Expr.
+func (u Union) String() string {
+	return fmt.Sprintf("union(%s, %s)", u.Left, u.Right)
+}
+
+// Difference is the multi-set difference E1 − E2: multiplicities subtract,
+// clamped at zero.
+type Difference struct {
+	Left, Right Expr
+}
+
+// NewDifference returns the difference of two expressions.
+func NewDifference(left, right Expr) Difference { return Difference{Left: left, Right: right} }
+
+// Schema implements Expr.
+func (d Difference) Schema(cat Catalog) (schema.Relation, error) {
+	return compatibleSchema("diff", d.Left, d.Right, cat)
+}
+
+// Children implements Expr.
+func (d Difference) Children() []Expr { return []Expr{d.Left, d.Right} }
+
+// String implements Expr.
+func (d Difference) String() string {
+	return fmt.Sprintf("diff(%s, %s)", d.Left, d.Right)
+}
+
+// Product is the Cartesian product E1 × E3: multiplicities multiply and the
+// schema is the concatenation 𝓔 ⊕ 𝓔′.
+type Product struct {
+	Left, Right Expr
+}
+
+// NewProduct returns the Cartesian product of two expressions.
+func NewProduct(left, right Expr) Product { return Product{Left: left, Right: right} }
+
+// Schema implements Expr.
+func (p Product) Schema(cat Catalog) (schema.Relation, error) {
+	ls, err := p.Left.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	rs, err := p.Right.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	return ls.Concat(rs), nil
+}
+
+// Children implements Expr.
+func (p Product) Children() []Expr { return []Expr{p.Left, p.Right} }
+
+// String implements Expr.
+func (p Product) String() string {
+	return fmt.Sprintf("product(%s, %s)", p.Left, p.Right)
+}
+
+// Select is the selection σ_φ(E): tuples satisfying the condition keep their
+// multiplicities; the rest are dropped.
+type Select struct {
+	Cond  scalar.Predicate
+	Input Expr
+}
+
+// NewSelect returns the selection of an expression under a condition.
+func NewSelect(cond scalar.Predicate, input Expr) Select {
+	return Select{Cond: cond, Input: input}
+}
+
+// Schema implements Expr.
+func (s Select) Schema(cat Catalog) (schema.Relation, error) {
+	in, err := s.Input.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if s.Cond == nil {
+		return schema.Relation{}, fmt.Errorf("%w: select without a condition", ErrPlan)
+	}
+	if err := s.Cond.Validate(in); err != nil {
+		return schema.Relation{}, fmt.Errorf("%w: %v", ErrPlan, err)
+	}
+	return in, nil
+}
+
+// Children implements Expr.
+func (s Select) Children() []Expr { return []Expr{s.Input} }
+
+// String implements Expr.
+func (s Select) String() string {
+	return fmt.Sprintf("select[%s](%s)", s.Cond, s.Input)
+}
+
+// Project is the projection π_α(E) on a positional attribute list (0-based
+// indices).  Under bag semantics, tuples that become equal after projection
+// accumulate their multiplicities; no duplicate elimination takes place.
+type Project struct {
+	Columns []int
+	Input   Expr
+}
+
+// NewProject returns the projection of an expression on attribute positions.
+func NewProject(columns []int, input Expr) Project {
+	cp := make([]int, len(columns))
+	copy(cp, columns)
+	return Project{Columns: cp, Input: input}
+}
+
+// Schema implements Expr.
+func (p Project) Schema(cat Catalog) (schema.Relation, error) {
+	in, err := p.Input.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if len(p.Columns) == 0 {
+		return schema.Relation{}, fmt.Errorf("%w: projection with an empty attribute list", ErrPlan)
+	}
+	out, err := in.Project(p.Columns)
+	if err != nil {
+		return schema.Relation{}, fmt.Errorf("%w: %v", ErrPlan, err)
+	}
+	return out, nil
+}
+
+// Children implements Expr.
+func (p Project) Children() []Expr { return []Expr{p.Input} }
+
+// String implements Expr.
+func (p Project) String() string {
+	cols := make([]string, len(p.Columns))
+	for i, c := range p.Columns {
+		cols[i] = "%" + strconv.Itoa(c+1)
+	}
+	return fmt.Sprintf("project[%s](%s)", strings.Join(cols, ","), p.Input)
+}
+
+// ---------------------------------------------------------------------------
+// Standard relational algebra (Definition 3.2)
+// ---------------------------------------------------------------------------
+
+// Intersect is the multi-set intersection E1 ∩ E2: multiplicities take the
+// minimum.  By Theorem 3.1 it is expressible as E1 − (E1 − E2).
+type Intersect struct {
+	Left, Right Expr
+}
+
+// NewIntersect returns the intersection of two expressions.
+func NewIntersect(left, right Expr) Intersect { return Intersect{Left: left, Right: right} }
+
+// Schema implements Expr.
+func (i Intersect) Schema(cat Catalog) (schema.Relation, error) {
+	return compatibleSchema("intersect", i.Left, i.Right, cat)
+}
+
+// Children implements Expr.
+func (i Intersect) Children() []Expr { return []Expr{i.Left, i.Right} }
+
+// String implements Expr.
+func (i Intersect) String() string {
+	return fmt.Sprintf("intersect(%s, %s)", i.Left, i.Right)
+}
+
+// Join is the condition join E1 ⋈_φ E2 = σ_φ(E1 × E2) (Theorem 3.1).  The
+// condition addresses the concatenated schema 𝓔 ⊕ 𝓔′ positionally.
+type Join struct {
+	Cond        scalar.Predicate
+	Left, Right Expr
+}
+
+// NewJoin returns the join of two expressions under a condition over the
+// concatenated schema.
+func NewJoin(cond scalar.Predicate, left, right Expr) Join {
+	return Join{Cond: cond, Left: left, Right: right}
+}
+
+// Schema implements Expr.
+func (j Join) Schema(cat Catalog) (schema.Relation, error) {
+	ls, err := j.Left.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	rs, err := j.Right.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	out := ls.Concat(rs)
+	if j.Cond == nil {
+		return schema.Relation{}, fmt.Errorf("%w: join without a condition", ErrPlan)
+	}
+	if err := j.Cond.Validate(out); err != nil {
+		return schema.Relation{}, fmt.Errorf("%w: %v", ErrPlan, err)
+	}
+	return out, nil
+}
+
+// Children implements Expr.
+func (j Join) Children() []Expr { return []Expr{j.Left, j.Right} }
+
+// String implements Expr.
+func (j Join) String() string {
+	return fmt.Sprintf("join[%s](%s, %s)", j.Cond, j.Left, j.Right)
+}

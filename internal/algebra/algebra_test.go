@@ -1,0 +1,459 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"mra/internal/scalar"
+	"mra/internal/schema"
+	"mra/internal/value"
+)
+
+// beerCatalog returns the paper's running example catalog:
+// beer(name, brewery, alcperc) and brewery(name, city, country).
+func beerCatalog() MapCatalog {
+	return MapCatalog{
+		"beer": schema.NewRelation("beer",
+			schema.Attribute{Name: "name", Type: value.KindString},
+			schema.Attribute{Name: "brewery", Type: value.KindString},
+			schema.Attribute{Name: "alcperc", Type: value.KindFloat},
+		),
+		"brewery": schema.NewRelation("brewery",
+			schema.Attribute{Name: "name", Type: value.KindString},
+			schema.Attribute{Name: "city", Type: value.KindString},
+			schema.Attribute{Name: "country", Type: value.KindString},
+		),
+	}
+}
+
+func TestMapCatalog(t *testing.T) {
+	cat := beerCatalog()
+	if _, ok := cat.RelationSchema("beer"); !ok {
+		t.Error("exact lookup failed")
+	}
+	if _, ok := cat.RelationSchema("BEER"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := cat.RelationSchema("wine"); ok {
+		t.Error("unknown relation must not resolve")
+	}
+}
+
+func TestRel(t *testing.T) {
+	cat := beerCatalog()
+	r := NewRel("beer")
+	s, err := r.Schema(cat)
+	if err != nil || s.Arity() != 3 {
+		t.Fatalf("Schema = %v, %v", s, err)
+	}
+	if _, err := NewRel("wine").Schema(cat); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if _, err := r.Schema(nil); err == nil {
+		t.Error("nil catalog must fail")
+	}
+	if len(r.Children()) != 0 || r.String() != "beer" {
+		t.Error("Rel children/string")
+	}
+	if err := Validate(r, cat); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLiteral(t *testing.T) {
+	s := schema.Anonymous(
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindString},
+	)
+	l := Literal{Rel: s, Rows: [][]value.Value{
+		{value.NewInt(1), value.NewString("x")},
+		{value.NewFloat(2), value.NewString("y")}, // numeric coercion allowed
+		{value.Null, value.Null},                  // nulls allowed
+	}}
+	got, err := l.Schema(nil)
+	if err != nil || got.Arity() != 2 {
+		t.Fatalf("Schema = %v, %v", got, err)
+	}
+	if len(l.Children()) != 0 || !strings.Contains(l.String(), "3 rows") {
+		t.Error("Literal children/string")
+	}
+	badArity := Literal{Rel: s, Rows: [][]value.Value{{value.NewInt(1)}}}
+	if _, err := badArity.Schema(nil); err == nil {
+		t.Error("wrong row arity must fail")
+	}
+	badType := Literal{Rel: s, Rows: [][]value.Value{{value.NewString("no"), value.NewString("x")}}}
+	if _, err := badType.Schema(nil); err == nil {
+		t.Error("wrong value domain must fail")
+	}
+}
+
+func TestUnionDiffIntersectSchema(t *testing.T) {
+	cat := beerCatalog()
+	u := NewUnion(NewRel("beer"), NewRel("beer"))
+	if _, err := u.Schema(cat); err != nil {
+		t.Errorf("union of compatible relations: %v", err)
+	}
+	if len(u.Children()) != 2 || !strings.HasPrefix(u.String(), "union(") {
+		t.Error("union children/string")
+	}
+	d := NewDifference(NewRel("beer"), NewRel("beer"))
+	if _, err := d.Schema(cat); err != nil {
+		t.Errorf("difference: %v", err)
+	}
+	if !strings.HasPrefix(d.String(), "diff(") || len(d.Children()) != 2 {
+		t.Error("difference children/string")
+	}
+	i := NewIntersect(NewRel("beer"), NewRel("beer"))
+	if _, err := i.Schema(cat); err != nil {
+		t.Errorf("intersection: %v", err)
+	}
+	if !strings.HasPrefix(i.String(), "intersect(") || len(i.Children()) != 2 {
+		t.Error("intersect children/string")
+	}
+
+	// beer and brewery are string,string,string vs string,string,float — the
+	// third attribute is incompatible.
+	if _, err := NewUnion(NewRel("beer"), NewRel("brewery")).Schema(cat); err == nil {
+		t.Error("union of incompatible schemas must fail")
+	}
+	if _, err := NewDifference(NewRel("beer"), NewRel("brewery")).Schema(cat); err == nil {
+		t.Error("difference of incompatible schemas must fail")
+	}
+	if _, err := NewIntersect(NewRel("beer"), NewRel("brewery")).Schema(cat); err == nil {
+		t.Error("intersection of incompatible schemas must fail")
+	}
+	// Operand errors propagate from either side.
+	if _, err := NewUnion(NewRel("wine"), NewRel("beer")).Schema(cat); err == nil {
+		t.Error("left operand error must propagate")
+	}
+	if _, err := NewUnion(NewRel("beer"), NewRel("wine")).Schema(cat); err == nil {
+		t.Error("right operand error must propagate")
+	}
+}
+
+func TestProductSchema(t *testing.T) {
+	cat := beerCatalog()
+	p := NewProduct(NewRel("beer"), NewRel("brewery"))
+	s, err := p.Schema(cat)
+	if err != nil || s.Arity() != 6 {
+		t.Fatalf("product schema = %v, %v", s, err)
+	}
+	if s.Attribute(5).Name != "country" {
+		t.Error("product schema must concatenate in order")
+	}
+	if len(p.Children()) != 2 || !strings.HasPrefix(p.String(), "product(") {
+		t.Error("product children/string")
+	}
+	if _, err := NewProduct(NewRel("wine"), NewRel("beer")).Schema(cat); err == nil {
+		t.Error("left error propagates")
+	}
+	if _, err := NewProduct(NewRel("beer"), NewRel("wine")).Schema(cat); err == nil {
+		t.Error("right error propagates")
+	}
+}
+
+func TestSelectSchema(t *testing.T) {
+	cat := beerCatalog()
+	cond := scalar.NewCompare(value.CmpGt, scalar.NewAttr(2), scalar.NewConst(value.NewFloat(5)))
+	s := NewSelect(cond, NewRel("beer"))
+	got, err := s.Schema(cat)
+	if err != nil || got.Arity() != 3 {
+		t.Fatalf("select schema = %v, %v", got, err)
+	}
+	if len(s.Children()) != 1 || !strings.HasPrefix(s.String(), "select[") {
+		t.Error("select children/string")
+	}
+	// Condition referencing a missing attribute fails validation.
+	bad := NewSelect(scalar.NewCompare(value.CmpGt, scalar.NewAttr(7), scalar.NewConst(value.NewFloat(5))), NewRel("beer"))
+	if _, err := bad.Schema(cat); err == nil {
+		t.Error("out-of-range condition must fail")
+	}
+	// Type mismatch in the condition.
+	mismatch := NewSelect(scalar.NewCompare(value.CmpEq, scalar.NewAttr(0), scalar.NewConst(value.NewInt(1))), NewRel("beer"))
+	if _, err := mismatch.Schema(cat); err == nil {
+		t.Error("string = int condition must fail")
+	}
+	// Missing condition.
+	if _, err := (Select{Input: NewRel("beer")}).Schema(cat); err == nil {
+		t.Error("select without condition must fail")
+	}
+	// Input errors propagate.
+	if _, err := NewSelect(cond, NewRel("wine")).Schema(cat); err == nil {
+		t.Error("input error propagates")
+	}
+}
+
+func TestProjectSchema(t *testing.T) {
+	cat := beerCatalog()
+	p := NewProject([]int{0, 2}, NewRel("beer"))
+	s, err := p.Schema(cat)
+	if err != nil || s.Arity() != 2 || s.Attribute(1).Name != "alcperc" {
+		t.Fatalf("project schema = %v, %v", s, err)
+	}
+	if !strings.Contains(p.String(), "%1,%3") {
+		t.Errorf("project string = %q", p.String())
+	}
+	if _, err := NewProject([]int{9}, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("out-of-range projection must fail")
+	}
+	if _, err := NewProject(nil, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("empty projection must fail")
+	}
+	if _, err := NewProject([]int{0}, NewRel("wine")).Schema(cat); err == nil {
+		t.Error("input error propagates")
+	}
+	// NewProject copies its argument.
+	cols := []int{0}
+	pp := NewProject(cols, NewRel("beer"))
+	cols[0] = 2
+	if pp.Columns[0] != 0 {
+		t.Error("NewProject must copy the column list")
+	}
+}
+
+func TestJoinSchema(t *testing.T) {
+	cat := beerCatalog()
+	// beer.brewery = brewery.name is %2 = %4 on the concatenated schema.
+	j := NewJoin(scalar.Eq(1, 3), NewRel("beer"), NewRel("brewery"))
+	s, err := j.Schema(cat)
+	if err != nil || s.Arity() != 6 {
+		t.Fatalf("join schema = %v, %v", s, err)
+	}
+	if len(j.Children()) != 2 || !strings.HasPrefix(j.String(), "join[") {
+		t.Error("join children/string")
+	}
+	if _, err := NewJoin(scalar.Eq(1, 9), NewRel("beer"), NewRel("brewery")).Schema(cat); err == nil {
+		t.Error("condition outside the concatenated schema must fail")
+	}
+	if _, err := (Join{Left: NewRel("beer"), Right: NewRel("brewery")}).Schema(cat); err == nil {
+		t.Error("join without condition must fail")
+	}
+	if _, err := NewJoin(scalar.Eq(0, 1), NewRel("wine"), NewRel("brewery")).Schema(cat); err == nil {
+		t.Error("left error propagates")
+	}
+	if _, err := NewJoin(scalar.Eq(0, 1), NewRel("beer"), NewRel("wine")).Schema(cat); err == nil {
+		t.Error("right error propagates")
+	}
+}
+
+func TestAggregateParsingAndTyping(t *testing.T) {
+	for in, want := range map[string]Aggregate{
+		"cnt": AggCount, "COUNT": AggCount, "Sum": AggSum, "avg": AggAvg, "MIN": AggMin, "max": AggMax,
+	} {
+		got, err := ParseAggregate(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAggregate(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseAggregate("median"); err == nil {
+		t.Error("unknown aggregate must fail")
+	}
+	if AggCount.String() != "CNT" || AggSum.String() != "SUM" || AggAvg.String() != "AVG" ||
+		AggMin.String() != "MIN" || AggMax.String() != "MAX" {
+		t.Error("aggregate names")
+	}
+	if k, err := AggCount.ResultKind(value.KindString); err != nil || k != value.KindInt {
+		t.Error("CNT returns int regardless of attribute domain")
+	}
+	if k, err := AggSum.ResultKind(value.KindInt); err != nil || k != value.KindInt {
+		t.Error("SUM over ints is int")
+	}
+	if k, err := AggSum.ResultKind(value.KindFloat); err != nil || k != value.KindFloat {
+		t.Error("SUM over floats is float")
+	}
+	if _, err := AggSum.ResultKind(value.KindString); err == nil {
+		t.Error("SUM over strings must fail")
+	}
+	if k, err := AggAvg.ResultKind(value.KindInt); err != nil || k != value.KindFloat {
+		t.Error("AVG is always float")
+	}
+	if _, err := AggAvg.ResultKind(value.KindBool); err == nil {
+		t.Error("AVG over booleans must fail")
+	}
+	if k, err := AggMin.ResultKind(value.KindString); err != nil || k != value.KindString {
+		t.Error("MIN preserves the attribute domain")
+	}
+	if k, err := AggMax.ResultKind(value.KindFloat); err != nil || k != value.KindFloat {
+		t.Error("MAX preserves the attribute domain")
+	}
+}
+
+func TestExtProjectSchema(t *testing.T) {
+	cat := beerCatalog()
+	// (name, brewery, alcperc * 1.1) — the shape of Example 4.1's update list.
+	items := []scalar.Expr{
+		scalar.NewAttr(0),
+		scalar.NewAttr(1),
+		scalar.NewArith(value.OpMul, scalar.NewAttr(2), scalar.NewConst(value.NewFloat(1.1))),
+	}
+	p := NewExtProject(items, nil, NewRel("beer"))
+	s, err := p.Schema(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 3 || s.Attribute(0).Name != "name" || s.Attribute(2).Name != "" {
+		t.Errorf("ext project schema = %v", s)
+	}
+	if s.Attribute(2).Type != value.KindFloat {
+		t.Error("computed column type")
+	}
+	named := NewExtProject(items, []string{"n", "b", "adjusted"}, NewRel("beer"))
+	s2, err := named.Schema(cat)
+	if err != nil || s2.Attribute(2).Name != "adjusted" {
+		t.Errorf("named ext project schema = %v, %v", s2, err)
+	}
+	if len(p.Children()) != 1 || !strings.HasPrefix(p.String(), "xproject[") {
+		t.Error("ext project children/string")
+	}
+	if _, err := NewExtProject(nil, nil, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("empty item list must fail")
+	}
+	badItem := []scalar.Expr{scalar.NewArith(value.OpMul, scalar.NewAttr(0), scalar.NewConst(value.NewInt(2)))}
+	if _, err := NewExtProject(badItem, nil, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("untypeable item must fail")
+	}
+	if _, err := NewExtProject(items, nil, NewRel("wine")).Schema(cat); err == nil {
+		t.Error("input error propagates")
+	}
+	dupNames := NewExtProject(items, []string{"x", "x", "y"}, NewRel("beer"))
+	if _, err := dupNames.Schema(cat); err == nil {
+		t.Error("duplicate output names must fail")
+	}
+}
+
+func TestUniqueSchema(t *testing.T) {
+	cat := beerCatalog()
+	u := NewUnique(NewRel("beer"))
+	s, err := u.Schema(cat)
+	if err != nil || s.Arity() != 3 {
+		t.Fatalf("unique schema = %v, %v", s, err)
+	}
+	if len(u.Children()) != 1 || !strings.HasPrefix(u.String(), "unique(") {
+		t.Error("unique children/string")
+	}
+	if _, err := NewUnique(NewRel("wine")).Schema(cat); err == nil {
+		t.Error("input error propagates")
+	}
+}
+
+func TestGroupBySchema(t *testing.T) {
+	cat := beerCatalog()
+	// Γ_{(country), AVG, alcperc} over the joined schema of Example 3.2:
+	// positions: 0..2 beer, 3..5 brewery; country = %6 (index 5), alcperc = %3 (index 2).
+	join := NewJoin(scalar.Eq(1, 3), NewRel("beer"), NewRel("brewery"))
+	g := NewGroupBy([]int{5}, AggAvg, 2, join)
+	s, err := g.Schema(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 2 || s.Attribute(0).Name != "country" || s.Attribute(1).Type != value.KindFloat {
+		t.Errorf("groupby schema = %v", s)
+	}
+	if s.Attribute(1).Name != "avg" {
+		t.Errorf("default aggregate column name = %q", s.Attribute(1).Name)
+	}
+	named := GroupBy{GroupCols: []int{5}, Agg: AggAvg, AggCol: 2, Name: "avg_alc", Input: join}
+	s2, _ := named.Schema(cat)
+	if s2.Attribute(1).Name != "avg_alc" {
+		t.Error("explicit aggregate column name")
+	}
+	// Empty α: single-attribute result (aggregate over the whole input).
+	all := NewGroupBy(nil, AggCount, 0, NewRel("beer"))
+	s3, err := all.Schema(cat)
+	if err != nil || s3.Arity() != 1 || s3.Attribute(0).Type != value.KindInt {
+		t.Errorf("global aggregate schema = %v, %v", s3, err)
+	}
+	if len(g.Children()) != 1 || !strings.HasPrefix(g.String(), "groupby[") {
+		t.Error("groupby children/string")
+	}
+	// Errors.
+	if _, err := NewGroupBy([]int{9}, AggCount, 0, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("out-of-range grouping attribute must fail")
+	}
+	if _, err := NewGroupBy([]int{0, 0}, AggCount, 0, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("repeated grouping attribute must fail")
+	}
+	if _, err := NewGroupBy([]int{0}, AggCount, 9, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("out-of-range aggregate attribute must fail")
+	}
+	if _, err := NewGroupBy([]int{0}, AggSum, 0, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("SUM over a string attribute must fail")
+	}
+	if _, err := NewGroupBy([]int{0}, AggCount, 0, NewRel("wine")).Schema(cat); err == nil {
+		t.Error("input error propagates")
+	}
+}
+
+func TestTCloseSchema(t *testing.T) {
+	cat := MapCatalog{
+		"edge": schema.NewRelation("edge",
+			schema.Attribute{Name: "src", Type: value.KindInt},
+			schema.Attribute{Name: "dst", Type: value.KindInt},
+		),
+		"beer": beerCatalog()["beer"],
+	}
+	tc := NewTClose(NewRel("edge"))
+	s, err := tc.Schema(cat)
+	if err != nil || s.Arity() != 2 {
+		t.Fatalf("tclose schema = %v, %v", s, err)
+	}
+	if len(tc.Children()) != 1 || !strings.HasPrefix(tc.String(), "tclose(") {
+		t.Error("tclose children/string")
+	}
+	if _, err := NewTClose(NewRel("beer")).Schema(cat); err == nil {
+		t.Error("non-binary input must fail")
+	}
+	mixed := MapCatalog{"m": schema.NewRelation("m",
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindString},
+	)}
+	if _, err := NewTClose(NewRel("m")).Schema(mixed); err == nil {
+		t.Error("incompatible attribute domains must fail")
+	}
+	if _, err := NewTClose(NewRel("missing")).Schema(cat); err == nil {
+		t.Error("input error propagates")
+	}
+}
+
+func TestWalkRelationsCountNodes(t *testing.T) {
+	expr := NewProject([]int{0},
+		NewSelect(scalar.NewCompare(value.CmpEq, scalar.NewAttr(5), scalar.NewConst(value.NewString("netherlands"))),
+			NewJoin(scalar.Eq(1, 3), NewRel("beer"), NewRel("brewery"))))
+	names := Relations(expr)
+	if len(names) != 2 || names[0] != "beer" || names[1] != "brewery" {
+		t.Errorf("Relations = %v", names)
+	}
+	if n := CountNodes(expr); n != 5 {
+		t.Errorf("CountNodes = %d, want 5", n)
+	}
+	// Repeated relations are deduplicated.
+	u := NewUnion(NewRel("beer"), NewRel("BEER"))
+	if got := Relations(u); len(got) != 1 {
+		t.Errorf("Relations with duplicates = %v", got)
+	}
+	// Walk early cut: don't descend into children.
+	count := 0
+	Walk(expr, func(Expr) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Walk with cut visited %d nodes", count)
+	}
+	Walk(nil, func(Expr) bool { t.Error("walking nil must not call fn"); return true })
+}
+
+func TestValidateWholeExample32(t *testing.T) {
+	// Γ_{(country),AVG,alcperc}(beer ⋈ brewery) — the paper's Example 3.2.
+	cat := beerCatalog()
+	expr := NewGroupBy([]int{5}, AggAvg, 2,
+		NewJoin(scalar.Eq(1, 3), NewRel("beer"), NewRel("brewery")))
+	if err := Validate(expr, cat); err != nil {
+		t.Errorf("Example 3.2 expression must validate: %v", err)
+	}
+	// With the inner projection π_{alcperc,country}: positions become
+	// alcperc=0, country=1 after projecting {2,5}.
+	expr2 := NewGroupBy([]int{1}, AggAvg, 0,
+		NewProject([]int{2, 5},
+			NewJoin(scalar.Eq(1, 3), NewRel("beer"), NewRel("brewery"))))
+	if err := Validate(expr2, cat); err != nil {
+		t.Errorf("Example 3.2 with projection push-in must validate: %v", err)
+	}
+}

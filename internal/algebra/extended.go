@@ -1,0 +1,347 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"mra/internal/scalar"
+	"mra/internal/schema"
+	"mra/internal/value"
+)
+
+// This file defines the extended relational algebra operators of
+// Definition 3.3 and 3.4: aggregate functions, the extended (arithmetic)
+// projection, the unique operator δ, the groupby operator Γ, and the
+// transitive-closure extension named in Section 5.
+
+// Aggregate identifies one of the paper's multi-set aggregate functions
+// (Definition 3.3).
+type Aggregate uint8
+
+// The aggregate functions of Definition 3.3.
+const (
+	// AggCount is CNT: Σ_x E(x), the total number of tuples counting
+	// duplicates.  Its attribute parameter is a dummy, kept only for
+	// syntactical uniformity.
+	AggCount Aggregate = iota
+	// AggSum is SUM over a numeric attribute: Σ_x E(x)·x.p.
+	AggSum
+	// AggAvg is AVG = SUM/CNT; a partial function, undefined on empty
+	// multi-sets.
+	AggAvg
+	// AggMin is MIN over the tuples with E(x) > 0; partial on empty inputs.
+	AggMin
+	// AggMax is MAX over the tuples with E(x) > 0; partial on empty inputs.
+	AggMax
+)
+
+// String returns the paper's name for the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case AggCount:
+		return "CNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AGG(%d)", uint8(a))
+	}
+}
+
+// ParseAggregate parses an aggregate function name (case-insensitive; both
+// the paper's CNT and SQL's COUNT are accepted).
+func ParseAggregate(s string) (Aggregate, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "CNT", "COUNT":
+		return AggCount, nil
+	case "SUM":
+		return AggSum, nil
+	case "AVG":
+		return AggAvg, nil
+	case "MIN":
+		return AggMin, nil
+	case "MAX":
+		return AggMax, nil
+	default:
+		return AggCount, fmt.Errorf("%w: unknown aggregate function %q", ErrPlan, s)
+	}
+}
+
+// ResultKind returns the domain of the aggregate applied to an attribute of
+// the given domain, or an error when the combination is not typeable
+// (SUM/AVG require a numeric attribute).
+func (a Aggregate) ResultKind(attr value.Kind) (value.Kind, error) {
+	switch a {
+	case AggCount:
+		return value.KindInt, nil
+	case AggSum:
+		if !attr.Numeric() {
+			return value.KindNull, fmt.Errorf("%w: SUM requires a numeric attribute, got %s", ErrPlan, attr)
+		}
+		return attr, nil
+	case AggAvg:
+		if !attr.Numeric() {
+			return value.KindNull, fmt.Errorf("%w: AVG requires a numeric attribute, got %s", ErrPlan, attr)
+		}
+		return value.KindFloat, nil
+	case AggMin, AggMax:
+		return attr, nil
+	default:
+		return value.KindNull, fmt.Errorf("%w: unknown aggregate %d", ErrPlan, uint8(a))
+	}
+}
+
+// ExtProject is the extended projection π_α(E) of Definition 3.4: the
+// attribute list α contains arbitrary arithmetic expressions over the input's
+// attributes rather than plain attribute references.  The plain projection is
+// the special case where every item is an attribute reference.
+type ExtProject struct {
+	// Items are the output expressions, in order.
+	Items []scalar.Expr
+	// Names optionally names the output attributes; when nil or shorter than
+	// Items the missing names are left empty (anonymous computed columns).
+	Names []string
+	Input Expr
+}
+
+// NewExtProject returns an extended projection.
+func NewExtProject(items []scalar.Expr, names []string, input Expr) ExtProject {
+	ic := make([]scalar.Expr, len(items))
+	copy(ic, items)
+	var nc []string
+	if names != nil {
+		nc = make([]string, len(names))
+		copy(nc, names)
+	}
+	return ExtProject{Items: ic, Names: nc, Input: input}
+}
+
+// Schema implements Expr.
+func (p ExtProject) Schema(cat Catalog) (schema.Relation, error) {
+	in, err := p.Input.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if len(p.Items) == 0 {
+		return schema.Relation{}, fmt.Errorf("%w: extended projection with an empty expression list", ErrPlan)
+	}
+	attrs := make([]schema.Attribute, len(p.Items))
+	for i, item := range p.Items {
+		k, err := item.Type(in)
+		if err != nil {
+			return schema.Relation{}, fmt.Errorf("%w: item %d: %v", ErrPlan, i+1, err)
+		}
+		name := ""
+		if i < len(p.Names) {
+			name = p.Names[i]
+		} else if a, ok := item.(scalar.Attr); ok {
+			name = in.Attribute(a.Index).Name
+		}
+		attrs[i] = schema.Attribute{Name: name, Type: k}
+	}
+	out := schema.Anonymous(attrs...)
+	if err := out.Validate(); err != nil {
+		return schema.Relation{}, fmt.Errorf("%w: %v", ErrPlan, err)
+	}
+	return out, nil
+}
+
+// Children implements Expr.
+func (p ExtProject) Children() []Expr { return []Expr{p.Input} }
+
+// String implements Expr.
+func (p ExtProject) String() string {
+	items := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		items[i] = it.String()
+	}
+	return fmt.Sprintf("xproject[%s](%s)", strings.Join(items, ","), p.Input)
+}
+
+// Unique is the duplicate-elimination operator δE of Definition 3.4:
+// (δE)(x) = 1 whenever E(x) > 0, and 0 otherwise.
+type Unique struct {
+	Input Expr
+}
+
+// NewUnique returns δ applied to an expression.
+func NewUnique(input Expr) Unique { return Unique{Input: input} }
+
+// Schema implements Expr.
+func (u Unique) Schema(cat Catalog) (schema.Relation, error) { return u.Input.Schema(cat) }
+
+// Children implements Expr.
+func (u Unique) Children() []Expr { return []Expr{u.Input} }
+
+// String implements Expr.
+func (u Unique) String() string { return fmt.Sprintf("unique(%s)", u.Input) }
+
+// GroupBy is the groupby expression Γ_{α,f,p}(E) of Definition 3.4: it
+// partitions E by equality on the (duplicate-free) grouping attribute list α
+// and computes the aggregate f on attribute p per group.  The result schema is
+// π_α(𝓔) ⊕ ran(f): the grouping attributes followed by one aggregate column.
+// With an empty α the aggregate is computed over the whole input and the
+// result is a single one-attribute tuple.
+type GroupBy struct {
+	// GroupCols are the 0-based grouping attribute positions (α); they must
+	// not repeat.
+	GroupCols []int
+	// Agg is the aggregate function f.
+	Agg Aggregate
+	// AggCol is the 0-based position of the aggregated attribute p.  For CNT
+	// it is a dummy parameter (any valid position).
+	AggCol int
+	// Name optionally names the aggregate output column.
+	Name  string
+	Input Expr
+}
+
+// NewGroupBy returns a groupby expression.
+func NewGroupBy(groupCols []int, agg Aggregate, aggCol int, input Expr) GroupBy {
+	cp := make([]int, len(groupCols))
+	copy(cp, groupCols)
+	return GroupBy{GroupCols: cp, Agg: agg, AggCol: aggCol, Input: input}
+}
+
+// Schema implements Expr.
+func (g GroupBy) Schema(cat Catalog) (schema.Relation, error) {
+	in, err := g.Input.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	seen := make(map[int]struct{}, len(g.GroupCols))
+	for _, c := range g.GroupCols {
+		if c < 0 || c >= in.Arity() {
+			return schema.Relation{}, fmt.Errorf("%w: grouping attribute %%%d out of range for %s", ErrPlan, c+1, in)
+		}
+		if _, dup := seen[c]; dup {
+			return schema.Relation{}, fmt.Errorf("%w: grouping attribute %%%d repeated (α must be duplicate-free)", ErrPlan, c+1)
+		}
+		seen[c] = struct{}{}
+	}
+	if g.AggCol < 0 || g.AggCol >= in.Arity() {
+		return schema.Relation{}, fmt.Errorf("%w: aggregate attribute %%%d out of range for %s", ErrPlan, g.AggCol+1, in)
+	}
+	aggKind, err := g.Agg.ResultKind(in.Attribute(g.AggCol).Type)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	grouped, err := in.Project(g.GroupCols)
+	if err != nil {
+		return schema.Relation{}, fmt.Errorf("%w: %v", ErrPlan, err)
+	}
+	name := g.Name
+	if name == "" {
+		name = strings.ToLower(g.Agg.String())
+	}
+	out := grouped.Concat(schema.Anonymous(schema.Attribute{Name: name, Type: aggKind}))
+	if err := out.Validate(); err != nil {
+		return schema.Relation{}, fmt.Errorf("%w: %v", ErrPlan, err)
+	}
+	return out, nil
+}
+
+// Children implements Expr.
+func (g GroupBy) Children() []Expr { return []Expr{g.Input} }
+
+// String implements Expr.
+func (g GroupBy) String() string {
+	cols := make([]string, len(g.GroupCols))
+	for i, c := range g.GroupCols {
+		cols[i] = fmt.Sprintf("%%%d", c+1)
+	}
+	return fmt.Sprintf("groupby[(%s),%s,%%%d](%s)", strings.Join(cols, ","), g.Agg, g.AggCol+1, g.Input)
+}
+
+// TClose is the transitive-closure operator over a binary relation, the
+// extension the paper's Section 5 names (citing Grefen's thesis) to show the
+// algebra is open to extension.  The input must have exactly two
+// union-compatible attributes; the result is the smallest transitively closed
+// relation containing δE, returned duplicate-free.
+type TClose struct {
+	Input Expr
+}
+
+// NewTClose returns the transitive closure of an expression.
+func NewTClose(input Expr) TClose { return TClose{Input: input} }
+
+// Schema implements Expr.
+func (t TClose) Schema(cat Catalog) (schema.Relation, error) {
+	in, err := t.Input.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if in.Arity() != 2 {
+		return schema.Relation{}, fmt.Errorf("%w: transitive closure requires a binary relation, got arity %d", ErrPlan, in.Arity())
+	}
+	a, b := in.Attribute(0).Type, in.Attribute(1).Type
+	if a != b && !(a.Numeric() && b.Numeric()) {
+		return schema.Relation{}, fmt.Errorf("%w: transitive closure requires compatible attribute domains, got %s and %s", ErrPlan, a, b)
+	}
+	return in, nil
+}
+
+// Children implements Expr.
+func (t TClose) Children() []Expr { return []Expr{t.Input} }
+
+// String implements Expr.
+func (t TClose) String() string { return fmt.Sprintf("tclose(%s)", t.Input) }
+
+// compatibleSchema validates that both operands share a union-compatible
+// schema and returns the left operand's schema as the result schema.
+func compatibleSchema(op string, left, right Expr, cat Catalog) (schema.Relation, error) {
+	ls, err := left.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	rs, err := right.Schema(cat)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if !ls.Compatible(rs) {
+		return schema.Relation{}, fmt.Errorf("%w: %s applied to incompatible schemas %s and %s", ErrPlan, op, ls, rs)
+	}
+	return ls, nil
+}
+
+// Walk visits the expression tree in pre-order, calling fn on every node.  If
+// fn returns false the node's children are not visited.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	for _, c := range e.Children() {
+		Walk(c, fn)
+	}
+}
+
+// Relations returns the names of all database relations referenced by the
+// expression, in first-appearance order without duplicates.
+func Relations(e Expr) []string {
+	var names []string
+	seen := make(map[string]struct{})
+	Walk(e, func(n Expr) bool {
+		if r, ok := n.(Rel); ok {
+			key := strings.ToLower(r.Name)
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				names = append(names, r.Name)
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// CountNodes returns the number of operator nodes in the expression tree; the
+// rewrite engine and tests use it as a rough complexity measure.
+func CountNodes(e Expr) int {
+	n := 0
+	Walk(e, func(Expr) bool { n++; return true })
+	return n
+}

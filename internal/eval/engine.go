@@ -1,0 +1,313 @@
+package eval
+
+import (
+	"fmt"
+
+	"mra/internal/algebra"
+	"mra/internal/multiset"
+	"mra/internal/scalar"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// Engine is the physical evaluator.  It produces exactly the same multi-sets
+// as Reference but uses hash-based physical operators where the expression
+// shape allows it:
+//
+//   - equi-join conditions are executed as hash joins instead of filtered
+//     Cartesian products;
+//   - selections directly above a product are fused into a join;
+//   - group-by and duplicate elimination are single-pass hash operators.
+//
+// Stats, when enabled, records per-operator intermediate result sizes; the
+// benchmarks for the paper's Example 3.2 use them to show the effect of
+// projection push-in on intermediate result cardinality.
+type Engine struct {
+	// CollectStats enables intermediate-size accounting in Stats.
+	CollectStats bool
+	// Stats accumulates the number of tuples produced by each operator kind
+	// since the last Reset.
+	Stats Stats
+}
+
+// Stats aggregates intermediate result sizes, counting duplicates.
+type Stats struct {
+	// IntermediateTuples is the total number of tuples (counting
+	// multiplicities) produced by all non-leaf operators.
+	IntermediateTuples uint64
+	// PeakRelationTuples is the largest single intermediate relation seen.
+	PeakRelationTuples uint64
+	// Operators counts evaluated operator nodes.
+	Operators int
+}
+
+// Reset clears the collected statistics.
+func (e *Engine) Reset() { e.Stats = Stats{} }
+
+func (e *Engine) record(r *multiset.Relation) *multiset.Relation {
+	if e.CollectStats {
+		e.Stats.Operators++
+		card := r.Cardinality()
+		e.Stats.IntermediateTuples += card
+		if card > e.Stats.PeakRelationTuples {
+			e.Stats.PeakRelationTuples = card
+		}
+	}
+	return r
+}
+
+// Eval evaluates the expression against the source using physical operators.
+func (e *Engine) Eval(expr algebra.Expr, src Source) (*multiset.Relation, error) {
+	switch n := expr.(type) {
+	case algebra.Rel:
+		r, err := lookup(src, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return r.Clone(), nil
+
+	case algebra.Literal:
+		return refEval(n, src)
+
+	case algebra.Union:
+		l, r, err := e.evalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Union(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return e.record(out), nil
+
+	case algebra.Difference:
+		l, r, err := e.evalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Difference(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return e.record(out), nil
+
+	case algebra.Intersect:
+		l, r, err := e.evalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Intersection(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return e.record(out), nil
+
+	case algebra.Product:
+		l, r, err := e.evalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		return e.record(multiset.Product(l, r)), nil
+
+	case algebra.Select:
+		// σφ(E1 × E2) is a join in disguise: execute it as one so equi-join
+		// conditions benefit from hashing (Theorem 3.1 read right-to-left).
+		if prod, ok := n.Input.(algebra.Product); ok {
+			return e.evalJoin(n.Cond, prod.Left, prod.Right, src)
+		}
+		in, err := e.Eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Select(in, n.Cond.Holds)
+		if err != nil {
+			return nil, err
+		}
+		return e.record(out), nil
+
+	case algebra.Project:
+		in, err := e.Eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Project(in, n.Columns)
+		if err != nil {
+			return nil, err
+		}
+		return e.record(out), nil
+
+	case algebra.Join:
+		return e.evalJoin(n.Cond, n.Left, n.Right, src)
+
+	case algebra.ExtProject:
+		in, err := e.Eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		outSchema, err := n.Schema(CatalogOf(src))
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Map(in, outSchema, func(t tuple.Tuple) (tuple.Tuple, error) {
+			vals := make([]value.Value, len(n.Items))
+			for i, item := range n.Items {
+				v, err := item.Eval(t)
+				if err != nil {
+					return tuple.Tuple{}, err
+				}
+				vals[i] = v
+			}
+			return tuple.FromSlice(vals), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return e.record(out), nil
+
+	case algebra.Unique:
+		in, err := e.Eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		return e.record(multiset.Unique(in)), nil
+
+	case algebra.GroupBy:
+		in, err := e.Eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		outSchema, err := n.Schema(CatalogOf(src))
+		if err != nil {
+			return nil, err
+		}
+		out, err := refGroupBy(n, in, outSchema)
+		if err != nil {
+			return nil, err
+		}
+		return e.record(out), nil
+
+	case algebra.TClose:
+		in, err := e.Eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		return e.record(transitiveClosure(in)), nil
+
+	default:
+		return nil, fmt.Errorf("eval: unsupported expression %T", expr)
+	}
+}
+
+func (e *Engine) evalPair(a, b algebra.Expr, src Source) (*multiset.Relation, *multiset.Relation, error) {
+	l, err := e.Eval(a, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := e.Eval(b, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// equiCols extracts from a join condition the pairs of attribute positions
+// (left input position, right input position) connected by top-level equality
+// conjuncts, plus the residual conjuncts that still need per-pair evaluation.
+// leftArity is the arity of the left operand; positions ≥ leftArity address
+// the right operand in the concatenated schema.
+func equiCols(cond scalar.Predicate, leftArity int) (leftCols, rightCols []int, residual []scalar.Predicate) {
+	for _, c := range scalar.Conjuncts(cond) {
+		cmp, ok := c.(scalar.Compare)
+		if !ok || cmp.Op != value.CmpEq {
+			residual = append(residual, c)
+			continue
+		}
+		la, lok := cmp.Left.(scalar.Attr)
+		ra, rok := cmp.Right.(scalar.Attr)
+		if !lok || !rok {
+			residual = append(residual, c)
+			continue
+		}
+		switch {
+		case la.Index < leftArity && ra.Index >= leftArity:
+			leftCols = append(leftCols, la.Index)
+			rightCols = append(rightCols, ra.Index-leftArity)
+		case ra.Index < leftArity && la.Index >= leftArity:
+			leftCols = append(leftCols, ra.Index)
+			rightCols = append(rightCols, la.Index-leftArity)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	return leftCols, rightCols, residual
+}
+
+// evalJoin executes E1 ⋈φ E2.  When φ contains equality conjuncts linking the
+// two sides it builds a hash table on the smaller side's join columns and
+// probes with the other side; otherwise it falls back to the nested-loop
+// product-then-filter of the definition.
+func (e *Engine) evalJoin(cond scalar.Predicate, left, right algebra.Expr, src Source) (*multiset.Relation, error) {
+	l, r, err := e.evalPair(left, right, src)
+	if err != nil {
+		return nil, err
+	}
+	leftCols, rightCols, residual := equiCols(cond, l.Schema().Arity())
+	out := multiset.New(l.Schema().Concat(r.Schema()))
+	residualPred := scalar.NewAnd(residual...)
+
+	if len(leftCols) == 0 {
+		// No hashable conjunct: nested-loop join.
+		var loopErr error
+		l.Each(func(lt tuple.Tuple, lc uint64) bool {
+			r.Each(func(rt tuple.Tuple, rc uint64) bool {
+				joined := lt.Concat(rt)
+				ok, err := cond.Holds(joined)
+				if err != nil {
+					loopErr = err
+					return false
+				}
+				if ok {
+					out.Add(joined, lc*rc)
+				}
+				return true
+			})
+			return loopErr == nil
+		})
+		if loopErr != nil {
+			return nil, loopErr
+		}
+		return e.record(out), nil
+	}
+
+	// Hash join: build on the right side, probe with the left.
+	type bucket struct {
+		tup   tuple.Tuple
+		count uint64
+	}
+	table := make(map[string][]bucket, r.DistinctCount())
+	r.Each(func(rt tuple.Tuple, rc uint64) bool {
+		key := rt.KeyOn(rightCols)
+		table[key] = append(table[key], bucket{tup: rt, count: rc})
+		return true
+	})
+	var probeErr error
+	l.Each(func(lt tuple.Tuple, lc uint64) bool {
+		key := lt.KeyOn(leftCols)
+		for _, b := range table[key] {
+			joined := lt.Concat(b.tup)
+			ok, err := residualPred.Holds(joined)
+			if err != nil {
+				probeErr = err
+				return false
+			}
+			if ok {
+				out.Add(joined, lc*b.count)
+			}
+		}
+		return true
+	})
+	if probeErr != nil {
+		return nil, probeErr
+	}
+	return e.record(out), nil
+}

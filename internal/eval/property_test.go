@@ -1,0 +1,235 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"mra/internal/algebra"
+	"mra/internal/multiset"
+	"mra/internal/scalar"
+	"mra/internal/schema"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// randomRelation builds a random two-attribute integer relation with small
+// value ranges so that duplicates, overlaps and empty intersections all occur
+// with useful probability.
+func randomRelation(rng *rand.Rand, name string, maxTuples int) *multiset.Relation {
+	s := schema.NewRelation(name,
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt},
+	)
+	r := multiset.New(s)
+	n := rng.Intn(maxTuples + 1)
+	for i := 0; i < n; i++ {
+		t := tuple.Ints(int64(rng.Intn(5)), int64(rng.Intn(5)))
+		r.Add(t, uint64(1+rng.Intn(3)))
+	}
+	return r
+}
+
+// randomSource builds a source with three random relations E1, E2, E3 of the
+// same schema.
+func randomSource(rng *rand.Rand) MapSource {
+	return MapSource{
+		"e1": randomRelation(rng, "e1", 12),
+		"e2": randomRelation(rng, "e2", 12),
+		"e3": randomRelation(rng, "e3", 12),
+	}
+}
+
+func requireEqual(t *testing.T, round int, label string, a, b *multiset.Relation) {
+	t.Helper()
+	if !a.Equal(b) {
+		t.Fatalf("round %d: %s:\nleft:  %s\nright: %s", round, label, a, b)
+	}
+}
+
+func evalOrFatal(t *testing.T, e algebra.Expr, src Source) *multiset.Relation {
+	t.Helper()
+	r, err := (Reference{}).Eval(e, src)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return r
+}
+
+// TestPropertyEvaluatorsAgree cross-checks the physical engine against the
+// reference evaluator on randomly generated databases and a mix of operator
+// shapes.
+func TestPropertyEvaluatorsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	selPred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(0), scalar.NewConst(value.NewInt(2)))
+	exprs := []algebra.Expr{
+		algebra.NewUnion(algebra.NewRel("e1"), algebra.NewRel("e2")),
+		algebra.NewDifference(algebra.NewRel("e1"), algebra.NewRel("e2")),
+		algebra.NewIntersect(algebra.NewRel("e1"), algebra.NewRel("e2")),
+		algebra.NewJoin(scalar.Eq(1, 2), algebra.NewRel("e1"), algebra.NewRel("e2")),
+		algebra.NewSelect(selPred, algebra.NewProduct(algebra.NewRel("e1"), algebra.NewRel("e2"))),
+		algebra.NewProject([]int{1}, algebra.NewRel("e1")),
+		algebra.NewUnique(algebra.NewUnion(algebra.NewRel("e1"), algebra.NewRel("e2"))),
+		algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("e1")),
+		algebra.NewGroupBy([]int{0}, algebra.AggCount, 1, algebra.NewUnion(algebra.NewRel("e1"), algebra.NewRel("e2"))),
+		algebra.NewTClose(algebra.NewProject([]int{0, 1}, algebra.NewRel("e1"))),
+	}
+	for round := 0; round < 60; round++ {
+		src := randomSource(rng)
+		for _, e := range exprs {
+			ref, err := (Reference{}).Eval(e, src)
+			if err != nil {
+				t.Fatalf("round %d: reference eval %s: %v", round, e, err)
+			}
+			phys, err := (&Engine{}).Eval(e, src)
+			if err != nil {
+				t.Fatalf("round %d: engine eval %s: %v", round, e, err)
+			}
+			requireEqual(t, round, "engine vs reference on "+e.String(), ref, phys)
+		}
+	}
+}
+
+// TestPropertyTheorem31 checks E1 ∩ E2 = E1 − (E1 − E2) and
+// E1 ⋈φ E2 = σφ(E1 × E2) on random databases.
+func TestPropertyTheorem31(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 80; round++ {
+		src := randomSource(rng)
+		e1, e2 := algebra.NewRel("e1"), algebra.NewRel("e2")
+		inter := evalOrFatal(t, algebra.NewIntersect(e1, e2), src)
+		derived := evalOrFatal(t, algebra.NewDifference(e1, algebra.NewDifference(e1, e2)), src)
+		requireEqual(t, round, "E1∩E2 = E1−(E1−E2)", inter, derived)
+
+		cond := scalar.Eq(0, 2)
+		join := evalOrFatal(t, algebra.NewJoin(cond, e1, e2), src)
+		sigma := evalOrFatal(t, algebra.NewSelect(cond, algebra.NewProduct(e1, e2)), src)
+		requireEqual(t, round, "E1⋈E2 = σ(E1×E2)", join, sigma)
+	}
+}
+
+// TestPropertyTheorem32 checks the distribution of selection and projection
+// over union, and the paper's remark that δ does not distribute over ⊎ but
+// satisfies δ(E1⊎E2) = δE1 ∪ δE2 (set union = δ of the bag union).
+func TestPropertyTheorem32(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pred := scalar.NewCompare(value.CmpLe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(2)))
+	for round := 0; round < 80; round++ {
+		src := randomSource(rng)
+		e1, e2 := algebra.NewRel("e1"), algebra.NewRel("e2")
+
+		selUnion := evalOrFatal(t, algebra.NewSelect(pred, algebra.NewUnion(e1, e2)), src)
+		unionSel := evalOrFatal(t, algebra.NewUnion(algebra.NewSelect(pred, e1), algebra.NewSelect(pred, e2)), src)
+		requireEqual(t, round, "σ(E1⊎E2) = σE1 ⊎ σE2", selUnion, unionSel)
+
+		projUnion := evalOrFatal(t, algebra.NewProject([]int{0}, algebra.NewUnion(e1, e2)), src)
+		unionProj := evalOrFatal(t, algebra.NewUnion(algebra.NewProject([]int{0}, e1), algebra.NewProject([]int{0}, e2)), src)
+		requireEqual(t, round, "π(E1⊎E2) = πE1 ⊎ πE2", projUnion, unionProj)
+
+		// δ(E1 ⊎ E2) equals δ(δE1 ⊎ δE2) (the set union of the deduplicated
+		// operands), but in general differs from δE1 ⊎ δE2.
+		dedupUnion := evalOrFatal(t, algebra.NewUnique(algebra.NewUnion(e1, e2)), src)
+		setUnion := evalOrFatal(t, algebra.NewUnique(algebra.NewUnion(algebra.NewUnique(e1), algebra.NewUnique(e2))), src)
+		requireEqual(t, round, "δ(E1⊎E2) = δ(δE1⊎δE2)", dedupUnion, setUnion)
+	}
+}
+
+// TestDeltaDoesNotDistributeOverUnion pins the counter-example from the
+// paper's Theorem 3.2 discussion: δ over ⊎ is not a homomorphism.
+func TestDeltaDoesNotDistributeOverUnion(t *testing.T) {
+	s := schema.Anonymous(schema.Attribute{Name: "x", Type: value.KindInt})
+	shared := tuple.Ints(1)
+	e1 := multiset.FromTuples(s, shared)
+	e2 := multiset.FromTuples(s, shared)
+	src := MapSource{"e1": e1, "e2": e2}
+	left := evalOrFatal(t, algebra.NewUnique(algebra.NewUnion(algebra.NewRel("e1"), algebra.NewRel("e2"))), src)
+	right := evalOrFatal(t, algebra.NewUnion(algebra.NewUnique(algebra.NewRel("e1")), algebra.NewUnique(algebra.NewRel("e2"))), src)
+	if left.Equal(right) {
+		t.Fatal("δ(E1⊎E2) must differ from δE1 ⊎ δE2 when E1 and E2 share a tuple")
+	}
+	if left.Multiplicity(shared) != 1 || right.Multiplicity(shared) != 2 {
+		t.Errorf("expected multiplicities 1 vs 2, got %d vs %d", left.Multiplicity(shared), right.Multiplicity(shared))
+	}
+}
+
+// TestPropertyTheorem33 checks associativity of ×, ⋈, ⊎ and ∩ on random
+// databases (Theorem 3.3).
+func TestPropertyTheorem33(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for round := 0; round < 60; round++ {
+		src := randomSource(rng)
+		e1, e2, e3 := algebra.NewRel("e1"), algebra.NewRel("e2"), algebra.NewRel("e3")
+
+		u1 := evalOrFatal(t, algebra.NewUnion(algebra.NewUnion(e1, e2), e3), src)
+		u2 := evalOrFatal(t, algebra.NewUnion(e1, algebra.NewUnion(e2, e3)), src)
+		requireEqual(t, round, "(E1⊎E2)⊎E3 = E1⊎(E2⊎E3)", u1, u2)
+
+		i1 := evalOrFatal(t, algebra.NewIntersect(algebra.NewIntersect(e1, e2), e3), src)
+		i2 := evalOrFatal(t, algebra.NewIntersect(e1, algebra.NewIntersect(e2, e3)), src)
+		requireEqual(t, round, "(E1∩E2)∩E3 = E1∩(E2∩E3)", i1, i2)
+
+		p1 := evalOrFatal(t, algebra.NewProduct(algebra.NewProduct(e1, e2), e3), src)
+		p2 := evalOrFatal(t, algebra.NewProduct(e1, algebra.NewProduct(e2, e3)), src)
+		requireEqual(t, round, "(E1×E2)×E3 = E1×(E2×E3)", p1, p2)
+
+		// Join associativity with conditions restricted to the adjacent
+		// operands: (E1 ⋈_{%2=%3} E2) ⋈_{%4=%5} E3 = E1 ⋈_{%2=%3} (E2 ⋈_{%2=%3} E3)
+		// — on the concatenated six-attribute schema both sides select the
+		// same tuples.
+		j1 := evalOrFatal(t, algebra.NewJoin(scalar.Eq(3, 4), algebra.NewJoin(scalar.Eq(1, 2), e1, e2), e3), src)
+		j2 := evalOrFatal(t, algebra.NewJoin(scalar.Eq(1, 2), e1, algebra.NewJoin(scalar.Eq(1, 2), e2, e3)), src)
+		requireEqual(t, round, "join associativity", j1, j2)
+	}
+}
+
+// TestPropertyBagAxioms checks the multiplicity laws that make the operators a
+// commutative-monoid structure: union commutativity, empty-relation identity,
+// difference self-annihilation, intersection idempotence, and δ idempotence.
+func TestPropertyBagAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 60; round++ {
+		src := randomSource(rng)
+		e1, e2 := algebra.NewRel("e1"), algebra.NewRel("e2")
+		empty := algebra.Literal{Rel: src["e1"].Schema()}
+
+		requireEqual(t, round, "E1⊎E2 = E2⊎E1",
+			evalOrFatal(t, algebra.NewUnion(e1, e2), src),
+			evalOrFatal(t, algebra.NewUnion(e2, e1), src))
+		requireEqual(t, round, "E1⊎∅ = E1",
+			evalOrFatal(t, algebra.NewUnion(e1, empty), src),
+			evalOrFatal(t, e1, src))
+		requireEqual(t, round, "E1−E1 = ∅",
+			evalOrFatal(t, algebra.NewDifference(e1, e1), src),
+			evalOrFatal(t, empty, src))
+		requireEqual(t, round, "E1∩E1 = E1",
+			evalOrFatal(t, algebra.NewIntersect(e1, e1), src),
+			evalOrFatal(t, e1, src))
+		requireEqual(t, round, "E1∩E2 = E2∩E1",
+			evalOrFatal(t, algebra.NewIntersect(e1, e2), src),
+			evalOrFatal(t, algebra.NewIntersect(e2, e1), src))
+		requireEqual(t, round, "δδE1 = δE1",
+			evalOrFatal(t, algebra.NewUnique(algebra.NewUnique(e1)), src),
+			evalOrFatal(t, algebra.NewUnique(e1), src))
+		requireEqual(t, round, "(E1−E2) ⊑ E1 via union check",
+			evalOrFatal(t, algebra.NewUnion(algebra.NewDifference(e1, e2), algebra.NewIntersect(e1, e2)), src),
+			evalOrFatal(t, e1, src))
+	}
+}
+
+// TestPropertyCardinalities checks the cardinality identities
+// |E1⊎E2| = |E1|+|E2| and |E1×E2| = |E1|·|E2|.
+func TestPropertyCardinalities(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 60; round++ {
+		src := randomSource(rng)
+		c1 := src["e1"].Cardinality()
+		c2 := src["e2"].Cardinality()
+		u := evalOrFatal(t, algebra.NewUnion(algebra.NewRel("e1"), algebra.NewRel("e2")), src)
+		if u.Cardinality() != c1+c2 {
+			t.Fatalf("round %d: |E1⊎E2| = %d, want %d", round, u.Cardinality(), c1+c2)
+		}
+		p := evalOrFatal(t, algebra.NewProduct(algebra.NewRel("e1"), algebra.NewRel("e2")), src)
+		if p.Cardinality() != c1*c2 {
+			t.Fatalf("round %d: |E1×E2| = %d, want %d", round, p.Cardinality(), c1*c2)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package eval
+
+import (
+	"fmt"
+
+	"mra/internal/algebra"
+	"mra/internal/multiset"
+	"mra/internal/schema"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// Reference is the definition-literal evaluator: every operator is evaluated
+// exactly as written in the paper's definitions, with no physical-operator
+// shortcuts (joins go through the full Cartesian product, duplicate
+// elimination scans the whole input, and so on).  It is deliberately naive —
+// its job is to be an obviously-correct oracle for the physical Engine.
+type Reference struct{}
+
+// Eval evaluates the expression against the source and returns the resulting
+// multi-set relation.
+func (Reference) Eval(e algebra.Expr, src Source) (*multiset.Relation, error) {
+	return refEval(e, src)
+}
+
+func refEval(e algebra.Expr, src Source) (*multiset.Relation, error) {
+	switch n := e.(type) {
+	case algebra.Rel:
+		r, err := lookup(src, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return r.Clone(), nil
+
+	case algebra.Literal:
+		s, err := n.Schema(CatalogOf(src))
+		if err != nil {
+			return nil, err
+		}
+		out := multiset.New(s)
+		for _, row := range n.Rows {
+			out.Add(tuple.New(row...), 1)
+		}
+		return out, nil
+
+	case algebra.Union:
+		l, r, err := refEvalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Union(l, r)
+
+	case algebra.Difference:
+		l, r, err := refEvalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Difference(l, r)
+
+	case algebra.Intersect:
+		l, r, err := refEvalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Intersection(l, r)
+
+	case algebra.Product:
+		l, r, err := refEvalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Product(l, r), nil
+
+	case algebra.Select:
+		in, err := refEval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Select(in, n.Cond.Holds)
+
+	case algebra.Project:
+		in, err := refEval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Project(in, n.Columns)
+
+	case algebra.Join:
+		// Theorem 3.1: E1 ⋈φ E2 = σφ(E1 × E2).  The reference evaluator takes
+		// the theorem literally.
+		l, r, err := refEvalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Select(multiset.Product(l, r), n.Cond.Holds)
+
+	case algebra.ExtProject:
+		in, err := refEval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		outSchema, err := n.Schema(CatalogOf(src))
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Map(in, outSchema, func(t tuple.Tuple) (tuple.Tuple, error) {
+			vals := make([]value.Value, len(n.Items))
+			for i, item := range n.Items {
+				v, err := item.Eval(t)
+				if err != nil {
+					return tuple.Tuple{}, err
+				}
+				vals[i] = v
+			}
+			return tuple.FromSlice(vals), nil
+		})
+
+	case algebra.Unique:
+		in, err := refEval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(in), nil
+
+	case algebra.GroupBy:
+		in, err := refEval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		outSchema, err := n.Schema(CatalogOf(src))
+		if err != nil {
+			return nil, err
+		}
+		return refGroupBy(n, in, outSchema)
+
+	case algebra.TClose:
+		in, err := refEval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		return transitiveClosure(in), nil
+
+	default:
+		return nil, fmt.Errorf("eval: unsupported expression %T", e)
+	}
+}
+
+func refEvalPair(a, b algebra.Expr, src Source) (*multiset.Relation, *multiset.Relation, error) {
+	l, err := refEval(a, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := refEval(b, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// refGroupBy computes Γ_{α,f,p}(E) by partitioning the materialised input on
+// the grouping attributes and folding the aggregate per partition
+// (Definition 3.4).  With an empty α and an empty input, AVG/MIN/MAX are
+// undefined (partial functions) and CNT/SUM yield a single zero tuple.
+func refGroupBy(n algebra.GroupBy, in *multiset.Relation, outSchema schema.Relation) (*multiset.Relation, error) {
+	out := multiset.New(outSchema)
+
+	type group struct {
+		rep   tuple.Tuple
+		state *aggState
+	}
+	groups := make(map[string]*group)
+	var iterErr error
+	in.Each(func(t tuple.Tuple, count uint64) bool {
+		key := groupKey(t, n.GroupCols)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{rep: t, state: newAggState(n.Agg)}
+			groups[key] = g
+		}
+		if err := g.state.add(t.At(n.AggCol), count); err != nil {
+			iterErr = err
+			return false
+		}
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+
+	if len(n.GroupCols) == 0 {
+		// Global aggregate: exactly one output tuple.
+		var st *aggState
+		if len(groups) == 0 {
+			st = newAggState(n.Agg)
+		} else {
+			for _, g := range groups {
+				st = g.state
+			}
+		}
+		v, err := st.result()
+		if err != nil {
+			return nil, err
+		}
+		out.Add(tuple.New(v), 1)
+		return out, nil
+	}
+
+	for _, g := range groups {
+		head, err := g.rep.Project(n.GroupCols)
+		if err != nil {
+			return nil, err
+		}
+		v, err := g.state.result()
+		if err != nil {
+			return nil, err
+		}
+		out.Add(head.Concat(tuple.New(v)), 1)
+	}
+	return out, nil
+}
+
+// transitiveClosure computes the smallest transitively closed relation
+// containing δE via semi-naive fixpoint iteration.  The result is
+// duplicate-free (closure is a set-level notion; Section 5 of the paper).
+func transitiveClosure(in *multiset.Relation) *multiset.Relation {
+	closure := multiset.Unique(in)
+	// successors indexed by source key for the semi-naive step.
+	type edge struct {
+		src, dst value.Value
+	}
+	succ := make(map[string][]value.Value)
+	closure.Each(func(t tuple.Tuple, _ uint64) bool {
+		k := t.At(0).Key()
+		succ[k] = append(succ[k], t.At(1))
+		return true
+	})
+	delta := closure.Clone()
+	for !delta.IsEmpty() {
+		next := multiset.New(in.Schema())
+		delta.Each(func(t tuple.Tuple, _ uint64) bool {
+			mid := t.At(1)
+			for _, dst := range succ[mid.Key()] {
+				candidate := tuple.New(t.At(0), dst)
+				if !closure.Contains(candidate) {
+					next.Add(candidate, 1)
+				}
+			}
+			return true
+		})
+		next.Each(func(t tuple.Tuple, _ uint64) bool {
+			closure.Add(t, 1)
+			return true
+		})
+		delta = next
+	}
+	return closure
+}

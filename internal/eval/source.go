@@ -1,0 +1,82 @@
+// Package eval implements the executable semantics of the multi-set extended
+// relational algebra.  It offers two evaluators over the same logical
+// expressions (package algebra):
+//
+//   - Reference: a literal transcription of the paper's definitions, used as
+//     the semantic oracle by property-based tests.
+//   - Engine (physical): hash-based operators (hash equi-join, hash
+//     duplicate-elimination, hash group-by, semi-join style difference) used
+//     by the public facade and the benchmarks.
+//
+// Agreement of the two evaluators on random databases is itself one of the
+// library's property tests.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"mra/internal/algebra"
+	"mra/internal/multiset"
+	"mra/internal/schema"
+)
+
+// Source resolves database relation names to relation instances.  The storage
+// engine and transaction contexts implement it; tests use MapSource.
+type Source interface {
+	// Relation returns the named relation instance.
+	Relation(name string) (*multiset.Relation, bool)
+}
+
+// MapSource is a Source backed by a map with case-insensitive lookup.
+type MapSource map[string]*multiset.Relation
+
+// Relation implements Source.
+func (m MapSource) Relation(name string) (*multiset.Relation, bool) {
+	if r, ok := m[name]; ok {
+		return r, true
+	}
+	for k, r := range m {
+		if strings.EqualFold(k, name) {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Catalog returns an algebra.Catalog view of the source, so expressions can be
+// validated against the same relations they will be evaluated on.
+func (m MapSource) Catalog() algebra.Catalog {
+	cat := make(algebra.MapCatalog, len(m))
+	for k, r := range m {
+		cat[k] = r.Schema()
+	}
+	return cat
+}
+
+// sourceCatalog adapts any Source whose relations are known by name into a
+// Catalog.  Evaluators use it to infer operator output schemas on demand.
+type sourceCatalog struct {
+	src Source
+}
+
+// RelationSchema implements algebra.Catalog.
+func (c sourceCatalog) RelationSchema(name string) (schema.Relation, bool) {
+	r, ok := c.src.Relation(name)
+	if !ok {
+		return schema.Relation{}, false
+	}
+	return r.Schema(), true
+}
+
+// CatalogOf wraps a Source as an algebra.Catalog.
+func CatalogOf(src Source) algebra.Catalog { return sourceCatalog{src: src} }
+
+// lookup fetches a relation from a source, converting a miss into an error.
+func lookup(src Source, name string) (*multiset.Relation, error) {
+	r, ok := src.Relation(name)
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown relation %q", name)
+	}
+	return r, nil
+}

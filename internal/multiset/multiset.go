@@ -1,0 +1,251 @@
+// Package multiset implements multi-set relations: relation instances that
+// map each tuple of the relation's domain to a natural-number multiplicity
+// (Definition 2.2 of Grefen & de By, ICDE 1994).
+//
+// A Relation R of schema 𝓡 is a function R : dom(𝓡) → ℕ; the value R(x) is
+// the multiplicity of x in R, and x ∈ R ⇔ R(x) > 0.  The representation never
+// stores zero-multiplicity entries, so membership is structural.
+package multiset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mra/internal/schema"
+	"mra/internal/tuple"
+)
+
+// entry pairs a representative tuple with its multiplicity.
+type entry struct {
+	tup   tuple.Tuple
+	count uint64
+}
+
+// Relation is a multi-set relation instance.  The zero value is not usable;
+// construct relations with New.
+type Relation struct {
+	schema  schema.Relation
+	entries map[string]entry
+	total   uint64
+}
+
+// New returns an empty relation instance of the given schema.
+func New(s schema.Relation) *Relation {
+	return &Relation{schema: s, entries: make(map[string]entry)}
+}
+
+// FromTuples builds a relation containing the given tuples, each with
+// multiplicity one per occurrence (duplicates in the argument accumulate).
+func FromTuples(s schema.Relation, tuples ...tuple.Tuple) *Relation {
+	r := New(s)
+	for _, t := range tuples {
+		r.Add(t, 1)
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() schema.Relation { return r.schema }
+
+// Multiplicity returns R(t), the number of occurrences of t in R.
+func (r *Relation) Multiplicity(t tuple.Tuple) uint64 {
+	return r.entries[t.Key()].count
+}
+
+// Contains reports t ∈ R, i.e. R(t) > 0.
+func (r *Relation) Contains(t tuple.Tuple) bool { return r.Multiplicity(t) > 0 }
+
+// Add increases the multiplicity of t by n.  Adding zero is a no-op.
+func (r *Relation) Add(t tuple.Tuple, n uint64) {
+	if n == 0 {
+		return
+	}
+	key := t.Key()
+	e := r.entries[key]
+	if e.count == 0 {
+		e.tup = t
+	}
+	e.count += n
+	r.entries[key] = e
+	r.total += n
+}
+
+// Remove decreases the multiplicity of t by n, clamping at zero ("monus", the
+// semantics of the multi-set difference operator).  It returns the number of
+// occurrences actually removed.
+func (r *Relation) Remove(t tuple.Tuple, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	key := t.Key()
+	e, ok := r.entries[key]
+	if !ok {
+		return 0
+	}
+	removed := n
+	if removed > e.count {
+		removed = e.count
+	}
+	e.count -= removed
+	r.total -= removed
+	if e.count == 0 {
+		delete(r.entries, key)
+	} else {
+		r.entries[key] = e
+	}
+	return removed
+}
+
+// SetMultiplicity forces R(t) = n, inserting or deleting the entry as needed.
+func (r *Relation) SetMultiplicity(t tuple.Tuple, n uint64) {
+	key := t.Key()
+	e, ok := r.entries[key]
+	if ok {
+		r.total -= e.count
+	}
+	if n == 0 {
+		delete(r.entries, key)
+		return
+	}
+	r.entries[key] = entry{tup: t, count: n}
+	r.total += n
+}
+
+// Cardinality returns |R| counting duplicates: Σ_x R(x).
+func (r *Relation) Cardinality() uint64 { return r.total }
+
+// DistinctCount returns the number of distinct tuples with R(x) > 0.
+func (r *Relation) DistinctCount() int { return len(r.entries) }
+
+// IsEmpty reports whether the relation contains no tuples.
+func (r *Relation) IsEmpty() bool { return r.total == 0 }
+
+// Each calls fn once per distinct tuple with its multiplicity.  Iteration
+// order is unspecified (relations are unordered collections).  If fn returns
+// false, iteration stops.
+func (r *Relation) Each(fn func(t tuple.Tuple, count uint64) bool) {
+	for _, e := range r.entries {
+		if !fn(e.tup, e.count) {
+			return
+		}
+	}
+}
+
+// EachOccurrence calls fn once per occurrence, i.e. a tuple with multiplicity
+// k is visited k times.  If fn returns false, iteration stops.
+func (r *Relation) EachOccurrence(fn func(t tuple.Tuple) bool) {
+	for _, e := range r.entries {
+		for i := uint64(0); i < e.count; i++ {
+			if !fn(e.tup) {
+				return
+			}
+		}
+	}
+}
+
+// Tuples returns all occurrences as a flat slice (duplicates expanded), in
+// canonical (sorted) order for deterministic output.
+func (r *Relation) Tuples() []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, r.total)
+	r.EachSorted(func(t tuple.Tuple, count uint64) bool {
+		for i := uint64(0); i < count; i++ {
+			out = append(out, t)
+		}
+		return true
+	})
+	return out
+}
+
+// Distinct returns the distinct tuples in canonical (sorted) order.
+func (r *Relation) Distinct() []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, len(r.entries))
+	r.EachSorted(func(t tuple.Tuple, _ uint64) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// EachSorted iterates distinct tuples in canonical lexicographic order.  It is
+// intended for deterministic rendering and test assertions; the algebra never
+// relies on order.
+func (r *Relation) EachSorted(fn func(t tuple.Tuple, count uint64) bool) {
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return r.entries[keys[i]].tup.Compare(r.entries[keys[j]].tup) < 0
+	})
+	for _, k := range keys {
+		e := r.entries[k]
+		if !fn(e.tup, e.count) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the relation (entries are copied; tuples are
+// immutable and shared).
+func (r *Relation) Clone() *Relation {
+	cp := &Relation{schema: r.schema, entries: make(map[string]entry, len(r.entries)), total: r.total}
+	for k, e := range r.entries {
+		cp.entries[k] = e
+	}
+	return cp
+}
+
+// WithSchema returns a shallow re-typed view of the relation carrying a
+// different (but compatible) schema.  The entries are shared; callers must
+// treat the result as read-only or Clone first.
+func (r *Relation) WithSchema(s schema.Relation) *Relation {
+	return &Relation{schema: s, entries: r.entries, total: r.total}
+}
+
+// Equal implements Definition 2.3's equality: R1 = R2 ⇔ ∀x R1(x) = R2(x).
+func (r *Relation) Equal(o *Relation) bool {
+	if r.total != o.total || len(r.entries) != len(o.entries) {
+		return false
+	}
+	for k, e := range r.entries {
+		if o.entries[k].count != e.count {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf implements Definition 2.3's multi-subset: R1 ⊑ R2 ⇔ ∀x R1(x) ≤ R2(x).
+func (r *Relation) SubsetOf(o *Relation) bool {
+	if r.total > o.total {
+		return false
+	}
+	for k, e := range r.entries {
+		if o.entries[k].count < e.count {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a sorted multi-set literal
+// {t1^m1, t2^m2, ...} with multiplicities shown when greater than one.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	r.EachSorted(func(t tuple.Tuple, count uint64) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(t.String())
+		if count > 1 {
+			fmt.Fprintf(&b, "^%d", count)
+		}
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,332 @@
+package multiset
+
+import (
+	"strings"
+	"testing"
+
+	"mra/internal/schema"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+func intSchema(n int) schema.Relation {
+	attrs := make([]schema.Attribute, n)
+	for i := range attrs {
+		attrs[i] = schema.Attribute{Name: string(rune('a' + i)), Type: value.KindInt}
+	}
+	return schema.Anonymous(attrs...)
+}
+
+func TestAddRemoveMultiplicity(t *testing.T) {
+	r := New(intSchema(1))
+	tp := tuple.Ints(7)
+	if r.Contains(tp) || !r.IsEmpty() {
+		t.Error("fresh relation must be empty")
+	}
+	r.Add(tp, 3)
+	if got := r.Multiplicity(tp); got != 3 {
+		t.Errorf("multiplicity = %d, want 3", got)
+	}
+	r.Add(tp, 0)
+	if got := r.Multiplicity(tp); got != 3 {
+		t.Error("adding zero must be a no-op")
+	}
+	if r.Cardinality() != 3 || r.DistinctCount() != 1 {
+		t.Errorf("cardinality = %d, distinct = %d", r.Cardinality(), r.DistinctCount())
+	}
+	if removed := r.Remove(tp, 2); removed != 2 {
+		t.Errorf("Remove returned %d", removed)
+	}
+	if got := r.Multiplicity(tp); got != 1 {
+		t.Errorf("multiplicity after removal = %d", got)
+	}
+	if removed := r.Remove(tp, 5); removed != 1 {
+		t.Errorf("clamped removal returned %d", removed)
+	}
+	if r.Contains(tp) || r.Cardinality() != 0 {
+		t.Error("relation must be empty after full removal")
+	}
+	if removed := r.Remove(tp, 1); removed != 0 {
+		t.Error("removing from empty relation removes nothing")
+	}
+	if removed := r.Remove(tp, 0); removed != 0 {
+		t.Error("removing zero occurrences removes nothing")
+	}
+}
+
+func TestSetMultiplicity(t *testing.T) {
+	r := New(intSchema(1))
+	tp := tuple.Ints(1)
+	r.SetMultiplicity(tp, 5)
+	if r.Multiplicity(tp) != 5 || r.Cardinality() != 5 {
+		t.Error("SetMultiplicity insert")
+	}
+	r.SetMultiplicity(tp, 2)
+	if r.Multiplicity(tp) != 2 || r.Cardinality() != 2 {
+		t.Error("SetMultiplicity overwrite")
+	}
+	r.SetMultiplicity(tp, 0)
+	if r.Contains(tp) || r.Cardinality() != 0 || r.DistinctCount() != 0 {
+		t.Error("SetMultiplicity to zero must delete")
+	}
+}
+
+func TestFromTuplesAccumulates(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(1), tuple.Ints(2), tuple.Ints(1))
+	if r.Multiplicity(tuple.Ints(1)) != 2 || r.Multiplicity(tuple.Ints(2)) != 1 {
+		t.Errorf("FromTuples: %v", r)
+	}
+	if r.Cardinality() != 3 || r.DistinctCount() != 2 {
+		t.Error("FromTuples counts")
+	}
+}
+
+func TestEachAndEachOccurrence(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(1), tuple.Ints(1), tuple.Ints(2))
+	var distinct, occurrences int
+	r.Each(func(_ tuple.Tuple, _ uint64) bool { distinct++; return true })
+	r.EachOccurrence(func(_ tuple.Tuple) bool { occurrences++; return true })
+	if distinct != 2 || occurrences != 3 {
+		t.Errorf("distinct=%d occurrences=%d", distinct, occurrences)
+	}
+	// Early termination.
+	count := 0
+	r.Each(func(_ tuple.Tuple, _ uint64) bool { count++; return false })
+	if count != 1 {
+		t.Error("Each must stop when fn returns false")
+	}
+	count = 0
+	r.EachOccurrence(func(_ tuple.Tuple) bool { count++; return false })
+	if count != 1 {
+		t.Error("EachOccurrence must stop when fn returns false")
+	}
+}
+
+func TestTuplesAndDistinctSorted(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(3), tuple.Ints(1), tuple.Ints(3))
+	all := r.Tuples()
+	if len(all) != 3 || !all[0].Equal(tuple.Ints(1)) || !all[2].Equal(tuple.Ints(3)) {
+		t.Errorf("Tuples = %v", all)
+	}
+	d := r.Distinct()
+	if len(d) != 2 || !d[0].Equal(tuple.Ints(1)) || !d[1].Equal(tuple.Ints(3)) {
+		t.Errorf("Distinct = %v", d)
+	}
+	// EachSorted early stop.
+	n := 0
+	r.EachSorted(func(_ tuple.Tuple, _ uint64) bool { n++; return false })
+	if n != 1 {
+		t.Error("EachSorted must honour early stop")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(1))
+	c := r.Clone()
+	c.Add(tuple.Ints(2), 1)
+	if r.Contains(tuple.Ints(2)) {
+		t.Error("Clone must be independent")
+	}
+	if !c.Contains(tuple.Ints(1)) {
+		t.Error("Clone must carry original contents")
+	}
+}
+
+func TestWithSchema(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(1))
+	renamed := r.WithSchema(schema.NewRelation("temp", schema.Attribute{Name: "x", Type: value.KindInt}))
+	if renamed.Schema().Name() != "temp" {
+		t.Error("WithSchema must carry the new schema")
+	}
+	if renamed.Cardinality() != 1 || !renamed.Contains(tuple.Ints(1)) {
+		t.Error("WithSchema must share contents")
+	}
+}
+
+func TestEqualAndSubset(t *testing.T) {
+	s := intSchema(1)
+	a := FromTuples(s, tuple.Ints(1), tuple.Ints(1), tuple.Ints(2))
+	b := FromTuples(s, tuple.Ints(2), tuple.Ints(1), tuple.Ints(1))
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("order of insertion must not matter for equality")
+	}
+	c := FromTuples(s, tuple.Ints(1), tuple.Ints(2))
+	if a.Equal(c) {
+		t.Error("different multiplicities must not be equal")
+	}
+	if !c.SubsetOf(a) {
+		t.Error("c ⊑ a must hold")
+	}
+	if a.SubsetOf(c) {
+		t.Error("a ⊑ c must not hold")
+	}
+	empty := New(s)
+	if !empty.SubsetOf(a) || !empty.SubsetOf(empty) {
+		t.Error("∅ is a multi-subset of everything")
+	}
+	d := FromTuples(s, tuple.Ints(9))
+	if d.SubsetOf(a) {
+		t.Error("foreign tuple must break the subset relation")
+	}
+	// Same total cardinality, different contents.
+	e := FromTuples(s, tuple.Ints(5), tuple.Ints(5), tuple.Ints(6))
+	if a.Equal(e) {
+		t.Error("same cardinality but different tuples must not be equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(2), tuple.Ints(2), tuple.Ints(1))
+	s := r.String()
+	if !strings.Contains(s, "^2") || !strings.HasPrefix(s, "{") {
+		t.Errorf("String = %q", s)
+	}
+	if New(intSchema(1)).String() != "{}" {
+		t.Error("empty relation renders as {}")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	s := intSchema(1)
+	a := FromTuples(s, tuple.Ints(1), tuple.Ints(1))
+	b := FromTuples(s, tuple.Ints(1), tuple.Ints(2))
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Multiplicity(tuple.Ints(1)) != 3 || u.Multiplicity(tuple.Ints(2)) != 1 {
+		t.Errorf("Union = %v", u)
+	}
+	// Inputs untouched.
+	if a.Cardinality() != 2 || b.Cardinality() != 2 {
+		t.Error("Union must not mutate its operands")
+	}
+	if _, err := Union(a, FromTuples(intSchema(2), tuple.Ints(1, 2))); err == nil {
+		t.Error("incompatible union must fail")
+	}
+}
+
+func TestDifference(t *testing.T) {
+	s := intSchema(1)
+	a := FromTuples(s, tuple.Ints(1), tuple.Ints(1), tuple.Ints(2))
+	b := FromTuples(s, tuple.Ints(1), tuple.Ints(3))
+	d, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Multiplicity(tuple.Ints(1)) != 1 || d.Multiplicity(tuple.Ints(2)) != 1 || d.Contains(tuple.Ints(3)) {
+		t.Errorf("Difference = %v", d)
+	}
+	if _, err := Difference(a, FromTuples(intSchema(2), tuple.Ints(1, 2))); err == nil {
+		t.Error("incompatible difference must fail")
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	s := intSchema(1)
+	a := FromTuples(s, tuple.Ints(1), tuple.Ints(1), tuple.Ints(1), tuple.Ints(2))
+	b := FromTuples(s, tuple.Ints(1), tuple.Ints(1), tuple.Ints(3))
+	i, err := Intersection(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Multiplicity(tuple.Ints(1)) != 2 || i.Contains(tuple.Ints(2)) || i.Contains(tuple.Ints(3)) {
+		t.Errorf("Intersection = %v", i)
+	}
+	// Symmetric.
+	j, _ := Intersection(b, a)
+	if !i.Equal(j) {
+		t.Error("intersection must be symmetric")
+	}
+	if _, err := Intersection(a, FromTuples(intSchema(2), tuple.Ints(1, 2))); err == nil {
+		t.Error("incompatible intersection must fail")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	a := FromTuples(intSchema(1), tuple.Ints(1), tuple.Ints(1))
+	b := FromTuples(intSchema(1), tuple.Ints(5), tuple.Ints(6))
+	p := Product(a, b)
+	if p.Schema().Arity() != 2 {
+		t.Errorf("product schema arity = %d", p.Schema().Arity())
+	}
+	if p.Multiplicity(tuple.Ints(1, 5)) != 2 || p.Multiplicity(tuple.Ints(1, 6)) != 2 {
+		t.Errorf("Product multiplicities wrong: %v", p)
+	}
+	if p.Cardinality() != 4 {
+		t.Errorf("Product cardinality = %d", p.Cardinality())
+	}
+	empty := New(intSchema(1))
+	if !Product(a, empty).IsEmpty() || !Product(empty, b).IsEmpty() {
+		t.Error("product with the empty relation is empty")
+	}
+}
+
+func TestUnique(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(1), tuple.Ints(1), tuple.Ints(2))
+	u := Unique(r)
+	if u.Multiplicity(tuple.Ints(1)) != 1 || u.Multiplicity(tuple.Ints(2)) != 1 {
+		t.Errorf("Unique = %v", u)
+	}
+	// Idempotent.
+	if !Unique(u).Equal(u) {
+		t.Error("δ must be idempotent")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(1), tuple.Ints(2), tuple.Ints(2))
+	sel, err := Select(r, func(t tuple.Tuple) (bool, error) { return t.At(0).Int() > 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Multiplicity(tuple.Ints(2)) != 2 || sel.Contains(tuple.Ints(1)) {
+		t.Errorf("Select = %v", sel)
+	}
+	if _, err := Select(r, func(t tuple.Tuple) (bool, error) { return false, value.ErrType }); err == nil {
+		t.Error("predicate errors must propagate")
+	}
+}
+
+func TestProjectAccumulatesMultiplicities(t *testing.T) {
+	s := schema.Anonymous(
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt},
+	)
+	r := FromTuples(s, tuple.Ints(1, 10), tuple.Ints(2, 10), tuple.Ints(3, 20))
+	p, err := Project(r, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Multiplicity(tuple.Ints(10)) != 2 || p.Multiplicity(tuple.Ints(20)) != 1 {
+		t.Errorf("bag projection must accumulate multiplicities: %v", p)
+	}
+	if _, err := Project(r, []int{5}); err == nil {
+		t.Error("out-of-range projection must fail")
+	}
+}
+
+func TestMap(t *testing.T) {
+	s := intSchema(1)
+	out := schema.Anonymous(schema.Attribute{Name: "double", Type: value.KindInt})
+	r := FromTuples(s, tuple.Ints(1), tuple.Ints(1), tuple.Ints(2))
+	m, err := Map(r, out, func(t tuple.Tuple) (tuple.Tuple, error) {
+		return tuple.Ints(t.At(0).Int() * 2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Multiplicity(tuple.Ints(2)) != 2 || m.Multiplicity(tuple.Ints(4)) != 1 {
+		t.Errorf("Map = %v", m)
+	}
+	if _, err := Map(r, out, func(t tuple.Tuple) (tuple.Tuple, error) { return tuple.Tuple{}, value.ErrType }); err == nil {
+		t.Error("map errors must propagate")
+	}
+}
+
+func TestIncompatibleError(t *testing.T) {
+	e := &ErrIncompatible{Op: "union", Left: intSchema(1), Right: intSchema(2)}
+	if !strings.Contains(e.Error(), "union") {
+		t.Errorf("Error = %q", e.Error())
+	}
+}

@@ -1,0 +1,173 @@
+package multiset
+
+import (
+	"fmt"
+
+	"mra/internal/schema"
+	"mra/internal/tuple"
+)
+
+// This file implements the definition-level multi-set operations used as the
+// semantic core by both evaluators: union ⊎, difference −, intersection ∩,
+// Cartesian product ×, and duplicate elimination δ.  They operate directly on
+// materialised relations; the algebra and evaluation packages wrap them in
+// operator trees and physical plans.
+
+// ErrIncompatible is returned when an operation is applied to relations whose
+// schemas are not union-compatible.
+type ErrIncompatible struct {
+	Op          string
+	Left, Right schema.Relation
+}
+
+// Error implements the error interface.
+func (e *ErrIncompatible) Error() string {
+	return fmt.Sprintf("multiset: %s applied to incompatible schemas %s and %s", e.Op, e.Left, e.Right)
+}
+
+// Union returns R1 ⊎ R2 with (R1 ⊎ R2)(x) = R1(x) + R2(x) (Definition 3.1).
+func Union(a, b *Relation) (*Relation, error) {
+	if !a.Schema().Compatible(b.Schema()) {
+		return nil, &ErrIncompatible{Op: "union", Left: a.Schema(), Right: b.Schema()}
+	}
+	out := a.Clone()
+	b.Each(func(t tuple.Tuple, count uint64) bool {
+		out.Add(t, count)
+		return true
+	})
+	return out, nil
+}
+
+// Difference returns R1 − R2 with (R1 − R2)(x) = max(0, R1(x) − R2(x))
+// (Definition 3.1).
+func Difference(a, b *Relation) (*Relation, error) {
+	if !a.Schema().Compatible(b.Schema()) {
+		return nil, &ErrIncompatible{Op: "difference", Left: a.Schema(), Right: b.Schema()}
+	}
+	out := a.Clone()
+	b.Each(func(t tuple.Tuple, count uint64) bool {
+		out.Remove(t, count)
+		return true
+	})
+	return out, nil
+}
+
+// Intersection returns R1 ∩ R2 with (R1 ∩ R2)(x) = min(R1(x), R2(x))
+// (Definition 3.2).
+func Intersection(a, b *Relation) (*Relation, error) {
+	if !a.Schema().Compatible(b.Schema()) {
+		return nil, &ErrIncompatible{Op: "intersection", Left: a.Schema(), Right: b.Schema()}
+	}
+	out := New(a.Schema())
+	small, large := a, b
+	if small.DistinctCount() > large.DistinctCount() {
+		small, large = large, small
+	}
+	small.Each(func(t tuple.Tuple, count uint64) bool {
+		other := large.Multiplicity(t)
+		m := count
+		if other < m {
+			m = other
+		}
+		if m > 0 {
+			out.Add(t, m)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// Product returns R1 × R2 with (R1 × R2)(x ⊕ y) = R1(x) · R2(y)
+// (Definition 3.1).  The result schema is 𝓔 ⊕ 𝓔′.
+func Product(a, b *Relation) *Relation {
+	out := New(a.Schema().Concat(b.Schema()))
+	a.Each(func(ta tuple.Tuple, ca uint64) bool {
+		b.Each(func(tb tuple.Tuple, cb uint64) bool {
+			out.Add(ta.Concat(tb), ca*cb)
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// Unique returns δR: the duplicate-free relation with (δR)(x) = 1 whenever
+// R(x) > 0 (Definition 3.4).
+func Unique(r *Relation) *Relation {
+	out := New(r.Schema())
+	r.Each(func(t tuple.Tuple, _ uint64) bool {
+		out.Add(t, 1)
+		return true
+	})
+	return out
+}
+
+// Select returns σ_p(R): the sub-multi-set of tuples satisfying the predicate,
+// with multiplicities preserved (Definition 3.1).  Predicate errors abort the
+// operation.
+func Select(r *Relation, pred func(tuple.Tuple) (bool, error)) (*Relation, error) {
+	out := New(r.Schema())
+	var iterErr error
+	r.Each(func(t tuple.Tuple, count uint64) bool {
+		ok, err := pred(t)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		if ok {
+			out.Add(t, count)
+		}
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+	return out, nil
+}
+
+// Project returns π_α(R) for a positional attribute list α: multiplicities of
+// tuples that collapse onto the same projected tuple accumulate
+// (Definition 3.1) — this is the essential difference from the set-based
+// projection, which would deduplicate.
+func Project(r *Relation, indices []int) (*Relation, error) {
+	outSchema, err := r.Schema().Project(indices)
+	if err != nil {
+		return nil, err
+	}
+	out := New(outSchema)
+	var iterErr error
+	r.Each(func(t tuple.Tuple, count uint64) bool {
+		p, err := t.Project(indices)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		out.Add(p, count)
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+	return out, nil
+}
+
+// Map returns the relation obtained by applying fn to every distinct tuple,
+// keeping multiplicities.  It is the building block of the extended
+// (arithmetic) projection; fn must produce tuples of the given schema.
+func Map(r *Relation, out schema.Relation, fn func(tuple.Tuple) (tuple.Tuple, error)) (*Relation, error) {
+	res := New(out)
+	var iterErr error
+	r.Each(func(t tuple.Tuple, count uint64) bool {
+		m, err := fn(t)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		res.Add(m, count)
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+	return res, nil
+}

@@ -1,0 +1,251 @@
+package rewrite
+
+import (
+	"mra/internal/algebra"
+	"mra/internal/scalar"
+)
+
+// Rewriter applies a rule set bottom-up until no rule applies anywhere in the
+// expression (or the iteration bound is hit, which guards against accidental
+// rule cycles).
+type Rewriter struct {
+	// Rules is the ordered rule set; DefaultRules() if nil.
+	Rules []Rule
+	// MaxPasses bounds the number of whole-tree passes; 8 if zero.
+	MaxPasses int
+}
+
+// NewRewriter returns a rewriter with the default rule set.
+func NewRewriter() *Rewriter { return &Rewriter{Rules: DefaultRules()} }
+
+// Rewrite returns the optimised expression and the trace of rule
+// applications, in order.
+func (rw *Rewriter) Rewrite(e algebra.Expr, cat algebra.Catalog) (algebra.Expr, []Applied) {
+	rules := rw.Rules
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	maxPasses := rw.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = 8
+	}
+	var trace []Applied
+	cur := e
+	for pass := 0; pass < maxPasses; pass++ {
+		next, changed := rewriteNode(cur, cat, rules, &trace)
+		cur = next
+		if !changed {
+			break
+		}
+	}
+	return cur, trace
+}
+
+// rewriteNode rewrites the children first, then repeatedly applies rules at
+// this node until none fires.
+func rewriteNode(e algebra.Expr, cat algebra.Catalog, rules []Rule, trace *[]Applied) (algebra.Expr, bool) {
+	node, childChanged := rebuildChildren(e, cat, rules, trace)
+	changed := childChanged
+	for {
+		fired := false
+		for _, r := range rules {
+			next, ok := r.Apply(node, cat)
+			if !ok {
+				continue
+			}
+			*trace = append(*trace, Applied{Rule: r.Name(), Before: node.String(), After: next.String()})
+			node = next
+			fired = true
+			changed = true
+			// A rewrite may expose new opportunities below the new node.
+			node, _ = rebuildChildren(node, cat, rules, trace)
+			break
+		}
+		if !fired {
+			return node, changed
+		}
+	}
+}
+
+// rebuildChildren rewrites an expression's children and reassembles the node.
+func rebuildChildren(e algebra.Expr, cat algebra.Catalog, rules []Rule, trace *[]Applied) (algebra.Expr, bool) {
+	switch n := e.(type) {
+	case algebra.Union:
+		l, lc := rewriteNode(n.Left, cat, rules, trace)
+		r, rc := rewriteNode(n.Right, cat, rules, trace)
+		return algebra.NewUnion(l, r), lc || rc
+	case algebra.Difference:
+		l, lc := rewriteNode(n.Left, cat, rules, trace)
+		r, rc := rewriteNode(n.Right, cat, rules, trace)
+		return algebra.NewDifference(l, r), lc || rc
+	case algebra.Intersect:
+		l, lc := rewriteNode(n.Left, cat, rules, trace)
+		r, rc := rewriteNode(n.Right, cat, rules, trace)
+		return algebra.NewIntersect(l, r), lc || rc
+	case algebra.Product:
+		l, lc := rewriteNode(n.Left, cat, rules, trace)
+		r, rc := rewriteNode(n.Right, cat, rules, trace)
+		return algebra.NewProduct(l, r), lc || rc
+	case algebra.Join:
+		l, lc := rewriteNode(n.Left, cat, rules, trace)
+		r, rc := rewriteNode(n.Right, cat, rules, trace)
+		return algebra.NewJoin(n.Cond, l, r), lc || rc
+	case algebra.Select:
+		in, c := rewriteNode(n.Input, cat, rules, trace)
+		return algebra.NewSelect(n.Cond, in), c
+	case algebra.Project:
+		in, c := rewriteNode(n.Input, cat, rules, trace)
+		return algebra.NewProject(n.Columns, in), c
+	case algebra.ExtProject:
+		in, c := rewriteNode(n.Input, cat, rules, trace)
+		return algebra.NewExtProject(n.Items, n.Names, in), c
+	case algebra.Unique:
+		in, c := rewriteNode(n.Input, cat, rules, trace)
+		return algebra.NewUnique(in), c
+	case algebra.GroupBy:
+		in, c := rewriteNode(n.Input, cat, rules, trace)
+		return algebra.GroupBy{GroupCols: n.GroupCols, Agg: n.Agg, AggCol: n.AggCol, Name: n.Name, Input: in}, c
+	case algebra.TClose:
+		in, c := rewriteNode(n.Input, cat, rules, trace)
+		return algebra.NewTClose(in), c
+	default:
+		// Leaves (Rel, Literal) and unknown nodes are returned unchanged.
+		return e, false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+// CardinalitySource provides base-relation cardinalities for the cost model.
+type CardinalitySource interface {
+	// RelationCardinality returns the number of tuples (counting duplicates)
+	// in the named relation, and whether the relation is known.
+	RelationCardinality(name string) (uint64, bool)
+}
+
+// MapCardinalities is a CardinalitySource backed by a map.
+type MapCardinalities map[string]uint64
+
+// RelationCardinality implements CardinalitySource.
+func (m MapCardinalities) RelationCardinality(name string) (uint64, bool) {
+	c, ok := m[name]
+	return c, ok
+}
+
+// Default selectivities of the cost model.  They are deliberately coarse: the
+// model only needs to rank plans whose cost differs by orders of magnitude
+// (product vs. hash join, pruned vs. unpruned group-by inputs).
+const (
+	defaultRelationCard   = 1000.0
+	selectionSelectivity  = 0.25
+	joinSelectivity       = 0.1
+	uniqueReduction       = 0.6
+	groupReduction        = 0.2
+	transitiveBlowup      = 4.0
+	perTupleProcessingFee = 1.0
+)
+
+// Cost estimates the total processing cost of an expression: the sum over all
+// operators of the tuples they must inspect plus the tuples they emit.
+// Products pay for their full output; hash joins pay for build plus probe.
+func Cost(e algebra.Expr, cards CardinalitySource) float64 {
+	cost, _ := costAndCard(e, cards)
+	return cost
+}
+
+// EstimateCardinality estimates the output cardinality of an expression.
+func EstimateCardinality(e algebra.Expr, cards CardinalitySource) float64 {
+	_, card := costAndCard(e, cards)
+	return card
+}
+
+func costAndCard(e algebra.Expr, cards CardinalitySource) (cost, card float64) {
+	switch n := e.(type) {
+	case algebra.Rel:
+		if c, ok := cards.RelationCardinality(n.Name); ok {
+			return 0, float64(c)
+		}
+		return 0, defaultRelationCard
+	case algebra.Literal:
+		return 0, float64(len(n.Rows))
+	case algebra.Union:
+		lc, lk := costAndCard(n.Left, cards)
+		rc, rk := costAndCard(n.Right, cards)
+		out := lk + rk
+		return lc + rc + out*perTupleProcessingFee, out
+	case algebra.Difference:
+		lc, lk := costAndCard(n.Left, cards)
+		rc, rk := costAndCard(n.Right, cards)
+		return lc + rc + (lk+rk)*perTupleProcessingFee, lk
+	case algebra.Intersect:
+		lc, lk := costAndCard(n.Left, cards)
+		rc, rk := costAndCard(n.Right, cards)
+		out := lk
+		if rk < out {
+			out = rk
+		}
+		return lc + rc + (lk+rk)*perTupleProcessingFee, out
+	case algebra.Product:
+		lc, lk := costAndCard(n.Left, cards)
+		rc, rk := costAndCard(n.Right, cards)
+		out := lk * rk
+		return lc + rc + out*perTupleProcessingFee, out
+	case algebra.Join:
+		lc, lk := costAndCard(n.Left, cards)
+		rc, rk := costAndCard(n.Right, cards)
+		// Hash join when an equality conjunct links the two sides; otherwise
+		// nested loops over the product.
+		if hasEquiConjunct(n) {
+			out := (lk * rk) * joinSelectivity
+			return lc + rc + (lk+rk+out)*perTupleProcessingFee, out
+		}
+		out := lk * rk * joinSelectivity
+		return lc + rc + (lk*rk)*perTupleProcessingFee, out
+	case algebra.Select:
+		ic, ik := costAndCard(n.Input, cards)
+		out := ik * selectionSelectivity
+		return ic + ik*perTupleProcessingFee, out
+	case algebra.Project:
+		// Projections are pipelined: they narrow tuples without materialising
+		// a new relation, so they carry no per-tuple charge of their own.
+		return costAndCard(n.Input, cards)
+	case algebra.ExtProject:
+		return costAndCard(n.Input, cards)
+	case algebra.Unique:
+		ic, ik := costAndCard(n.Input, cards)
+		return ic + ik*perTupleProcessingFee, ik * uniqueReduction
+	case algebra.GroupBy:
+		ic, ik := costAndCard(n.Input, cards)
+		out := ik * groupReduction
+		if len(n.GroupCols) == 0 {
+			out = 1
+		}
+		return ic + ik*perTupleProcessingFee, out
+	case algebra.TClose:
+		ic, ik := costAndCard(n.Input, cards)
+		out := ik * transitiveBlowup
+		return ic + (ik+out)*perTupleProcessingFee*2, out
+	default:
+		return 0, defaultRelationCard
+	}
+}
+
+// hasEquiConjunct reports whether the join condition contains an equality
+// conjunct between two attribute references, the shape the physical engine
+// executes as a hash join.
+func hasEquiConjunct(j algebra.Join) bool {
+	for _, c := range scalar.Conjuncts(j.Cond) {
+		cmp, ok := c.(scalar.Compare)
+		if !ok {
+			continue
+		}
+		_, lok := cmp.Left.(scalar.Attr)
+		_, rok := cmp.Right.(scalar.Attr)
+		if lok && rok && cmp.Op.String() == "=" {
+			return true
+		}
+	}
+	return false
+}

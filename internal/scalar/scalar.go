@@ -1,0 +1,202 @@
+// Package scalar implements the scalar expression language used inside the
+// multi-set extended relational algebra: the selection conditions φ of σ and
+// ⋈ (functions from dom(𝓔) into the boolean domain) and the arithmetic
+// expressions of the extended projection π (functions from dom(𝓔) into a
+// basic domain) — Definitions 3.1 and 3.4 of Grefen & de By, ICDE 1994.
+//
+// Expressions reference attributes positionally (%1, %2, ...), matching the
+// paper's prefixed-attribute-number convention; the front-end packages resolve
+// attribute names to positions before constructing scalar expressions.
+package scalar
+
+import (
+	"errors"
+	"fmt"
+
+	"mra/internal/schema"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// ErrEval is the sentinel wrapped by scalar evaluation and typing errors.
+var ErrEval = errors.New("scalar error")
+
+// Expr is a scalar expression evaluated against a single tuple.
+type Expr interface {
+	// Eval computes the expression's value on the given tuple.
+	Eval(t tuple.Tuple) (value.Value, error)
+	// Type infers the expression's result domain against a schema, validating
+	// attribute references and operand domains along the way.
+	Type(s schema.Relation) (value.Kind, error)
+	// Refs appends the 0-based attribute positions the expression reads to
+	// dst and returns the extended slice.
+	Refs(dst []int) []int
+	// Rebase returns a copy of the expression with every attribute reference i
+	// replaced by mapping[i].  It is used by the rewrite engine when pushing
+	// expressions through projections and products.  It returns an error if a
+	// referenced attribute has no image in the mapping.
+	Rebase(mapping map[int]int) (Expr, error)
+	// String renders the expression in XRA surface syntax.
+	String() string
+}
+
+// Const is a constant scalar expression.
+type Const struct {
+	// Value is the constant's value.
+	Value value.Value
+}
+
+// NewConst returns a constant expression.
+func NewConst(v value.Value) Const { return Const{Value: v} }
+
+// Eval implements Expr.
+func (c Const) Eval(tuple.Tuple) (value.Value, error) { return c.Value, nil }
+
+// Type implements Expr.
+func (c Const) Type(schema.Relation) (value.Kind, error) { return c.Value.Kind(), nil }
+
+// Refs implements Expr.
+func (c Const) Refs(dst []int) []int { return dst }
+
+// Rebase implements Expr.
+func (c Const) Rebase(map[int]int) (Expr, error) { return c, nil }
+
+// String implements Expr.
+func (c Const) String() string { return c.Value.String() }
+
+// Attr references the i-th attribute of the input tuple (0-based internally;
+// rendered 1-based as %i per the paper's convention).
+type Attr struct {
+	// Index is the 0-based attribute position.
+	Index int
+}
+
+// NewAttr returns an attribute reference for the 0-based position i.
+func NewAttr(i int) Attr { return Attr{Index: i} }
+
+// Eval implements Expr.
+func (a Attr) Eval(t tuple.Tuple) (value.Value, error) {
+	if a.Index < 0 || a.Index >= t.Arity() {
+		return value.Null, fmt.Errorf("%w: attribute %%%d out of range for arity %d", ErrEval, a.Index+1, t.Arity())
+	}
+	return t.At(a.Index), nil
+}
+
+// Type implements Expr.
+func (a Attr) Type(s schema.Relation) (value.Kind, error) {
+	if a.Index < 0 || a.Index >= s.Arity() {
+		return value.KindNull, fmt.Errorf("%w: attribute %%%d out of range for schema %s", ErrEval, a.Index+1, s)
+	}
+	return s.Attribute(a.Index).Type, nil
+}
+
+// Refs implements Expr.
+func (a Attr) Refs(dst []int) []int { return append(dst, a.Index) }
+
+// Rebase implements Expr.
+func (a Attr) Rebase(mapping map[int]int) (Expr, error) {
+	ni, ok := mapping[a.Index]
+	if !ok {
+		return nil, fmt.Errorf("%w: attribute %%%d has no image under the rebase mapping", ErrEval, a.Index+1)
+	}
+	return Attr{Index: ni}, nil
+}
+
+// String implements Expr.
+func (a Attr) String() string { return fmt.Sprintf("%%%d", a.Index+1) }
+
+// Arith applies a binary arithmetic operator to two scalar sub-expressions.
+type Arith struct {
+	Op          value.BinaryOp
+	Left, Right Expr
+}
+
+// NewArith returns an arithmetic expression.
+func NewArith(op value.BinaryOp, left, right Expr) Arith {
+	return Arith{Op: op, Left: left, Right: right}
+}
+
+// Eval implements Expr.
+func (a Arith) Eval(t tuple.Tuple) (value.Value, error) {
+	l, err := a.Left.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := a.Right.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	return a.Op.Apply(l, r)
+}
+
+// Type implements Expr.
+func (a Arith) Type(s schema.Relation) (value.Kind, error) {
+	l, err := a.Left.Type(s)
+	if err != nil {
+		return value.KindNull, err
+	}
+	r, err := a.Right.Type(s)
+	if err != nil {
+		return value.KindNull, err
+	}
+	return a.Op.ResultKind(l, r)
+}
+
+// Refs implements Expr.
+func (a Arith) Refs(dst []int) []int { return a.Right.Refs(a.Left.Refs(dst)) }
+
+// Rebase implements Expr.
+func (a Arith) Rebase(mapping map[int]int) (Expr, error) {
+	l, err := a.Left.Rebase(mapping)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.Right.Rebase(mapping)
+	if err != nil {
+		return nil, err
+	}
+	return Arith{Op: a.Op, Left: l, Right: r}, nil
+}
+
+// String implements Expr.
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.Left.String(), a.Op, a.Right.String())
+}
+
+// Neg is arithmetic negation of a scalar sub-expression.
+type Neg struct {
+	Operand Expr
+}
+
+// Eval implements Expr.
+func (n Neg) Eval(t tuple.Tuple) (value.Value, error) {
+	v, err := n.Operand.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	return value.OpSub.Apply(value.NewInt(0), v)
+}
+
+// Type implements Expr.
+func (n Neg) Type(s schema.Relation) (value.Kind, error) {
+	k, err := n.Operand.Type(s)
+	if err != nil {
+		return value.KindNull, err
+	}
+	return value.OpSub.ResultKind(value.KindInt, k)
+}
+
+// Refs implements Expr.
+func (n Neg) Refs(dst []int) []int { return n.Operand.Refs(dst) }
+
+// Rebase implements Expr.
+func (n Neg) Rebase(mapping map[int]int) (Expr, error) {
+	o, err := n.Operand.Rebase(mapping)
+	if err != nil {
+		return nil, err
+	}
+	return Neg{Operand: o}, nil
+}
+
+// String implements Expr.
+func (n Neg) String() string { return "(-" + n.Operand.String() + ")" }

@@ -1,0 +1,422 @@
+package scalar
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mra/internal/schema"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+func testSchema() schema.Relation {
+	return schema.NewRelation("beer",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "brewery", Type: value.KindString},
+		schema.Attribute{Name: "alcperc", Type: value.KindFloat},
+	)
+}
+
+func beerTuple() tuple.Tuple {
+	return tuple.New(value.NewString("pils"), value.NewString("guineken"), value.NewFloat(5.0))
+}
+
+func TestConst(t *testing.T) {
+	c := NewConst(value.NewInt(7))
+	v, err := c.Eval(tuple.New())
+	if err != nil || v.Int() != 7 {
+		t.Errorf("Eval = %v, %v", v, err)
+	}
+	k, err := c.Type(testSchema())
+	if err != nil || k != value.KindInt {
+		t.Errorf("Type = %v, %v", k, err)
+	}
+	if len(c.Refs(nil)) != 0 {
+		t.Error("constant has no refs")
+	}
+	r, err := c.Rebase(map[int]int{})
+	if err != nil || r.String() != "7" {
+		t.Errorf("Rebase = %v, %v", r, err)
+	}
+}
+
+func TestAttr(t *testing.T) {
+	a := NewAttr(2)
+	v, err := a.Eval(beerTuple())
+	if err != nil || v.Float() != 5.0 {
+		t.Errorf("Eval = %v, %v", v, err)
+	}
+	if _, err := NewAttr(5).Eval(beerTuple()); err == nil {
+		t.Error("out-of-range attribute must fail at eval")
+	}
+	k, err := a.Type(testSchema())
+	if err != nil || k != value.KindFloat {
+		t.Errorf("Type = %v, %v", k, err)
+	}
+	if _, err := NewAttr(5).Type(testSchema()); err == nil {
+		t.Error("out-of-range attribute must fail typing")
+	}
+	if refs := a.Refs(nil); len(refs) != 1 || refs[0] != 2 {
+		t.Errorf("Refs = %v", refs)
+	}
+	if a.String() != "%3" {
+		t.Errorf("String = %q (attribute numbers are 1-based)", a.String())
+	}
+	rb, err := a.Rebase(map[int]int{2: 0})
+	if err != nil || rb.(Attr).Index != 0 {
+		t.Errorf("Rebase = %v, %v", rb, err)
+	}
+	if _, err := a.Rebase(map[int]int{0: 1}); err == nil {
+		t.Error("rebase without image must fail")
+	}
+}
+
+func TestArith(t *testing.T) {
+	// alcperc * 1.1 (the paper's Example 4.1 update expression).
+	e := NewArith(value.OpMul, NewAttr(2), NewConst(value.NewFloat(1.1)))
+	v, err := e.Eval(beerTuple())
+	if err != nil || v.Float() < 5.49 || v.Float() > 5.51 {
+		t.Errorf("Eval = %v, %v", v, err)
+	}
+	k, err := e.Type(testSchema())
+	if err != nil || k != value.KindFloat {
+		t.Errorf("Type = %v, %v", k, err)
+	}
+	if refs := e.Refs(nil); len(refs) != 1 || refs[0] != 2 {
+		t.Errorf("Refs = %v", refs)
+	}
+	if !strings.Contains(e.String(), "%3 * 1.1") {
+		t.Errorf("String = %q", e.String())
+	}
+	// Type error: string * float.
+	bad := NewArith(value.OpMul, NewAttr(0), NewConst(value.NewFloat(2)))
+	if _, err := bad.Type(testSchema()); err == nil {
+		t.Error("string * float must not type-check")
+	}
+	if _, err := bad.Eval(beerTuple()); err == nil {
+		t.Error("string * float must not evaluate")
+	}
+	// Error propagation from operands.
+	brokenLeft := NewArith(value.OpAdd, NewAttr(9), NewConst(value.NewInt(1)))
+	if _, err := brokenLeft.Eval(beerTuple()); err == nil {
+		t.Error("left operand errors must propagate")
+	}
+	if _, err := brokenLeft.Type(testSchema()); err == nil {
+		t.Error("left operand type errors must propagate")
+	}
+	brokenRight := NewArith(value.OpAdd, NewConst(value.NewInt(1)), NewAttr(9))
+	if _, err := brokenRight.Eval(beerTuple()); err == nil {
+		t.Error("right operand errors must propagate")
+	}
+	if _, err := brokenRight.Type(testSchema()); err == nil {
+		t.Error("right operand type errors must propagate")
+	}
+	// Rebase maps both sides.
+	rb, err := e.Rebase(map[int]int{2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := rb.Eval(tuple.New(value.NewFloat(10)))
+	if err != nil || v2.Float() < 10.9 || v2.Float() > 11.1 {
+		t.Errorf("rebased Eval = %v, %v", v2, err)
+	}
+	if _, err := e.Rebase(map[int]int{0: 0}); err == nil {
+		t.Error("rebase with missing image must fail")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	n := Neg{Operand: NewConst(value.NewInt(4))}
+	v, err := n.Eval(tuple.New())
+	if err != nil || v.Int() != -4 {
+		t.Errorf("Neg eval = %v, %v", v, err)
+	}
+	k, err := n.Type(testSchema())
+	if err != nil || k != value.KindInt {
+		t.Errorf("Neg type = %v, %v", k, err)
+	}
+	nf := Neg{Operand: NewAttr(2)}
+	k, err = nf.Type(testSchema())
+	if err != nil || k != value.KindFloat {
+		t.Errorf("Neg float type = %v, %v", k, err)
+	}
+	if refs := nf.Refs(nil); len(refs) != 1 || refs[0] != 2 {
+		t.Errorf("Neg refs = %v", refs)
+	}
+	if !strings.Contains(nf.String(), "-%3") {
+		t.Errorf("Neg string = %q", nf.String())
+	}
+	bad := Neg{Operand: NewAttr(0)}
+	if _, err := bad.Type(testSchema()); err == nil {
+		t.Error("negating a string must not type-check")
+	}
+	if _, err := (Neg{Operand: NewAttr(9)}).Eval(beerTuple()); err == nil {
+		t.Error("operand eval errors must propagate")
+	}
+	rb, err := nf.Rebase(map[int]int{2: 1})
+	if err != nil || rb.Refs(nil)[0] != 1 {
+		t.Errorf("Neg rebase = %v, %v", rb, err)
+	}
+	if _, err := nf.Rebase(map[int]int{}); err == nil {
+		t.Error("Neg rebase with missing image must fail")
+	}
+}
+
+func TestTrueFalse(t *testing.T) {
+	tr, fl := True{}, False{}
+	if v, _ := tr.Holds(beerTuple()); !v {
+		t.Error("True must hold")
+	}
+	if v, _ := fl.Holds(beerTuple()); v {
+		t.Error("False must not hold")
+	}
+	if tr.Validate(testSchema()) != nil || fl.Validate(testSchema()) != nil {
+		t.Error("constants always validate")
+	}
+	if len(tr.Refs(nil)) != 0 || len(fl.Refs(nil)) != 0 {
+		t.Error("constants have no refs")
+	}
+	if tr.String() != "true" || fl.String() != "false" {
+		t.Error("constant strings")
+	}
+	if p, err := tr.Rebase(nil); err != nil || p.String() != "true" {
+		t.Error("True rebase")
+	}
+	if p, err := fl.Rebase(nil); err != nil || p.String() != "false" {
+		t.Error("False rebase")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	// brewery = 'guineken'
+	c := NewCompare(value.CmpEq, NewAttr(1), NewConst(value.NewString("guineken")))
+	ok, err := c.Holds(beerTuple())
+	if err != nil || !ok {
+		t.Errorf("Holds = %v, %v", ok, err)
+	}
+	c2 := NewCompare(value.CmpGt, NewAttr(2), NewConst(value.NewFloat(6)))
+	ok, err = c2.Holds(beerTuple())
+	if err != nil || ok {
+		t.Errorf("alcperc > 6 should not hold: %v, %v", ok, err)
+	}
+	if err := c.Validate(testSchema()); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := NewCompare(value.CmpEq, NewAttr(0), NewConst(value.NewInt(3)))
+	if err := bad.Validate(testSchema()); err == nil {
+		t.Error("string = int must not validate")
+	}
+	if err := NewCompare(value.CmpEq, NewAttr(9), NewConst(value.NewInt(3))).Validate(testSchema()); err == nil {
+		t.Error("left typing errors propagate")
+	}
+	if err := NewCompare(value.CmpEq, NewConst(value.NewInt(3)), NewAttr(9)).Validate(testSchema()); err == nil {
+		t.Error("right typing errors propagate")
+	}
+	nullOK := NewCompare(value.CmpEq, NewAttr(0), NewConst(value.Null))
+	if err := nullOK.Validate(testSchema()); err != nil {
+		t.Errorf("comparisons against null are allowed: %v", err)
+	}
+	if _, err := NewCompare(value.CmpEq, NewAttr(9), NewConst(value.NewInt(1))).Holds(beerTuple()); err == nil {
+		t.Error("left eval errors propagate")
+	}
+	if _, err := NewCompare(value.CmpEq, NewConst(value.NewInt(1)), NewAttr(9)).Holds(beerTuple()); err == nil {
+		t.Error("right eval errors propagate")
+	}
+	if refs := c.Refs(nil); len(refs) != 1 || refs[0] != 1 {
+		t.Errorf("Refs = %v", refs)
+	}
+	if got := c.String(); !strings.Contains(got, "%2 = 'guineken'") {
+		t.Errorf("String = %q", got)
+	}
+	// Eq helper.
+	join := Eq(0, 4)
+	if join.Op != value.CmpEq || join.Left.(Attr).Index != 0 || join.Right.(Attr).Index != 4 {
+		t.Errorf("Eq = %+v", join)
+	}
+	rb, err := c.Rebase(map[int]int{1: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = rb.Holds(tuple.New(value.NewString("guineken")))
+	if err != nil || !ok {
+		t.Errorf("rebased Holds = %v, %v", ok, err)
+	}
+	if _, err := c.Rebase(map[int]int{}); err == nil {
+		t.Error("rebase with missing image must fail")
+	}
+	if _, err := Eq(0, 1).Rebase(map[int]int{0: 0}); err == nil {
+		t.Error("rebase failure on the right operand must propagate")
+	}
+}
+
+func TestAndOrNot(t *testing.T) {
+	isGuineken := NewCompare(value.CmpEq, NewAttr(1), NewConst(value.NewString("guineken")))
+	strong := NewCompare(value.CmpGe, NewAttr(2), NewConst(value.NewFloat(6)))
+	weak := NewCompare(value.CmpLt, NewAttr(2), NewConst(value.NewFloat(6)))
+
+	and := And{Left: isGuineken, Right: weak}
+	ok, err := and.Holds(beerTuple())
+	if err != nil || !ok {
+		t.Errorf("And = %v, %v", ok, err)
+	}
+	and2 := And{Left: isGuineken, Right: strong}
+	if ok, _ := and2.Holds(beerTuple()); ok {
+		t.Error("And with a false conjunct must not hold")
+	}
+	// Short-circuit: right side would error but left is false.
+	sc := And{Left: False{}, Right: NewCompare(value.CmpEq, NewAttr(9), NewConst(value.NewInt(1)))}
+	if ok, err := sc.Holds(beerTuple()); err != nil || ok {
+		t.Errorf("And must short-circuit: %v, %v", ok, err)
+	}
+	if _, err := (And{Left: NewCompare(value.CmpEq, NewAttr(9), NewConst(value.NewInt(1))), Right: True{}}).Holds(beerTuple()); err == nil {
+		t.Error("And left errors propagate")
+	}
+
+	or := Or{Left: strong, Right: weak}
+	if ok, err := or.Holds(beerTuple()); err != nil || !ok {
+		t.Errorf("Or = %v, %v", ok, err)
+	}
+	orShort := Or{Left: isGuineken, Right: NewCompare(value.CmpEq, NewAttr(9), NewConst(value.NewInt(1)))}
+	if ok, err := orShort.Holds(beerTuple()); err != nil || !ok {
+		t.Errorf("Or must short-circuit: %v, %v", ok, err)
+	}
+	if _, err := (Or{Left: NewCompare(value.CmpEq, NewAttr(9), NewConst(value.NewInt(1))), Right: True{}}).Holds(beerTuple()); err == nil {
+		t.Error("Or left errors propagate")
+	}
+
+	not := Not{Operand: strong}
+	if ok, err := not.Holds(beerTuple()); err != nil || !ok {
+		t.Errorf("Not = %v, %v", ok, err)
+	}
+	if _, err := (Not{Operand: NewCompare(value.CmpEq, NewAttr(9), NewConst(value.NewInt(1)))}).Holds(beerTuple()); err == nil {
+		t.Error("Not errors propagate")
+	}
+
+	// Validation propagation.
+	badCmp := NewCompare(value.CmpEq, NewAttr(0), NewConst(value.NewInt(3)))
+	if err := (And{Left: badCmp, Right: True{}}).Validate(testSchema()); err == nil {
+		t.Error("And left validation")
+	}
+	if err := (And{Left: True{}, Right: badCmp}).Validate(testSchema()); err == nil {
+		t.Error("And right validation")
+	}
+	if err := (Or{Left: badCmp, Right: True{}}).Validate(testSchema()); err == nil {
+		t.Error("Or left validation")
+	}
+	if err := (Or{Left: True{}, Right: badCmp}).Validate(testSchema()); err == nil {
+		t.Error("Or right validation")
+	}
+	if err := (Not{Operand: badCmp}).Validate(testSchema()); err == nil {
+		t.Error("Not validation")
+	}
+	if err := (And{Left: isGuineken, Right: strong}).Validate(testSchema()); err != nil {
+		t.Errorf("valid And rejected: %v", err)
+	}
+	if err := (Or{Left: isGuineken, Right: strong}).Validate(testSchema()); err != nil {
+		t.Errorf("valid Or rejected: %v", err)
+	}
+
+	// Refs and strings.
+	if refs := and.Refs(nil); len(refs) != 2 {
+		t.Errorf("And refs = %v", refs)
+	}
+	if refs := or.Refs(nil); len(refs) != 2 {
+		t.Errorf("Or refs = %v", refs)
+	}
+	if refs := not.Refs(nil); len(refs) != 1 {
+		t.Errorf("Not refs = %v", refs)
+	}
+	if s := and.String(); !strings.Contains(s, "and") {
+		t.Errorf("And string = %q", s)
+	}
+	if s := or.String(); !strings.Contains(s, "or") {
+		t.Errorf("Or string = %q", s)
+	}
+	if s := not.String(); !strings.HasPrefix(s, "not") {
+		t.Errorf("Not string = %q", s)
+	}
+
+	// Rebase.
+	m := map[int]int{1: 0, 2: 1}
+	if _, err := and.Rebase(m); err != nil {
+		t.Errorf("And rebase: %v", err)
+	}
+	if _, err := or.Rebase(m); err != nil {
+		t.Errorf("Or rebase: %v", err)
+	}
+	if _, err := not.Rebase(m); err != nil {
+		t.Errorf("Not rebase: %v", err)
+	}
+	if _, err := and.Rebase(map[int]int{1: 0}); err == nil {
+		t.Error("And rebase failure propagates")
+	}
+	if _, err := (And{Left: strong, Right: isGuineken}).Rebase(map[int]int{1: 0}); err == nil {
+		t.Error("And rebase left failure propagates")
+	}
+	if _, err := or.Rebase(map[int]int{1: 0}); err == nil {
+		t.Error("Or rebase failure propagates")
+	}
+	if _, err := (Or{Left: strong, Right: isGuineken}).Rebase(map[int]int{1: 0}); err == nil {
+		t.Error("Or rebase left failure propagates")
+	}
+	if _, err := not.Rebase(map[int]int{1: 0}); err == nil {
+		t.Error("Not rebase failure propagates")
+	}
+}
+
+func TestNewAndAndConjuncts(t *testing.T) {
+	if _, ok := NewAnd().(True); !ok {
+		t.Error("empty conjunction is True")
+	}
+	single := NewCompare(value.CmpEq, NewAttr(0), NewConst(value.NewString("x")))
+	if p := NewAnd(single); p.String() != single.String() {
+		t.Error("singleton conjunction is the predicate itself")
+	}
+	p1 := NewCompare(value.CmpGt, NewAttr(2), NewConst(value.NewFloat(1)))
+	p2 := NewCompare(value.CmpLt, NewAttr(2), NewConst(value.NewFloat(9)))
+	p3 := NewCompare(value.CmpEq, NewAttr(1), NewConst(value.NewString("g")))
+	conj := NewAnd(p1, p2, p3)
+	cs := Conjuncts(conj)
+	if len(cs) != 3 {
+		t.Errorf("Conjuncts = %d, want 3", len(cs))
+	}
+	if len(Conjuncts(True{})) != 0 {
+		t.Error("Conjuncts of True is empty")
+	}
+	if len(Conjuncts(p1)) != 1 {
+		t.Error("Conjuncts of an atom is itself")
+	}
+}
+
+func TestMaxMinRef(t *testing.T) {
+	p := NewAnd(Eq(1, 4), NewCompare(value.CmpGt, NewAttr(2), NewConst(value.NewInt(0))))
+	if MaxRef(p) != 4 {
+		t.Errorf("MaxRef = %d", MaxRef(p))
+	}
+	if MinRef(p) != 1 {
+		t.Errorf("MinRef = %d", MinRef(p))
+	}
+	if MaxRef(True{}) != -1 || MinRef(True{}) != -1 {
+		t.Error("refs of True")
+	}
+}
+
+func TestComparePropertyNegateFlip(t *testing.T) {
+	// For all int pairs, p(a,b) == !negate(p)(a,b) and p(a,b) == flip(p)(b,a).
+	ops := []value.CompareOp{value.CmpEq, value.CmpNe, value.CmpLt, value.CmpLe, value.CmpGt, value.CmpGe}
+	f := func(a, b int64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		ta := tuple.Ints(a, b)
+		p := NewCompare(op, NewAttr(0), NewAttr(1))
+		neg := NewCompare(op.Negate(), NewAttr(0), NewAttr(1))
+		flip := NewCompare(op.Flip(), NewAttr(1), NewAttr(0))
+		v1, _ := p.Holds(ta)
+		v2, _ := neg.Holds(ta)
+		v3, _ := flip.Holds(ta)
+		return v1 == !v2 && v1 == v3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

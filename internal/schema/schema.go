@@ -1,0 +1,300 @@
+// Package schema implements relation schemas and database schemas of the
+// multi-set relational data model (Definitions 2.2 and 2.5 of Grefen & de By,
+// ICDE 1994).
+//
+// A relation schema consists of a relation name and an ordered list of
+// attributes, each defined on an atomic domain.  The attribute order matters:
+// the algebra addresses attributes positionally (%1, %2, ...) so that
+// anonymous intermediate relations remain addressable.  Attribute names are
+// carried alongside so the SQL and XRA front-ends can resolve names to
+// positions.
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mra/internal/value"
+)
+
+// ErrSchema is the sentinel wrapped by all schema validation errors.
+var ErrSchema = errors.New("schema error")
+
+// Attribute is a named, typed column of a relation schema (Definition 2.2).
+type Attribute struct {
+	// Name is the attribute's name.  It may be empty for computed attributes
+	// of anonymous intermediate relations.
+	Name string
+	// Type is the attribute's atomic domain.
+	Type value.Kind
+}
+
+// String renders the attribute as "name type" (or just the type if unnamed).
+func (a Attribute) String() string {
+	if a.Name == "" {
+		return a.Type.String()
+	}
+	return a.Name + " " + a.Type.String()
+}
+
+// Relation is a relation schema 𝓡: a relation name plus an ordered attribute
+// list (Definition 2.2).  The zero value is an empty, unnamed schema.
+type Relation struct {
+	name  string
+	attrs []Attribute
+}
+
+// NewRelation builds a relation schema from a name and attribute list.
+func NewRelation(name string, attrs ...Attribute) Relation {
+	cp := make([]Attribute, len(attrs))
+	copy(cp, attrs)
+	return Relation{name: name, attrs: cp}
+}
+
+// Anonymous builds an unnamed schema, as produced by algebra operators for
+// intermediate results.
+func Anonymous(attrs ...Attribute) Relation { return NewRelation("", attrs...) }
+
+// Name returns the relation name (empty for anonymous schemas).
+func (r Relation) Name() string { return r.name }
+
+// Rename returns a copy of the schema carrying a different relation name.
+func (r Relation) Rename(name string) Relation {
+	return Relation{name: name, attrs: r.attrs}
+}
+
+// Arity returns the number of attributes of the schema.
+func (r Relation) Arity() int { return len(r.attrs) }
+
+// Attribute returns the i-th attribute (0-based).
+func (r Relation) Attribute(i int) Attribute { return r.attrs[i] }
+
+// Attributes returns a copy of the attribute list.
+func (r Relation) Attributes() []Attribute {
+	cp := make([]Attribute, len(r.attrs))
+	copy(cp, r.attrs)
+	return cp
+}
+
+// Types returns the domains of all attributes, in order (dom(𝓡)).
+func (r Relation) Types() []value.Kind {
+	ts := make([]value.Kind, len(r.attrs))
+	for i, a := range r.attrs {
+		ts[i] = a.Type
+	}
+	return ts
+}
+
+// IndexOf resolves an attribute name to its 0-based position.  Names are
+// matched case-insensitively; qualified names ("beer.brewery") match on the
+// unqualified part if the qualifier equals the relation name.  It returns -1
+// if the name does not occur or is ambiguous.
+func (r Relation) IndexOf(name string) int {
+	qualifier := ""
+	if dot := strings.IndexByte(name, '.'); dot >= 0 {
+		qualifier, name = name[:dot], name[dot+1:]
+	}
+	if qualifier != "" && !strings.EqualFold(qualifier, r.name) {
+		return -1
+	}
+	found := -1
+	for i, a := range r.attrs {
+		if strings.EqualFold(a.Name, name) {
+			if found >= 0 {
+				return -1 // ambiguous
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+// Concat returns the schema 𝓔 ⊕ 𝓔′ of the Cartesian product of two schemas:
+// the concatenation of their attribute lists (Definition 2.4, lifted to
+// schemas).  The result is anonymous.
+func (r Relation) Concat(o Relation) Relation {
+	attrs := make([]Attribute, 0, len(r.attrs)+len(o.attrs))
+	attrs = append(attrs, r.attrs...)
+	attrs = append(attrs, o.attrs...)
+	return Relation{attrs: attrs}
+}
+
+// Project returns the schema π_α(𝓔) for a positional attribute list α
+// (0-based indices).  It returns an error if any index is out of range.
+func (r Relation) Project(indices []int) (Relation, error) {
+	attrs := make([]Attribute, 0, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(r.attrs) {
+			return Relation{}, fmt.Errorf("%w: projection index %%%d out of range for arity %d", ErrSchema, i+1, len(r.attrs))
+		}
+		attrs = append(attrs, r.attrs[i])
+	}
+	return Relation{attrs: attrs}, nil
+}
+
+// Equal reports whether two schemas have identical attribute lists (names and
+// types).  The relation name is not part of schema equality: two instances of
+// the same shape are union-compatible regardless of how they are named.
+func (r Relation) Equal(o Relation) bool {
+	if len(r.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range r.attrs {
+		if r.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible reports whether two schemas are union-compatible: same arity and
+// pairwise compatible domains (equal, or both numeric).  This is the check the
+// union, difference and intersection operators perform (Definition 3.1).
+func (r Relation) Compatible(o Relation) bool {
+	if len(r.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range r.attrs {
+		a, b := r.attrs[i].Type, o.attrs[i].Type
+		if a == b {
+			continue
+		}
+		if a.Numeric() && b.Numeric() {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Validate checks structural well-formedness: non-empty attribute names must
+// be unique (case-insensitively) within the schema.
+func (r Relation) Validate() error {
+	seen := make(map[string]struct{}, len(r.attrs))
+	for i, a := range r.attrs {
+		if a.Name == "" {
+			continue
+		}
+		key := strings.ToLower(a.Name)
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("%w: duplicate attribute name %q at position %d in relation %q", ErrSchema, a.Name, i+1, r.name)
+		}
+		seen[key] = struct{}{}
+	}
+	return nil
+}
+
+// String renders the schema as "name(a1 t1, a2 t2, ...)".
+func (r Relation) String() string {
+	var b strings.Builder
+	if r.name != "" {
+		b.WriteString(r.name)
+	}
+	b.WriteByte('(')
+	for i, a := range r.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Database is a database schema 𝒟: a set of relation schemas addressed by
+// name (Definition 2.5).
+type Database struct {
+	relations map[string]Relation
+	order     []string
+}
+
+// NewDatabase builds a database schema from relation schemas.  Relation names
+// must be non-empty and unique (case-insensitive).
+func NewDatabase(relations ...Relation) (*Database, error) {
+	d := &Database{relations: make(map[string]Relation, len(relations))}
+	for _, r := range relations {
+		if err := d.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Add inserts a relation schema into the database schema.
+func (d *Database) Add(r Relation) error {
+	if r.name == "" {
+		return fmt.Errorf("%w: database relations must be named", ErrSchema)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	key := strings.ToLower(r.name)
+	if _, dup := d.relations[key]; dup {
+		return fmt.Errorf("%w: duplicate relation %q in database schema", ErrSchema, r.name)
+	}
+	if d.relations == nil {
+		d.relations = make(map[string]Relation)
+	}
+	d.relations[key] = r
+	d.order = append(d.order, key)
+	return nil
+}
+
+// Remove deletes a relation schema by name.  It reports whether the relation
+// existed.
+func (d *Database) Remove(name string) bool {
+	key := strings.ToLower(name)
+	if _, ok := d.relations[key]; !ok {
+		return false
+	}
+	delete(d.relations, key)
+	for i, k := range d.order {
+		if k == key {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Relation looks up a relation schema by name (case-insensitive).
+func (d *Database) Relation(name string) (Relation, bool) {
+	r, ok := d.relations[strings.ToLower(name)]
+	return r, ok
+}
+
+// Names returns the relation names in insertion order.
+func (d *Database) Names() []string {
+	names := make([]string, 0, len(d.order))
+	for _, key := range d.order {
+		names = append(names, d.relations[key].name)
+	}
+	return names
+}
+
+// Len returns the number of relations in the schema.
+func (d *Database) Len() int { return len(d.relations) }
+
+// Clone returns a deep copy of the database schema.
+func (d *Database) Clone() *Database {
+	cp := &Database{relations: make(map[string]Relation, len(d.relations))}
+	for k, v := range d.relations {
+		cp.relations[k] = v
+	}
+	cp.order = append([]string(nil), d.order...)
+	return cp
+}
+
+// String renders the database schema one relation per line.
+func (d *Database) String() string {
+	var b strings.Builder
+	for i, name := range d.Names() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		r, _ := d.Relation(name)
+		b.WriteString(r.String())
+	}
+	return b.String()
+}

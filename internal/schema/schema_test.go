@@ -1,0 +1,230 @@
+package schema
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mra/internal/value"
+)
+
+func beerSchema() Relation {
+	return NewRelation("beer",
+		Attribute{Name: "name", Type: value.KindString},
+		Attribute{Name: "brewery", Type: value.KindString},
+		Attribute{Name: "alcperc", Type: value.KindFloat},
+	)
+}
+
+func brewerySchema() Relation {
+	return NewRelation("brewery",
+		Attribute{Name: "name", Type: value.KindString},
+		Attribute{Name: "city", Type: value.KindString},
+		Attribute{Name: "country", Type: value.KindString},
+	)
+}
+
+func TestAttributeString(t *testing.T) {
+	a := Attribute{Name: "alcperc", Type: value.KindFloat}
+	if a.String() != "alcperc float" {
+		t.Errorf("got %q", a.String())
+	}
+	b := Attribute{Type: value.KindInt}
+	if b.String() != "int" {
+		t.Errorf("unnamed attribute: got %q", b.String())
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := beerSchema()
+	if r.Name() != "beer" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if r.Arity() != 3 {
+		t.Errorf("Arity = %d", r.Arity())
+	}
+	if r.Attribute(1).Name != "brewery" {
+		t.Errorf("Attribute(1) = %v", r.Attribute(1))
+	}
+	if got := r.Types(); len(got) != 3 || got[2] != value.KindFloat {
+		t.Errorf("Types = %v", got)
+	}
+	attrs := r.Attributes()
+	attrs[0].Name = "mutated"
+	if r.Attribute(0).Name != "name" {
+		t.Error("Attributes must return a copy")
+	}
+	renamed := r.Rename("b2")
+	if renamed.Name() != "b2" || r.Name() != "beer" {
+		t.Error("Rename must not mutate the receiver")
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	r := beerSchema()
+	if i := r.IndexOf("brewery"); i != 1 {
+		t.Errorf("IndexOf(brewery) = %d", i)
+	}
+	if i := r.IndexOf("BREWERY"); i != 1 {
+		t.Errorf("IndexOf is not case-insensitive: %d", i)
+	}
+	if i := r.IndexOf("beer.alcperc"); i != 2 {
+		t.Errorf("qualified IndexOf = %d", i)
+	}
+	if i := r.IndexOf("brewery.alcperc"); i != -1 {
+		t.Errorf("wrong qualifier should not resolve, got %d", i)
+	}
+	if i := r.IndexOf("nosuch"); i != -1 {
+		t.Errorf("missing attribute should be -1, got %d", i)
+	}
+	amb := NewRelation("r", Attribute{Name: "x", Type: value.KindInt}, Attribute{Name: "X", Type: value.KindInt})
+	if i := amb.IndexOf("x"); i != -1 {
+		t.Errorf("ambiguous attribute should be -1, got %d", i)
+	}
+}
+
+func TestConcatAndProject(t *testing.T) {
+	joined := beerSchema().Concat(brewerySchema())
+	if joined.Arity() != 6 {
+		t.Fatalf("Concat arity = %d", joined.Arity())
+	}
+	if joined.Name() != "" {
+		t.Error("Concat result must be anonymous")
+	}
+	if joined.Attribute(3).Name != "name" || joined.Attribute(5).Name != "country" {
+		t.Errorf("Concat order wrong: %v", joined)
+	}
+
+	proj, err := joined.Project([]int{5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Arity() != 2 || proj.Attribute(0).Name != "country" || proj.Attribute(1).Name != "alcperc" {
+		t.Errorf("Project result = %v", proj)
+	}
+	if _, err := joined.Project([]int{6}); err == nil {
+		t.Error("out-of-range projection must fail")
+	}
+	if _, err := joined.Project([]int{-1}); err == nil {
+		t.Error("negative projection must fail")
+	}
+}
+
+func TestEqualAndCompatible(t *testing.T) {
+	a := beerSchema()
+	b := beerSchema().Rename("other")
+	if !a.Equal(b) {
+		t.Error("schema equality must ignore the relation name")
+	}
+	if !a.Compatible(b) {
+		t.Error("identical schemas must be compatible")
+	}
+	c := Anonymous(
+		Attribute{Name: "n", Type: value.KindString},
+		Attribute{Name: "b", Type: value.KindString},
+		Attribute{Name: "p", Type: value.KindInt},
+	)
+	if a.Equal(c) {
+		t.Error("different names/types must not be Equal")
+	}
+	if !a.Compatible(c) {
+		t.Error("float vs int attribute should still be union-compatible")
+	}
+	d := Anonymous(Attribute{Name: "x", Type: value.KindString})
+	if a.Compatible(d) {
+		t.Error("different arity must be incompatible")
+	}
+	e := Anonymous(
+		Attribute{Name: "n", Type: value.KindString},
+		Attribute{Name: "b", Type: value.KindBool},
+		Attribute{Name: "p", Type: value.KindFloat},
+	)
+	if a.Compatible(e) {
+		t.Error("string vs bool attribute must be incompatible")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := beerSchema()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	dup := NewRelation("r",
+		Attribute{Name: "a", Type: value.KindInt},
+		Attribute{Name: "A", Type: value.KindInt},
+	)
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate attribute names must be rejected")
+	} else if !errors.Is(err, ErrSchema) {
+		t.Errorf("error must wrap ErrSchema, got %v", err)
+	}
+	anon := Anonymous(Attribute{Type: value.KindInt}, Attribute{Type: value.KindInt})
+	if err := anon.Validate(); err != nil {
+		t.Errorf("unnamed attributes may repeat: %v", err)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	s := beerSchema().String()
+	if !strings.HasPrefix(s, "beer(") || !strings.Contains(s, "alcperc float") {
+		t.Errorf("String = %q", s)
+	}
+	anon := Anonymous(Attribute{Name: "x", Type: value.KindInt})
+	if anon.String() != "(x int)" {
+		t.Errorf("anonymous String = %q", anon.String())
+	}
+}
+
+func TestDatabaseSchema(t *testing.T) {
+	db, err := NewDatabase(beerSchema(), brewerySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if got := db.Names(); len(got) != 2 || got[0] != "beer" || got[1] != "brewery" {
+		t.Errorf("Names = %v", got)
+	}
+	r, ok := db.Relation("BEER")
+	if !ok || r.Name() != "beer" {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := db.Relation("missing"); ok {
+		t.Error("missing relation must not resolve")
+	}
+	if err := db.Add(beerSchema()); err == nil {
+		t.Error("duplicate relation must be rejected")
+	}
+	if err := db.Add(Anonymous(Attribute{Name: "x", Type: value.KindInt})); err == nil {
+		t.Error("anonymous relation must be rejected")
+	}
+	bad := NewRelation("bad", Attribute{Name: "a", Type: value.KindInt}, Attribute{Name: "a", Type: value.KindInt})
+	if err := db.Add(bad); err == nil {
+		t.Error("invalid relation schema must be rejected")
+	}
+
+	clone := db.Clone()
+	if !clone.Remove("beer") {
+		t.Error("Remove existing relation should report true")
+	}
+	if clone.Remove("beer") {
+		t.Error("Remove twice should report false")
+	}
+	if _, ok := db.Relation("beer"); !ok {
+		t.Error("Clone must be independent of the original")
+	}
+	if clone.Len() != 1 || clone.Names()[0] != "brewery" {
+		t.Errorf("clone after removal: %v", clone.Names())
+	}
+
+	if s := db.String(); !strings.Contains(s, "beer(") || !strings.Contains(s, "brewery(") {
+		t.Errorf("database String = %q", s)
+	}
+}
+
+func TestNewDatabaseRejectsBadRelations(t *testing.T) {
+	if _, err := NewDatabase(beerSchema(), beerSchema()); err == nil {
+		t.Error("duplicate relations must fail")
+	}
+}

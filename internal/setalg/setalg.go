@@ -1,0 +1,204 @@
+// Package setalg implements the classical *set-based* relational algebra as a
+// baseline comparator.  It evaluates the same logical expressions as package
+// eval, but under set semantics: base relations are deduplicated on access and
+// every operator eliminates duplicates from its result, as the set-based
+// definitions require.
+//
+// The baseline exists for two of the paper's motivating claims (Section 1 and
+// Example 3.2 of Grefen & de By, ICDE 1994):
+//
+//  1. Correctness: under set semantics, inserting a projection below an
+//     aggregate silently changes the aggregate's value, because the projection
+//     removes duplicates that carry information.  Under bag semantics the same
+//     rewrite is an equivalence.
+//  2. Cost: forcing duplicate elimination after every operator is expensive;
+//     the benchmarks quantify the overhead relative to the multi-set engine.
+package setalg
+
+import (
+	"fmt"
+
+	"mra/internal/algebra"
+	"mra/internal/eval"
+	"mra/internal/multiset"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// Engine evaluates algebra expressions under set semantics.
+type Engine struct{}
+
+// Eval evaluates the expression against the source, treating every relation
+// and every intermediate result as a set (all multiplicities forced to one).
+func (e Engine) Eval(expr algebra.Expr, src eval.Source) (*multiset.Relation, error) {
+	r, err := e.eval(expr, src)
+	if err != nil {
+		return nil, err
+	}
+	return multiset.Unique(r), nil
+}
+
+func (e Engine) eval(expr algebra.Expr, src eval.Source) (*multiset.Relation, error) {
+	switch n := expr.(type) {
+	case algebra.Rel:
+		r, ok := src.Relation(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("setalg: unknown relation %q", n.Name)
+		}
+		return multiset.Unique(r), nil
+
+	case algebra.Literal:
+		out, err := (eval.Reference{}).Eval(n, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(out), nil
+
+	case algebra.Union:
+		l, r, err := e.evalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		u, err := multiset.Union(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(u), nil
+
+	case algebra.Difference:
+		l, r, err := e.evalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		d, err := multiset.Difference(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(d), nil
+
+	case algebra.Intersect:
+		l, r, err := e.evalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		i, err := multiset.Intersection(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(i), nil
+
+	case algebra.Product:
+		l, r, err := e.evalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(multiset.Product(l, r)), nil
+
+	case algebra.Select:
+		in, err := e.eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Select(in, n.Cond.Holds)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case algebra.Project:
+		// The set-based projection removes duplicates — the crucial difference
+		// from the multi-set projection (see Example 3.2).
+		in, err := e.eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Project(in, n.Columns)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(out), nil
+
+	case algebra.Join:
+		l, r, err := e.evalPair(n.Left, n.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Select(multiset.Product(l, r), n.Cond.Holds)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(out), nil
+
+	case algebra.ExtProject:
+		in, err := e.eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		outSchema, err := n.Schema(eval.CatalogOf(src))
+		if err != nil {
+			return nil, err
+		}
+		out, err := multiset.Map(in, outSchema, func(t tuple.Tuple) (tuple.Tuple, error) {
+			vals := make([]value.Value, len(n.Items))
+			for i, item := range n.Items {
+				v, err := item.Eval(t)
+				if err != nil {
+					return tuple.Tuple{}, err
+				}
+				vals[i] = v
+			}
+			return tuple.FromSlice(vals), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(out), nil
+
+	case algebra.Unique:
+		// δ is the identity in the set algebra.
+		return e.eval(n.Input, src)
+
+	case algebra.GroupBy:
+		// Aggregates are computed over the *deduplicated* input — this is
+		// exactly what corrupts Example 3.2 when a projection was pushed in.
+		in, err := e.eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		sub := eval.MapSource{"__set_input__": in}
+		g := algebra.GroupBy{GroupCols: n.GroupCols, Agg: n.Agg, AggCol: n.AggCol, Name: n.Name,
+			Input: algebra.NewRel("__set_input__")}
+		out, err := (eval.Reference{}).Eval(g, sub)
+		if err != nil {
+			return nil, err
+		}
+		return multiset.Unique(out), nil
+
+	case algebra.TClose:
+		in, err := e.eval(n.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		sub := eval.MapSource{"__set_input__": in}
+		out, err := (eval.Reference{}).Eval(algebra.NewTClose(algebra.NewRel("__set_input__")), sub)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("setalg: unsupported expression %T", expr)
+	}
+}
+
+func (e Engine) evalPair(a, b algebra.Expr, src eval.Source) (*multiset.Relation, *multiset.Relation, error) {
+	l, err := e.eval(a, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := e.eval(b, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}

@@ -1,0 +1,159 @@
+// Package sqlfront implements a front-end for a subset of SQL on top of the
+// multi-set extended relational algebra, demonstrating the paper's claim that
+// the algebra "can be used as a formal background for other multi-set
+// languages like SQL" (Section 1 and Example 3.2 of Grefen & de By,
+// ICDE 1994).
+//
+// Supported statements:
+//
+//	SELECT [DISTINCT] <items> FROM <tables> [JOIN ... ON ...]
+//	       [WHERE <cond>] [GROUP BY <cols> [HAVING <cond>]]
+//	INSERT INTO <table> VALUES (...), (...)
+//	DELETE FROM <table> [WHERE <cond>]
+//	UPDATE <table> SET col = expr, ... [WHERE <cond>]
+//
+// Queries compile to algebra expressions; DML compiles to extended relational
+// algebra statements (package stmt), exactly as the paper pairs its Example
+// 3.2 and 4.1 with their SQL equivalents.
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Error reports a SQL lexing, parsing or translation error.
+type Error struct {
+	// Pos is the 1-based character offset of the error (0 when unknown).
+	Pos int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Pos > 0 {
+		return fmt.Sprintf("sql: position %d: %s", e.Pos, e.Msg)
+	}
+	return "sql: " + e.Msg
+}
+
+func errf(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokKind classifies SQL tokens.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct // ( ) , ; . *
+	tOp    // = <> < <= > >= + - / %
+)
+
+// tok is one SQL token.
+type tok struct {
+	kind tokKind
+	text string
+	pos  int // 1-based character offset
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// isKeyword reports whether the token is the given keyword (case-insensitive).
+func (t tok) isKeyword(word string) bool {
+	return t.kind == tIdent && strings.EqualFold(t.text, word)
+}
+
+// lex tokenises a SQL string.
+func lex(src string) ([]tok, error) {
+	var toks []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			toks = append(toks, tok{kind: tIdent, text: src[start:i], pos: start + 1})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			seenDot := false
+			for i < len(src) {
+				if src[i] == '.' && !seenDot && i+1 < len(src) && unicode.IsDigit(rune(src[i+1])) {
+					seenDot = true
+					i++
+					continue
+				}
+				if !unicode.IsDigit(rune(src[i])) {
+					break
+				}
+				i++
+			}
+			toks = append(toks, tok{kind: tNumber, text: src[start:i], pos: start + 1})
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, errf(start+1, "unterminated string literal")
+			}
+			toks = append(toks, tok{kind: tString, text: b.String(), pos: start + 1})
+		case strings.ContainsRune("(),;.*", rune(c)):
+			toks = append(toks, tok{kind: tPunct, text: string(c), pos: i + 1})
+			i++
+		case strings.ContainsRune("=<>!+-/%", rune(c)):
+			start := i
+			text := string(c)
+			i++
+			if i < len(src) {
+				two := text + string(src[i])
+				switch two {
+				case "<=", ">=", "<>", "!=":
+					text = two
+					i++
+				}
+			}
+			if text == "!" {
+				return nil, errf(start+1, "unexpected character '!'")
+			}
+			toks = append(toks, tok{kind: tOp, text: text, pos: start + 1})
+		default:
+			return nil, errf(i+1, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, tok{kind: tEOF, pos: len(src) + 1})
+	return toks, nil
+}

@@ -1,0 +1,694 @@
+package sqlfront
+
+import (
+	"strconv"
+	"strings"
+
+	"mra/internal/value"
+)
+
+// This file defines the SQL abstract syntax tree and the recursive-descent
+// parser producing it.  Translation to the multi-set algebra lives in
+// translate.go.
+
+// sqlExpr is a scalar or boolean SQL expression.
+type sqlExpr interface{ sqlExpr() }
+
+// colRef is a possibly qualified column reference (brewery.name).
+type colRef struct {
+	qualifier string
+	name      string
+	pos       int
+}
+
+// litExpr is a constant literal.
+type litExpr struct {
+	val value.Value
+}
+
+// binExpr is an arithmetic expression left op right with op in + - * / %.
+type binExpr struct {
+	op          string
+	left, right sqlExpr
+}
+
+// cmpExpr is a comparison left op right with op in = <> < <= > >=.
+type cmpExpr struct {
+	op          string
+	left, right sqlExpr
+	pos         int
+}
+
+// logicExpr is AND / OR of two boolean expressions.
+type logicExpr struct {
+	op          string // "and" | "or"
+	left, right sqlExpr
+}
+
+// notExpr negates a boolean expression.
+type notExpr struct {
+	operand sqlExpr
+}
+
+// aggExpr is an aggregate call: AVG(alcperc), COUNT(*), ...
+type aggExpr struct {
+	fn   string
+	arg  sqlExpr // nil for COUNT(*)
+	star bool
+	pos  int
+}
+
+func (colRef) sqlExpr()    {}
+func (litExpr) sqlExpr()   {}
+func (binExpr) sqlExpr()   {}
+func (cmpExpr) sqlExpr()   {}
+func (logicExpr) sqlExpr() {}
+func (notExpr) sqlExpr()   {}
+func (aggExpr) sqlExpr()   {}
+
+// selectItem is one entry of a SELECT list.
+type selectItem struct {
+	expr  sqlExpr
+	alias string
+}
+
+// tableRef is a FROM-clause table with an optional alias and an optional join
+// condition (for explicit JOIN ... ON syntax; nil for comma-separated tables).
+type tableRef struct {
+	name  string
+	alias string
+	on    sqlExpr
+	pos   int
+}
+
+// selectQuery is a parsed SELECT statement.
+type selectQuery struct {
+	distinct bool
+	star     bool
+	items    []selectItem
+	from     []tableRef
+	where    sqlExpr
+	groupBy  []colRef
+	having   sqlExpr
+}
+
+// insertStmt is a parsed INSERT INTO ... VALUES statement.
+type insertStmt struct {
+	table string
+	rows  [][]value.Value
+	pos   int
+}
+
+// deleteStmt is a parsed DELETE FROM statement.
+type deleteStmt struct {
+	table string
+	where sqlExpr
+}
+
+// updateStmt is a parsed UPDATE ... SET statement.
+type updateStmt struct {
+	table string
+	sets  []setClause
+	where sqlExpr
+}
+
+// setClause is one col = expr assignment of an UPDATE statement.
+type setClause struct {
+	column colRef
+	expr   sqlExpr
+}
+
+// parser is a recursive-descent parser over SQL tokens.
+type parser struct {
+	toks []tok
+	idx  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() tok { return p.toks[p.idx] }
+
+func (p *parser) next() tok {
+	t := p.toks[p.idx]
+	if t.kind != tEOF {
+		p.idx++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(word string) (tok, error) {
+	t := p.next()
+	if !t.isKeyword(word) {
+		return t, errf(t.pos, "expected %s, found %s", strings.ToUpper(word), t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectPunct(s string) (tok, error) {
+	t := p.next()
+	if t.kind != tPunct || t.text != s {
+		return t, errf(t.pos, "expected %q, found %s", s, t)
+	}
+	return t, nil
+}
+
+func (p *parser) acceptKeyword(word string) bool {
+	if p.peek().isKeyword(word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == tPunct && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectEnd() error {
+	// Allow a single trailing semicolon.
+	p.acceptPunct(";")
+	if t := p.peek(); t.kind != tEOF {
+		return errf(t.pos, "unexpected %s after end of statement", t)
+	}
+	return nil
+}
+
+// parseStatement parses any supported SQL statement into its AST.
+func (p *parser) parseStatement() (any, error) {
+	t := p.peek()
+	switch {
+	case t.isKeyword("select"):
+		return p.parseSelect()
+	case t.isKeyword("insert"):
+		return p.parseInsert()
+	case t.isKeyword("delete"):
+		return p.parseDelete()
+	case t.isKeyword("update"):
+		return p.parseUpdate()
+	default:
+		return nil, errf(t.pos, "expected SELECT, INSERT, DELETE or UPDATE, found %s", t)
+	}
+}
+
+func (p *parser) parseSelect() (*selectQuery, error) {
+	if _, err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &selectQuery{}
+	if p.acceptKeyword("distinct") {
+		q.distinct = true
+	}
+	if p.acceptPunct("*") {
+		q.star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.items = append(q.items, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef(false)
+		if err != nil {
+			return nil, err
+		}
+		q.from = append(q.from, ref)
+		// Explicit joins: [INNER] JOIN table ON cond.
+		for p.peek().isKeyword("join") || p.peek().isKeyword("inner") {
+			p.acceptKeyword("inner")
+			if _, err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+			joined, err := p.parseTableRef(true)
+			if err != nil {
+				return nil, err
+			}
+			q.from = append(q.from, joined)
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		cond, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		q.where = cond
+	}
+	if p.acceptKeyword("group") {
+		if _, err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.groupBy = append(q.groupBy, c)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if p.acceptKeyword("having") {
+			cond, err := p.parseBool()
+			if err != nil {
+				return nil, err
+			}
+			q.having = cond
+		}
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	e, err := p.parseScalar()
+	if err != nil {
+		return selectItem{}, err
+	}
+	item := selectItem{expr: e}
+	if p.acceptKeyword("as") {
+		t := p.next()
+		if t.kind != tIdent {
+			return selectItem{}, errf(t.pos, "expected an alias after AS, found %s", t)
+		}
+		item.alias = t.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef(requireOn bool) (tableRef, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return tableRef{}, errf(t.pos, "expected a table name, found %s", t)
+	}
+	ref := tableRef{name: t.text, alias: t.text, pos: t.pos}
+	// Optional alias: `beer b` or `beer AS b`.
+	if p.acceptKeyword("as") {
+		a := p.next()
+		if a.kind != tIdent {
+			return tableRef{}, errf(a.pos, "expected an alias after AS, found %s", a)
+		}
+		ref.alias = a.text
+	} else if nxt := p.peek(); nxt.kind == tIdent &&
+		!nxt.isKeyword("where") && !nxt.isKeyword("group") && !nxt.isKeyword("join") &&
+		!nxt.isKeyword("inner") && !nxt.isKeyword("on") && !nxt.isKeyword("having") {
+		ref.alias = p.next().text
+	}
+	if requireOn {
+		if _, err := p.expectKeyword("on"); err != nil {
+			return tableRef{}, err
+		}
+		cond, err := p.parseBool()
+		if err != nil {
+			return tableRef{}, err
+		}
+		ref.on = cond
+	}
+	return ref, nil
+}
+
+func (p *parser) parseColRef() (colRef, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return colRef{}, errf(t.pos, "expected a column name, found %s", t)
+	}
+	ref := colRef{name: t.text, pos: t.pos}
+	if p.acceptPunct(".") {
+		n := p.next()
+		if n.kind != tIdent {
+			return colRef{}, errf(n.pos, "expected a column name after %q., found %s", t.text, n)
+		}
+		ref.qualifier = t.text
+		ref.name = n.text
+	}
+	return ref, nil
+}
+
+// parseBool parses OR-separated conjunctions.
+func (p *parser) parseBool() (sqlExpr, error) {
+	left, err := p.parseBoolAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		right, err := p.parseBoolAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = logicExpr{op: "or", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseBoolAnd() (sqlExpr, error) {
+	left, err := p.parseBoolNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parseBoolNot()
+		if err != nil {
+			return nil, err
+		}
+		left = logicExpr{op: "and", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseBoolNot() (sqlExpr, error) {
+	if p.acceptKeyword("not") {
+		inner, err := p.parseBoolNot()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{operand: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (sqlExpr, error) {
+	// Parenthesised boolean expression.
+	if p.peek().kind == tPunct && p.peek().text == "(" {
+		save := p.idx
+		p.next()
+		inner, err := p.parseBool()
+		if err == nil {
+			if _, isBool := inner.(logicExpr); !isBool {
+				if _, isCmp := inner.(cmpExpr); !isCmp {
+					if _, isNot := inner.(notExpr); !isNot {
+						err = errf(p.peek().pos, "not a boolean expression")
+					}
+				}
+			}
+		}
+		if err == nil && p.acceptPunct(")") {
+			return inner, nil
+		}
+		p.idx = save
+	}
+	left, err := p.parseScalar()
+	if err != nil {
+		return nil, err
+	}
+	// A standalone boolean literal (WHERE TRUE / WHERE FALSE) is a condition
+	// by itself.
+	if lit, ok := left.(litExpr); ok && lit.val.Kind() == value.KindBool && p.peek().kind != tOp {
+		return lit, nil
+	}
+	t := p.next()
+	if t.kind != tOp {
+		return nil, errf(t.pos, "expected a comparison operator, found %s", t)
+	}
+	switch t.text {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, errf(t.pos, "expected a comparison operator, found %q", t.text)
+	}
+	right, err := p.parseScalar()
+	if err != nil {
+		return nil, err
+	}
+	return cmpExpr{op: t.text, left: left, right: right, pos: t.pos}, nil
+}
+
+// parseScalar parses an additive arithmetic expression.
+func (p *parser) parseScalar() (sqlExpr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tOp && (t.text == "+" || t.text == "-") {
+			p.next()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = binExpr{op: t.text, left: left, right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseTerm() (sqlExpr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		isMul := (t.kind == tPunct && t.text == "*") || (t.kind == tOp && (t.text == "/" || t.text == "%"))
+		if isMul {
+			p.next()
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = binExpr{op: t.text, left: left, right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseFactor() (sqlExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tNumber:
+		p.next()
+		return litExpr{val: parseNumberValue(t.text)}, nil
+	case t.kind == tString:
+		p.next()
+		return litExpr{val: value.NewString(t.text)}, nil
+	case t.kind == tOp && t.text == "-":
+		p.next()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: "-", left: litExpr{val: value.NewInt(0)}, right: inner}, nil
+	case t.kind == tPunct && t.text == "(":
+		p.next()
+		inner, err := p.parseScalar()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == tIdent:
+		// TRUE/FALSE/NULL literals.
+		if t.isKeyword("true") {
+			p.next()
+			return litExpr{val: value.NewBool(true)}, nil
+		}
+		if t.isKeyword("false") {
+			p.next()
+			return litExpr{val: value.NewBool(false)}, nil
+		}
+		if t.isKeyword("null") {
+			p.next()
+			return litExpr{val: value.Null}, nil
+		}
+		// Aggregate call?
+		if isAggregateName(t.text) && p.toks[p.idx+1].kind == tPunct && p.toks[p.idx+1].text == "(" {
+			p.next()
+			p.next() // '('
+			agg := aggExpr{fn: strings.ToUpper(t.text), pos: t.pos}
+			if p.acceptPunct("*") {
+				agg.star = true
+			} else {
+				arg, err := p.parseScalar()
+				if err != nil {
+					return nil, err
+				}
+				agg.arg = arg
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		}
+		return p.parseColRef()
+	default:
+		return nil, errf(t.pos, "expected a value, column or expression, found %s", t)
+	}
+}
+
+func isAggregateName(s string) bool {
+	switch strings.ToUpper(s) {
+	case "COUNT", "CNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	default:
+		return false
+	}
+}
+
+func parseNumberValue(text string) value.Value {
+	if strings.Contains(text, ".") {
+		f, _ := strconv.ParseFloat(text, 64)
+		return value.NewFloat(f)
+	}
+	i, _ := strconv.ParseInt(text, 10, 64)
+	return value.NewInt(i)
+}
+
+func (p *parser) parseInsert() (*insertStmt, error) {
+	start := p.next() // INSERT
+	if _, err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tIdent {
+		return nil, errf(t.pos, "expected a table name, found %s", t)
+	}
+	if _, err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	ins := &insertStmt{table: t.text, pos: start.pos}
+	for {
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []value.Value
+		for {
+			v, err := p.parseLiteralValue()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		ins.rows = append(ins.rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+func (p *parser) parseLiteralValue() (value.Value, error) {
+	t := p.next()
+	switch {
+	case t.kind == tNumber:
+		return parseNumberValue(t.text), nil
+	case t.kind == tString:
+		return value.NewString(t.text), nil
+	case t.isKeyword("true"):
+		return value.NewBool(true), nil
+	case t.isKeyword("false"):
+		return value.NewBool(false), nil
+	case t.isKeyword("null"):
+		return value.Null, nil
+	case t.kind == tOp && t.text == "-":
+		n := p.next()
+		if n.kind != tNumber {
+			return value.Null, errf(n.pos, "expected a number after '-', found %s", n)
+		}
+		v := parseNumberValue(n.text)
+		if v.Kind() == value.KindInt {
+			return value.NewInt(-v.Int()), nil
+		}
+		return value.NewFloat(-v.Float()), nil
+	default:
+		return value.Null, errf(t.pos, "expected a literal value, found %s", t)
+	}
+}
+
+func (p *parser) parseDelete() (*deleteStmt, error) {
+	p.next() // DELETE
+	if _, err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tIdent {
+		return nil, errf(t.pos, "expected a table name, found %s", t)
+	}
+	del := &deleteStmt{table: t.text}
+	if p.acceptKeyword("where") {
+		cond, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		del.where = cond
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return del, nil
+}
+
+func (p *parser) parseUpdate() (*updateStmt, error) {
+	p.next() // UPDATE
+	t := p.next()
+	if t.kind != tIdent {
+		return nil, errf(t.pos, "expected a table name, found %s", t)
+	}
+	if _, err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	up := &updateStmt{table: t.text}
+	for {
+		col, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		eq := p.next()
+		if eq.kind != tOp || eq.text != "=" {
+			return nil, errf(eq.pos, "expected '=', found %s", eq)
+		}
+		expr, err := p.parseScalar()
+		if err != nil {
+			return nil, err
+		}
+		up.sets = append(up.sets, setClause{column: col, expr: expr})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		cond, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		up.where = cond
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return up, nil
+}

@@ -1,0 +1,371 @@
+package sqlfront
+
+import (
+	"strings"
+	"testing"
+
+	"mra/internal/algebra"
+	"mra/internal/eval"
+	"mra/internal/multiset"
+	"mra/internal/scalar"
+	"mra/internal/schema"
+	"mra/internal/stmt"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// beerSource builds the paper's running example with a known data set.
+func beerSource() eval.MapSource {
+	beer := multiset.New(schema.NewRelation("beer",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "brewery", Type: value.KindString},
+		schema.Attribute{Name: "alcperc", Type: value.KindFloat},
+	))
+	add := func(r *multiset.Relation, vals ...value.Value) { r.Add(tuple.New(vals...), 1) }
+	add(beer, value.NewString("pils"), value.NewString("guineken"), value.NewFloat(5.0))
+	add(beer, value.NewString("pils"), value.NewString("brolsch"), value.NewFloat(5.2))
+	add(beer, value.NewString("bock"), value.NewString("guineken"), value.NewFloat(6.5))
+	add(beer, value.NewString("stout"), value.NewString("guinness"), value.NewFloat(4.2))
+
+	brewery := multiset.New(schema.NewRelation("brewery",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "city", Type: value.KindString},
+		schema.Attribute{Name: "country", Type: value.KindString},
+	))
+	add(brewery, value.NewString("guineken"), value.NewString("amsterdam"), value.NewString("netherlands"))
+	add(brewery, value.NewString("brolsch"), value.NewString("enschede"), value.NewString("netherlands"))
+	add(brewery, value.NewString("guinness"), value.NewString("dublin"), value.NewString("ireland"))
+	return eval.MapSource{"beer": beer, "brewery": brewery}
+}
+
+// runSQL compiles and evaluates a SELECT statement against the beer source.
+func runSQL(t *testing.T, sql string) *multiset.Relation {
+	t.Helper()
+	src := beerSource()
+	e, err := CompileQuery(sql, src.Catalog())
+	if err != nil {
+		t.Fatalf("compile %q: %v", sql, err)
+	}
+	if err := algebra.Validate(e, src.Catalog()); err != nil {
+		t.Fatalf("validate %q (%s): %v", sql, e, err)
+	}
+	r, err := (&eval.Engine{}).Eval(e, src)
+	if err != nil {
+		t.Fatalf("eval %q: %v", sql, err)
+	}
+	return r
+}
+
+func TestSelectBasics(t *testing.T) {
+	cases := map[string]uint64{
+		"SELECT * FROM beer":                                                                4,
+		"SELECT name FROM beer":                                                             4,
+		"SELECT DISTINCT name FROM beer":                                                    3,
+		"SELECT name, alcperc FROM beer WHERE alcperc > 5":                                  2,
+		"SELECT name FROM beer WHERE brewery = 'guineken'":                                  2,
+		"SELECT name FROM beer WHERE alcperc > 5 AND alcperc < 6":                           1,
+		"SELECT name FROM beer WHERE alcperc < 5 OR alcperc > 6":                            2,
+		"SELECT name FROM beer WHERE NOT brewery = 'guineken'":                              2,
+		"SELECT name FROM beer WHERE alcperc <> 5.0":                                        3,
+		"SELECT name, alcperc * 2 AS double_alc FROM beer":                                  4,
+		"SELECT * FROM beer, brewery":                                                       12,
+		"SELECT * FROM beer, brewery WHERE beer.brewery = brewery.name":                     4,
+		"SELECT * FROM beer JOIN brewery ON beer.brewery = brewery.name":                    4,
+		"SELECT b1.name FROM beer b1, beer b2 WHERE b1.alcperc > b2.alcperc":                6,
+		"SELECT name FROM beer WHERE alcperc >= 4.2 AND alcperc <= 5.2":                     3,
+		"SELECT DISTINCT country FROM brewery":                                              2,
+		"SELECT name FROM beer WHERE false":                                                 0,
+		"SELECT name FROM beer WHERE (alcperc > 6 OR alcperc < 5) AND brewery = 'guineken'": 1,
+	}
+	for sql, want := range cases {
+		r := runSQL(t, sql)
+		if r.Cardinality() != want {
+			t.Errorf("%s: cardinality = %d, want %d", sql, r.Cardinality(), want)
+		}
+	}
+}
+
+func TestSelectStarSchemaAndProjectionNames(t *testing.T) {
+	r := runSQL(t, "SELECT name AS beer_name, alcperc FROM beer")
+	if r.Schema().Attribute(0).Name != "beer_name" || r.Schema().Attribute(1).Name != "alcperc" {
+		t.Errorf("output schema = %s", r.Schema())
+	}
+	all := runSQL(t, "SELECT * FROM beer JOIN brewery ON beer.brewery = brewery.name")
+	if all.Schema().Arity() != 6 {
+		t.Errorf("SELECT * over a join has arity %d", all.Schema().Arity())
+	}
+}
+
+// TestExample31SQL runs the SQL equivalent of the paper's Example 3.1 and
+// checks duplicates are preserved.
+func TestExample31SQL(t *testing.T) {
+	r := runSQL(t, `SELECT beer.name FROM beer, brewery
+		WHERE beer.brewery = brewery.name AND brewery.country = 'netherlands'`)
+	if r.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d, want 3", r.Cardinality())
+	}
+	if r.Multiplicity(tuple.New(value.NewString("pils"))) != 2 {
+		t.Error("bag semantics must preserve the duplicate beer name")
+	}
+}
+
+// TestExample32SQL runs the exact SQL statement printed in the paper's
+// Example 3.2 and cross-checks it against the hand-built algebra expression.
+func TestExample32SQL(t *testing.T) {
+	src := beerSource()
+	sql := `SELECT country, AVG(alcperc)
+	        FROM beer, brewery
+	        WHERE beer.brewery = brewery.name
+	        GROUP BY country`
+	e, err := CompileQuery(sql, src.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&eval.Engine{}).Eval(e, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&eval.Engine{}).Eval(
+		algebra.NewGroupBy([]int{5}, algebra.AggAvg, 2,
+			algebra.NewJoin(scalar.Eq(1, 3), algebra.NewRel("beer"), algebra.NewRel("brewery"))), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SQL result carries the aggregate column name "avg"; compare contents
+	// positionally.
+	if got.Cardinality() != want.Cardinality() || got.Cardinality() != 2 {
+		t.Fatalf("expected 2 groups, got %d vs %d", got.Cardinality(), want.Cardinality())
+	}
+	if !got.Equal(want) {
+		t.Errorf("SQL and algebra results differ:\n%s\n%s", got, want)
+	}
+}
+
+func TestGroupByVariantsSQL(t *testing.T) {
+	counts := runSQL(t, "SELECT brewery, COUNT(*) AS n FROM beer GROUP BY brewery")
+	if counts.Cardinality() != 3 {
+		t.Errorf("groups = %d", counts.Cardinality())
+	}
+	if counts.Multiplicity(tuple.New(value.NewString("guineken"), value.NewInt(2))) != 1 {
+		t.Errorf("guineken count wrong: %s", counts)
+	}
+	// Aggregate first in the SELECT list forces a reordering projection.
+	flipped := runSQL(t, "SELECT COUNT(*) AS n, brewery FROM beer GROUP BY brewery")
+	if flipped.Multiplicity(tuple.New(value.NewInt(2), value.NewString("guineken"))) != 1 {
+		t.Errorf("reordered output wrong: %s", flipped)
+	}
+	// Global aggregate without GROUP BY.
+	total := runSQL(t, "SELECT COUNT(*) FROM beer")
+	if !total.Contains(tuple.New(value.NewInt(4))) {
+		t.Errorf("global count = %s", total)
+	}
+	maxAlc := runSQL(t, "SELECT MAX(alcperc) FROM beer WHERE brewery = 'guineken'")
+	if !maxAlc.Contains(tuple.New(value.NewFloat(6.5))) {
+		t.Errorf("global max = %s", maxAlc)
+	}
+	sum := runSQL(t, "SELECT brewery, SUM(alcperc) AS total FROM beer GROUP BY brewery HAVING total > 10")
+	if sum.Cardinality() != 1 {
+		t.Errorf("HAVING filter = %s", sum)
+	}
+	having2 := runSQL(t, "SELECT brewery, COUNT(*) FROM beer GROUP BY brewery HAVING COUNT(*) >= 2")
+	if having2.Cardinality() != 1 {
+		t.Errorf("HAVING with aggregate call = %s", having2)
+	}
+	having3 := runSQL(t, "SELECT brewery, COUNT(*) FROM beer GROUP BY brewery HAVING brewery <> 'guineken' AND COUNT(*) >= 1")
+	if having3.Cardinality() != 2 {
+		t.Errorf("HAVING on grouping column = %s", having3)
+	}
+	minName := runSQL(t, "SELECT MIN(name) FROM beer")
+	if !minName.Contains(tuple.New(value.NewString("bock"))) {
+		t.Errorf("MIN over strings = %s", minName)
+	}
+}
+
+func TestInsertDeleteUpdateSQL(t *testing.T) {
+	src := beerSource()
+	cat := src.Catalog()
+
+	ins, err := CompileStatement("INSERT INTO beer VALUES ('radler', 'brolsch', 2.0), ('radler', 'brolsch', 2.0)", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ins.(stmt.Insert); !ok {
+		t.Fatalf("expected Insert, got %T", ins)
+	}
+
+	del, err := CompileStatement("DELETE FROM beer WHERE brewery = 'guinness'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := del.(stmt.Delete); !ok {
+		t.Fatalf("expected Delete, got %T", del)
+	}
+	delAll, err := CompileStatement("DELETE FROM beer", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := delAll.(stmt.Delete); !ok {
+		t.Fatalf("expected Delete, got %T", delAll)
+	}
+
+	// The paper's Example 4.1 in its SQL form.
+	up, err := CompileStatement("UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'guineken'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	update, ok := up.(stmt.Update)
+	if !ok {
+		t.Fatalf("expected Update, got %T", up)
+	}
+	if len(update.Items) != 3 {
+		t.Fatalf("update items = %d", len(update.Items))
+	}
+
+	// Execute the whole script against a fake context and verify the effects.
+	ctx := newFakeContext(src)
+	prog, err := CompileScript(`
+		INSERT INTO beer VALUES ('radler', 'brolsch', 2.0);
+		DELETE FROM beer WHERE brewery = 'guinness';
+		UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'guineken';
+		SELECT brewery, COUNT(*) FROM beer GROUP BY brewery;
+	`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 4 {
+		t.Fatalf("program length = %d", len(prog))
+	}
+	if err := prog.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	beer, _ := ctx.src.Relation("beer")
+	if beer.Cardinality() != 4 {
+		t.Errorf("|beer| after script = %d, want 4", beer.Cardinality())
+	}
+	var updated bool
+	beer.Each(func(tp tuple.Tuple, _ uint64) bool {
+		if tp.At(0).Str() == "bock" {
+			alc := tp.At(2).Float()
+			updated = alc > 7.14 && alc < 7.16
+		}
+		return true
+	})
+	if !updated {
+		t.Error("UPDATE must raise bock's alcperc to 7.15")
+	}
+	if len(ctx.outputs) != 1 || ctx.outputs[0].Cardinality() != 2 {
+		t.Errorf("script query output = %v", ctx.outputs)
+	}
+}
+
+func TestQueryAsStatement(t *testing.T) {
+	src := beerSource()
+	s, err := CompileStatement("SELECT name FROM beer", src.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(stmt.Query); !ok {
+		t.Fatalf("expected Query, got %T", s)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cat := beerSource().Catalog()
+	bad := []string{
+		"",
+		"SELEC name FROM beer",
+		"SELECT FROM beer",
+		"SELECT name beer",
+		"SELECT name FROM",
+		"SELECT name FROM wine",
+		"SELECT nosuch FROM beer",
+		"SELECT name FROM beer WHERE",
+		"SELECT name FROM beer WHERE name >",
+		"SELECT name FROM beer WHERE name = 'x' extra",
+		"SELECT name FROM beer GROUP BY",
+		"SELECT name FROM beer GROUP BY name",                                       // no aggregate
+		"SELECT name, AVG(alcperc) FROM beer GROUP BY brewery",                      // name not grouped
+		"SELECT AVG(alcperc), SUM(alcperc) FROM beer",                               // two aggregates
+		"SELECT AVG(*) FROM beer",                                                   // * only for COUNT
+		"SELECT AVG(alcperc + 1) FROM beer",                                         // aggregate args must be columns
+		"SELECT * FROM beer GROUP BY brewery",                                       // star with grouping
+		"SELECT name FROM beer, brewery WHERE name = 'x'",                           // ambiguous column
+		"SELECT brewery.alcperc FROM beer, brewery",                                 // wrong qualifier
+		"SELECT name FROM beer WHERE AVG(alcperc) > 5",                              // aggregate in WHERE
+		"SELECT brewery, SUM(alcperc) FROM beer GROUP BY brewery HAVING city = 'x'", // bad HAVING column
+		"INSERT INTO wine VALUES (1)",
+		"INSERT INTO beer VALUES ('x', 'y')", // arity mismatch
+		"INSERT INTO beer VALUES",
+		"INSERT beer VALUES ('x', 'y', 1)",
+		"DELETE FROM wine",
+		"DELETE beer",
+		"UPDATE wine SET x = 1",
+		"UPDATE beer SET nosuch = 1",
+		"UPDATE beer SET alcperc 5",
+		"UPDATE beer SET alcperc = AVG(alcperc)",
+		"DROP TABLE beer",
+		"SELECT name FROM beer JOIN brewery",        // JOIN requires ON
+		"SELECT name FROM beer WHERE 'x'",           // non-boolean condition
+		"SELECT name FROM beer WHERE 5 = 'x' AND #", // lexer error
+	}
+	for _, sql := range bad {
+		if _, err := CompileStatement(sql, cat); err == nil {
+			t.Errorf("statement %q should fail to compile", sql)
+		}
+	}
+	// CompileQuery rejects non-SELECT statements.
+	if _, err := CompileQuery("DELETE FROM beer", cat); err == nil {
+		t.Error("CompileQuery must reject DML")
+	}
+	// Errors carry positions and the sql: prefix.
+	_, err := CompileQuery("SELECT nosuch FROM beer", cat)
+	if err == nil || !strings.HasPrefix(err.Error(), "sql:") {
+		t.Errorf("error format: %v", err)
+	}
+	// CompileScript reports which statement failed.
+	_, err = CompileScript("SELECT name FROM beer; SELECT nosuch FROM beer", cat)
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("script error should identify the failing statement: %v", err)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	pieces := splitStatements("SELECT 'a;b' FROM t; DELETE FROM t;;")
+	if len(pieces) != 2 {
+		t.Fatalf("pieces = %d: %q", len(pieces), pieces)
+	}
+	if !strings.Contains(pieces[0], "a;b") {
+		t.Error("semicolons inside string literals must not split")
+	}
+	if len(splitStatements("  ")) != 0 {
+		t.Error("blank scripts have no statements")
+	}
+}
+
+// fakeContext is a minimal stmt.Context over a MapSource.
+type fakeContext struct {
+	src     eval.MapSource
+	outputs []*multiset.Relation
+}
+
+func newFakeContext(src eval.MapSource) *fakeContext { return &fakeContext{src: src} }
+
+func (f *fakeContext) Catalog() algebra.Catalog { return f.src.Catalog() }
+
+func (f *fakeContext) Evaluate(e algebra.Expr) (*multiset.Relation, error) {
+	return (&eval.Engine{}).Eval(e, f.src)
+}
+
+func (f *fakeContext) Current(name string) (*multiset.Relation, bool) { return f.src.Relation(name) }
+
+func (f *fakeContext) Replace(name string, r *multiset.Relation) error {
+	f.src[strings.ToLower(name)] = r
+	return nil
+}
+
+func (f *fakeContext) Assign(name string, r *multiset.Relation) error {
+	f.src[strings.ToLower(name)] = r
+	return nil
+}
+
+func (f *fakeContext) Output(r *multiset.Relation) { f.outputs = append(f.outputs, r) }

@@ -1,0 +1,648 @@
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+
+	"mra/internal/algebra"
+	"mra/internal/scalar"
+	"mra/internal/schema"
+	"mra/internal/stmt"
+	"mra/internal/value"
+)
+
+// CompileQuery parses a SELECT statement and translates it into a multi-set
+// algebra expression over the given catalog.
+func CompileQuery(sql string, cat algebra.Catalog) (algebra.Expr, error) {
+	p, err := newParser(sql)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return translateSelect(q, cat)
+}
+
+// CompileStatement parses any supported SQL statement.  Queries are wrapped in
+// a query statement (?E); INSERT, DELETE and UPDATE become the corresponding
+// extended relational algebra statements of Definition 4.1.
+func CompileStatement(sql string, cat algebra.Catalog) (stmt.Statement, error) {
+	p, err := newParser(sql)
+	if err != nil {
+		return nil, err
+	}
+	node, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	switch n := node.(type) {
+	case *selectQuery:
+		e, err := translateSelect(n, cat)
+		if err != nil {
+			return nil, err
+		}
+		return stmt.Query{Source: e}, nil
+	case *insertStmt:
+		return translateInsert(n, cat)
+	case *deleteStmt:
+		return translateDelete(n, cat)
+	case *updateStmt:
+		return translateUpdate(n, cat)
+	default:
+		return nil, errf(0, "unsupported statement %T", node)
+	}
+}
+
+// CompileScript compiles a semicolon-separated sequence of SQL statements into
+// one extended relational algebra program.
+func CompileScript(sql string, cat algebra.Catalog) (stmt.Program, error) {
+	var prog stmt.Program
+	for _, piece := range splitStatements(sql) {
+		s, err := CompileStatement(piece, cat)
+		if err != nil {
+			return nil, fmt.Errorf("in %q: %w", strings.TrimSpace(piece), err)
+		}
+		prog = append(prog, s)
+	}
+	return prog, nil
+}
+
+// splitStatements splits a script on semicolons that are outside string
+// literals, dropping empty pieces.
+func splitStatements(sql string) []string {
+	var out []string
+	var b strings.Builder
+	inString := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if c == '\'' {
+			inString = !inString
+		}
+		if c == ';' && !inString {
+			if strings.TrimSpace(b.String()) != "" {
+				out = append(out, b.String())
+			}
+			b.Reset()
+			continue
+		}
+		b.WriteByte(c)
+	}
+	if strings.TrimSpace(b.String()) != "" {
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Name resolution environment
+// ---------------------------------------------------------------------------
+
+// binding is one FROM-clause table: its alias, schema and attribute offset in
+// the concatenated schema.
+type binding struct {
+	alias  string
+	rel    schema.Relation
+	offset int
+}
+
+// env is the name-resolution environment of a query.
+type env struct {
+	bindings []binding
+	arity    int
+}
+
+// resolve maps a column reference to its 0-based position in the concatenated
+// schema.
+func (e *env) resolve(c colRef) (int, error) {
+	matches := 0
+	pos := -1
+	for _, b := range e.bindings {
+		if c.qualifier != "" && !strings.EqualFold(c.qualifier, b.alias) {
+			continue
+		}
+		if i := b.rel.IndexOf(c.name); i >= 0 {
+			matches++
+			pos = b.offset + i
+		}
+	}
+	switch matches {
+	case 0:
+		return 0, errf(c.pos, "unknown column %q", c.display())
+	case 1:
+		return pos, nil
+	default:
+		return 0, errf(c.pos, "ambiguous column %q", c.display())
+	}
+}
+
+// schemaOf returns the concatenated schema of all bindings.
+func (e *env) schemaOf() schema.Relation {
+	out := schema.Anonymous()
+	for _, b := range e.bindings {
+		out = out.Concat(b.rel)
+	}
+	return out
+}
+
+func (c colRef) display() string {
+	if c.qualifier != "" {
+		return c.qualifier + "." + c.name
+	}
+	return c.name
+}
+
+// buildFrom resolves the FROM clause into an environment and the algebra
+// expression producing the concatenated relation (products for comma joins,
+// condition joins for explicit JOIN ... ON).
+func buildFrom(refs []tableRef, cat algebra.Catalog) (*env, algebra.Expr, error) {
+	if len(refs) == 0 {
+		return nil, nil, errf(0, "FROM clause is empty")
+	}
+	e := &env{}
+	var expr algebra.Expr
+	for _, ref := range refs {
+		rel, ok := cat.RelationSchema(ref.name)
+		if !ok {
+			return nil, nil, errf(ref.pos, "unknown table %q", ref.name)
+		}
+		// Alias resolution uses the alias name in place of the relation name.
+		aliased := rel.Rename(ref.alias)
+		e.bindings = append(e.bindings, binding{alias: ref.alias, rel: aliased, offset: e.arity})
+		e.arity += rel.Arity()
+		next := algebra.Expr(algebra.NewRel(ref.name))
+		if expr == nil {
+			expr = next
+			if ref.on != nil {
+				return nil, nil, errf(ref.pos, "the first table of a FROM clause cannot carry an ON condition")
+			}
+			continue
+		}
+		if ref.on != nil {
+			cond, err := translateBool(ref.on, e)
+			if err != nil {
+				return nil, nil, err
+			}
+			expr = algebra.NewJoin(cond, expr, next)
+		} else {
+			expr = algebra.NewProduct(expr, next)
+		}
+	}
+	return e, expr, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expression translation
+// ---------------------------------------------------------------------------
+
+// translateScalar converts a SQL scalar expression (no aggregates) into a
+// scalar.Expr over the environment's concatenated schema.
+func translateScalar(e sqlExpr, env *env) (scalar.Expr, error) {
+	switch n := e.(type) {
+	case colRef:
+		pos, err := env.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.NewAttr(pos), nil
+	case litExpr:
+		return scalar.NewConst(n.val), nil
+	case binExpr:
+		l, err := translateScalar(n.left, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := translateScalar(n.right, env)
+		if err != nil {
+			return nil, err
+		}
+		op, err := value.ParseBinaryOp(n.op)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.NewArith(op, l, r), nil
+	case aggExpr:
+		return nil, errf(n.pos, "aggregate %s is only allowed in the SELECT list of a grouped query", n.fn)
+	case cmpExpr, logicExpr, notExpr:
+		return nil, errf(0, "boolean expression used where a value is required")
+	default:
+		return nil, errf(0, "unsupported scalar expression %T", e)
+	}
+}
+
+// translateBool converts a SQL boolean expression into a predicate over the
+// environment's concatenated schema.
+func translateBool(e sqlExpr, env *env) (scalar.Predicate, error) {
+	switch n := e.(type) {
+	case cmpExpr:
+		l, err := translateScalar(n.left, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := translateScalar(n.right, env)
+		if err != nil {
+			return nil, err
+		}
+		op, err := value.ParseCompareOp(n.op)
+		if err != nil {
+			return nil, errf(n.pos, "%v", err)
+		}
+		return scalar.NewCompare(op, l, r), nil
+	case logicExpr:
+		l, err := translateBool(n.left, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := translateBool(n.right, env)
+		if err != nil {
+			return nil, err
+		}
+		if n.op == "and" {
+			return scalar.And{Left: l, Right: r}, nil
+		}
+		return scalar.Or{Left: l, Right: r}, nil
+	case notExpr:
+		inner, err := translateBool(n.operand, env)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.Not{Operand: inner}, nil
+	case litExpr:
+		if n.val.Kind() == value.KindBool {
+			if n.val.Bool() {
+				return scalar.True{}, nil
+			}
+			return scalar.False{}, nil
+		}
+		return nil, errf(0, "non-boolean literal used as a condition")
+	default:
+		return nil, errf(0, "unsupported condition %T", e)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SELECT translation
+// ---------------------------------------------------------------------------
+
+func translateSelect(q *selectQuery, cat algebra.Catalog) (algebra.Expr, error) {
+	env, expr, err := buildFrom(q.from, cat)
+	if err != nil {
+		return nil, err
+	}
+	if q.where != nil {
+		cond, err := translateBool(q.where, env)
+		if err != nil {
+			return nil, err
+		}
+		expr = algebra.NewSelect(cond, expr)
+	}
+
+	hasAggregate := false
+	for _, item := range q.items {
+		if _, ok := item.expr.(aggExpr); ok {
+			hasAggregate = true
+		}
+	}
+
+	switch {
+	case len(q.groupBy) > 0 || hasAggregate:
+		expr, err = translateGrouped(q, env, expr)
+		if err != nil {
+			return nil, err
+		}
+	case q.star:
+		// SELECT *: the concatenated relation as-is.
+	default:
+		items := make([]scalar.Expr, 0, len(q.items))
+		names := make([]string, 0, len(q.items))
+		for _, item := range q.items {
+			se, err := translateScalar(item.expr, env)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, se)
+			names = append(names, outputName(item, env))
+		}
+		expr = algebra.NewExtProject(items, names, expr)
+	}
+
+	if q.distinct {
+		expr = algebra.NewUnique(expr)
+	}
+	return expr, nil
+}
+
+// outputName picks the output attribute name of a select item: the alias if
+// given, the column name for plain references, empty otherwise.
+func outputName(item selectItem, env *env) string {
+	if item.alias != "" {
+		return item.alias
+	}
+	if c, ok := item.expr.(colRef); ok {
+		if pos, err := env.resolve(c); err == nil {
+			return env.schemaOf().Attribute(pos).Name
+		}
+	}
+	return ""
+}
+
+// translateGrouped handles GROUP BY queries and global aggregates.  The
+// multi-set algebra's groupby operator computes one aggregate per expression
+// (Definition 3.4), so the SELECT list may contain the grouping columns plus
+// exactly one aggregate call, in any order.
+func translateGrouped(q *selectQuery, env *env, input algebra.Expr) (algebra.Expr, error) {
+	if q.star {
+		return nil, errf(0, "SELECT * cannot be combined with GROUP BY or aggregates")
+	}
+	// Resolve grouping columns.
+	groupCols := make([]int, 0, len(q.groupBy))
+	for _, c := range q.groupBy {
+		pos, err := env.resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		groupCols = append(groupCols, pos)
+	}
+
+	// Classify select items.
+	var agg *aggExpr
+	aggAlias := ""
+	type plainItem struct {
+		pos   int
+		alias string
+	}
+	var plains []plainItem
+	order := make([]int, 0, len(q.items)) // -1 marks the aggregate's position in the SELECT list
+	for _, item := range q.items {
+		switch n := item.expr.(type) {
+		case aggExpr:
+			if agg != nil {
+				return nil, errf(n.pos, "at most one aggregate per query is supported by the groupby operator")
+			}
+			cp := n
+			agg = &cp
+			aggAlias = item.alias
+			order = append(order, -1)
+		case colRef:
+			pos, err := env.resolve(n)
+			if err != nil {
+				return nil, err
+			}
+			found := false
+			for _, g := range groupCols {
+				if g == pos {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, errf(n.pos, "column %q must appear in the GROUP BY clause", n.display())
+			}
+			plains = append(plains, plainItem{pos: pos, alias: item.alias})
+			order = append(order, pos)
+		default:
+			return nil, errf(0, "grouped queries may select grouping columns and one aggregate only")
+		}
+	}
+	if agg == nil {
+		return nil, errf(0, "GROUP BY without an aggregate in the SELECT list is not supported; use SELECT DISTINCT instead")
+	}
+
+	aggFn, err := algebra.ParseAggregate(agg.fn)
+	if err != nil {
+		return nil, errf(agg.pos, "%v", err)
+	}
+	aggCol := 0
+	if !agg.star {
+		c, ok := agg.arg.(colRef)
+		if !ok {
+			return nil, errf(agg.pos, "aggregate arguments must be plain columns")
+		}
+		aggCol, err = env.resolve(c)
+		if err != nil {
+			return nil, err
+		}
+	} else if aggFn != algebra.AggCount {
+		return nil, errf(agg.pos, "only COUNT may take * as its argument")
+	}
+
+	name := aggAlias
+	if name == "" {
+		name = strings.ToLower(aggFn.String())
+	}
+	grouped := algebra.GroupBy{GroupCols: groupCols, Agg: aggFn, AggCol: aggCol, Name: name, Input: input}
+
+	// HAVING filters the grouped result; its columns resolve against the
+	// group-by output schema (grouping columns followed by the aggregate).
+	var result algebra.Expr = grouped
+	if q.having != nil {
+		henv := &env2{groupCols: groupCols, src: env, aggName: name}
+		cond, err := henv.translateBool(q.having)
+		if err != nil {
+			return nil, err
+		}
+		result = algebra.NewSelect(cond, result)
+	}
+
+	// Reorder the output to match the SELECT list when necessary: the groupby
+	// operator emits grouping columns first (in GROUP BY order) and the
+	// aggregate last.
+	finalCols := make([]int, 0, len(order))
+	for _, o := range order {
+		if o == -1 {
+			finalCols = append(finalCols, len(groupCols))
+			continue
+		}
+		for gi, g := range groupCols {
+			if g == o {
+				finalCols = append(finalCols, gi)
+				break
+			}
+		}
+	}
+	identity := len(finalCols) == len(groupCols)+1
+	if identity {
+		for i, c := range finalCols {
+			if c != i {
+				identity = false
+				break
+			}
+		}
+	}
+	if identity {
+		return result, nil
+	}
+	return algebra.NewProject(finalCols, result), nil
+}
+
+// env2 resolves HAVING-clause references against the output schema of a
+// group-by: grouping columns keep their names, the aggregate column is
+// addressed by its alias (or the lower-cased aggregate name) or by repeating
+// the aggregate call.
+type env2 struct {
+	groupCols []int
+	src       *env
+	aggName   string
+}
+
+func (h *env2) resolve(c colRef) (int, error) {
+	if strings.EqualFold(c.name, h.aggName) && c.qualifier == "" {
+		return len(h.groupCols), nil
+	}
+	pos, err := h.src.resolve(c)
+	if err != nil {
+		return 0, err
+	}
+	for gi, g := range h.groupCols {
+		if g == pos {
+			return gi, nil
+		}
+	}
+	return 0, errf(c.pos, "HAVING column %q is neither a grouping column nor the aggregate", c.display())
+}
+
+func (h *env2) translateScalar(e sqlExpr) (scalar.Expr, error) {
+	switch n := e.(type) {
+	case colRef:
+		pos, err := h.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.NewAttr(pos), nil
+	case litExpr:
+		return scalar.NewConst(n.val), nil
+	case binExpr:
+		l, err := h.translateScalar(n.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := h.translateScalar(n.right)
+		if err != nil {
+			return nil, err
+		}
+		op, err := value.ParseBinaryOp(n.op)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.NewArith(op, l, r), nil
+	case aggExpr:
+		// Repeating the aggregate call in HAVING refers to the aggregate column.
+		return scalar.NewAttr(len(h.groupCols)), nil
+	default:
+		return nil, errf(0, "unsupported HAVING expression %T", e)
+	}
+}
+
+func (h *env2) translateBool(e sqlExpr) (scalar.Predicate, error) {
+	switch n := e.(type) {
+	case cmpExpr:
+		l, err := h.translateScalar(n.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := h.translateScalar(n.right)
+		if err != nil {
+			return nil, err
+		}
+		op, err := value.ParseCompareOp(n.op)
+		if err != nil {
+			return nil, errf(n.pos, "%v", err)
+		}
+		return scalar.NewCompare(op, l, r), nil
+	case logicExpr:
+		l, err := h.translateBool(n.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := h.translateBool(n.right)
+		if err != nil {
+			return nil, err
+		}
+		if n.op == "and" {
+			return scalar.And{Left: l, Right: r}, nil
+		}
+		return scalar.Or{Left: l, Right: r}, nil
+	case notExpr:
+		inner, err := h.translateBool(n.operand)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.Not{Operand: inner}, nil
+	default:
+		return nil, errf(0, "unsupported HAVING condition %T", e)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// DML translation
+// ---------------------------------------------------------------------------
+
+func translateInsert(n *insertStmt, cat algebra.Catalog) (stmt.Statement, error) {
+	rel, ok := cat.RelationSchema(n.table)
+	if !ok {
+		return nil, errf(n.pos, "unknown table %q", n.table)
+	}
+	for i, row := range n.rows {
+		if len(row) != rel.Arity() {
+			return nil, errf(n.pos, "row %d has %d values, table %q has %d columns",
+				i+1, len(row), n.table, rel.Arity())
+		}
+	}
+	lit := algebra.Literal{Rel: rel.Rename(""), Rows: n.rows}
+	return stmt.Insert{Target: n.table, Source: lit}, nil
+}
+
+func translateDelete(n *deleteStmt, cat algebra.Catalog) (stmt.Statement, error) {
+	rel, ok := cat.RelationSchema(n.table)
+	if !ok {
+		return nil, errf(0, "unknown table %q", n.table)
+	}
+	src := algebra.Expr(algebra.NewRel(n.table))
+	if n.where != nil {
+		e := &env{bindings: []binding{{alias: n.table, rel: rel, offset: 0}}, arity: rel.Arity()}
+		cond, err := translateBool(n.where, e)
+		if err != nil {
+			return nil, err
+		}
+		src = algebra.NewSelect(cond, src)
+	}
+	return stmt.Delete{Target: n.table, Source: src}, nil
+}
+
+func translateUpdate(n *updateStmt, cat algebra.Catalog) (stmt.Statement, error) {
+	rel, ok := cat.RelationSchema(n.table)
+	if !ok {
+		return nil, errf(0, "unknown table %q", n.table)
+	}
+	e := &env{bindings: []binding{{alias: n.table, rel: rel, offset: 0}}, arity: rel.Arity()}
+
+	// Start with the identity item list (%1, ..., %n) and overwrite the SET
+	// columns — update is a structure-preserving extended projection
+	// (Definition 4.1).
+	items := make([]scalar.Expr, rel.Arity())
+	for i := range items {
+		items[i] = scalar.NewAttr(i)
+	}
+	for _, set := range n.sets {
+		pos, err := e.resolve(set.column)
+		if err != nil {
+			return nil, err
+		}
+		se, err := translateScalar(set.expr, e)
+		if err != nil {
+			return nil, err
+		}
+		items[pos] = se
+	}
+
+	sel := algebra.Expr(algebra.NewRel(n.table))
+	if n.where != nil {
+		cond, err := translateBool(n.where, e)
+		if err != nil {
+			return nil, err
+		}
+		sel = algebra.NewSelect(cond, sel)
+	}
+	return stmt.Update{Target: n.table, Selection: sel, Items: items}, nil
+}

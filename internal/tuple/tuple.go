@@ -1,0 +1,180 @@
+// Package tuple implements tuples of the multi-set relational data model
+// (Definition 2.4 of Grefen & de By, ICDE 1994): construction, equality,
+// positional projection α, concatenation ⊕, and a canonical key encoding used
+// by the multi-set relation representation and the hash-based physical
+// operators.
+package tuple
+
+import (
+	"fmt"
+	"strings"
+
+	"mra/internal/value"
+)
+
+// Tuple is an element of dom(𝓡): an ordered list of atomic values.  Tuples
+// are immutable; all operations return new tuples.
+type Tuple struct {
+	vals []value.Value
+}
+
+// New builds a tuple from values.  The argument slice is copied.
+func New(vals ...value.Value) Tuple {
+	cp := make([]value.Value, len(vals))
+	copy(cp, vals)
+	return Tuple{vals: cp}
+}
+
+// FromSlice builds a tuple that takes ownership of the given slice.  The
+// caller must not modify the slice afterwards.  It exists so the evaluation
+// engine can construct tuples without an extra copy on hot paths.
+func FromSlice(vals []value.Value) Tuple { return Tuple{vals: vals} }
+
+// Arity returns #r, the number of attributes of the tuple.
+func (t Tuple) Arity() int { return len(t.vals) }
+
+// At returns r.i, the value of the i-th attribute (0-based).
+func (t Tuple) At(i int) value.Value { return t.vals[i] }
+
+// Values returns a copy of the underlying value list.
+func (t Tuple) Values() []value.Value {
+	cp := make([]value.Value, len(t.vals))
+	copy(cp, t.vals)
+	return cp
+}
+
+// Project returns α_a(r): the concatenation of the attributes of r selected by
+// the 0-based index list a, in the given order (Definition 2.4).  Indices may
+// repeat.  It returns an error if an index is out of range.
+func (t Tuple) Project(indices []int) (Tuple, error) {
+	vals := make([]value.Value, 0, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(t.vals) {
+			return Tuple{}, fmt.Errorf("tuple: projection index %%%d out of range for arity %d", i+1, len(t.vals))
+		}
+		vals = append(vals, t.vals[i])
+	}
+	return Tuple{vals: vals}, nil
+}
+
+// Concat returns r1 ⊕ r2, the concatenation of the attributes of the two
+// tuples in order (Definition 2.4).
+func (t Tuple) Concat(o Tuple) Tuple {
+	vals := make([]value.Value, 0, len(t.vals)+len(o.vals))
+	vals = append(vals, t.vals...)
+	vals = append(vals, o.vals...)
+	return Tuple{vals: vals}
+}
+
+// Equal reports whether two tuples are equal: same arity and pairwise equal
+// attribute values (Definition 2.4).
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t.vals) != len(o.vals) {
+		return false
+	}
+	for i := range t.vals {
+		if !t.vals[i].Equal(o.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders two tuples lexicographically attribute by attribute; shorter
+// tuples sort before longer ones when they share a prefix.  The order is used
+// only for canonical (deterministic) result rendering, never by the algebra
+// itself, which is order-free.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t.vals)
+	if len(o.vals) < n {
+		n = len(o.vals)
+	}
+	for i := 0; i < n; i++ {
+		if c := t.vals[i].Compare(o.vals[i]); c != 0 {
+			return c
+		}
+	}
+	return len(t.vals) - len(o.vals)
+}
+
+// Key returns a canonical string encoding of the tuple such that
+// t.Equal(o) ⇔ t.Key() == o.Key().  The encoding is length-prefixed per
+// attribute so distinct value boundaries cannot collide.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t.vals {
+		k := v.Key()
+		fmt.Fprintf(&b, "%d:", len(k))
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Hash returns a 64-bit hash of the tuple consistent with Equal.
+func (t Tuple) Hash() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range t.vals {
+		h ^= v.Hash()
+		h *= prime64
+	}
+	return h
+}
+
+// HashOn returns a 64-bit hash of the attributes selected by indices,
+// consistent with equality of the corresponding projections.  It is the
+// hash the physical join and group-by operators partition on.
+func (t Tuple) HashOn(indices []int) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, i := range indices {
+		h ^= t.vals[i].Hash()
+		h *= prime64
+	}
+	return h
+}
+
+// KeyOn returns the canonical key of the projection on indices without
+// materialising the projected tuple.
+func (t Tuple) KeyOn(indices []int) string {
+	var b strings.Builder
+	for _, i := range indices {
+		k := t.vals[i].Key()
+		fmt.Fprintf(&b, "%d:", len(k))
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// String renders the tuple as ⟨v1, v2, ...⟩ using the values' literal syntax.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, v := range t.vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Ints is a convenience constructor building a tuple of integer values; it is
+// heavily used by tests and workload generators.
+func Ints(vals ...int64) Tuple {
+	vs := make([]value.Value, len(vals))
+	for i, v := range vals {
+		vs[i] = value.NewInt(v)
+	}
+	return Tuple{vals: vs}
+}
+
+// Strings is a convenience constructor building a tuple of string values.
+func Strings(vals ...string) Tuple {
+	vs := make([]value.Value, len(vals))
+	for i, v := range vals {
+		vs[i] = value.NewString(v)
+	}
+	return Tuple{vals: vs}
+}

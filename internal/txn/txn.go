@@ -1,0 +1,304 @@
+// Package txn implements transactions over the multi-set relational storage
+// engine (Definition 4.3 of Grefen & de By, ICDE 1994).
+//
+// A transaction encloses an extended relational algebra program in transaction
+// brackets.  During execution the database passes through intermediate states
+// D_t.0 … D_t.n that may contain temporary relations created by assignment
+// statements; these states have no semantics beyond the transaction.  The end
+// bracket either commits — temporary relations are discarded and D_t.n is
+// installed as D_{t+1} — or aborts, in which case D_t is preserved unchanged
+// (the atomicity property: T(D) = D_t.n or T(D) = D).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"mra/internal/algebra"
+	"mra/internal/eval"
+	"mra/internal/multiset"
+	"mra/internal/schema"
+	"mra/internal/stmt"
+	"mra/internal/storage"
+)
+
+// Transaction lifecycle errors.
+var (
+	// ErrDone is returned when a finished (committed or aborted) transaction
+	// is used again.
+	ErrDone = errors.New("txn: transaction already finished")
+	// ErrConflict is returned at commit when another transaction has committed
+	// a change to a relation this transaction read or wrote.
+	ErrConflict = errors.New("txn: write conflict, transaction aborted")
+	// ErrReservedName is returned when a temporary relation would shadow a
+	// database relation.
+	ErrReservedName = errors.New("txn: name already denotes a database relation")
+)
+
+// Manager hands out transactions over one database and serialises their
+// commits.  Isolation is optimistic: each transaction works on a snapshot and
+// validates at commit time that the relations it touched were not changed by
+// a concurrent committer.
+type Manager struct {
+	db *storage.Database
+
+	mu     sync.Mutex
+	nextID uint64
+	// commitTime records, per relation name, the logical time of its last
+	// committed change; validation compares it with the transaction's start
+	// time.
+	commitTime map[string]uint64
+}
+
+// NewManager returns a transaction manager over the given database.
+func NewManager(db *storage.Database) *Manager {
+	return &Manager{db: db, commitTime: make(map[string]uint64)}
+}
+
+// Database returns the underlying storage engine.
+func (m *Manager) Database() *storage.Database { return m.db }
+
+// Begin opens a new transaction on the current database state.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return &Tx{
+		mgr:       m,
+		id:        m.nextID,
+		startTime: m.db.LogicalTime(),
+		engine:    &eval.Engine{},
+		workspace: make(map[string]*multiset.Relation),
+		temps:     make(map[string]*multiset.Relation),
+		reads:     make(map[string]struct{}),
+	}
+}
+
+// Run executes the program inside a fresh transaction and commits it,
+// returning the query outputs.  On any error the transaction aborts and the
+// database is left unchanged.
+func (m *Manager) Run(p stmt.Program) ([]*multiset.Relation, error) {
+	tx := m.Begin()
+	if err := p.Execute(tx); err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return tx.Outputs(), nil
+}
+
+// State is a transaction's lifecycle state.
+type State uint8
+
+// Transaction lifecycle states.
+const (
+	// StateActive means the transaction accepts statements.
+	StateActive State = iota
+	// StateCommitted means the end bracket installed the new database state.
+	StateCommitted
+	// StateAborted means the transaction's effects were discarded.
+	StateAborted
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Tx is a single transaction: an isolated view of the database plus the
+// uncommitted changes of the statements executed so far.  A Tx is not safe for
+// concurrent use by multiple goroutines; different transactions are.
+type Tx struct {
+	mgr       *Manager
+	id        uint64
+	startTime uint64
+	engine    *eval.Engine
+	state     State
+
+	// workspace holds modified database relations (copy-on-write).
+	workspace map[string]*multiset.Relation
+	// temps holds temporary relations created by assignment statements.
+	temps map[string]*multiset.Relation
+	// reads records database relations read or written, for commit validation.
+	reads map[string]struct{}
+	// outputs collects query statement results in execution order.
+	outputs []*multiset.Relation
+}
+
+// ID returns the transaction's identifier.
+func (t *Tx) ID() uint64 { return t.id }
+
+// State returns the transaction's lifecycle state.
+func (t *Tx) State() State { return t.state }
+
+// Outputs returns the results of the query statements executed so far, in
+// order.
+func (t *Tx) Outputs() []*multiset.Relation {
+	out := make([]*multiset.Relation, len(t.outputs))
+	copy(out, t.outputs)
+	return out
+}
+
+// Relation implements eval.Source over the transaction's intermediate state:
+// temporaries shadow workspace copies, which shadow the committed state.
+func (t *Tx) Relation(name string) (*multiset.Relation, bool) {
+	key := strings.ToLower(name)
+	if r, ok := t.temps[key]; ok {
+		return r, true
+	}
+	if r, ok := t.workspace[key]; ok {
+		return r, true
+	}
+	r, ok := t.mgr.db.Relation(name)
+	if ok {
+		t.reads[key] = struct{}{}
+	}
+	return r, ok
+}
+
+// Catalog implements stmt.Context.
+func (t *Tx) Catalog() algebra.Catalog { return txCatalog{t} }
+
+// txCatalog resolves schemas against the transaction's intermediate state.
+type txCatalog struct{ t *Tx }
+
+// RelationSchema implements algebra.Catalog.
+func (c txCatalog) RelationSchema(name string) (schema.Relation, bool) {
+	r, ok := c.t.Relation(name)
+	if !ok {
+		return schema.Relation{}, false
+	}
+	return r.Schema(), true
+}
+
+// Evaluate implements stmt.Context.
+func (t *Tx) Evaluate(e algebra.Expr) (*multiset.Relation, error) {
+	if t.state != StateActive {
+		return nil, ErrDone
+	}
+	if err := algebra.Validate(e, t.Catalog()); err != nil {
+		return nil, err
+	}
+	return t.engine.Eval(e, t)
+}
+
+// Current implements stmt.Context.
+func (t *Tx) Current(name string) (*multiset.Relation, bool) { return t.Relation(name) }
+
+// Replace implements stmt.Context: R ← E on a database relation, buffered in
+// the transaction's workspace until commit.
+func (t *Tx) Replace(name string, r *multiset.Relation) error {
+	if t.state != StateActive {
+		return ErrDone
+	}
+	key := strings.ToLower(name)
+	if _, isTemp := t.temps[key]; isTemp {
+		t.temps[key] = r
+		return nil
+	}
+	cur, ok := t.mgr.db.Relation(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", storage.ErrNoSuchRelation, name)
+	}
+	if !cur.Schema().Compatible(r.Schema()) {
+		return fmt.Errorf("%w: relation %q expects %s, got %s", storage.ErrSchemaMismatch, name, cur.Schema(), r.Schema())
+	}
+	t.reads[key] = struct{}{}
+	t.workspace[key] = r.WithSchema(cur.Schema())
+	return nil
+}
+
+// Assign implements stmt.Context: binds a temporary relational variable.  The
+// name must not collide with a database relation.
+func (t *Tx) Assign(name string, r *multiset.Relation) error {
+	if t.state != StateActive {
+		return ErrDone
+	}
+	key := strings.ToLower(name)
+	if _, exists := t.mgr.db.Relation(name); exists {
+		return fmt.Errorf("%w: %q", ErrReservedName, name)
+	}
+	t.temps[key] = r.WithSchema(r.Schema().Rename(name))
+	return nil
+}
+
+// Output implements stmt.Context.
+func (t *Tx) Output(r *multiset.Relation) { t.outputs = append(t.outputs, r) }
+
+// Exec runs a single statement inside the transaction.
+func (t *Tx) Exec(s stmt.Statement) error {
+	if t.state != StateActive {
+		return ErrDone
+	}
+	return s.Execute(t)
+}
+
+// Run executes a whole program inside the transaction.
+func (t *Tx) Run(p stmt.Program) error {
+	if t.state != StateActive {
+		return ErrDone
+	}
+	return p.Execute(t)
+}
+
+// Commit ends the transaction: temporary relations are discarded, the modified
+// database relations are installed atomically as D_{t+1}, and the logical time
+// advances.  If a concurrent transaction committed a change to any relation
+// this transaction read or wrote, Commit aborts with ErrConflict and the
+// database remains unchanged.
+func (t *Tx) Commit() error {
+	if t.state != StateActive {
+		return ErrDone
+	}
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Optimistic validation: no relation we depend on may have been committed
+	// after our snapshot time.
+	for name := range t.reads {
+		if ct, ok := m.commitTime[name]; ok && ct > t.startTime {
+			t.state = StateAborted
+			return fmt.Errorf("%w: relation %q changed at t=%d after snapshot t=%d", ErrConflict, name, ct, t.startTime)
+		}
+	}
+	if len(t.workspace) == 0 {
+		// Read-only transaction: nothing to install, no transition.
+		t.state = StateCommitted
+		return nil
+	}
+	tr, err := m.db.Apply(t.workspace)
+	if err != nil {
+		t.state = StateAborted
+		return err
+	}
+	for _, name := range tr.Changed {
+		m.commitTime[strings.ToLower(name)] = tr.To
+	}
+	t.state = StateCommitted
+	return nil
+}
+
+// Abort ends the transaction and discards all of its effects; the database
+// state D_t is preserved unchanged.
+func (t *Tx) Abort() {
+	if t.state != StateActive {
+		return
+	}
+	t.state = StateAborted
+	t.workspace = nil
+	t.temps = nil
+}

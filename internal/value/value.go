@@ -1,0 +1,329 @@
+// Package value implements the atomic value system of the multi-set extended
+// relational algebra (Definition 2.1 of Grefen & de By, ICDE 1994).
+//
+// A domain is a set of atomic values; values are indivisible as far as the
+// operators of the relational data model are concerned.  The package provides
+// the concrete domains used throughout the library (integers, reals, booleans,
+// strings and the null value), together with the comparison, hashing and
+// arithmetic primitives the algebra layers build on.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the domain an atomic value belongs to.
+type Kind uint8
+
+// The supported atomic domains.
+const (
+	// KindNull is the domain of the single null value.  It is not part of the
+	// paper's formal model but is required by the SQL front-end and by partial
+	// aggregate functions (AVG/MIN/MAX on empty multi-sets).
+	KindNull Kind = iota
+	// KindInt is the domain of 64-bit signed integers.
+	KindInt
+	// KindFloat is the domain of 64-bit IEEE-754 reals.
+	KindFloat
+	// KindString is the domain of character strings.
+	KindString
+	// KindBool is the boolean domain.
+	KindBool
+)
+
+// String returns the conventional lower-case name of the domain.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether values of the domain support arithmetic.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// ParseKind converts a textual domain name into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "int", "integer":
+		return KindInt, nil
+	case "float", "real", "double":
+		return KindFloat, nil
+	case "string", "text", "varchar", "char":
+		return KindString, nil
+	case "bool", "boolean":
+		return KindBool, nil
+	case "null":
+		return KindNull, nil
+	default:
+		return KindNull, fmt.Errorf("value: unknown domain %q", s)
+	}
+}
+
+// Value is an atomic value of one of the supported domains.  Values are
+// immutable; all operations return new values.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the single value of the null domain.
+var Null = Value{kind: KindNull}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a real value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind returns the domain of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload.  It panics if the value is not an integer;
+// use AsInt for a checked conversion.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the real payload.  It panics if the value is not a float; use
+// AsFloat for a checked conversion.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("value: Float() on %s value", v.kind))
+	}
+	return v.f
+}
+
+// Str returns the string payload.  It panics if the value is not a string.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload.  It panics if the value is not a boolean.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: Bool() on %s value", v.kind))
+	}
+	return v.b
+}
+
+// AsInt converts the value to an integer if its domain permits it.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		return int64(v.f), true
+	case KindBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// AsFloat converts the value to a real if its domain permits it.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value in the textual form used by the XRA front-end and
+// the result printers: integers and reals as decimal literals, strings quoted
+// with single quotes, booleans as true/false, null as null.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return fmt.Sprintf("value(%d)", uint8(v.kind))
+	}
+}
+
+// Display renders the value for tabular output (strings unquoted).
+func (v Value) Display() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// Equal reports whether two values are equal.  Values of different domains are
+// never equal, with the exception that integer and real values compare
+// numerically (3 == 3.0), mirroring SQL's cross-numeric comparison rules.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindNull:
+			return true
+		case KindInt:
+			return v.i == o.i
+		case KindFloat:
+			return v.f == o.f
+		case KindString:
+			return v.s == o.s
+		case KindBool:
+			return v.b == o.b
+		}
+	}
+	if v.kind.Numeric() && o.kind.Numeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		return a == b
+	}
+	return false
+}
+
+// Compare orders two values.  It returns a negative number, zero or a positive
+// number when v sorts before, equal to, or after o.  Values of incomparable
+// domains are ordered by domain kind so that Compare induces a total order
+// usable for canonicalisation; Null sorts before every other value.
+func (v Value) Compare(o Value) int {
+	if v.kind.Numeric() && o.kind.Numeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		return int(v.kind) - int(o.kind)
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		return 0
+	}
+}
+
+// Less reports whether v sorts strictly before o.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// Hash returns a 64-bit hash of the value, consistent with Equal: values that
+// compare equal (including cross-numeric equality such as 3 and 3.0) hash to
+// the same code.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h ^= uint64(b); h *= prime64 }
+	switch v.kind {
+	case KindNull:
+		mix(0x00)
+	case KindInt, KindFloat:
+		// Hash all numerics through their float64 image so Equal ⇒ same hash.
+		f, _ := v.AsFloat()
+		bits := math.Float64bits(f)
+		if f == 0 {
+			bits = 0 // normalise -0.0 and +0.0
+		}
+		mix(0x01)
+		for i := 0; i < 8; i++ {
+			mix(byte(bits >> (8 * i)))
+		}
+	case KindString:
+		mix(0x02)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	case KindBool:
+		mix(0x03)
+		if v.b {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
+// Key returns a canonical string encoding of the value such that
+// v.Equal(o) ⇔ v.Key() == o.Key().  It is used as the map key of multi-set
+// relations.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "n"
+	case KindInt, KindFloat:
+		f, _ := v.AsFloat()
+		if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e15 {
+			return "i" + strconv.FormatInt(int64(f), 10)
+		}
+		return "f" + strconv.FormatFloat(f, 'g', -1, 64)
+	case KindString:
+		return "s" + v.s
+	case KindBool:
+		if v.b {
+			return "bt"
+		}
+		return "bf"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,268 @@
+package value
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "null",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindString: "string",
+		KindBool:   "bool",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestKindNumeric(t *testing.T) {
+	if !KindInt.Numeric() || !KindFloat.Numeric() {
+		t.Error("int and float must be numeric")
+	}
+	if KindString.Numeric() || KindBool.Numeric() || KindNull.Numeric() {
+		t.Error("string, bool and null must not be numeric")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	good := map[string]Kind{
+		"int": KindInt, "INTEGER": KindInt,
+		"float": KindFloat, "real": KindFloat, "Double": KindFloat,
+		"string": KindString, "text": KindString, "VARCHAR": KindString, "char": KindString,
+		"bool": KindBool, "BOOLEAN": KindBool,
+		"null":    KindNull,
+		"  int  ": KindInt,
+	}
+	for in, want := range good {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseKind("money"); err == nil {
+		t.Error("ParseKind should reject unknown domains")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := NewInt(42); v.Kind() != KindInt || v.Int() != 42 {
+		t.Errorf("NewInt: got %v", v)
+	}
+	if v := NewFloat(2.5); v.Kind() != KindFloat || v.Float() != 2.5 {
+		t.Errorf("NewFloat: got %v", v)
+	}
+	if v := NewString("hi"); v.Kind() != KindString || v.Str() != "hi" {
+		t.Errorf("NewString: got %v", v)
+	}
+	if v := NewBool(true); v.Kind() != KindBool || !v.Bool() {
+		t.Errorf("NewBool: got %v", v)
+	}
+	if !Null.IsNull() || NewInt(1).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on string", func() { NewString("x").Int() })
+	mustPanic("Float on int", func() { NewInt(1).Float() })
+	mustPanic("Str on bool", func() { NewBool(true).Str() })
+	mustPanic("Bool on float", func() { NewFloat(1).Bool() })
+}
+
+func TestAsIntAsFloat(t *testing.T) {
+	if n, ok := NewInt(7).AsInt(); !ok || n != 7 {
+		t.Error("AsInt on int")
+	}
+	if n, ok := NewFloat(7.9).AsInt(); !ok || n != 7 {
+		t.Error("AsInt on float should truncate")
+	}
+	if n, ok := NewBool(true).AsInt(); !ok || n != 1 {
+		t.Error("AsInt on bool true")
+	}
+	if n, ok := NewBool(false).AsInt(); !ok || n != 0 {
+		t.Error("AsInt on bool false")
+	}
+	if _, ok := NewString("x").AsInt(); ok {
+		t.Error("AsInt on string must fail")
+	}
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3.0 {
+		t.Error("AsFloat on int")
+	}
+	if f, ok := NewFloat(3.5).AsFloat(); !ok || f != 3.5 {
+		t.Error("AsFloat on float")
+	}
+	if _, ok := NewBool(true).AsFloat(); ok {
+		t.Error("AsFloat on bool must fail")
+	}
+}
+
+func TestStringAndDisplay(t *testing.T) {
+	cases := []struct {
+		v    Value
+		str  string
+		disp string
+	}{
+		{NewInt(5), "5", "5"},
+		{NewFloat(2.5), "2.5", "2.5"},
+		{NewString("ale"), "'ale'", "ale"},
+		{NewString("o'brien"), "'o''brien'", "o'brien"},
+		{NewBool(true), "true", "true"},
+		{Null, "null", "null"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String(%v) = %q, want %q", c.v, got, c.str)
+		}
+		if got := c.v.Display(); got != c.disp {
+			t.Errorf("Display(%v) = %q, want %q", c.v, got, c.disp)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !NewInt(3).Equal(NewInt(3)) || NewInt(3).Equal(NewInt(4)) {
+		t.Error("int equality")
+	}
+	if !NewInt(3).Equal(NewFloat(3.0)) || !NewFloat(3.0).Equal(NewInt(3)) {
+		t.Error("cross-numeric equality must hold")
+	}
+	if NewInt(3).Equal(NewString("3")) {
+		t.Error("int must not equal string")
+	}
+	if !NewString("a").Equal(NewString("a")) || NewString("a").Equal(NewString("b")) {
+		t.Error("string equality")
+	}
+	if !NewBool(true).Equal(NewBool(true)) || NewBool(true).Equal(NewBool(false)) {
+		t.Error("bool equality")
+	}
+	if !Null.Equal(Null) || Null.Equal(NewInt(0)) {
+		t.Error("null equality")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if NewInt(1).Compare(NewInt(2)) >= 0 || NewInt(2).Compare(NewInt(1)) <= 0 {
+		t.Error("int ordering")
+	}
+	if NewInt(2).Compare(NewFloat(2.5)) >= 0 {
+		t.Error("cross-numeric ordering")
+	}
+	if NewString("a").Compare(NewString("b")) >= 0 {
+		t.Error("string ordering")
+	}
+	if NewBool(false).Compare(NewBool(true)) >= 0 || NewBool(true).Compare(NewBool(false)) <= 0 {
+		t.Error("bool ordering")
+	}
+	if NewBool(true).Compare(NewBool(true)) != 0 {
+		t.Error("bool equal ordering")
+	}
+	if Null.Compare(Null) != 0 {
+		t.Error("null self comparison")
+	}
+	if Null.Compare(NewInt(5)) >= 0 {
+		t.Error("null sorts before int")
+	}
+	if !NewInt(1).Less(NewInt(2)) || NewInt(2).Less(NewInt(1)) {
+		t.Error("Less")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(3), NewFloat(3.0)},
+		{NewFloat(0), NewFloat(math.Copysign(0, -1))},
+		{NewString("x"), NewString("x")},
+		{NewBool(true), NewBool(true)},
+		{Null, Null},
+	}
+	for _, p := range pairs {
+		if !p[0].Equal(p[1]) {
+			t.Fatalf("test pair %v not equal", p)
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values %v and %v hash differently", p[0], p[1])
+		}
+	}
+	if NewInt(1).Hash() == NewInt(2).Hash() {
+		t.Error("suspicious: 1 and 2 hash to the same code")
+	}
+	if NewString("a").Hash() == NewString("b").Hash() {
+		t.Error("suspicious: 'a' and 'b' hash to the same code")
+	}
+}
+
+func TestKeyConsistentWithEqual(t *testing.T) {
+	if NewInt(3).Key() != NewFloat(3.0).Key() {
+		t.Error("3 and 3.0 must share a key")
+	}
+	if NewInt(3).Key() == NewInt(4).Key() {
+		t.Error("3 and 4 must not share a key")
+	}
+	if NewString("3").Key() == NewInt(3).Key() {
+		t.Error("string '3' and int 3 must not share a key")
+	}
+	if NewBool(true).Key() == NewBool(false).Key() {
+		t.Error("booleans must not share a key")
+	}
+	if Null.Key() != "n" {
+		t.Errorf("null key = %q", Null.Key())
+	}
+	if NewFloat(2.5).Key() == NewFloat(3.5).Key() {
+		t.Error("distinct non-integral floats must not share a key")
+	}
+}
+
+func TestKeyEqualityProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return (va.Key() == vb.Key()) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		va, vb := NewFloat(a), NewFloat(b)
+		return (va.Key() == vb.Key()) == va.Equal(vb)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	h := func(a, b string) bool {
+		va, vb := NewString(a), NewString(b)
+		return (va.Key() == vb.Key()) == va.Equal(vb)
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualityProperty(t *testing.T) {
+	f := func(a int64) bool {
+		return NewInt(a).Hash() == NewFloat(float64(a)).Hash() == NewInt(a).Equal(NewFloat(float64(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

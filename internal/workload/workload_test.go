@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"mra/internal/tuple"
+)
+
+func TestBeersDefaultsAndScale(t *testing.T) {
+	beer, brewery := Beers(BeerConfig{})
+	if brewery.Cardinality() != 16 {
+		t.Errorf("default breweries = %d", brewery.Cardinality())
+	}
+	if beer.Cardinality() != 16*8 {
+		t.Errorf("default beers = %d", beer.Cardinality())
+	}
+	if beer.Schema().Name() != "beer" || brewery.Schema().Name() != "brewery" {
+		t.Error("schemas must carry the paper's relation names")
+	}
+	big, _ := Beers(BeerConfig{Breweries: 3, BeersPerBrewery: 5})
+	if big.Cardinality() != 15 {
+		t.Errorf("scaled beers = %d", big.Cardinality())
+	}
+}
+
+func TestBeersDeterminism(t *testing.T) {
+	a1, b1 := Beers(BeerConfig{Seed: 7, Breweries: 4, BeersPerBrewery: 3})
+	a2, b2 := Beers(BeerConfig{Seed: 7, Breweries: 4, BeersPerBrewery: 3})
+	if !a1.Equal(a2) || !b1.Equal(b2) {
+		t.Error("same seed must generate the same database")
+	}
+	a3, _ := Beers(BeerConfig{Seed: 8, Breweries: 4, BeersPerBrewery: 3})
+	if a1.Equal(a3) {
+		t.Error("different seeds should generate different alcohol percentages")
+	}
+}
+
+func TestBeersDuplicateNames(t *testing.T) {
+	dup, _ := Beers(BeerConfig{Breweries: 4, BeersPerBrewery: 3, DuplicateNames: true})
+	uniq, _ := Beers(BeerConfig{Breweries: 4, BeersPerBrewery: 3})
+	countNames := func(r interface {
+		Each(func(tuple.Tuple, uint64) bool)
+	}) map[string]int {
+		names := map[string]int{}
+		r.Each(func(tp tuple.Tuple, c uint64) bool {
+			names[tp.At(0).Str()] += int(c)
+			return true
+		})
+		return names
+	}
+	if len(countNames(dup)) != 3 {
+		t.Errorf("duplicate-name mode should reuse 3 names, got %d", len(countNames(dup)))
+	}
+	if len(countNames(uniq)) != 12 {
+		t.Errorf("unique-name mode should have 12 names, got %d", len(countNames(uniq)))
+	}
+}
+
+func TestDuplicated(t *testing.T) {
+	r := Duplicated(DuplicationConfig{})
+	if r.DistinctCount() != 1000 || r.Cardinality() != 1000 {
+		t.Errorf("defaults: distinct=%d total=%d", r.DistinctCount(), r.Cardinality())
+	}
+	r8 := Duplicated(DuplicationConfig{DistinctTuples: 100, DuplicationFactor: 8, Attributes: 3})
+	if r8.DistinctCount() != 100 || r8.Cardinality() != 800 {
+		t.Errorf("dup factor 8: distinct=%d total=%d", r8.DistinctCount(), r8.Cardinality())
+	}
+	if r8.Schema().Arity() != 3 {
+		t.Errorf("attributes = %d", r8.Schema().Arity())
+	}
+	// Every distinct tuple carries exactly the duplication factor.
+	r8.Each(func(_ tuple.Tuple, c uint64) bool {
+		if c != 8 {
+			t.Errorf("multiplicity = %d, want 8", c)
+		}
+		return true
+	})
+	if !Duplicated(DuplicationConfig{Seed: 3}).Equal(Duplicated(DuplicationConfig{Seed: 3})) {
+		t.Error("determinism")
+	}
+}
+
+func TestJoinPair(t *testing.T) {
+	fact, dim := JoinPair(JoinConfig{})
+	if fact.Cardinality() != 2000 || dim.Cardinality() != 200 {
+		t.Errorf("defaults: fact=%d dim=%d", fact.Cardinality(), dim.Cardinality())
+	}
+	// Every fact key falls inside the dimension key range, so the equi-join is
+	// total.
+	keys := map[int64]bool{}
+	dim.Each(func(tp tuple.Tuple, _ uint64) bool {
+		keys[tp.At(0).Int()] = true
+		return true
+	})
+	fact.Each(func(tp tuple.Tuple, _ uint64) bool {
+		if !keys[tp.At(0).Int()] {
+			t.Errorf("fact key %d has no dimension row", tp.At(0).Int())
+			return false
+		}
+		return true
+	})
+	skewed, _ := JoinPair(JoinConfig{LeftTuples: 500, RightTuples: 50, Skew: 1.5, Seed: 2})
+	if skewed.Cardinality() != 500 {
+		t.Errorf("skewed size = %d", skewed.Cardinality())
+	}
+	f1, d1 := JoinPair(JoinConfig{Seed: 11})
+	f2, d2 := JoinPair(JoinConfig{Seed: 11})
+	if !f1.Equal(f2) || !d1.Equal(d2) {
+		t.Error("determinism")
+	}
+}
+
+func TestGraphAndAccounts(t *testing.T) {
+	g := Graph(GraphConfig{})
+	if g.Cardinality() != 64*2 {
+		t.Errorf("default graph edges = %d", g.Cardinality())
+	}
+	g2 := Graph(GraphConfig{Nodes: 10, OutDegree: 3, Seed: 5})
+	if g2.Cardinality() != 30 {
+		t.Errorf("scaled graph edges = %d", g2.Cardinality())
+	}
+	if !Graph(GraphConfig{Seed: 1}).Equal(Graph(GraphConfig{Seed: 1})) {
+		t.Error("graph determinism")
+	}
+	a := Accounts(100, 3)
+	if a.Cardinality() != 100 || a.Schema().Name() != "account" {
+		t.Errorf("accounts = %v", a.Cardinality())
+	}
+	if !Accounts(10, 9).Equal(Accounts(10, 9)) {
+		t.Error("accounts determinism")
+	}
+}

@@ -1,0 +1,277 @@
+// Package xraparse implements a textual front-end for the multi-set extended
+// relational algebra, in the spirit of XRA, the variant of the algebra used as
+// the primary database language of PRISMA/DB (Grefen, Wilschut & Flokstra,
+// PRISMA/DB 1.0 User Manual; Section 1 of the paper).
+//
+// The surface syntax mirrors the linear notation the algebra package renders:
+//
+//	project[%1](select[%6 = 'netherlands'](join[%2 = %4](beer, brewery)))
+//
+// Statements follow Definition 4.1:
+//
+//	insert(beer, [('pils', 'guineken', 5.0)]);
+//	update(beer, select[%2 = 'guineken'](beer), (%1, %2, %3 * 1.1));
+//	strong = select[%3 >= 6.5](beer);
+//	?project[%1](strong);
+//
+// and `begin ... end` brackets group statements into one transaction.
+package xraparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokAttr  // %1, %2, ...
+	tokPunct // ( ) [ ] , ; ? =
+	tokOp    // comparison and arithmetic operators
+)
+
+// token is a single lexical token with its source position (1-based).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// SyntaxError reports a lexing or parsing error with its source position.
+type SyntaxError struct {
+	// Line and Col are the 1-based source position of the error.
+	Line, Col int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xra: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer splits an input string into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// lex tokenises the whole input.
+func (l *lexer) lex() ([]token, error) {
+	var toks []token
+	for {
+		l.skipSpaceAndComments()
+		c, ok := l.peekByte()
+		if !ok {
+			toks = append(toks, token{kind: tokEOF, pos: l.pos, line: l.line, col: l.col})
+			return toks, nil
+		}
+		startLine, startCol, startPos := l.line, l.col, l.pos
+		switch {
+		case isIdentStart(rune(c)):
+			text := l.lexIdent()
+			toks = append(toks, token{kind: tokIdent, text: text, pos: startPos, line: startLine, col: startCol})
+		case unicode.IsDigit(rune(c)):
+			text, err := l.lexNumber()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, pos: startPos, line: startLine, col: startCol})
+		case c == '\'':
+			text, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: text, pos: startPos, line: startLine, col: startCol})
+		case c == '%':
+			l.advance()
+			next, ok := l.peekByte()
+			if ok && unicode.IsDigit(rune(next)) {
+				num, err := l.lexNumber()
+				if err != nil {
+					return nil, err
+				}
+				toks = append(toks, token{kind: tokAttr, text: num, pos: startPos, line: startLine, col: startCol})
+			} else {
+				// Bare % is the modulo operator.
+				toks = append(toks, token{kind: tokOp, text: "%", pos: startPos, line: startLine, col: startCol})
+			}
+		case strings.ContainsRune("()[],;?", rune(c)):
+			l.advance()
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: startPos, line: startLine, col: startCol})
+		case strings.ContainsRune("=<>!+-*/|", rune(c)):
+			text, err := l.lexOperator()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokOp, text: text, pos: startPos, line: startLine, col: startCol})
+		default:
+			return nil, l.errorf("unexpected character %q", c)
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment: -- to end of line.
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for {
+		c, ok := l.peekByte()
+		if !ok || !isIdentPart(rune(c)) {
+			break
+		}
+		l.advance()
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexNumber() (string, error) {
+	start := l.pos
+	seenDot := false
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			break
+		}
+		if c == '.' {
+			if seenDot {
+				return "", l.errorf("malformed number")
+			}
+			// A dot must be followed by a digit to be part of the number.
+			if l.pos+1 >= len(l.src) || !unicode.IsDigit(rune(l.src[l.pos+1])) {
+				break
+			}
+			seenDot = true
+			l.advance()
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		l.advance()
+	}
+	return l.src[start:l.pos], nil
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return "", l.errorf("unterminated string literal")
+		}
+		l.advance()
+		if c == '\'' {
+			// Doubled quote is an escaped quote.
+			if next, ok := l.peekByte(); ok && next == '\'' {
+				l.advance()
+				b.WriteByte('\'')
+				continue
+			}
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+	}
+}
+
+func (l *lexer) lexOperator() (string, error) {
+	c := l.advance()
+	switch c {
+	case '<':
+		if next, ok := l.peekByte(); ok && (next == '=' || next == '>') {
+			l.advance()
+			return "<" + string(next), nil
+		}
+		return "<", nil
+	case '>':
+		if next, ok := l.peekByte(); ok && next == '=' {
+			l.advance()
+			return ">=", nil
+		}
+		return ">", nil
+	case '!':
+		if next, ok := l.peekByte(); ok && next == '=' {
+			l.advance()
+			return "!=", nil
+		}
+		return "", l.errorf("unexpected character %q", c)
+	case '|':
+		if next, ok := l.peekByte(); ok && next == '|' {
+			l.advance()
+			return "||", nil
+		}
+		return "", l.errorf("unexpected character %q", c)
+	default:
+		return string(c), nil
+	}
+}

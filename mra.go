@@ -1,0 +1,350 @@
+// Package mra is a multi-set (bag) extended relational algebra engine: a Go
+// implementation of "A Multi-Set Extended Relational Algebra — A Formal
+// Approach to a Practical Issue" (Grefen & de By, ICDE 1994).
+//
+// The package offers, on top of an in-memory multi-set storage engine:
+//
+//   - the full extended relational algebra of the paper (union, difference,
+//     product, selection, projection, intersection, join, arithmetic
+//     projection, duplicate elimination, group-by with CNT/SUM/AVG/MIN/MAX,
+//     and the transitive-closure extension);
+//   - statements, programs and transactions (insert, delete, update,
+//     assignment, query; atomic commit/abort with logical time);
+//   - an XRA textual front-end (the PRISMA/DB-style algebra language) and a
+//     SQL front-end that translates a SQL subset onto the algebra;
+//   - a rewrite engine implementing the paper's expression equivalences for
+//     query optimisation.
+//
+// # Quick start
+//
+//	db := mra.Open()
+//	db.MustCreateRelation("beer", mra.Col("name", mra.String), mra.Col("brewery", mra.String), mra.Col("alcperc", mra.Float))
+//	db.MustExecXRA(`insert(beer, [('pils', 'heineken', 5.0), ('bock', 'heineken', 6.5)])`)
+//	res, err := db.QuerySQL(`SELECT brewery, AVG(alcperc) FROM beer GROUP BY brewery`)
+//	fmt.Println(res.Table())
+package mra
+
+import (
+	"errors"
+	"fmt"
+
+	"mra/internal/algebra"
+	"mra/internal/eval"
+	"mra/internal/multiset"
+	"mra/internal/rewrite"
+	"mra/internal/schema"
+	"mra/internal/sqlfront"
+	"mra/internal/stmt"
+	"mra/internal/storage"
+	"mra/internal/txn"
+	"mra/internal/value"
+	"mra/internal/xraparse"
+)
+
+// Type is the domain of a column.
+type Type = value.Kind
+
+// The supported column domains.
+const (
+	Int    = value.KindInt
+	Float  = value.KindFloat
+	String = value.KindString
+	Bool   = value.KindBool
+)
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	// Name is the attribute name.
+	Name string
+	// Type is the attribute domain.
+	Type Type
+}
+
+// Col is a shorthand Column constructor.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// DB is a multi-set relational database: an in-memory storage engine, a
+// transaction manager, the physical evaluator, and the rewrite engine.
+type DB struct {
+	store    *storage.Database
+	manager  *txn.Manager
+	rewriter *rewrite.Rewriter
+	// Optimize controls whether queries are rewritten before evaluation.  It
+	// defaults to true.
+	Optimize bool
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	store := storage.NewDatabase()
+	return &DB{
+		store:    store,
+		manager:  txn.NewManager(store),
+		rewriter: rewrite.NewRewriter(),
+		Optimize: true,
+	}
+}
+
+// CreateRelation declares a new empty relation.
+func (db *DB) CreateRelation(name string, cols ...Column) error {
+	if len(cols) == 0 {
+		return errors.New("mra: a relation needs at least one column")
+	}
+	attrs := make([]schema.Attribute, len(cols))
+	for i, c := range cols {
+		attrs[i] = schema.Attribute{Name: c.Name, Type: c.Type}
+	}
+	return db.store.CreateRelation(schema.NewRelation(name, attrs...))
+}
+
+// MustCreateRelation is CreateRelation panicking on error; it is intended for
+// examples and tests.
+func (db *DB) MustCreateRelation(name string, cols ...Column) {
+	if err := db.CreateRelation(name, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// DropRelation removes a relation and its contents.
+func (db *DB) DropRelation(name string) error { return db.store.DropRelation(name) }
+
+// Relations returns the names of all relations, sorted.
+func (db *DB) Relations() []string { return db.store.Names() }
+
+// LogicalTime returns the database's logical time: the number of committed
+// updating transactions (Definition 2.6 of the paper).
+func (db *DB) LogicalTime() uint64 { return db.store.LogicalTime() }
+
+// Cardinality returns the number of tuples (counting duplicates) in a
+// relation.
+func (db *DB) Cardinality(name string) uint64 { return db.store.Cardinality(name) }
+
+// Catalog exposes the database schema for expression validation.
+func (db *DB) Catalog() algebra.Catalog { return db.store }
+
+// InsertValues adds rows to a relation directly, without going through a
+// front-end.  Each row must match the relation's arity; values are Go
+// int64/int, float64, string or bool.
+func (db *DB) InsertValues(relation string, rows ...[]any) error {
+	rel, ok := db.store.RelationSchema(relation)
+	if !ok {
+		return fmt.Errorf("mra: unknown relation %q", relation)
+	}
+	converted := make([][]value.Value, len(rows))
+	for i, row := range rows {
+		if len(row) != rel.Arity() {
+			return fmt.Errorf("mra: row %d has %d values, relation %q has %d columns", i+1, len(row), relation, rel.Arity())
+		}
+		vals := make([]value.Value, len(row))
+		for j, v := range row {
+			cv, err := convertValue(v)
+			if err != nil {
+				return fmt.Errorf("mra: row %d column %d: %w", i+1, j+1, err)
+			}
+			vals[j] = cv
+		}
+		converted[i] = vals
+	}
+	lit := algebra.Literal{Rel: rel.Rename(""), Rows: converted}
+	_, err := db.manager.Run(stmt.Program{stmt.Insert{Target: relation, Source: lit}})
+	return err
+}
+
+// convertValue maps a native Go value onto an atomic value.
+func convertValue(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null, nil
+	case int:
+		return value.NewInt(int64(x)), nil
+	case int64:
+		return value.NewInt(x), nil
+	case float64:
+		return value.NewFloat(x), nil
+	case string:
+		return value.NewString(x), nil
+	case bool:
+		return value.NewBool(x), nil
+	case value.Value:
+		return x, nil
+	default:
+		return value.Null, fmt.Errorf("unsupported value type %T", v)
+	}
+}
+
+// prepare optionally rewrites an expression for execution.
+func (db *DB) prepare(e algebra.Expr) algebra.Expr {
+	if !db.Optimize {
+		return e
+	}
+	out, _ := db.rewriter.Rewrite(e, db.store)
+	return out
+}
+
+// QueryExpr validates, optionally optimises, and evaluates an algebra
+// expression, returning its result.
+func (db *DB) QueryExpr(e algebra.Expr) (*Result, error) {
+	if err := algebra.Validate(e, db.store); err != nil {
+		return nil, err
+	}
+	plan := db.prepare(e)
+	tx := db.manager.Begin()
+	defer tx.Abort()
+	rel, err := (&eval.Engine{}).Eval(plan, tx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{rel: rel}, nil
+}
+
+// QueryXRA parses an XRA expression and evaluates it.
+func (db *DB) QueryXRA(expr string) (*Result, error) {
+	e, err := xraparse.ParseExpression(expr)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryExpr(e)
+}
+
+// QuerySQL compiles a SQL SELECT statement onto the algebra and evaluates it.
+func (db *DB) QuerySQL(sql string) (*Result, error) {
+	e, err := sqlfront.CompileQuery(sql, db.store)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryExpr(e)
+}
+
+// Explain returns the original and optimised plan renderings of an XRA
+// expression together with the applied rewrite rules.
+func (db *DB) Explain(expr string) (original, optimised string, rules []string, err error) {
+	e, err := xraparse.ParseExpression(expr)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if err := algebra.Validate(e, db.store); err != nil {
+		return "", "", nil, err
+	}
+	opt, trace := db.rewriter.Rewrite(e, db.store)
+	names := make([]string, len(trace))
+	for i, a := range trace {
+		names[i] = a.Rule
+	}
+	return e.String(), opt.String(), names, nil
+}
+
+// ExecProgram runs an extended relational algebra program as one transaction
+// and returns the query statement outputs.
+func (db *DB) ExecProgram(p stmt.Program) ([]*Result, error) {
+	outs, err := db.manager.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResults(outs), nil
+}
+
+// ExecXRA parses an XRA script and executes it.  Each `begin ... end` block
+// runs as one transaction; bare statements run as single-statement
+// transactions.  It returns the outputs of all query statements, in order.
+func (db *DB) ExecXRA(script string) ([]*Result, error) {
+	txs, err := xraparse.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	var results []*Result
+	for _, t := range txs {
+		outs, err := db.manager.Run(t.Program)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, wrapResults(outs)...)
+	}
+	return results, nil
+}
+
+// MustExecXRA is ExecXRA panicking on error; it is intended for examples and
+// tests.
+func (db *DB) MustExecXRA(script string) []*Result {
+	rs, err := db.ExecXRA(script)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// ExecSQL compiles a SQL script (semicolon-separated statements) into one
+// program and runs it as a single transaction.
+func (db *DB) ExecSQL(script string) ([]*Result, error) {
+	prog, err := sqlfront.CompileScript(script, db.store)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecProgram(prog)
+}
+
+// Begin opens an explicit transaction.
+func (db *DB) Begin() *Tx { return &Tx{inner: db.manager.Begin(), db: db} }
+
+// History returns the committed single-step transitions of the database.
+func (db *DB) History() []storage.Transition { return db.store.History() }
+
+// Tx is an explicit transaction handle exposing the statement-level API.
+type Tx struct {
+	inner *txn.Tx
+	db    *DB
+}
+
+// ExecXRA parses a single XRA statement and executes it inside the
+// transaction.
+func (t *Tx) ExecXRA(statement string) error {
+	s, err := xraparse.ParseStatement(statement)
+	if err != nil {
+		return err
+	}
+	return t.inner.Exec(s)
+}
+
+// ExecSQL compiles a single SQL statement and executes it inside the
+// transaction.
+func (t *Tx) ExecSQL(sql string) error {
+	s, err := sqlfront.CompileStatement(sql, t.inner.Catalog())
+	if err != nil {
+		return err
+	}
+	return t.inner.Exec(s)
+}
+
+// Exec executes an already-built statement inside the transaction.
+func (t *Tx) Exec(s stmt.Statement) error { return t.inner.Exec(s) }
+
+// Query evaluates an XRA expression against the transaction's intermediate
+// state (including its own uncommitted changes and temporaries).
+func (t *Tx) Query(expr string) (*Result, error) {
+	e, err := xraparse.ParseExpression(expr)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := t.inner.Evaluate(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{rel: rel}, nil
+}
+
+// Outputs returns the results of the query statements executed so far.
+func (t *Tx) Outputs() []*Result { return wrapResults(t.inner.Outputs()) }
+
+// Commit installs the transaction's effects as the next database state.
+func (t *Tx) Commit() error { return t.inner.Commit() }
+
+// Abort discards the transaction's effects.
+func (t *Tx) Abort() { t.inner.Abort() }
+
+// wrapResults converts raw relations into public results.
+func wrapResults(rels []*multiset.Relation) []*Result {
+	out := make([]*Result, len(rels))
+	for i, r := range rels {
+		out[i] = &Result{rel: r}
+	}
+	return out
+}

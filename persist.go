@@ -1,0 +1,47 @@
+package mra
+
+import (
+	"io"
+	"os"
+
+	"mra/internal/dump"
+)
+
+// Dump writes the database's current state (every relation with its schema
+// and tuple multiplicities) to the writer in the textual dump format of
+// internal/dump.  The dump captures exactly the database state D_t; it does
+// not include the transition history.
+func (db *DB) Dump(w io.Writer) error { return dump.Write(db.store, w) }
+
+// SaveFile dumps the database to a file, creating or truncating it.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Restore reads a dump and returns a new database holding its contents.  The
+// restored database starts its own logical time.
+func Restore(r io.Reader) (*DB, error) {
+	db := Open()
+	if err := dump.ReadInto(db.store, r); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// LoadFile restores a database from a dump file written by SaveFile.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Restore(f)
+}

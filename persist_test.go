@@ -1,0 +1,69 @@
+package mra
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDumpAndRestore(t *testing.T) {
+	db := openBeerDB(t)
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "relation beer(") {
+		t.Errorf("dump missing the beer relation:\n%s", buf.String())
+	}
+	restored, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Relations(), db.Relations(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("restored relations = %v, want %v", got, want)
+	}
+	for _, name := range db.Relations() {
+		if restored.Cardinality(name) != db.Cardinality(name) {
+			t.Errorf("relation %q cardinality %d, want %d", name, restored.Cardinality(name), db.Cardinality(name))
+		}
+	}
+	// The restored database answers the paper's Example 3.1 identically.
+	const q = "project[%1](select[%6 = 'netherlands'](join[%2 = %4](beer, brewery)))"
+	a, err := db.QueryXRA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.QueryXRA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("restored database answers differently:\n%s\n%s", a, b)
+	}
+	// Restoring garbage fails.
+	if _, err := Restore(strings.NewReader("not a dump")); err == nil {
+		t.Error("garbage must not restore")
+	}
+}
+
+func TestSaveAndLoadFile(t *testing.T) {
+	db := openBeerDB(t)
+	path := filepath.Join(t.TempDir(), "beer.mra")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cardinality("beer") != db.Cardinality("beer") {
+		t.Error("loaded database differs from the saved one")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.mra")); err == nil {
+		t.Error("loading a missing file must fail")
+	}
+	if err := db.SaveFile(filepath.Join(t.TempDir(), "nosuchdir", "x.mra")); err == nil {
+		t.Error("saving to a missing directory must fail")
+	}
+}

@@ -1,0 +1,148 @@
+package mra
+
+import (
+	"fmt"
+	"strings"
+
+	"mra/internal/multiset"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// Result is a materialised query result: a multi-set of tuples together with
+// its schema.
+type Result struct {
+	rel *multiset.Relation
+}
+
+// Columns returns the result's column names; unnamed computed columns are
+// rendered as col1, col2, ...
+func (r *Result) Columns() []string {
+	s := r.rel.Schema()
+	out := make([]string, s.Arity())
+	for i := 0; i < s.Arity(); i++ {
+		name := s.Attribute(i).Name
+		if name == "" {
+			name = fmt.Sprintf("col%d", i+1)
+		}
+		out[i] = name
+	}
+	return out
+}
+
+// Len returns the number of rows, counting duplicates.
+func (r *Result) Len() int { return int(r.rel.Cardinality()) }
+
+// DistinctLen returns the number of distinct rows.
+func (r *Result) DistinctLen() int { return r.rel.DistinctCount() }
+
+// Rows returns all rows (duplicates expanded) in canonical order.  Values are
+// native Go values: int64, float64, string, bool or nil.
+func (r *Result) Rows() [][]any {
+	out := make([][]any, 0, r.rel.Cardinality())
+	for _, t := range r.rel.Tuples() {
+		out = append(out, rowOf(t))
+	}
+	return out
+}
+
+// DistinctRows returns one row per distinct tuple together with its
+// multiplicity, in canonical order.
+func (r *Result) DistinctRows() []RowCount {
+	var out []RowCount
+	r.rel.EachSorted(func(t tuple.Tuple, count uint64) bool {
+		out = append(out, RowCount{Row: rowOf(t), Count: count})
+		return true
+	})
+	return out
+}
+
+// RowCount pairs a distinct row with its multiplicity.
+type RowCount struct {
+	Row   []any
+	Count uint64
+}
+
+// Multiplicity returns how many times the given row occurs in the result.
+func (r *Result) Multiplicity(row ...any) uint64 {
+	vals := make([]value.Value, len(row))
+	for i, v := range row {
+		cv, err := convertValue(v)
+		if err != nil {
+			return 0
+		}
+		vals[i] = cv
+	}
+	return r.rel.Multiplicity(tuple.New(vals...))
+}
+
+// rowOf converts a tuple into native Go values.
+func rowOf(t tuple.Tuple) []any {
+	row := make([]any, t.Arity())
+	for i := 0; i < t.Arity(); i++ {
+		v := t.At(i)
+		switch v.Kind() {
+		case value.KindInt:
+			row[i] = v.Int()
+		case value.KindFloat:
+			row[i] = v.Float()
+		case value.KindString:
+			row[i] = v.Str()
+		case value.KindBool:
+			row[i] = v.Bool()
+		default:
+			row[i] = nil
+		}
+	}
+	return row
+}
+
+// String renders the result as a multi-set literal.
+func (r *Result) String() string { return r.rel.String() }
+
+// Table renders the result as an aligned text table with a header row, one
+// line per occurrence, in canonical order.
+func (r *Result) Table() string {
+	cols := r.Columns()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	var rows [][]string
+	r.rel.EachSorted(func(t tuple.Tuple, count uint64) bool {
+		cells := make([]string, t.Arity())
+		for i := 0; i < t.Arity(); i++ {
+			cells[i] = t.At(i).Display()
+			if len(cells[i]) > widths[i] {
+				widths[i] = len(cells[i])
+			}
+		}
+		for k := uint64(0); k < count; k++ {
+			rows = append(rows, cells)
+		}
+		return true
+	})
+
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(cols)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(rows))
+	return b.String()
+}
