@@ -9,10 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"mra/internal/algebra"
@@ -30,7 +33,16 @@ import (
 
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids to run (e.g. E1,E5,E7) or 'all'")
+	jsonLabel := flag.String("json", "", "instead of the experiment tables, run the E1/E2 benchmark set and write machine-readable BENCH_<label>.json")
 	flag.Parse()
+
+	if *jsonLabel != "" {
+		if err := writeBenchJSON(*jsonLabel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(strings.ToUpper(*run), ",") {
@@ -384,4 +396,130 @@ func e10() {
 		t := timeIt(func() { res = evalMust(algebra.NewTClose(algebra.NewRel("edge")), src) })
 		fmt.Printf("%d\t%d\t%d\t%v\n", nodes, g.Cardinality(), res.Cardinality(), t)
 	}
+}
+
+// benchResult is one benchmark series entry of a BENCH_<label>.json file.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchFile is the schema of a BENCH_<label>.json baseline.
+type benchFile struct {
+	Label      string        `json:"label"`
+	Source     string        `json:"source"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// writeBenchJSON runs the E1/E2 benchmark set (the same expression shapes as
+// the testing.B benchmarks at the repository root) through testing.Benchmark
+// and writes the series as BENCH_<label>.json, the machine-readable baseline
+// future performance PRs are compared against.
+func writeBenchJSON(label string) error {
+	evalLoop := func(expr algebra.Expr, src eval.Source) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (&eval.Engine{}).Eval(expr, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	var cases []struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		cases = append(cases, struct {
+			name string
+			fn   func(b *testing.B)
+		}{name, fn})
+	}
+
+	// E1 — Theorem 3.1: native operators vs their derived forms.
+	for _, n := range []int{500, 2000} {
+		left := workload.Duplicated(workload.DuplicationConfig{DistinctTuples: n, DuplicationFactor: 2, Seed: 1})
+		right := workload.Duplicated(workload.DuplicationConfig{DistinctTuples: n, DuplicationFactor: 3, Seed: 2})
+		isrc := eval.MapSource{"a": left, "b": right}
+		a, c := algebra.NewRel("a"), algebra.NewRel("b")
+		add(fmt.Sprintf("E1_IntersectNativeVsDerived/native/n=%d", n),
+			evalLoop(algebra.NewIntersect(a, c), isrc))
+		add(fmt.Sprintf("E1_IntersectNativeVsDerived/derived/n=%d", n),
+			evalLoop(algebra.NewDifference(a, algebra.NewDifference(a, c)), isrc))
+
+		fact, dim := workload.JoinPair(workload.JoinConfig{LeftTuples: n, RightTuples: n / 10, Seed: 3})
+		jsrc := eval.MapSource{"fact": fact, "dim": dim}
+		cond := scalar.Eq(0, 2)
+		add(fmt.Sprintf("E1_JoinNativeVsSigmaProduct/native/n=%d", n),
+			evalLoop(algebra.NewJoin(cond, algebra.NewRel("fact"), algebra.NewRel("dim")), jsrc))
+		add(fmt.Sprintf("E1_JoinNativeVsSigmaProduct/derived/n=%d", n),
+			evalLoop(algebra.NewSelect(cond, algebra.NewProduct(algebra.NewRel("fact"), algebra.NewRel("dim"))), jsrc))
+	}
+
+	// E2 — Theorem 3.2: distribution of σ and π over ⊎.  Workloads use the
+	// same seeds as the corresponding root bench_test.go benchmarks (4/5 for
+	// the selection pair, 6/7 for the projection pair) so the JSON series is
+	// directly comparable to `go test -bench E2`.
+	e1r, e2r := algebra.NewRel("e1"), algebra.NewRel("e2")
+	ssrc := eval.MapSource{
+		"e1": workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 5000, DuplicationFactor: 2, Seed: 4}),
+		"e2": workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 5000, DuplicationFactor: 2, Seed: 5}),
+	}
+	pred := scalar.NewCompare(value.CmpLt, scalar.NewAttr(1), scalar.NewConst(value.NewInt(1<<15)))
+	add("E2_SelectionPushdownOverUnion/sigma-over-union",
+		evalLoop(algebra.NewSelect(pred, algebra.NewUnion(e1r, e2r)), ssrc))
+	add("E2_SelectionPushdownOverUnion/union-of-sigmas",
+		evalLoop(algebra.NewUnion(algebra.NewSelect(pred, e1r), algebra.NewSelect(pred, e2r)), ssrc))
+	psrc := eval.MapSource{
+		"e1": workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 5000, DuplicationFactor: 2, Seed: 6}),
+		"e2": workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 5000, DuplicationFactor: 2, Seed: 7}),
+	}
+	add("E2_ProjectionPushdownOverUnion/pi-over-union",
+		evalLoop(algebra.NewProject([]int{0}, algebra.NewUnion(e1r, e2r)), psrc))
+	add("E2_ProjectionPushdownOverUnion/union-of-pis",
+		evalLoop(algebra.NewUnion(algebra.NewProject([]int{0}, e1r), algebra.NewProject([]int{0}, e2r)), psrc))
+
+	out := benchFile{
+		Label:     label,
+		Source:    "mrabench -json",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		if r.N == 0 {
+			// b.Fatal inside the closure aborts the benchmark goroutine and
+			// testing.Benchmark returns a zero result; surface the case name
+			// instead of letting NaN ns/op poison the JSON.
+			return fmt.Errorf("benchmark %s failed (evaluation error); baseline not written", c.name)
+		}
+		out.Benchmarks = append(out.Benchmarks, benchResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%s\t%d iters\t%.0f ns/op\t%d B/op\t%d allocs/op\n",
+			c.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("BENCH_%s.json", label)
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", name)
+	return nil
 }

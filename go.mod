@@ -1,0 +1,3 @@
+module mra
+
+go 1.24

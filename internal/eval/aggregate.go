@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"mra/internal/algebra"
-	"mra/internal/tuple"
 	"mra/internal/value"
 )
 
@@ -26,9 +25,6 @@ type aggState struct {
 	max   value.Value
 	seen  bool
 }
-
-// newAggState returns a fresh accumulator for the aggregate.
-func newAggState(agg algebra.Aggregate) *aggState { return &aggState{agg: agg} }
 
 // add folds in one distinct tuple's attribute value with its multiplicity.
 func (s *aggState) add(v value.Value, count uint64) error {
@@ -99,6 +95,3 @@ func (s *aggState) result() (value.Value, error) {
 		return value.Null, fmt.Errorf("eval: unknown aggregate %v", s.agg)
 	}
 }
-
-// groupKey builds the canonical key of a tuple's grouping attributes.
-func groupKey(t tuple.Tuple, cols []int) string { return t.KeyOn(cols) }

@@ -115,26 +115,10 @@ func (e *Engine) Eval(expr algebra.Expr, src Source) (*multiset.Relation, error)
 		if prod, ok := n.Input.(algebra.Product); ok {
 			return e.evalJoin(n.Cond, prod.Left, prod.Right, src)
 		}
-		in, err := e.Eval(n.Input, src)
-		if err != nil {
-			return nil, err
-		}
-		out, err := multiset.Select(in, n.Cond.Holds)
-		if err != nil {
-			return nil, err
-		}
-		return e.record(out), nil
+		return e.evalFused(n, src)
 
 	case algebra.Project:
-		in, err := e.Eval(n.Input, src)
-		if err != nil {
-			return nil, err
-		}
-		out, err := multiset.Project(in, n.Columns)
-		if err != nil {
-			return nil, err
-		}
-		return e.record(out), nil
+		return e.evalFused(n, src)
 
 	case algebra.Join:
 		return e.evalJoin(n.Cond, n.Left, n.Right, src)
@@ -242,21 +226,39 @@ func equiCols(cond scalar.Predicate, leftArity int) (leftCols, rightCols []int, 
 	return leftCols, rightCols, residual
 }
 
+// equalOn reports pairwise equality of a's attributes at acols with b's
+// attributes at bcols.  It is the collision check of the hash join: two
+// tuples land in the same bucket iff their join-column hashes agree, and
+// equalOn separates true matches from hash collisions.
+func equalOn(a tuple.Tuple, acols []int, b tuple.Tuple, bcols []int) bool {
+	for k := range acols {
+		if !a.At(acols[k]).Equal(b.At(bcols[k])) {
+			return false
+		}
+	}
+	return true
+}
+
 // evalJoin executes E1 ⋈φ E2.  When φ contains equality conjuncts linking the
-// two sides it builds a hash table on the smaller side's join columns and
-// probes with the other side; otherwise it falls back to the nested-loop
+// two sides it builds a hash table on the smaller side's join columns
+// (indexed by tuple.HashOn, resolved by positional equality) and probes with
+// the other side; otherwise it falls back to the nested-loop
 // product-then-filter of the definition.
 func (e *Engine) evalJoin(cond scalar.Predicate, left, right algebra.Expr, src Source) (*multiset.Relation, error) {
 	l, r, err := e.evalPair(left, right, src)
 	if err != nil {
 		return nil, err
 	}
+	outSchema := l.Schema().Concat(r.Schema())
+	// An empty side makes the join empty: skip hashing and scanning entirely.
+	if l.IsEmpty() || r.IsEmpty() {
+		return e.record(multiset.New(outSchema)), nil
+	}
 	leftCols, rightCols, residual := equiCols(cond, l.Schema().Arity())
-	out := multiset.New(l.Schema().Concat(r.Schema()))
-	residualPred := scalar.NewAnd(residual...)
 
 	if len(leftCols) == 0 {
 		// No hashable conjunct: nested-loop join.
+		out := multiset.New(outSchema)
 		var loopErr error
 		l.Each(func(lt tuple.Tuple, lc uint64) bool {
 			r.Each(func(rt tuple.Tuple, rc uint64) bool {
@@ -279,35 +281,148 @@ func (e *Engine) evalJoin(cond scalar.Predicate, left, right algebra.Expr, src S
 		return e.record(out), nil
 	}
 
-	// Hash join: build on the right side, probe with the left.
-	type bucket struct {
+	// Hash join: build on the side with fewer distinct tuples, probe with the
+	// other.  The build table is a flat node arena with collision chains
+	// headed by a hash index, so neither phase allocates per-tuple keys.
+	build, probe := r, l
+	buildCols, probeCols := rightCols, leftCols
+	buildIsLeft := false
+	if l.DistinctCount() < r.DistinctCount() {
+		build, probe = l, r
+		buildCols, probeCols = leftCols, rightCols
+		buildIsLeft = true
+	}
+
+	type node struct {
 		tup   tuple.Tuple
 		count uint64
+		next  int32
 	}
-	table := make(map[string][]bucket, r.DistinctCount())
-	r.Each(func(rt tuple.Tuple, rc uint64) bool {
-		key := rt.KeyOn(rightCols)
-		table[key] = append(table[key], bucket{tup: rt, count: rc})
+	nodes := make([]node, 0, build.DistinctCount())
+	index := make(map[uint64]int32, build.DistinctCount())
+	build.Each(func(bt tuple.Tuple, bc uint64) bool {
+		h := bt.HashOn(buildCols)
+		head, ok := index[h]
+		if !ok {
+			head = -1
+		}
+		index[h] = int32(len(nodes))
+		nodes = append(nodes, node{tup: bt, count: bc, next: head})
 		return true
 	})
+
+	residualPred := scalar.NewAnd(residual...)
+	out := multiset.NewWithCapacity(outSchema, probe.DistinctCount())
 	var probeErr error
-	l.Each(func(lt tuple.Tuple, lc uint64) bool {
-		key := lt.KeyOn(leftCols)
-		for _, b := range table[key] {
-			joined := lt.Concat(b.tup)
-			ok, err := residualPred.Holds(joined)
-			if err != nil {
-				probeErr = err
-				return false
+	probe.Each(func(pt tuple.Tuple, pc uint64) bool {
+		head, ok := index[pt.HashOn(probeCols)]
+		if !ok {
+			return true
+		}
+		for i := head; i != -1; i = nodes[i].next {
+			bt := nodes[i].tup
+			if !equalOn(pt, probeCols, bt, buildCols) {
+				continue
 			}
-			if ok {
-				out.Add(joined, lc*b.count)
+			var joined tuple.Tuple
+			if buildIsLeft {
+				joined = bt.Concat(pt)
+			} else {
+				joined = pt.Concat(bt)
 			}
+			if len(residual) > 0 {
+				ok, err := residualPred.Holds(joined)
+				if err != nil {
+					probeErr = err
+					return false
+				}
+				if !ok {
+					continue
+				}
+			}
+			out.Add(joined, pc*nodes[i].count)
 		}
 		return true
 	})
 	if probeErr != nil {
 		return nil, probeErr
+	}
+	return e.record(out), nil
+}
+
+// fusedStage is one per-tuple step of a fused select/project pipeline: a
+// predicate filter when pred is non-nil, a positional projection otherwise.
+type fusedStage struct {
+	pred scalar.Predicate
+	cols []int
+}
+
+// evalFused collapses a chain of Select and Project operators into a single
+// pass over the innermost input, so cascades like σ(σ(E)), π(σ(E)) and
+// π(π(E)) — the shapes the Theorem 3.2 rewrites produce — never materialise
+// intermediate relations.  A σ directly above a product is left to evalJoin.
+func (e *Engine) evalFused(expr algebra.Expr, src Source) (*multiset.Relation, error) {
+	var stages []fusedStage // outermost first
+	cur := expr
+walk:
+	for {
+		switch n := cur.(type) {
+		case algebra.Select:
+			if _, isProduct := n.Input.(algebra.Product); isProduct {
+				break walk
+			}
+			stages = append(stages, fusedStage{pred: n.Cond})
+			cur = n.Input
+		case algebra.Project:
+			stages = append(stages, fusedStage{cols: n.Columns})
+			cur = n.Input
+		default:
+			break walk
+		}
+	}
+	in, err := e.Eval(cur, src)
+	if err != nil {
+		return nil, err
+	}
+	// Fold the input schema through the projection stages, innermost first,
+	// to obtain the output schema.
+	outSchema := in.Schema()
+	for i := len(stages) - 1; i >= 0; i-- {
+		if stages[i].pred == nil {
+			outSchema, err = outSchema.Project(stages[i].cols)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := multiset.NewWithCapacity(outSchema, in.DistinctCount())
+	var iterErr error
+	in.Each(func(t tuple.Tuple, count uint64) bool {
+		for i := len(stages) - 1; i >= 0; i-- {
+			st := &stages[i]
+			if st.pred != nil {
+				ok, err := st.pred.Holds(t)
+				if err != nil {
+					iterErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+			} else {
+				p, err := t.Project(st.cols)
+				if err != nil {
+					iterErr = err
+					return false
+				}
+				t = p
+			}
+		}
+		out.Add(t, count)
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
 	}
 	return e.record(out), nil
 }

@@ -159,23 +159,37 @@ func refEvalPair(a, b algebra.Expr, src Source) (*multiset.Relation, *multiset.R
 
 // refGroupBy computes Γ_{α,f,p}(E) by partitioning the materialised input on
 // the grouping attributes and folding the aggregate per partition
-// (Definition 3.4).  With an empty α and an empty input, AVG/MIN/MAX are
-// undefined (partial functions) and CNT/SUM yield a single zero tuple.
+// (Definition 3.4).  Partitions live in a grouped hash table keyed by
+// tuple.HashOn over the grouping columns with positional-equality collision
+// chains — the same scheme the relation representation and the hash join use.
+// With an empty α and an empty input, AVG/MIN/MAX are undefined (partial
+// functions) and CNT/SUM yield a single zero tuple.
 func refGroupBy(n algebra.GroupBy, in *multiset.Relation, outSchema schema.Relation) (*multiset.Relation, error) {
-	out := multiset.New(outSchema)
-
 	type group struct {
 		rep   tuple.Tuple
-		state *aggState
+		state aggState
+		next  int32
 	}
-	groups := make(map[string]*group)
+	groups := make([]group, 0, 16)
+	index := make(map[uint64]int32, 16)
 	var iterErr error
 	in.Each(func(t tuple.Tuple, count uint64) bool {
-		key := groupKey(t, n.GroupCols)
-		g, ok := groups[key]
+		h := t.HashOn(n.GroupCols)
+		var g *group
+		head, ok := index[h]
 		if !ok {
-			g = &group{rep: t, state: newAggState(n.Agg)}
-			groups[key] = g
+			head = -1
+		}
+		for i := head; i != -1; i = groups[i].next {
+			if equalOn(t, n.GroupCols, groups[i].rep, n.GroupCols) {
+				g = &groups[i]
+				break
+			}
+		}
+		if g == nil {
+			index[h] = int32(len(groups))
+			groups = append(groups, group{rep: t, state: aggState{agg: n.Agg}, next: head})
+			g = &groups[len(groups)-1]
 		}
 		if err := g.state.add(t.At(n.AggCol), count); err != nil {
 			iterErr = err
@@ -187,15 +201,12 @@ func refGroupBy(n algebra.GroupBy, in *multiset.Relation, outSchema schema.Relat
 		return nil, iterErr
 	}
 
+	out := multiset.NewWithCapacity(outSchema, len(groups))
 	if len(n.GroupCols) == 0 {
 		// Global aggregate: exactly one output tuple.
-		var st *aggState
-		if len(groups) == 0 {
-			st = newAggState(n.Agg)
-		} else {
-			for _, g := range groups {
-				st = g.state
-			}
+		st := aggState{agg: n.Agg}
+		if len(groups) > 0 {
+			st = groups[0].state
 		}
 		v, err := st.result()
 		if err != nil {
@@ -205,12 +216,12 @@ func refGroupBy(n algebra.GroupBy, in *multiset.Relation, outSchema schema.Relat
 		return out, nil
 	}
 
-	for _, g := range groups {
-		head, err := g.rep.Project(n.GroupCols)
+	for i := range groups {
+		head, err := groups[i].rep.Project(n.GroupCols)
 		if err != nil {
 			return nil, err
 		}
-		v, err := g.state.result()
+		v, err := groups[i].state.result()
 		if err != nil {
 			return nil, err
 		}
@@ -224,22 +235,44 @@ func refGroupBy(n algebra.GroupBy, in *multiset.Relation, outSchema schema.Relat
 // duplicate-free (closure is a set-level notion; Section 5 of the paper).
 func transitiveClosure(in *multiset.Relation) *multiset.Relation {
 	closure := multiset.Unique(in)
-	// successors indexed by source key for the semi-naive step.
-	type edge struct {
-		src, dst value.Value
+	// Successor lists indexed by the source value's hash, with Equal collision
+	// chains, for the semi-naive step.
+	type succChain struct {
+		src  value.Value
+		dsts []value.Value
 	}
-	succ := make(map[string][]value.Value)
+	succ := make(map[uint64][]succChain)
+	successors := func(v value.Value) []value.Value {
+		chains := succ[v.Hash()]
+		for i := range chains {
+			if chains[i].src.Equal(v) {
+				return chains[i].dsts
+			}
+		}
+		return nil
+	}
 	closure.Each(func(t tuple.Tuple, _ uint64) bool {
-		k := t.At(0).Key()
-		succ[k] = append(succ[k], t.At(1))
+		src := t.At(0)
+		h := src.Hash()
+		chains := succ[h]
+		found := false
+		for i := range chains {
+			if chains[i].src.Equal(src) {
+				chains[i].dsts = append(chains[i].dsts, t.At(1))
+				found = true
+				break
+			}
+		}
+		if !found {
+			succ[h] = append(chains, succChain{src: src, dsts: []value.Value{t.At(1)}})
+		}
 		return true
 	})
 	delta := closure.Clone()
 	for !delta.IsEmpty() {
 		next := multiset.New(in.Schema())
 		delta.Each(func(t tuple.Tuple, _ uint64) bool {
-			mid := t.At(1)
-			for _, dst := range succ[mid.Key()] {
+			for _, dst := range successors(t.At(1)) {
 				candidate := tuple.New(t.At(0), dst)
 				if !closure.Contains(candidate) {
 					next.Add(candidate, 1)

@@ -4,41 +4,109 @@
 //
 // A Relation R of schema 𝓡 is a function R : dom(𝓡) → ℕ; the value R(x) is
 // the multiplicity of x in R, and x ∈ R ⇔ R(x) > 0.  The representation never
-// stores zero-multiplicity entries, so membership is structural.
+// reports zero-multiplicity entries, so membership is structural.
+//
+// Physically a relation is a hash table indexed by tuple.Hash() with
+// Tuple.Equal collision chains — no canonical string key is ever built.  The
+// table is shared copy-on-write between Clone/WithSchema views: cloning is
+// O(1) and the first mutation of a shared view copies the table privately.
 package multiset
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"mra/internal/schema"
 	"mra/internal/tuple"
 )
 
-// entry pairs a representative tuple with its multiplicity.
+// chainEnd terminates a collision chain.
+const chainEnd = int32(-1)
+
+// entry is one slot of the hash table: a representative tuple, its cached
+// hash, its multiplicity, and the index of the next entry with the same hash.
+// An entry whose count is zero is a tombstone left behind by Remove; it is
+// skipped by iteration and revived in place if the tuple is re-added.
 type entry struct {
 	tup   tuple.Tuple
+	hash  uint64
 	count uint64
+	next  int32
 }
 
-// Relation is a multi-set relation instance.  The zero value is not usable;
-// construct relations with New.
-type Relation struct {
-	schema  schema.Relation
-	entries map[string]entry
+// table is the physical representation shared copy-on-write between relation
+// views: a flat entry arena plus a hash index mapping tuple.Hash() to the
+// head of that hash's collision chain.
+type table struct {
+	index   map[uint64]int32
+	entries []entry
+	live    int
 	total   uint64
 }
 
+func newTable(capacity int) *table {
+	return &table{index: make(map[uint64]int32, capacity), entries: make([]entry, 0, capacity)}
+}
+
+func (t *table) clone() *table {
+	return &table{index: maps.Clone(t.index), entries: slices.Clone(t.entries), live: t.live, total: t.total}
+}
+
+// find returns the index of the entry holding tup (live or tombstoned), or
+// chainEnd if the tuple has never been stored.
+func (t *table) find(h uint64, tup tuple.Tuple) int32 {
+	head, ok := t.index[h]
+	if !ok {
+		return chainEnd
+	}
+	for i := head; i != chainEnd; i = t.entries[i].next {
+		if t.entries[i].tup.Equal(tup) {
+			return i
+		}
+	}
+	return chainEnd
+}
+
+// insert appends a new entry for a tuple known to be absent, prepending it to
+// its hash's collision chain.
+func (t *table) insert(h uint64, tup tuple.Tuple, n uint64) {
+	head, ok := t.index[h]
+	if !ok {
+		head = chainEnd
+	}
+	t.index[h] = int32(len(t.entries))
+	t.entries = append(t.entries, entry{tup: tup, hash: h, count: n, next: head})
+	t.live++
+	t.total += n
+}
+
+// Relation is a multi-set relation instance.  The zero value is not usable;
+// construct relations with New.  A Relation must not be copied by value.
+type Relation struct {
+	schema schema.Relation
+	tab    *table
+	// cow marks the table as shared with at least one other view (created by
+	// Clone or WithSchema); the first mutation copies it privately.
+	cow atomic.Bool
+}
+
 // New returns an empty relation instance of the given schema.
-func New(s schema.Relation) *Relation {
-	return &Relation{schema: s, entries: make(map[string]entry)}
+func New(s schema.Relation) *Relation { return NewWithCapacity(s, 0) }
+
+// NewWithCapacity returns an empty relation pre-sized for about n distinct
+// tuples, so bulk loads by the physical operators avoid rehash growth.
+func NewWithCapacity(s schema.Relation, n int) *Relation {
+	return &Relation{schema: s, tab: newTable(n)}
 }
 
 // FromTuples builds a relation containing the given tuples, each with
 // multiplicity one per occurrence (duplicates in the argument accumulate).
 func FromTuples(s schema.Relation, tuples ...tuple.Tuple) *Relation {
-	r := New(s)
+	r := NewWithCapacity(s, len(tuples))
 	for _, t := range tuples {
 		r.Add(t, 1)
 	}
@@ -48,9 +116,22 @@ func FromTuples(s schema.Relation, tuples ...tuple.Tuple) *Relation {
 // Schema returns the relation's schema.
 func (r *Relation) Schema() schema.Relation { return r.schema }
 
+// materialize gives the relation a private table before a mutation when the
+// current one is shared with other copy-on-write views.
+func (r *Relation) materialize() {
+	if !r.cow.Load() {
+		return
+	}
+	r.tab = r.tab.clone()
+	r.cow.Store(false)
+}
+
 // Multiplicity returns R(t), the number of occurrences of t in R.
 func (r *Relation) Multiplicity(t tuple.Tuple) uint64 {
-	return r.entries[t.Key()].count
+	if i := r.tab.find(t.Hash(), t); i != chainEnd {
+		return r.tab.entries[i].count
+	}
+	return 0
 }
 
 // Contains reports t ∈ R, i.e. R(t) > 0.
@@ -61,14 +142,19 @@ func (r *Relation) Add(t tuple.Tuple, n uint64) {
 	if n == 0 {
 		return
 	}
-	key := t.Key()
-	e := r.entries[key]
-	if e.count == 0 {
-		e.tup = t
+	r.materialize()
+	tab := r.tab
+	h := t.Hash()
+	if i := tab.find(h, t); i != chainEnd {
+		e := &tab.entries[i]
+		if e.count == 0 {
+			tab.live++
+		}
+		e.count += n
+		tab.total += n
+		return
 	}
-	e.count += n
-	r.entries[key] = e
-	r.total += n
+	tab.insert(h, t, n)
 }
 
 // Remove decreases the multiplicity of t by n, clamping at zero ("monus", the
@@ -78,55 +164,67 @@ func (r *Relation) Remove(t tuple.Tuple, n uint64) uint64 {
 	if n == 0 {
 		return 0
 	}
-	key := t.Key()
-	e, ok := r.entries[key]
-	if !ok {
+	r.materialize()
+	tab := r.tab
+	i := tab.find(t.Hash(), t)
+	if i == chainEnd || tab.entries[i].count == 0 {
 		return 0
 	}
+	e := &tab.entries[i]
 	removed := n
 	if removed > e.count {
 		removed = e.count
 	}
 	e.count -= removed
-	r.total -= removed
+	tab.total -= removed
 	if e.count == 0 {
-		delete(r.entries, key)
-	} else {
-		r.entries[key] = e
+		tab.live--
 	}
 	return removed
 }
 
 // SetMultiplicity forces R(t) = n, inserting or deleting the entry as needed.
 func (r *Relation) SetMultiplicity(t tuple.Tuple, n uint64) {
-	key := t.Key()
-	e, ok := r.entries[key]
-	if ok {
-		r.total -= e.count
-	}
-	if n == 0 {
-		delete(r.entries, key)
+	r.materialize()
+	tab := r.tab
+	h := t.Hash()
+	i := tab.find(h, t)
+	if i == chainEnd {
+		if n > 0 {
+			tab.insert(h, t, n)
+		}
 		return
 	}
-	r.entries[key] = entry{tup: t, count: n}
-	r.total += n
+	e := &tab.entries[i]
+	switch {
+	case e.count == 0 && n > 0:
+		tab.live++
+	case e.count > 0 && n == 0:
+		tab.live--
+	}
+	tab.total += n - e.count
+	e.count = n
 }
 
 // Cardinality returns |R| counting duplicates: Σ_x R(x).
-func (r *Relation) Cardinality() uint64 { return r.total }
+func (r *Relation) Cardinality() uint64 { return r.tab.total }
 
 // DistinctCount returns the number of distinct tuples with R(x) > 0.
-func (r *Relation) DistinctCount() int { return len(r.entries) }
+func (r *Relation) DistinctCount() int { return r.tab.live }
 
 // IsEmpty reports whether the relation contains no tuples.
-func (r *Relation) IsEmpty() bool { return r.total == 0 }
+func (r *Relation) IsEmpty() bool { return r.tab.total == 0 }
 
 // Each calls fn once per distinct tuple with its multiplicity.  Iteration
 // order is unspecified (relations are unordered collections).  If fn returns
-// false, iteration stops.
+// false, iteration stops.  fn must not mutate r.
 func (r *Relation) Each(fn func(t tuple.Tuple, count uint64) bool) {
-	for _, e := range r.entries {
-		if !fn(e.tup, e.count) {
+	entries := r.tab.entries
+	for i := range entries {
+		if entries[i].count == 0 {
+			continue
+		}
+		if !fn(entries[i].tup, entries[i].count) {
 			return
 		}
 	}
@@ -135,9 +233,10 @@ func (r *Relation) Each(fn func(t tuple.Tuple, count uint64) bool) {
 // EachOccurrence calls fn once per occurrence, i.e. a tuple with multiplicity
 // k is visited k times.  If fn returns false, iteration stops.
 func (r *Relation) EachOccurrence(fn func(t tuple.Tuple) bool) {
-	for _, e := range r.entries {
-		for i := uint64(0); i < e.count; i++ {
-			if !fn(e.tup) {
+	entries := r.tab.entries
+	for i := range entries {
+		for k := uint64(0); k < entries[i].count; k++ {
+			if !fn(entries[i].tup) {
 				return
 			}
 		}
@@ -147,7 +246,7 @@ func (r *Relation) EachOccurrence(fn func(t tuple.Tuple) bool) {
 // Tuples returns all occurrences as a flat slice (duplicates expanded), in
 // canonical (sorted) order for deterministic output.
 func (r *Relation) Tuples() []tuple.Tuple {
-	out := make([]tuple.Tuple, 0, r.total)
+	out := make([]tuple.Tuple, 0, r.tab.total)
 	r.EachSorted(func(t tuple.Tuple, count uint64) bool {
 		for i := uint64(0); i < count; i++ {
 			out = append(out, t)
@@ -159,7 +258,7 @@ func (r *Relation) Tuples() []tuple.Tuple {
 
 // Distinct returns the distinct tuples in canonical (sorted) order.
 func (r *Relation) Distinct() []tuple.Tuple {
-	out := make([]tuple.Tuple, 0, len(r.entries))
+	out := make([]tuple.Tuple, 0, r.tab.live)
 	r.EachSorted(func(t tuple.Tuple, _ uint64) bool {
 		out = append(out, t)
 		return true
@@ -171,45 +270,58 @@ func (r *Relation) Distinct() []tuple.Tuple {
 // intended for deterministic rendering and test assertions; the algebra never
 // relies on order.
 func (r *Relation) EachSorted(fn func(t tuple.Tuple, count uint64) bool) {
-	keys := make([]string, 0, len(r.entries))
-	for k := range r.entries {
-		keys = append(keys, k)
+	entries := r.tab.entries
+	idx := make([]int32, 0, r.tab.live)
+	for i := range entries {
+		if entries[i].count > 0 {
+			idx = append(idx, int32(i))
+		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		return r.entries[keys[i]].tup.Compare(r.entries[keys[j]].tup) < 0
+	sort.Slice(idx, func(a, b int) bool {
+		return entries[idx[a]].tup.Compare(entries[idx[b]].tup) < 0
 	})
-	for _, k := range keys {
-		e := r.entries[k]
-		if !fn(e.tup, e.count) {
+	for _, i := range idx {
+		if !fn(entries[i].tup, entries[i].count) {
 			return
 		}
 	}
 }
 
-// Clone returns a deep copy of the relation (entries are copied; tuples are
-// immutable and shared).
+// Clone returns an independent copy of the relation in O(1): the table is
+// shared copy-on-write, and whichever side mutates first copies it privately.
+// Tuples are immutable and always shared.
 func (r *Relation) Clone() *Relation {
-	cp := &Relation{schema: r.schema, entries: make(map[string]entry, len(r.entries)), total: r.total}
-	for k, e := range r.entries {
-		cp.entries[k] = e
-	}
+	r.cow.Store(true)
+	cp := &Relation{schema: r.schema, tab: r.tab}
+	cp.cow.Store(true)
 	return cp
 }
 
-// WithSchema returns a shallow re-typed view of the relation carrying a
-// different (but compatible) schema.  The entries are shared; callers must
-// treat the result as read-only or Clone first.
+// WithSchema returns a re-typed view of the relation carrying a different
+// (but compatible) schema.  Like Clone, the view shares the table
+// copy-on-write, so it is safe to mutate either side afterwards.
 func (r *Relation) WithSchema(s schema.Relation) *Relation {
-	return &Relation{schema: s, entries: r.entries, total: r.total}
+	r.cow.Store(true)
+	cp := &Relation{schema: s, tab: r.tab}
+	cp.cow.Store(true)
+	return cp
 }
 
 // Equal implements Definition 2.3's equality: R1 = R2 ⇔ ∀x R1(x) = R2(x).
 func (r *Relation) Equal(o *Relation) bool {
-	if r.total != o.total || len(r.entries) != len(o.entries) {
+	if r.tab.total != o.tab.total || r.tab.live != o.tab.live {
 		return false
 	}
-	for k, e := range r.entries {
-		if o.entries[k].count != e.count {
+	if r.tab == o.tab {
+		return true
+	}
+	entries := r.tab.entries
+	for i := range entries {
+		if entries[i].count == 0 {
+			continue
+		}
+		j := o.tab.find(entries[i].hash, entries[i].tup)
+		if j == chainEnd || o.tab.entries[j].count != entries[i].count {
 			return false
 		}
 	}
@@ -218,11 +330,19 @@ func (r *Relation) Equal(o *Relation) bool {
 
 // SubsetOf implements Definition 2.3's multi-subset: R1 ⊑ R2 ⇔ ∀x R1(x) ≤ R2(x).
 func (r *Relation) SubsetOf(o *Relation) bool {
-	if r.total > o.total {
+	if r.tab.total > o.tab.total {
 		return false
 	}
-	for k, e := range r.entries {
-		if o.entries[k].count < e.count {
+	if r.tab == o.tab {
+		return true
+	}
+	entries := r.tab.entries
+	for i := range entries {
+		if entries[i].count == 0 {
+			continue
+		}
+		j := o.tab.find(entries[i].hash, entries[i].tup)
+		if j == chainEnd || o.tab.entries[j].count < entries[i].count {
 			return false
 		}
 	}

@@ -132,6 +132,55 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+func TestCopyOnWriteBothDirections(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(1))
+	c := r.Clone()
+	// Mutating the ORIGINAL after cloning must not leak into the clone.
+	r.Add(tuple.Ints(9), 3)
+	if c.Contains(tuple.Ints(9)) || c.Cardinality() != 1 {
+		t.Error("mutating the original must not affect an earlier clone")
+	}
+	// A second clone taken after the mutation sees the new state.
+	c2 := r.Clone()
+	if c2.Multiplicity(tuple.Ints(9)) != 3 {
+		t.Error("later clone must carry the mutated state")
+	}
+	// Remove and SetMultiplicity must also trigger the lazy copy.
+	c2.Remove(tuple.Ints(9), 3)
+	c3 := r.Clone()
+	c3.SetMultiplicity(tuple.Ints(1), 0)
+	if r.Multiplicity(tuple.Ints(9)) != 3 || !r.Contains(tuple.Ints(1)) {
+		t.Error("mutating clones must not affect the original")
+	}
+}
+
+func TestWithSchemaMutationSafe(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(1))
+	v := r.WithSchema(schema.NewRelation("temp", schema.Attribute{Name: "x", Type: value.KindInt}))
+	v.Add(tuple.Ints(2), 1)
+	if r.Contains(tuple.Ints(2)) {
+		t.Error("mutating a WithSchema view must not affect the original")
+	}
+	r.Add(tuple.Ints(3), 1)
+	if v.Contains(tuple.Ints(3)) {
+		t.Error("mutating the original must not affect a WithSchema view")
+	}
+}
+
+func TestRemoveLeavesReAddableTombstone(t *testing.T) {
+	r := FromTuples(intSchema(1), tuple.Ints(1), tuple.Ints(2))
+	if got := r.Remove(tuple.Ints(1), 5); got != 1 {
+		t.Errorf("Remove clamped = %d, want 1", got)
+	}
+	if r.Contains(tuple.Ints(1)) || r.DistinctCount() != 1 || r.Cardinality() != 1 {
+		t.Error("removed tuple must not be visible")
+	}
+	r.Add(tuple.Ints(1), 4)
+	if r.Multiplicity(tuple.Ints(1)) != 4 || r.DistinctCount() != 2 || r.Cardinality() != 5 {
+		t.Error("re-adding a fully removed tuple must revive it")
+	}
+}
+
 func TestWithSchema(t *testing.T) {
 	r := FromTuples(intSchema(1), tuple.Ints(1))
 	renamed := r.WithSchema(schema.NewRelation("temp", schema.Attribute{Name: "x", Type: value.KindInt}))

@@ -58,11 +58,11 @@ func Intersection(a, b *Relation) (*Relation, error) {
 	if !a.Schema().Compatible(b.Schema()) {
 		return nil, &ErrIncompatible{Op: "intersection", Left: a.Schema(), Right: b.Schema()}
 	}
-	out := New(a.Schema())
 	small, large := a, b
 	if small.DistinctCount() > large.DistinctCount() {
 		small, large = large, small
 	}
+	out := NewWithCapacity(a.Schema(), small.DistinctCount())
 	small.Each(func(t tuple.Tuple, count uint64) bool {
 		other := large.Multiplicity(t)
 		m := count
@@ -80,7 +80,11 @@ func Intersection(a, b *Relation) (*Relation, error) {
 // Product returns R1 × R2 with (R1 × R2)(x ⊕ y) = R1(x) · R2(y)
 // (Definition 3.1).  The result schema is 𝓔 ⊕ 𝓔′.
 func Product(a, b *Relation) *Relation {
-	out := New(a.Schema().Concat(b.Schema()))
+	capacity := a.DistinctCount() * b.DistinctCount()
+	if capacity > 1<<20 {
+		capacity = 1 << 20
+	}
+	out := NewWithCapacity(a.Schema().Concat(b.Schema()), capacity)
 	a.Each(func(ta tuple.Tuple, ca uint64) bool {
 		b.Each(func(tb tuple.Tuple, cb uint64) bool {
 			out.Add(ta.Concat(tb), ca*cb)
@@ -92,13 +96,19 @@ func Product(a, b *Relation) *Relation {
 }
 
 // Unique returns δR: the duplicate-free relation with (δR)(x) = 1 whenever
-// R(x) > 0 (Definition 3.4).
+// R(x) > 0 (Definition 3.4).  Because δR has exactly R's distinct tuples, the
+// result reuses a copy of R's hash table with every live multiplicity forced
+// to one — no tuple is rehashed.
 func Unique(r *Relation) *Relation {
-	out := New(r.Schema())
-	r.Each(func(t tuple.Tuple, _ uint64) bool {
-		out.Add(t, 1)
-		return true
-	})
+	out := &Relation{schema: r.schema, tab: r.tab.clone()}
+	tab := out.tab
+	tab.total = 0
+	for i := range tab.entries {
+		if tab.entries[i].count > 0 {
+			tab.entries[i].count = 1
+			tab.total++
+		}
+	}
 	return out
 }
 
@@ -106,7 +116,7 @@ func Unique(r *Relation) *Relation {
 // with multiplicities preserved (Definition 3.1).  Predicate errors abort the
 // operation.
 func Select(r *Relation, pred func(tuple.Tuple) (bool, error)) (*Relation, error) {
-	out := New(r.Schema())
+	out := NewWithCapacity(r.Schema(), r.DistinctCount())
 	var iterErr error
 	r.Each(func(t tuple.Tuple, count uint64) bool {
 		ok, err := pred(t)
@@ -134,7 +144,7 @@ func Project(r *Relation, indices []int) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := New(outSchema)
+	out := NewWithCapacity(outSchema, r.DistinctCount())
 	var iterErr error
 	r.Each(func(t tuple.Tuple, count uint64) bool {
 		p, err := t.Project(indices)
@@ -155,7 +165,7 @@ func Project(r *Relation, indices []int) (*Relation, error) {
 // keeping multiplicities.  It is the building block of the extended
 // (arithmetic) projection; fn must produce tuples of the given schema.
 func Map(r *Relation, out schema.Relation, fn func(tuple.Tuple) (tuple.Tuple, error)) (*Relation, error) {
-	res := New(out)
+	res := NewWithCapacity(out, r.DistinctCount())
 	var iterErr error
 	r.Each(func(t tuple.Tuple, count uint64) bool {
 		m, err := fn(t)

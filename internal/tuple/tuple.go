@@ -1,8 +1,8 @@
 // Package tuple implements tuples of the multi-set relational data model
 // (Definition 2.4 of Grefen & de By, ICDE 1994): construction, equality,
-// positional projection α, concatenation ⊕, and a canonical key encoding used
-// by the multi-set relation representation and the hash-based physical
-// operators.
+// positional projection α, concatenation ⊕, and the equality-consistent
+// hashing used by the multi-set relation representation and the hash-based
+// physical operators.
 package tuple
 
 import (
@@ -97,19 +97,6 @@ func (t Tuple) Compare(o Tuple) int {
 	return len(t.vals) - len(o.vals)
 }
 
-// Key returns a canonical string encoding of the tuple such that
-// t.Equal(o) ⇔ t.Key() == o.Key().  The encoding is length-prefixed per
-// attribute so distinct value boundaries cannot collide.
-func (t Tuple) Key() string {
-	var b strings.Builder
-	for _, v := range t.vals {
-		k := v.Key()
-		fmt.Fprintf(&b, "%d:", len(k))
-		b.WriteString(k)
-	}
-	return b.String()
-}
-
 // Hash returns a 64-bit hash of the tuple consistent with Equal.
 func (t Tuple) Hash() uint64 {
 	const prime64 = 1099511628211
@@ -132,18 +119,6 @@ func (t Tuple) HashOn(indices []int) uint64 {
 		h *= prime64
 	}
 	return h
-}
-
-// KeyOn returns the canonical key of the projection on indices without
-// materialising the projected tuple.
-func (t Tuple) KeyOn(indices []int) string {
-	var b strings.Builder
-	for _, i := range indices {
-		k := t.vals[i].Key()
-		fmt.Fprintf(&b, "%d:", len(k))
-		b.WriteString(k)
-	}
-	return b.String()
 }
 
 // String renders the tuple as ⟨v1, v2, ...⟩ using the values' literal syntax.

@@ -303,27 +303,3 @@ func (v Value) Hash() uint64 {
 	return h
 }
 
-// Key returns a canonical string encoding of the value such that
-// v.Equal(o) ⇔ v.Key() == o.Key().  It is used as the map key of multi-set
-// relations.
-func (v Value) Key() string {
-	switch v.kind {
-	case KindNull:
-		return "n"
-	case KindInt, KindFloat:
-		f, _ := v.AsFloat()
-		if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e15 {
-			return "i" + strconv.FormatInt(int64(f), 10)
-		}
-		return "f" + strconv.FormatFloat(f, 'g', -1, 64)
-	case KindString:
-		return "s" + v.s
-	case KindBool:
-		if v.b {
-			return "bt"
-		}
-		return "bf"
-	default:
-		return "?"
-	}
-}

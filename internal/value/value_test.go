@@ -210,31 +210,30 @@ func TestHashConsistentWithEqual(t *testing.T) {
 	}
 }
 
-func TestKeyConsistentWithEqual(t *testing.T) {
-	if NewInt(3).Key() != NewFloat(3.0).Key() {
-		t.Error("3 and 3.0 must share a key")
+func TestHashDistinguishesValues(t *testing.T) {
+	if NewInt(3).Hash() != NewFloat(3.0).Hash() {
+		t.Error("3 and 3.0 must share a hash")
 	}
-	if NewInt(3).Key() == NewInt(4).Key() {
-		t.Error("3 and 4 must not share a key")
+	if NewInt(3).Hash() == NewInt(4).Hash() {
+		t.Error("3 and 4 must not share a hash")
 	}
-	if NewString("3").Key() == NewInt(3).Key() {
-		t.Error("string '3' and int 3 must not share a key")
+	if NewString("3").Hash() == NewInt(3).Hash() {
+		t.Error("string '3' and int 3 must not share a hash")
 	}
-	if NewBool(true).Key() == NewBool(false).Key() {
-		t.Error("booleans must not share a key")
+	if NewBool(true).Hash() == NewBool(false).Hash() {
+		t.Error("booleans must not share a hash")
 	}
-	if Null.Key() != "n" {
-		t.Errorf("null key = %q", Null.Key())
-	}
-	if NewFloat(2.5).Key() == NewFloat(3.5).Key() {
-		t.Error("distinct non-integral floats must not share a key")
+	if NewFloat(2.5).Hash() == NewFloat(3.5).Hash() {
+		t.Error("distinct non-integral floats must not share a hash")
 	}
 }
 
-func TestKeyEqualityProperty(t *testing.T) {
+func TestHashImpliedByEqualProperty(t *testing.T) {
+	// Equal ⇒ same hash.  The converse holds only modulo collisions, so the
+	// properties check the implication direction.
 	f := func(a, b int64) bool {
 		va, vb := NewInt(a), NewInt(b)
-		return (va.Key() == vb.Key()) == va.Equal(vb)
+		return !va.Equal(vb) || va.Hash() == vb.Hash()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -244,14 +243,14 @@ func TestKeyEqualityProperty(t *testing.T) {
 			return true
 		}
 		va, vb := NewFloat(a), NewFloat(b)
-		return (va.Key() == vb.Key()) == va.Equal(vb)
+		return !va.Equal(vb) || va.Hash() == vb.Hash()
 	}
 	if err := quick.Check(g, nil); err != nil {
 		t.Error(err)
 	}
 	h := func(a, b string) bool {
 		va, vb := NewString(a), NewString(b)
-		return (va.Key() == vb.Key()) == va.Equal(vb)
+		return !va.Equal(vb) || va.Hash() == vb.Hash()
 	}
 	if err := quick.Check(h, nil); err != nil {
 		t.Error(err)
