@@ -34,14 +34,27 @@ import (
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids to run (e.g. E1,E5,E7) or 'all'")
 	jsonLabel := flag.String("json", "", "instead of the experiment tables, run the E1/E2 benchmark set and write machine-readable BENCH_<label>.json")
+	compare := flag.String("compare", "", "with -json: compare the fresh series against a committed BENCH_<label>.json baseline and exit non-zero on regression")
+	maxRatio := flag.Float64("maxratio", 2.0, "with -compare: maximum allowed ns/op ratio (measured / baseline) before the run counts as a regression")
 	flag.Parse()
 
 	if *jsonLabel != "" {
-		if err := writeBenchJSON(*jsonLabel); err != nil {
+		out, err := writeBenchJSON(*jsonLabel)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *compare != "" {
+			if err := compareBaseline(out, *compare, *maxRatio); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		return
+	}
+	if *compare != "" {
+		fmt.Fprintln(os.Stderr, "-compare requires -json")
+		os.Exit(1)
 	}
 
 	selected := map[string]bool{}
@@ -417,11 +430,48 @@ type benchFile struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
+// compareBaseline checks a fresh benchmark series against a committed
+// baseline file: any benchmark whose ns/op exceeds maxRatio times its
+// baseline value counts as a regression.  Benchmarks absent from the
+// baseline are ignored, so the set can grow without breaking CI.
+func compareBaseline(fresh benchFile, baselinePath string, maxRatio float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var baseline benchFile
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("compare: %s: %w", baselinePath, err)
+	}
+	base := make(map[string]benchResult, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	var regressions []string
+	for _, b := range fresh.Benchmarks {
+		ref, ok := base[b.Name]
+		if !ok || ref.NsPerOp <= 0 {
+			continue
+		}
+		ratio := b.NsPerOp / ref.NsPerOp
+		fmt.Fprintf(os.Stderr, "compare %s: %.2fx baseline (%.0f vs %.0f ns/op)\n", b.Name, ratio, b.NsPerOp, ref.NsPerOp)
+		if ratio > maxRatio {
+			regressions = append(regressions, fmt.Sprintf("%s: %.2fx > %.2fx", b.Name, ratio, maxRatio))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("compare: ns/op regression versus %s:\n  %s", baselinePath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "compare: all benchmarks within %.1fx of %s\n", maxRatio, baselinePath)
+	return nil
+}
+
 // writeBenchJSON runs the E1/E2 benchmark set (the same expression shapes as
 // the testing.B benchmarks at the repository root) through testing.Benchmark
 // and writes the series as BENCH_<label>.json, the machine-readable baseline
-// future performance PRs are compared against.
-func writeBenchJSON(label string) error {
+// future performance PRs are compared against.  It returns the series it
+// measured so callers can compare it against a committed baseline.
+func writeBenchJSON(label string) (benchFile, error) {
 	evalLoop := func(expr algebra.Expr, src eval.Source) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
@@ -500,7 +550,7 @@ func writeBenchJSON(label string) error {
 			// b.Fatal inside the closure aborts the benchmark goroutine and
 			// testing.Benchmark returns a zero result; surface the case name
 			// instead of letting NaN ns/op poison the JSON.
-			return fmt.Errorf("benchmark %s failed (evaluation error); baseline not written", c.name)
+			return benchFile{}, fmt.Errorf("benchmark %s failed (evaluation error); baseline not written", c.name)
 		}
 		out.Benchmarks = append(out.Benchmarks, benchResult{
 			Name:        c.name,
@@ -514,12 +564,12 @@ func writeBenchJSON(label string) error {
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
-		return err
+		return benchFile{}, err
 	}
 	name := fmt.Sprintf("BENCH_%s.json", label)
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
-		return err
+		return benchFile{}, err
 	}
 	fmt.Printf("wrote %s\n", name)
-	return nil
+	return out, nil
 }

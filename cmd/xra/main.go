@@ -166,14 +166,18 @@ func handleMeta(db *mra.DB, cmd string, timing *bool, out io.Writer) bool {
 		fmt.Fprintf(out, "timing: %v\n", *timing)
 	case "\\explain":
 		expr := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
-		orig, opt, rules, err := db.Explain(expr)
+		ex, err := db.Explain(expr)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return false
 		}
-		fmt.Fprintln(out, "original :", orig)
-		fmt.Fprintln(out, "optimised:", opt)
-		fmt.Fprintln(out, "rules    :", strings.Join(rules, ", "))
+		fmt.Fprintln(out, "original :", ex.Logical)
+		fmt.Fprintln(out, "optimised:", ex.Optimised)
+		fmt.Fprintln(out, "rules    :", strings.Join(ex.Rules, ", "))
+		fmt.Fprintln(out, "physical :")
+		for _, line := range strings.Split(ex.Physical, "\n") {
+			fmt.Fprintln(out, "  "+line)
+		}
 	default:
 		fmt.Fprintf(out, "unknown meta-command %s\n", fields[0])
 	}

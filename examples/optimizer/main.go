@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"mra"
@@ -62,13 +63,17 @@ func main() {
 
 	for _, q := range queries {
 		fmt.Println("==", q.name)
-		orig, opt, rules, err := db.Explain(q.xra)
+		ex, err := db.Explain(q.xra)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("  original :", orig)
-		fmt.Println("  optimised:", opt)
-		fmt.Println("  rules    :", rules)
+		fmt.Println("  original :", ex.Logical)
+		fmt.Println("  optimised:", ex.Optimised)
+		fmt.Println("  rules    :", ex.Rules)
+		fmt.Println("  physical :")
+		for _, line := range strings.Split(ex.Physical, "\n") {
+			fmt.Println("    " + line)
+		}
 
 		// Measure both plans end to end.
 		db.Optimize = false

@@ -1,0 +1,105 @@
+package mra
+
+import (
+	"strings"
+	"testing"
+)
+
+// explainBeerDB builds the paper's beer/brewery running example with the
+// exact data of the eval-package tests, so the plan renderings (which include
+// cardinality estimates fed from the real table sizes) are deterministic.
+func explainBeerDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	db.MustCreateRelation("beer",
+		Col("name", String), Col("brewery", String), Col("alcperc", Float))
+	db.MustCreateRelation("brewery",
+		Col("name", String), Col("city", String), Col("country", String))
+	db.MustExecXRA(`insert(beer, [
+		('pils', 'guineken', 5.0), ('pils', 'brolsch', 5.2), ('bock', 'guineken', 6.5),
+		('stout', 'guinness', 4.2), ('tripel', 'westmalle', 9.5)])`)
+	db.MustExecXRA(`insert(brewery, [
+		('guineken', 'amsterdam', 'netherlands'), ('brolsch', 'enschede', 'netherlands'),
+		('guinness', 'dublin', 'ireland'), ('westmalle', 'malle', 'belgium')])`)
+	return db
+}
+
+// TestExplainGoldenExample32 pins the three plan renderings — logical,
+// optimised, physical — of the paper's Example 3.2 aggregation query
+// Γ_{(country),AVG,alcperc}(beer ⋈ brewery).
+func TestExplainGoldenExample32(t *testing.T) {
+	db := explainBeerDB(t)
+	ex, err := db.Explain("groupby[(%6),AVG,%3](join[%2 = %4](beer, brewery))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ex.Logical, "groupby[(%6),AVG,%3](join[%2 = %4](beer, brewery))"; got != want {
+		t.Errorf("logical plan:\n got %s\nwant %s", got, want)
+	}
+	// The rewriter pushes the projection onto (country, alcperc) below the
+	// group-by — the paper's Example 3.2 optimisation.
+	if got, want := ex.Optimised, "groupby[(%1),AVG,%2](project[%6,%3](join[%2 = %4](beer, brewery)))"; got != want {
+		t.Errorf("optimised plan:\n got %s\nwant %s", got, want)
+	}
+	if got, want := strings.Join(ex.Rules, ","), "push-projection-into-groupby"; got != want {
+		t.Errorf("rules = %q, want %q", got, want)
+	}
+	wantPhysical := strings.Join([]string{
+		"HashAggregate [(%1) AVG(%2)]  (~1 rows)",
+		"└─ Project [%6, %3]  (~2 rows)",
+		"   └─ HashJoin [%2 = %4] build=right  (~2 rows)",
+		"      ├─ Scan beer  (5 rows)",
+		"      └─ Scan brewery  (4 rows)",
+	}, "\n")
+	if ex.Physical != wantPhysical {
+		t.Errorf("physical plan:\n%s\nwant:\n%s", ex.Physical, wantPhysical)
+	}
+}
+
+// TestExplainGoldenExample31 pins the renderings of the Example 3.1
+// Dutch-beers query, whose selection is pushed below the join and executes as
+// a streaming filter under the hash join's build side.
+func TestExplainGoldenExample31(t *testing.T) {
+	db := explainBeerDB(t)
+	ex, err := db.Explain("project[%1](select[%6 = 'netherlands'](join[%2 = %4](beer, brewery)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ex.Optimised, "project[%1](join[%2 = %4](beer, select[%3 = 'netherlands'](brewery)))"; got != want {
+		t.Errorf("optimised plan:\n got %s\nwant %s", got, want)
+	}
+	wantPhysical := strings.Join([]string{
+		"Project [%1]  (~1 rows)",
+		"└─ HashJoin [%2 = %4] build=right  (~1 rows)",
+		"   ├─ Scan beer  (5 rows)",
+		"   └─ Filter [%3 = 'netherlands']  (~1 rows)",
+		"      └─ Scan brewery  (4 rows)",
+	}, "\n")
+	if ex.Physical != wantPhysical {
+		t.Errorf("physical plan:\n%s\nwant:\n%s", ex.Physical, wantPhysical)
+	}
+	// The rendered plans execute to the expected Example 3.1 result.
+	res, err := db.QueryXRA("project[%1](select[%6 = 'netherlands'](join[%2 = %4](beer, brewery)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 || res.Multiplicity("pils") != 2 {
+		t.Errorf("Example 3.1 result = %s", res)
+	}
+}
+
+// TestExplainHonoursOptimizeFlag checks the physical plan follows the
+// expression that would actually run.
+func TestExplainHonoursOptimizeFlag(t *testing.T) {
+	db := explainBeerDB(t)
+	db.Optimize = false
+	ex, err := db.Explain("select[%2 = %4](product(beer, brewery))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even unoptimised, the planner folds σ over × into a hash join
+	// (a physical decision, not a rewrite).
+	if !strings.Contains(ex.Physical, "HashJoin") {
+		t.Errorf("physical plan should hash-join σ(×):\n%s", ex.Physical)
+	}
+}

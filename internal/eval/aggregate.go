@@ -1,97 +1,10 @@
 package eval
 
-import (
-	"errors"
-	"fmt"
-
-	"mra/internal/algebra"
-	"mra/internal/value"
-)
+import "mra/internal/plan"
 
 // ErrEmptyAggregate is returned when AVG, MIN or MAX is applied to an empty
 // multi-set.  The paper defines these aggregate functions as partial
-// functions, undefined on empty inputs (Definition 3.3).
-var ErrEmptyAggregate = errors.New("eval: aggregate undefined on an empty multi-set")
-
-// aggState incrementally computes one of the paper's aggregate functions over
-// a stream of (value, multiplicity) observations.
-type aggState struct {
-	agg   algebra.Aggregate
-	count uint64
-	isum  int64
-	fsum  float64
-	fltIn bool
-	min   value.Value
-	max   value.Value
-	seen  bool
-}
-
-// add folds in one distinct tuple's attribute value with its multiplicity.
-func (s *aggState) add(v value.Value, count uint64) error {
-	s.count += count
-	switch s.agg {
-	case algebra.AggCount:
-		return nil
-	case algebra.AggSum, algebra.AggAvg:
-		switch v.Kind() {
-		case value.KindInt:
-			s.isum += v.Int() * int64(count)
-		case value.KindFloat:
-			s.fsum += v.Float() * float64(count)
-			s.fltIn = true
-		case value.KindNull:
-			// Nulls contribute nothing to sums; CNT above still counts them.
-		default:
-			return fmt.Errorf("eval: %s over non-numeric value %s", s.agg, v)
-		}
-		return nil
-	case algebra.AggMin, algebra.AggMax:
-		if v.IsNull() {
-			return nil
-		}
-		if !s.seen {
-			s.min, s.max, s.seen = v, v, true
-			return nil
-		}
-		if v.Less(s.min) {
-			s.min = v
-		}
-		if s.max.Less(v) {
-			s.max = v
-		}
-		return nil
-	default:
-		return fmt.Errorf("eval: unknown aggregate %v", s.agg)
-	}
-}
-
-// result returns the aggregate's value.  AVG, MIN and MAX fail on empty
-// inputs per Definition 3.3.
-func (s *aggState) result() (value.Value, error) {
-	switch s.agg {
-	case algebra.AggCount:
-		return value.NewInt(int64(s.count)), nil
-	case algebra.AggSum:
-		if s.fltIn {
-			return value.NewFloat(s.fsum + float64(s.isum)), nil
-		}
-		return value.NewInt(s.isum), nil
-	case algebra.AggAvg:
-		if s.count == 0 {
-			return value.Null, ErrEmptyAggregate
-		}
-		return value.NewFloat((s.fsum + float64(s.isum)) / float64(s.count)), nil
-	case algebra.AggMin:
-		if !s.seen {
-			return value.Null, ErrEmptyAggregate
-		}
-		return s.min, nil
-	case algebra.AggMax:
-		if !s.seen {
-			return value.Null, ErrEmptyAggregate
-		}
-		return s.max, nil
-	default:
-		return value.Null, fmt.Errorf("eval: unknown aggregate %v", s.agg)
-	}
-}
+// functions, undefined on empty inputs (Definition 3.3).  The aggregate
+// implementation lives in package plan; this alias keeps the historic
+// eval-side name.
+var ErrEmptyAggregate = plan.ErrEmptyAggregate

@@ -1,428 +1,46 @@
 package eval
 
 import (
-	"fmt"
-
 	"mra/internal/algebra"
 	"mra/internal/multiset"
-	"mra/internal/scalar"
-	"mra/internal/tuple"
-	"mra/internal/value"
+	"mra/internal/plan"
 )
 
 // Engine is the physical evaluator.  It produces exactly the same multi-sets
-// as Reference but uses hash-based physical operators where the expression
-// shape allows it:
+// as Reference but runs through the physical layer: every expression is
+// compiled by plan.Planner into a tree of streaming physical operators (hash
+// join, hash aggregate, fused σ/π pipelines) and executed against the source.
+// All physical decisions — join strategy, build side, operator pipelining —
+// are made by the planner from the cost model's cardinality estimates; the
+// engine itself only wires source cardinalities and statistics through.
 //
-//   - equi-join conditions are executed as hash joins instead of filtered
-//     Cartesian products;
-//   - selections directly above a product are fused into a join;
-//   - group-by and duplicate elimination are single-pass hash operators.
-//
-// Stats, when enabled, records per-operator intermediate result sizes; the
-// benchmarks for the paper's Example 3.2 use them to show the effect of
-// projection push-in on intermediate result cardinality.
+// Stats, when enabled, records per-physical-operator emission and
+// materialisation counts; the benchmarks for the paper's Example 3.2 use them
+// to show the effect of projection push-in on intermediate result
+// cardinality.
 type Engine struct {
-	// CollectStats enables intermediate-size accounting in Stats.
+	// CollectStats enables per-operator accounting in Stats.
 	CollectStats bool
-	// Stats accumulates the number of tuples produced by each operator kind
-	// since the last Reset.
+	// Stats accumulates execution statistics since the last Reset.
 	Stats Stats
 }
 
-// Stats aggregates intermediate result sizes, counting duplicates.
-type Stats struct {
-	// IntermediateTuples is the total number of tuples (counting
-	// multiplicities) produced by all non-leaf operators.
-	IntermediateTuples uint64
-	// PeakRelationTuples is the largest single intermediate relation seen.
-	PeakRelationTuples uint64
-	// Operators counts evaluated operator nodes.
-	Operators int
-}
+// Stats aggregates intermediate result sizes per physical operator, counting
+// duplicates.
+type Stats = plan.Stats
 
 // Reset clears the collected statistics.
 func (e *Engine) Reset() { e.Stats = Stats{} }
 
-func (e *Engine) record(r *multiset.Relation) *multiset.Relation {
-	if e.CollectStats {
-		e.Stats.Operators++
-		card := r.Cardinality()
-		e.Stats.IntermediateTuples += card
-		if card > e.Stats.PeakRelationTuples {
-			e.Stats.PeakRelationTuples = card
-		}
-	}
-	return r
-}
-
-// Eval evaluates the expression against the source using physical operators.
+// Eval compiles the expression into a physical plan and executes it against
+// the source.
 func (e *Engine) Eval(expr algebra.Expr, src Source) (*multiset.Relation, error) {
-	switch n := expr.(type) {
-	case algebra.Rel:
-		r, err := lookup(src, n.Name)
-		if err != nil {
-			return nil, err
-		}
-		return r.Clone(), nil
-
-	case algebra.Literal:
-		return refEval(n, src)
-
-	case algebra.Union:
-		l, r, err := e.evalPair(n.Left, n.Right, src)
-		if err != nil {
-			return nil, err
-		}
-		out, err := multiset.Union(l, r)
-		if err != nil {
-			return nil, err
-		}
-		return e.record(out), nil
-
-	case algebra.Difference:
-		l, r, err := e.evalPair(n.Left, n.Right, src)
-		if err != nil {
-			return nil, err
-		}
-		out, err := multiset.Difference(l, r)
-		if err != nil {
-			return nil, err
-		}
-		return e.record(out), nil
-
-	case algebra.Intersect:
-		l, r, err := e.evalPair(n.Left, n.Right, src)
-		if err != nil {
-			return nil, err
-		}
-		out, err := multiset.Intersection(l, r)
-		if err != nil {
-			return nil, err
-		}
-		return e.record(out), nil
-
-	case algebra.Product:
-		l, r, err := e.evalPair(n.Left, n.Right, src)
-		if err != nil {
-			return nil, err
-		}
-		return e.record(multiset.Product(l, r)), nil
-
-	case algebra.Select:
-		// σφ(E1 × E2) is a join in disguise: execute it as one so equi-join
-		// conditions benefit from hashing (Theorem 3.1 read right-to-left).
-		if prod, ok := n.Input.(algebra.Product); ok {
-			return e.evalJoin(n.Cond, prod.Left, prod.Right, src)
-		}
-		return e.evalFused(n, src)
-
-	case algebra.Project:
-		return e.evalFused(n, src)
-
-	case algebra.Join:
-		return e.evalJoin(n.Cond, n.Left, n.Right, src)
-
-	case algebra.ExtProject:
-		in, err := e.Eval(n.Input, src)
-		if err != nil {
-			return nil, err
-		}
-		outSchema, err := n.Schema(CatalogOf(src))
-		if err != nil {
-			return nil, err
-		}
-		out, err := multiset.Map(in, outSchema, func(t tuple.Tuple) (tuple.Tuple, error) {
-			vals := make([]value.Value, len(n.Items))
-			for i, item := range n.Items {
-				v, err := item.Eval(t)
-				if err != nil {
-					return tuple.Tuple{}, err
-				}
-				vals[i] = v
-			}
-			return tuple.FromSlice(vals), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		return e.record(out), nil
-
-	case algebra.Unique:
-		in, err := e.Eval(n.Input, src)
-		if err != nil {
-			return nil, err
-		}
-		return e.record(multiset.Unique(in)), nil
-
-	case algebra.GroupBy:
-		in, err := e.Eval(n.Input, src)
-		if err != nil {
-			return nil, err
-		}
-		outSchema, err := n.Schema(CatalogOf(src))
-		if err != nil {
-			return nil, err
-		}
-		out, err := refGroupBy(n, in, outSchema)
-		if err != nil {
-			return nil, err
-		}
-		return e.record(out), nil
-
-	case algebra.TClose:
-		in, err := e.Eval(n.Input, src)
-		if err != nil {
-			return nil, err
-		}
-		return e.record(transitiveClosure(in)), nil
-
-	default:
-		return nil, fmt.Errorf("eval: unsupported expression %T", expr)
-	}
-}
-
-func (e *Engine) evalPair(a, b algebra.Expr, src Source) (*multiset.Relation, *multiset.Relation, error) {
-	l, err := e.Eval(a, src)
-	if err != nil {
-		return nil, nil, err
-	}
-	r, err := e.Eval(b, src)
-	if err != nil {
-		return nil, nil, err
-	}
-	return l, r, nil
-}
-
-// equiCols extracts from a join condition the pairs of attribute positions
-// (left input position, right input position) connected by top-level equality
-// conjuncts, plus the residual conjuncts that still need per-pair evaluation.
-// leftArity is the arity of the left operand; positions ≥ leftArity address
-// the right operand in the concatenated schema.
-func equiCols(cond scalar.Predicate, leftArity int) (leftCols, rightCols []int, residual []scalar.Predicate) {
-	for _, c := range scalar.Conjuncts(cond) {
-		cmp, ok := c.(scalar.Compare)
-		if !ok || cmp.Op != value.CmpEq {
-			residual = append(residual, c)
-			continue
-		}
-		la, lok := cmp.Left.(scalar.Attr)
-		ra, rok := cmp.Right.(scalar.Attr)
-		if !lok || !rok {
-			residual = append(residual, c)
-			continue
-		}
-		switch {
-		case la.Index < leftArity && ra.Index >= leftArity:
-			leftCols = append(leftCols, la.Index)
-			rightCols = append(rightCols, ra.Index-leftArity)
-		case ra.Index < leftArity && la.Index >= leftArity:
-			leftCols = append(leftCols, ra.Index)
-			rightCols = append(rightCols, la.Index-leftArity)
-		default:
-			residual = append(residual, c)
-		}
-	}
-	return leftCols, rightCols, residual
-}
-
-// equalOn reports pairwise equality of a's attributes at acols with b's
-// attributes at bcols.  It is the collision check of the hash join: two
-// tuples land in the same bucket iff their join-column hashes agree, and
-// equalOn separates true matches from hash collisions.
-func equalOn(a tuple.Tuple, acols []int, b tuple.Tuple, bcols []int) bool {
-	for k := range acols {
-		if !a.At(acols[k]).Equal(b.At(bcols[k])) {
-			return false
-		}
-	}
-	return true
-}
-
-// evalJoin executes E1 ⋈φ E2.  When φ contains equality conjuncts linking the
-// two sides it builds a hash table on the smaller side's join columns
-// (indexed by tuple.HashOn, resolved by positional equality) and probes with
-// the other side; otherwise it falls back to the nested-loop
-// product-then-filter of the definition.
-func (e *Engine) evalJoin(cond scalar.Predicate, left, right algebra.Expr, src Source) (*multiset.Relation, error) {
-	l, r, err := e.evalPair(left, right, src)
+	p, err := plan.NewPlanner(Cardinalities(src)).Plan(expr, CatalogOf(src))
 	if err != nil {
 		return nil, err
 	}
-	outSchema := l.Schema().Concat(r.Schema())
-	// An empty side makes the join empty: skip hashing and scanning entirely.
-	if l.IsEmpty() || r.IsEmpty() {
-		return e.record(multiset.New(outSchema)), nil
+	if e.CollectStats {
+		return p.ExecuteStats(src, &e.Stats)
 	}
-	leftCols, rightCols, residual := equiCols(cond, l.Schema().Arity())
-
-	if len(leftCols) == 0 {
-		// No hashable conjunct: nested-loop join.
-		out := multiset.New(outSchema)
-		var loopErr error
-		l.Each(func(lt tuple.Tuple, lc uint64) bool {
-			r.Each(func(rt tuple.Tuple, rc uint64) bool {
-				joined := lt.Concat(rt)
-				ok, err := cond.Holds(joined)
-				if err != nil {
-					loopErr = err
-					return false
-				}
-				if ok {
-					out.Add(joined, lc*rc)
-				}
-				return true
-			})
-			return loopErr == nil
-		})
-		if loopErr != nil {
-			return nil, loopErr
-		}
-		return e.record(out), nil
-	}
-
-	// Hash join: build on the side with fewer distinct tuples, probe with the
-	// other.  The build table is a flat node arena with collision chains
-	// headed by a hash index, so neither phase allocates per-tuple keys.
-	build, probe := r, l
-	buildCols, probeCols := rightCols, leftCols
-	buildIsLeft := false
-	if l.DistinctCount() < r.DistinctCount() {
-		build, probe = l, r
-		buildCols, probeCols = leftCols, rightCols
-		buildIsLeft = true
-	}
-
-	type node struct {
-		tup   tuple.Tuple
-		count uint64
-		next  int32
-	}
-	nodes := make([]node, 0, build.DistinctCount())
-	index := make(map[uint64]int32, build.DistinctCount())
-	build.Each(func(bt tuple.Tuple, bc uint64) bool {
-		h := bt.HashOn(buildCols)
-		head, ok := index[h]
-		if !ok {
-			head = -1
-		}
-		index[h] = int32(len(nodes))
-		nodes = append(nodes, node{tup: bt, count: bc, next: head})
-		return true
-	})
-
-	residualPred := scalar.NewAnd(residual...)
-	out := multiset.NewWithCapacity(outSchema, probe.DistinctCount())
-	var probeErr error
-	probe.Each(func(pt tuple.Tuple, pc uint64) bool {
-		head, ok := index[pt.HashOn(probeCols)]
-		if !ok {
-			return true
-		}
-		for i := head; i != -1; i = nodes[i].next {
-			bt := nodes[i].tup
-			if !equalOn(pt, probeCols, bt, buildCols) {
-				continue
-			}
-			var joined tuple.Tuple
-			if buildIsLeft {
-				joined = bt.Concat(pt)
-			} else {
-				joined = pt.Concat(bt)
-			}
-			if len(residual) > 0 {
-				ok, err := residualPred.Holds(joined)
-				if err != nil {
-					probeErr = err
-					return false
-				}
-				if !ok {
-					continue
-				}
-			}
-			out.Add(joined, pc*nodes[i].count)
-		}
-		return true
-	})
-	if probeErr != nil {
-		return nil, probeErr
-	}
-	return e.record(out), nil
-}
-
-// fusedStage is one per-tuple step of a fused select/project pipeline: a
-// predicate filter when pred is non-nil, a positional projection otherwise.
-type fusedStage struct {
-	pred scalar.Predicate
-	cols []int
-}
-
-// evalFused collapses a chain of Select and Project operators into a single
-// pass over the innermost input, so cascades like σ(σ(E)), π(σ(E)) and
-// π(π(E)) — the shapes the Theorem 3.2 rewrites produce — never materialise
-// intermediate relations.  A σ directly above a product is left to evalJoin.
-func (e *Engine) evalFused(expr algebra.Expr, src Source) (*multiset.Relation, error) {
-	var stages []fusedStage // outermost first
-	cur := expr
-walk:
-	for {
-		switch n := cur.(type) {
-		case algebra.Select:
-			if _, isProduct := n.Input.(algebra.Product); isProduct {
-				break walk
-			}
-			stages = append(stages, fusedStage{pred: n.Cond})
-			cur = n.Input
-		case algebra.Project:
-			stages = append(stages, fusedStage{cols: n.Columns})
-			cur = n.Input
-		default:
-			break walk
-		}
-	}
-	in, err := e.Eval(cur, src)
-	if err != nil {
-		return nil, err
-	}
-	// Fold the input schema through the projection stages, innermost first,
-	// to obtain the output schema.
-	outSchema := in.Schema()
-	for i := len(stages) - 1; i >= 0; i-- {
-		if stages[i].pred == nil {
-			outSchema, err = outSchema.Project(stages[i].cols)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	out := multiset.NewWithCapacity(outSchema, in.DistinctCount())
-	var iterErr error
-	in.Each(func(t tuple.Tuple, count uint64) bool {
-		for i := len(stages) - 1; i >= 0; i-- {
-			st := &stages[i]
-			if st.pred != nil {
-				ok, err := st.pred.Holds(t)
-				if err != nil {
-					iterErr = err
-					return false
-				}
-				if !ok {
-					return true
-				}
-			} else {
-				p, err := t.Project(st.cols)
-				if err != nil {
-					iterErr = err
-					return false
-				}
-				t = p
-			}
-		}
-		out.Add(t, count)
-		return true
-	})
-	if iterErr != nil {
-		return nil, iterErr
-	}
-	return e.record(out), nil
+	return p.Execute(src)
 }

@@ -516,34 +516,6 @@ func TestEngineStats(t *testing.T) {
 	}
 }
 
-func TestEquiColsExtraction(t *testing.T) {
-	// %2 = %4 with left arity 3: join columns (1) and (0).
-	l, r, resid := equiCols(scalar.Eq(1, 3), 3)
-	if len(l) != 1 || l[0] != 1 || len(r) != 1 || r[0] != 0 || len(resid) != 0 {
-		t.Errorf("equiCols = %v %v %v", l, r, resid)
-	}
-	// Reversed operand order still detected.
-	l, r, resid = equiCols(scalar.Eq(3, 1), 3)
-	if len(l) != 1 || l[0] != 1 || r[0] != 0 || len(resid) != 0 {
-		t.Errorf("reversed equiCols = %v %v %v", l, r, resid)
-	}
-	// Same-side equality stays residual.
-	l, r, resid = equiCols(scalar.Eq(0, 1), 3)
-	if len(l) != 0 || len(resid) != 1 {
-		t.Errorf("same-side equality: %v %v %v", l, r, resid)
-	}
-	// Non-equality and non-attribute comparisons stay residual.
-	mixed := scalar.NewAnd(
-		scalar.Eq(0, 4),
-		scalar.NewCompare(value.CmpGt, scalar.NewAttr(2), scalar.NewConst(value.NewFloat(5))),
-		scalar.NewCompare(value.CmpEq, scalar.NewAttr(1), scalar.NewConst(value.NewString("x"))),
-	)
-	l, r, resid = equiCols(mixed, 3)
-	if len(l) != 1 || len(resid) != 2 {
-		t.Errorf("mixed condition: %v %v %v", l, r, resid)
-	}
-}
-
 func TestUnsupportedExpression(t *testing.T) {
 	var bogus algebra.Expr // nil interface triggers the default branch safely?
 	// A nil expression is not a valid input; both evaluators must return an

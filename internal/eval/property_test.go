@@ -6,6 +6,7 @@ import (
 
 	"mra/internal/algebra"
 	"mra/internal/multiset"
+	"mra/internal/rewrite"
 	"mra/internal/scalar"
 	"mra/internal/schema"
 	"mra/internal/tuple"
@@ -338,5 +339,196 @@ func TestPropertyCardinalities(t *testing.T) {
 		if p.Cardinality() != c1*c2 {
 			t.Fatalf("round %d: |E1×E2| = %d, want %d", round, p.Cardinality(), c1*c2)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Random-expression property: the planner never changes bag semantics.
+// ---------------------------------------------------------------------------
+
+// exprGen generates random well-typed expressions of a requested output arity
+// over the relations e1, e2, e3 (each two int attributes).  Attribute values
+// and multiplicities are small, so duplicates, empty results and overlapping
+// operands all occur with useful probability.
+type exprGen struct {
+	rng *rand.Rand
+}
+
+func (g *exprGen) intn(n int) int { return g.rng.Intn(n) }
+
+// pred builds a random predicate over an input of the given arity.
+func (g *exprGen) pred(arity int, depth int) scalar.Predicate {
+	if depth > 0 && g.intn(4) == 0 {
+		switch g.intn(3) {
+		case 0:
+			return scalar.And{Left: g.pred(arity, depth-1), Right: g.pred(arity, depth-1)}
+		case 1:
+			return scalar.Or{Left: g.pred(arity, depth-1), Right: g.pred(arity, depth-1)}
+		default:
+			return scalar.Not{Operand: g.pred(arity, depth-1)}
+		}
+	}
+	ops := []value.CompareOp{value.CmpEq, value.CmpLt, value.CmpGe, value.CmpNe}
+	op := ops[g.intn(len(ops))]
+	left := scalar.NewAttr(g.intn(arity))
+	if g.intn(2) == 0 {
+		return scalar.NewCompare(op, left, scalar.NewAttr(g.intn(arity)))
+	}
+	return scalar.NewCompare(op, left, scalar.NewConst(value.NewInt(int64(g.intn(5)))))
+}
+
+// cols picks n attribute positions (repeats allowed) from an input arity.
+func (g *exprGen) cols(n, arity int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = g.intn(arity)
+	}
+	return out
+}
+
+// distinctCols picks up to n distinct positions from an input arity.
+func (g *exprGen) distinctCols(n, arity int) []int {
+	perm := g.rng.Perm(arity)
+	if n > arity {
+		n = arity
+	}
+	return perm[:n]
+}
+
+// gen returns a random expression with the given output arity.
+func (g *exprGen) gen(depth, arity int) algebra.Expr {
+	rels := []string{"e1", "e2", "e3"}
+	base := func() algebra.Expr {
+		rel := algebra.NewRel(rels[g.intn(len(rels))])
+		if arity == 2 && g.intn(2) == 0 {
+			return rel
+		}
+		return algebra.NewProject(g.cols(arity, 2), rel)
+	}
+	if depth <= 0 {
+		return base()
+	}
+	switch g.intn(10) {
+	case 0:
+		return base()
+	case 1:
+		return algebra.NewSelect(g.pred(arity, 1), g.gen(depth-1, arity))
+	case 2:
+		inner := 1 + g.intn(3)
+		return algebra.NewProject(g.cols(arity, inner), g.gen(depth-1, inner))
+	case 3:
+		// Extended projection with small integer arithmetic (no division, so
+		// scalar errors do not dominate the sample).
+		inner := 1 + g.intn(3)
+		items := make([]scalar.Expr, arity)
+		for i := range items {
+			attr := scalar.NewAttr(g.intn(inner))
+			if g.intn(2) == 0 {
+				ops := []value.BinaryOp{value.OpAdd, value.OpMul}
+				items[i] = scalar.NewArith(ops[g.intn(len(ops))], attr, scalar.NewConst(value.NewInt(int64(g.intn(3)))))
+			} else {
+				items[i] = attr
+			}
+		}
+		return algebra.NewExtProject(items, nil, g.gen(depth-1, inner))
+	case 4:
+		switch g.intn(3) {
+		case 0:
+			return algebra.NewUnion(g.gen(depth-1, arity), g.gen(depth-1, arity))
+		case 1:
+			return algebra.NewDifference(g.gen(depth-1, arity), g.gen(depth-1, arity))
+		default:
+			return algebra.NewIntersect(g.gen(depth-1, arity), g.gen(depth-1, arity))
+		}
+	case 5:
+		return algebra.NewUnique(g.gen(depth-1, arity))
+	case 6:
+		if arity < 2 {
+			return base()
+		}
+		la := 1 + g.intn(arity-1)
+		return algebra.NewProduct(g.gen(depth-1, la), g.gen(depth-1, arity-la))
+	case 7:
+		if arity < 2 {
+			return base()
+		}
+		la := 1 + g.intn(arity-1)
+		left, right := g.gen(depth-1, la), g.gen(depth-1, arity-la)
+		// An equality conjunct linking the sides (the hash-join shape), with
+		// an occasional residual comparison on the concatenated schema.
+		cond := scalar.Predicate(scalar.Eq(g.intn(la), la+g.intn(arity-la)))
+		if g.intn(2) == 0 {
+			cond = scalar.And{Left: cond, Right: g.pred(arity, 0)}
+		}
+		if g.intn(4) == 0 {
+			// Sometimes the σ(E1 × E2) spelling instead of the join.
+			return algebra.NewSelect(cond, algebra.NewProduct(left, right))
+		}
+		return algebra.NewJoin(cond, left, right)
+	case 8:
+		// Group-by: output arity = grouping columns + the aggregate.
+		inner := arity - 1 + g.intn(2) + 1
+		if inner < arity-1 {
+			inner = arity - 1
+		}
+		if inner < 1 {
+			inner = 1
+		}
+		aggs := []algebra.Aggregate{algebra.AggCount, algebra.AggSum, algebra.AggMin, algebra.AggMax}
+		return algebra.NewGroupBy(g.distinctCols(arity-1, inner), aggs[g.intn(len(aggs))], g.intn(inner), g.gen(depth-1, inner))
+	default:
+		if arity != 2 {
+			return base()
+		}
+		return algebra.NewTClose(g.gen(depth-1, 2))
+	}
+}
+
+// TestPropertyPlannerPreservesBagSemantics generates random expressions and
+// asserts the planner-compiled physical execution agrees with the Reference
+// oracle — same multi-set, multiplicities included — and that it still agrees
+// after the rewriter has transformed the expression.  The planner's compile
+// step must never change bag semantics.
+func TestPropertyPlannerPreservesBagSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260725))
+	g := &exprGen{rng: rng}
+	rw := rewrite.NewRewriter()
+	checked, errored := 0, 0
+	for round := 0; round < 40; round++ {
+		src := randomSource(rng)
+		cat := src.Catalog()
+		for i := 0; i < 8; i++ {
+			arity := 1 + g.intn(3)
+			e := g.gen(3, arity)
+			ref, refErr := (Reference{}).Eval(e, src)
+			phys, physErr := (&Engine{}).Eval(e, src)
+			if (refErr == nil) != (physErr == nil) {
+				t.Fatalf("round %d: evaluators disagree on errors for %s:\nreference: %v\nphysical:  %v",
+					round, e, refErr, physErr)
+			}
+			if refErr != nil {
+				errored++
+				continue
+			}
+			checked++
+			if !ref.Equal(phys) {
+				t.Fatalf("round %d: planner changed bag semantics of %s:\nreference: %s\nphysical:  %s",
+					round, e, ref, phys)
+			}
+			// The rewritten expression must agree as well: rewriter and
+			// planner compose without changing the multi-set.
+			opt, _ := rw.Rewrite(e, cat)
+			opt2, optErr := (&Engine{}).Eval(opt, src)
+			if optErr != nil {
+				t.Fatalf("round %d: rewritten %s failed: %v", round, opt, optErr)
+			}
+			if !ref.Equal(opt2) {
+				t.Fatalf("round %d: rewrite+plan changed bag semantics:\noriginal:  %s\nrewritten: %s\nreference: %s\nphysical:  %s",
+					round, e, opt, ref, opt2)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Errorf("only %d random expressions evaluated cleanly (%d errored); generator too error-prone", checked, errored)
 	}
 }

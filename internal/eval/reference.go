@@ -5,7 +5,7 @@ import (
 
 	"mra/internal/algebra"
 	"mra/internal/multiset"
-	"mra/internal/schema"
+	"mra/internal/plan"
 	"mra/internal/tuple"
 	"mra/internal/value"
 )
@@ -131,14 +131,14 @@ func refEval(e algebra.Expr, src Source) (*multiset.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return refGroupBy(n, in, outSchema)
+		return plan.GroupBy(n, in, outSchema)
 
 	case algebra.TClose:
 		in, err := refEval(n.Input, src)
 		if err != nil {
 			return nil, err
 		}
-		return transitiveClosure(in), nil
+		return plan.TransitiveClosure(in), nil
 
 	default:
 		return nil, fmt.Errorf("eval: unsupported expression %T", e)
@@ -157,134 +157,6 @@ func refEvalPair(a, b algebra.Expr, src Source) (*multiset.Relation, *multiset.R
 	return l, r, nil
 }
 
-// refGroupBy computes Γ_{α,f,p}(E) by partitioning the materialised input on
-// the grouping attributes and folding the aggregate per partition
-// (Definition 3.4).  Partitions live in a grouped hash table keyed by
-// tuple.HashOn over the grouping columns with positional-equality collision
-// chains — the same scheme the relation representation and the hash join use.
-// With an empty α and an empty input, AVG/MIN/MAX are undefined (partial
-// functions) and CNT/SUM yield a single zero tuple.
-func refGroupBy(n algebra.GroupBy, in *multiset.Relation, outSchema schema.Relation) (*multiset.Relation, error) {
-	type group struct {
-		rep   tuple.Tuple
-		state aggState
-		next  int32
-	}
-	groups := make([]group, 0, 16)
-	index := make(map[uint64]int32, 16)
-	var iterErr error
-	in.Each(func(t tuple.Tuple, count uint64) bool {
-		h := t.HashOn(n.GroupCols)
-		var g *group
-		head, ok := index[h]
-		if !ok {
-			head = -1
-		}
-		for i := head; i != -1; i = groups[i].next {
-			if equalOn(t, n.GroupCols, groups[i].rep, n.GroupCols) {
-				g = &groups[i]
-				break
-			}
-		}
-		if g == nil {
-			index[h] = int32(len(groups))
-			groups = append(groups, group{rep: t, state: aggState{agg: n.Agg}, next: head})
-			g = &groups[len(groups)-1]
-		}
-		if err := g.state.add(t.At(n.AggCol), count); err != nil {
-			iterErr = err
-			return false
-		}
-		return true
-	})
-	if iterErr != nil {
-		return nil, iterErr
-	}
-
-	out := multiset.NewWithCapacity(outSchema, len(groups))
-	if len(n.GroupCols) == 0 {
-		// Global aggregate: exactly one output tuple.
-		st := aggState{agg: n.Agg}
-		if len(groups) > 0 {
-			st = groups[0].state
-		}
-		v, err := st.result()
-		if err != nil {
-			return nil, err
-		}
-		out.Add(tuple.New(v), 1)
-		return out, nil
-	}
-
-	for i := range groups {
-		head, err := groups[i].rep.Project(n.GroupCols)
-		if err != nil {
-			return nil, err
-		}
-		v, err := groups[i].state.result()
-		if err != nil {
-			return nil, err
-		}
-		out.Add(head.Concat(tuple.New(v)), 1)
-	}
-	return out, nil
-}
-
-// transitiveClosure computes the smallest transitively closed relation
-// containing δE via semi-naive fixpoint iteration.  The result is
-// duplicate-free (closure is a set-level notion; Section 5 of the paper).
-func transitiveClosure(in *multiset.Relation) *multiset.Relation {
-	closure := multiset.Unique(in)
-	// Successor lists indexed by the source value's hash, with Equal collision
-	// chains, for the semi-naive step.
-	type succChain struct {
-		src  value.Value
-		dsts []value.Value
-	}
-	succ := make(map[uint64][]succChain)
-	successors := func(v value.Value) []value.Value {
-		chains := succ[v.Hash()]
-		for i := range chains {
-			if chains[i].src.Equal(v) {
-				return chains[i].dsts
-			}
-		}
-		return nil
-	}
-	closure.Each(func(t tuple.Tuple, _ uint64) bool {
-		src := t.At(0)
-		h := src.Hash()
-		chains := succ[h]
-		found := false
-		for i := range chains {
-			if chains[i].src.Equal(src) {
-				chains[i].dsts = append(chains[i].dsts, t.At(1))
-				found = true
-				break
-			}
-		}
-		if !found {
-			succ[h] = append(chains, succChain{src: src, dsts: []value.Value{t.At(1)}})
-		}
-		return true
-	})
-	delta := closure.Clone()
-	for !delta.IsEmpty() {
-		next := multiset.New(in.Schema())
-		delta.Each(func(t tuple.Tuple, _ uint64) bool {
-			for _, dst := range successors(t.At(1)) {
-				candidate := tuple.New(t.At(0), dst)
-				if !closure.Contains(candidate) {
-					next.Add(candidate, 1)
-				}
-			}
-			return true
-		})
-		next.Each(func(t tuple.Tuple, _ uint64) bool {
-			closure.Add(t, 1)
-			return true
-		})
-		delta = next
-	}
-	return closure
-}
+// Group-by and transitive closure are shared with the physical layer
+// (plan.GroupBy, plan.TransitiveClosure) so both evaluators implement the
+// partial-function aggregate semantics and the set-level closure identically.

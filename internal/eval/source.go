@@ -4,12 +4,13 @@
 //
 //   - Reference: a literal transcription of the paper's definitions, used as
 //     the semantic oracle by property-based tests.
-//   - Engine (physical): hash-based operators (hash equi-join, hash
-//     duplicate-elimination, hash group-by, semi-join style difference) used
-//     by the public facade and the benchmarks.
+//   - Engine (physical): compiles expressions through the cost-aware planner
+//     of package plan into streaming physical operators (hash join, hash
+//     aggregate, pipelined σ/π) and executes them; used by the public facade
+//     and the benchmarks.
 //
-// Agreement of the two evaluators on random databases is itself one of the
-// library's property tests.
+// Agreement of the two evaluators on random databases — including randomly
+// generated expression trees — is itself one of the library's property tests.
 package eval
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"mra/internal/algebra"
 	"mra/internal/multiset"
+	"mra/internal/plan"
 	"mra/internal/schema"
 )
 
@@ -71,6 +73,35 @@ func (c sourceCatalog) RelationSchema(name string) (schema.Relation, bool) {
 
 // CatalogOf wraps a Source as an algebra.Catalog.
 func CatalogOf(src Source) algebra.Catalog { return sourceCatalog{src: src} }
+
+// sourceCards adapts a Source into the planner's cardinality provider, so the
+// cost model ranks plans on the actual table sizes of the database being
+// queried.  Relation lookups are O(1) copy-on-write clones.
+type sourceCards struct {
+	src Source
+}
+
+// RelationCardinality implements plan.CardinalitySource.
+func (c sourceCards) RelationCardinality(name string) (uint64, bool) {
+	r, ok := c.src.Relation(name)
+	if !ok {
+		return 0, false
+	}
+	return r.Cardinality(), true
+}
+
+// RelationDistinctCount implements plan.DistinctCardinalitySource, letting
+// the planner size hash tables by distinct tuples rather than occurrences.
+func (c sourceCards) RelationDistinctCount(name string) (int, bool) {
+	r, ok := c.src.Relation(name)
+	if !ok {
+		return 0, false
+	}
+	return r.DistinctCount(), true
+}
+
+// Cardinalities wraps a Source as a plan.CardinalitySource.
+func Cardinalities(src Source) plan.CardinalitySource { return sourceCards{src: src} }
 
 // lookup fetches a relation from a source, converting a miss into an error.
 func lookup(src Source, name string) (*multiset.Relation, error) {

@@ -1,0 +1,264 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"mra/internal/algebra"
+	"mra/internal/multiset"
+	"mra/internal/schema"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// ErrEmptyAggregate is returned when AVG, MIN or MAX is applied to an empty
+// multi-set.  The paper defines these aggregate functions as partial
+// functions, undefined on empty inputs (Definition 3.3).
+var ErrEmptyAggregate = errors.New("plan: aggregate undefined on an empty multi-set")
+
+// groupSpec is the compiled form of a groupby operator Γ_{α,f,p}.
+type groupSpec struct {
+	groupCols []int
+	agg       algebra.Aggregate
+	aggCol    int
+	outSchema schema.Relation
+}
+
+// aggState incrementally computes one of the paper's aggregate functions over
+// a stream of (value, multiplicity) observations.
+type aggState struct {
+	agg   algebra.Aggregate
+	count uint64
+	isum  int64
+	fsum  float64
+	fltIn bool
+	min   value.Value
+	max   value.Value
+	seen  bool
+}
+
+// add folds in one distinct tuple's attribute value with its multiplicity.
+func (s *aggState) add(v value.Value, count uint64) error {
+	s.count += count
+	switch s.agg {
+	case algebra.AggCount:
+		return nil
+	case algebra.AggSum, algebra.AggAvg:
+		switch v.Kind() {
+		case value.KindInt:
+			s.isum += v.Int() * int64(count)
+		case value.KindFloat:
+			s.fsum += v.Float() * float64(count)
+			s.fltIn = true
+		case value.KindNull:
+			// Nulls contribute nothing to sums; CNT above still counts them.
+		default:
+			return fmt.Errorf("plan: %s over non-numeric value %s", s.agg, v)
+		}
+		return nil
+	case algebra.AggMin, algebra.AggMax:
+		if v.IsNull() {
+			return nil
+		}
+		if !s.seen {
+			s.min, s.max, s.seen = v, v, true
+			return nil
+		}
+		if v.Less(s.min) {
+			s.min = v
+		}
+		if s.max.Less(v) {
+			s.max = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("plan: unknown aggregate %v", s.agg)
+	}
+}
+
+// result returns the aggregate's value.  AVG, MIN and MAX fail on empty
+// inputs per Definition 3.3.
+func (s *aggState) result() (value.Value, error) {
+	switch s.agg {
+	case algebra.AggCount:
+		return value.NewInt(int64(s.count)), nil
+	case algebra.AggSum:
+		if s.fltIn {
+			return value.NewFloat(s.fsum + float64(s.isum)), nil
+		}
+		return value.NewInt(s.isum), nil
+	case algebra.AggAvg:
+		if s.count == 0 {
+			return value.Null, ErrEmptyAggregate
+		}
+		return value.NewFloat((s.fsum + float64(s.isum)) / float64(s.count)), nil
+	case algebra.AggMin:
+		if !s.seen {
+			return value.Null, ErrEmptyAggregate
+		}
+		return s.min, nil
+	case algebra.AggMax:
+		if !s.seen {
+			return value.Null, ErrEmptyAggregate
+		}
+		return s.max, nil
+	default:
+		return value.Null, fmt.Errorf("plan: unknown aggregate %v", s.agg)
+	}
+}
+
+// groupTable is the grouped hash table behind the hash aggregate: groups
+// keyed by tuple.HashOn over the grouping columns with positional-equality
+// collision chains — the same scheme the relation representation and the
+// hash join use.
+type groupTable struct {
+	spec   groupSpec
+	groups []groupEntry
+	index  map[uint64]int32
+}
+
+type groupEntry struct {
+	rep   tuple.Tuple
+	state aggState
+	next  int32
+}
+
+func newGroupTable(spec groupSpec) *groupTable {
+	return &groupTable{spec: spec, index: make(map[uint64]int32, 16)}
+}
+
+// add folds one input chunk into its group, creating the group on first
+// sight.
+func (g *groupTable) add(t tuple.Tuple, count uint64) error {
+	h := t.HashOn(g.spec.groupCols)
+	var entry *groupEntry
+	head, ok := g.index[h]
+	if !ok {
+		head = -1
+	}
+	for i := head; i != -1; i = g.groups[i].next {
+		if equalOn(t, g.spec.groupCols, g.groups[i].rep, g.spec.groupCols) {
+			entry = &g.groups[i]
+			break
+		}
+	}
+	if entry == nil {
+		g.index[h] = int32(len(g.groups))
+		g.groups = append(g.groups, groupEntry{rep: t, state: aggState{agg: g.spec.agg}, next: head})
+		entry = &g.groups[len(g.groups)-1]
+	}
+	return entry.state.add(t.At(g.spec.aggCol), count)
+}
+
+// each emits one result tuple per group.  With an empty grouping list the
+// aggregate is global: exactly one output tuple, even on empty input
+// (where AVG/MIN/MAX surface ErrEmptyAggregate from the state).
+func (g *groupTable) each(emit Emit) error {
+	if len(g.spec.groupCols) == 0 {
+		st := aggState{agg: g.spec.agg}
+		if len(g.groups) > 0 {
+			st = g.groups[0].state
+		}
+		v, err := st.result()
+		if err != nil {
+			return err
+		}
+		return emit(tuple.New(v), 1)
+	}
+	for i := range g.groups {
+		head, err := g.groups[i].rep.Project(g.spec.groupCols)
+		if err != nil {
+			return err
+		}
+		v, err := g.groups[i].state.result()
+		if err != nil {
+			return err
+		}
+		if err := emit(head.Concat(tuple.New(v)), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GroupBy computes Γ_{α,f,p}(E) over a materialised input relation
+// (Definition 3.4).  It is shared with the reference evaluator so both
+// evaluators implement the partial-function semantics identically.
+func GroupBy(n algebra.GroupBy, in *multiset.Relation, outSchema schema.Relation) (*multiset.Relation, error) {
+	groups := newGroupTable(groupSpec{groupCols: n.GroupCols, agg: n.Agg, aggCol: n.AggCol, outSchema: outSchema})
+	var addErr error
+	in.Each(func(t tuple.Tuple, count uint64) bool {
+		addErr = groups.add(t, count)
+		return addErr == nil
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	out := multiset.NewWithCapacity(outSchema, len(groups.groups))
+	if err := groups.each(func(t tuple.Tuple, count uint64) error {
+		out.Add(t, count)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TransitiveClosure computes the smallest transitively closed relation
+// containing δE via semi-naive fixpoint iteration.  The result is
+// duplicate-free (closure is a set-level notion; Section 5 of the paper).
+func TransitiveClosure(in *multiset.Relation) *multiset.Relation {
+	closure := multiset.Unique(in)
+	// Successor lists indexed by the source value's hash, with Equal collision
+	// chains, for the semi-naive step.
+	type succChain struct {
+		src  value.Value
+		dsts []value.Value
+	}
+	succ := make(map[uint64][]succChain)
+	successors := func(v value.Value) []value.Value {
+		chains := succ[v.Hash()]
+		for i := range chains {
+			if chains[i].src.Equal(v) {
+				return chains[i].dsts
+			}
+		}
+		return nil
+	}
+	closure.Each(func(t tuple.Tuple, _ uint64) bool {
+		src := t.At(0)
+		h := src.Hash()
+		chains := succ[h]
+		found := false
+		for i := range chains {
+			if chains[i].src.Equal(src) {
+				chains[i].dsts = append(chains[i].dsts, t.At(1))
+				found = true
+				break
+			}
+		}
+		if !found {
+			succ[h] = append(chains, succChain{src: src, dsts: []value.Value{t.At(1)}})
+		}
+		return true
+	})
+	delta := closure.Clone()
+	for !delta.IsEmpty() {
+		next := multiset.New(in.Schema())
+		delta.Each(func(t tuple.Tuple, _ uint64) bool {
+			for _, dst := range successors(t.At(1)) {
+				candidate := tuple.New(t.At(0), dst)
+				if !closure.Contains(candidate) {
+					next.Add(candidate, 1)
+				}
+			}
+			return true
+		})
+		next.Each(func(t tuple.Tuple, _ uint64) bool {
+			closure.Add(t, 1)
+			return true
+		})
+		delta = next
+	}
+	return closure
+}

@@ -1,0 +1,581 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mra/internal/multiset"
+	"mra/internal/scalar"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// This file implements the physical operators.  Streaming operators (Filter,
+// Project, ExtProject, Union, Unique, the probe phases of the joins) process
+// one chunk at a time; blocking operators materialise exactly the state their
+// algorithm needs and account for it via execCtx.materialised.
+
+// ---------------------------------------------------------------------------
+// Leaves
+// ---------------------------------------------------------------------------
+
+// scanNode reads a named database relation from the source.
+type scanNode struct {
+	base
+	name string
+}
+
+func (s *scanNode) Children() []Node { return nil }
+func (s *scanNode) Describe() string { return "Scan " + s.name }
+
+func (s *scanNode) lookup(ctx *execCtx) (*multiset.Relation, error) {
+	r, ok := ctx.src.Relation(s.name)
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown relation %q", s.name)
+	}
+	return r, nil
+}
+
+func (s *scanNode) run(ctx *execCtx, emit Emit) error {
+	r, err := s.lookup(ctx)
+	if err != nil {
+		return err
+	}
+	return each(r, emit)
+}
+
+// result implements materializer: the clone is an O(1) copy-on-write view.
+func (s *scanNode) result(ctx *execCtx) (*multiset.Relation, error) {
+	r, err := s.lookup(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r.Clone(), nil
+}
+
+// valuesNode emits the rows of a literal relation, one occurrence each.
+type valuesNode struct {
+	base
+	rows [][]value.Value
+}
+
+func (v *valuesNode) Children() []Node { return nil }
+func (v *valuesNode) Describe() string { return fmt.Sprintf("Values (%d rows)", len(v.rows)) }
+
+func (v *valuesNode) run(_ *execCtx, emit Emit) error {
+	for _, row := range v.rows {
+		if err := emit(tuple.New(row...), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming unary operators
+// ---------------------------------------------------------------------------
+
+// filterNode is the streaming selection σφ.
+type filterNode struct {
+	base
+	pred  scalar.Predicate
+	input Node
+}
+
+func (f *filterNode) Children() []Node { return []Node{f.input} }
+func (f *filterNode) Describe() string { return fmt.Sprintf("Filter [%s]", f.pred) }
+
+func (f *filterNode) run(ctx *execCtx, emit Emit) error {
+	return ctx.run(f.input, func(t tuple.Tuple, n uint64) error {
+		ok, err := f.pred.Holds(t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return emit(t, n)
+	})
+}
+
+// projectNode is the streaming positional projection πα.
+type projectNode struct {
+	base
+	cols  []int
+	input Node
+}
+
+func (p *projectNode) Children() []Node { return []Node{p.input} }
+func (p *projectNode) Describe() string { return "Project [" + colList(p.cols) + "]" }
+
+func (p *projectNode) run(ctx *execCtx, emit Emit) error {
+	return ctx.run(p.input, func(t tuple.Tuple, n uint64) error {
+		out, err := t.Project(p.cols)
+		if err != nil {
+			return err
+		}
+		return emit(out, n)
+	})
+}
+
+// extProjectNode is the streaming extended (arithmetic) projection.
+type extProjectNode struct {
+	base
+	items []scalar.Expr
+	input Node
+}
+
+func (p *extProjectNode) Children() []Node { return []Node{p.input} }
+
+func (p *extProjectNode) Describe() string {
+	items := make([]string, len(p.items))
+	for i, it := range p.items {
+		items[i] = it.String()
+	}
+	return "ExtProject [" + strings.Join(items, ", ") + "]"
+}
+
+func (p *extProjectNode) run(ctx *execCtx, emit Emit) error {
+	return ctx.run(p.input, func(t tuple.Tuple, n uint64) error {
+		vals := make([]value.Value, len(p.items))
+		for i, item := range p.items {
+			v, err := item.Eval(t)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		return emit(tuple.FromSlice(vals), n)
+	})
+}
+
+// uniqueNode is the duplicate elimination δ.  It streams: each distinct tuple
+// is emitted (with multiplicity one) the first time it is seen, so downstream
+// operators start before the input is exhausted; the seen-set is the
+// operator's only state.
+type uniqueNode struct {
+	base
+	input Node
+}
+
+func (u *uniqueNode) Children() []Node { return []Node{u.input} }
+func (u *uniqueNode) Describe() string { return "Unique" }
+
+func (u *uniqueNode) run(ctx *execCtx, emit Emit) error {
+	seen := newTupleSet(capacityFor(u.capHint))
+	err := ctx.run(u.input, func(t tuple.Tuple, _ uint64) error {
+		if !seen.insert(t) {
+			return nil
+		}
+		return emit(t, 1)
+	})
+	ctx.materialised(u, uint64(seen.len()))
+	return err
+}
+
+// unionNode is the multi-set union ⊎: it streams the left operand and then
+// the right one; multiplicities add up at the consumer.
+type unionNode struct {
+	base
+	left, right Node
+}
+
+func (u *unionNode) Children() []Node { return []Node{u.left, u.right} }
+func (u *unionNode) Describe() string { return "Union" }
+
+func (u *unionNode) run(ctx *execCtx, emit Emit) error {
+	if err := ctx.run(u.left, emit); err != nil {
+		return err
+	}
+	return ctx.run(u.right, emit)
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+// hashJoinNode executes an equi-join: the build side is materialised into a
+// flat node arena with collision chains headed by a hash index (no per-tuple
+// key allocation), the probe side streams.  The planner chooses the build
+// side from the cost model's cardinality estimates.
+type hashJoinNode struct {
+	base
+	left, right Node
+	// leftCols/rightCols are the equi-join column pairs on the respective
+	// operand schemas.
+	leftCols, rightCols []int
+	// residual is the conjunction of non-hashable conjuncts (nil when none),
+	// addressing the concatenated schema.
+	residual scalar.Predicate
+	// buildLeft selects the build side; the probe side is the other operand.
+	buildLeft bool
+}
+
+func (j *hashJoinNode) Children() []Node { return []Node{j.left, j.right} }
+
+func (j *hashJoinNode) Describe() string {
+	leftArity := j.left.Schema().Arity()
+	pairs := make([]string, len(j.leftCols))
+	for i := range j.leftCols {
+		pairs[i] = fmt.Sprintf("%%%d = %%%d", j.leftCols[i]+1, leftArity+j.rightCols[i]+1)
+	}
+	side := "right"
+	if j.buildLeft {
+		side = "left"
+	}
+	s := fmt.Sprintf("HashJoin [%s] build=%s", strings.Join(pairs, ", "), side)
+	if j.residual != nil {
+		s += fmt.Sprintf(" residual=[%s]", j.residual)
+	}
+	return s
+}
+
+func (j *hashJoinNode) run(ctx *execCtx, emit Emit) error {
+	build, probe := j.right, j.left
+	buildCols, probeCols := j.rightCols, j.leftCols
+	if j.buildLeft {
+		build, probe = j.left, j.right
+		buildCols, probeCols = j.leftCols, j.rightCols
+	}
+
+	type chainNode struct {
+		tup   tuple.Tuple
+		count uint64
+		next  int32
+	}
+	nodes := make([]chainNode, 0, capacityFor(build.meta().capHint))
+	index := make(map[uint64]int32, capacityFor(build.meta().capHint))
+	var built uint64
+	err := ctx.run(build, func(t tuple.Tuple, n uint64) error {
+		h := t.HashOn(buildCols)
+		head, ok := index[h]
+		if !ok {
+			head = -1
+		}
+		index[h] = int32(len(nodes))
+		nodes = append(nodes, chainNode{tup: t, count: n, next: head})
+		built += n
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ctx.materialised(j, built)
+	if len(nodes) == 0 {
+		// An empty build side makes the join empty: skip hashing and probing.
+		// The probe side still runs (discarding its output) because the
+		// algebra is strict — errors in the probe subtree must surface even
+		// when no tuple could join.
+		return ctx.run(probe, discard)
+	}
+
+	return ctx.run(probe, func(pt tuple.Tuple, pc uint64) error {
+		head, ok := index[pt.HashOn(probeCols)]
+		if !ok {
+			return nil
+		}
+		for i := head; i != -1; i = nodes[i].next {
+			bt := nodes[i].tup
+			if !equalOn(pt, probeCols, bt, buildCols) {
+				continue
+			}
+			var joined tuple.Tuple
+			if j.buildLeft {
+				joined = bt.Concat(pt)
+			} else {
+				joined = pt.Concat(bt)
+			}
+			if j.residual != nil {
+				ok, err := j.residual.Holds(joined)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if err := emit(joined, pc*nodes[i].count); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// nestedLoopNode executes a θ-join with no hashable conjunct (or a bare
+// Cartesian product when cond is nil): the inner side — chosen by the planner
+// as the smaller operand — is materialised once, the outer side streams.
+type nestedLoopNode struct {
+	base
+	left, right Node
+	// cond is the join condition over the concatenated schema; nil means a
+	// Cartesian product.
+	cond scalar.Predicate
+	// innerRight selects the materialised (inner) side.
+	innerRight bool
+}
+
+func (j *nestedLoopNode) Children() []Node { return []Node{j.left, j.right} }
+
+func (j *nestedLoopNode) Describe() string {
+	inner := "left"
+	if j.innerRight {
+		inner = "right"
+	}
+	if j.cond == nil {
+		return "NestedLoopJoin (cross) inner=" + inner
+	}
+	return fmt.Sprintf("NestedLoopJoin [%s] inner=%s", j.cond, inner)
+}
+
+func (j *nestedLoopNode) run(ctx *execCtx, emit Emit) error {
+	inner, outer := j.left, j.right
+	if j.innerRight {
+		inner, outer = j.right, j.left
+	}
+	type chunk struct {
+		tup   tuple.Tuple
+		count uint64
+	}
+	chunks := make([]chunk, 0, capacityFor(inner.meta().capHint))
+	var held uint64
+	err := ctx.run(inner, func(t tuple.Tuple, n uint64) error {
+		chunks = append(chunks, chunk{tup: t, count: n})
+		held += n
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ctx.materialised(j, held)
+	if len(chunks) == 0 {
+		// Strictness: the outer side still runs so its errors surface.
+		return ctx.run(outer, discard)
+	}
+
+	return ctx.run(outer, func(ot tuple.Tuple, oc uint64) error {
+		for i := range chunks {
+			var joined tuple.Tuple
+			if j.innerRight {
+				joined = ot.Concat(chunks[i].tup)
+			} else {
+				joined = chunks[i].tup.Concat(ot)
+			}
+			if j.cond != nil {
+				ok, err := j.cond.Holds(joined)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if err := emit(joined, oc*chunks[i].count); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+// hashAggNode is the group-by operator Γ: a single-pass grouped hash table
+// over the input stream, emitting one tuple per group when the input is
+// exhausted.
+type hashAggNode struct {
+	base
+	gb    groupSpec
+	input Node
+}
+
+func (a *hashAggNode) Children() []Node { return []Node{a.input} }
+
+func (a *hashAggNode) Describe() string {
+	return fmt.Sprintf("HashAggregate [(%s) %s(%%%d)]", colList(a.gb.groupCols), a.gb.agg, a.gb.aggCol+1)
+}
+
+func (a *hashAggNode) run(ctx *execCtx, emit Emit) error {
+	groups := newGroupTable(a.gb)
+	err := ctx.run(a.input, func(t tuple.Tuple, n uint64) error {
+		return groups.add(t, n)
+	})
+	// The operator's state is one entry per group (aggregates fold in place),
+	// not the consumed input.
+	ctx.materialised(a, uint64(len(groups.groups)))
+	if err != nil {
+		return err
+	}
+	return groups.each(emit)
+}
+
+// ---------------------------------------------------------------------------
+// Blocking binary set operators and transitive closure
+// ---------------------------------------------------------------------------
+
+// differenceNode is the multi-set difference −: monus on multiplicities.
+// Both operands are inherently fully consumed.
+type differenceNode struct {
+	base
+	left, right Node
+}
+
+func (d *differenceNode) Children() []Node { return []Node{d.left, d.right} }
+func (d *differenceNode) Describe() string { return "Difference" }
+
+func (d *differenceNode) run(ctx *execCtx, emit Emit) error {
+	out, err := d.result(ctx)
+	if err != nil {
+		return err
+	}
+	return each(out, emit)
+}
+
+func (d *differenceNode) result(ctx *execCtx) (*multiset.Relation, error) {
+	l, r, err := materializePair(ctx, d, d.left, d.right)
+	if err != nil {
+		return nil, err
+	}
+	return multiset.Difference(l, r)
+}
+
+// intersectNode is the multi-set intersection ∩: minimum of multiplicities.
+type intersectNode struct {
+	base
+	left, right Node
+}
+
+func (i *intersectNode) Children() []Node { return []Node{i.left, i.right} }
+func (i *intersectNode) Describe() string { return "Intersect" }
+
+func (i *intersectNode) run(ctx *execCtx, emit Emit) error {
+	out, err := i.result(ctx)
+	if err != nil {
+		return err
+	}
+	return each(out, emit)
+}
+
+func (i *intersectNode) result(ctx *execCtx) (*multiset.Relation, error) {
+	l, r, err := materializePair(ctx, i, i.left, i.right)
+	if err != nil {
+		return nil, err
+	}
+	return multiset.Intersection(l, r)
+}
+
+// tcloseNode is the transitive-closure extension of Section 5: a semi-naive
+// fixpoint over the materialised input.
+type tcloseNode struct {
+	base
+	input Node
+}
+
+func (t *tcloseNode) Children() []Node { return []Node{t.input} }
+func (t *tcloseNode) Describe() string { return "TClose" }
+
+func (t *tcloseNode) run(ctx *execCtx, emit Emit) error {
+	out, err := t.result(ctx)
+	if err != nil {
+		return err
+	}
+	return each(out, emit)
+}
+
+func (t *tcloseNode) result(ctx *execCtx) (*multiset.Relation, error) {
+	in, err := ctx.materialize(t.input)
+	if err != nil {
+		return nil, err
+	}
+	ctx.materialised(t, in.Cardinality())
+	return TransitiveClosure(in), nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+// discard consumes a stream without keeping anything; joins use it to run a
+// side whose output cannot contribute but whose errors must still surface.
+func discard(tuple.Tuple, uint64) error { return nil }
+
+// each streams a materialised relation into emit.
+func each(r *multiset.Relation, emit Emit) error {
+	var iterErr error
+	r.Each(func(t tuple.Tuple, n uint64) bool {
+		iterErr = emit(t, n)
+		return iterErr == nil
+	})
+	return iterErr
+}
+
+// materializePair materialises both operands of a blocking binary operator,
+// charging their cardinalities to the operator's state.
+func materializePair(ctx *execCtx, op Node, left, right Node) (*multiset.Relation, *multiset.Relation, error) {
+	l, err := ctx.materialize(left)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := ctx.materialize(right)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx.materialised(op, l.Cardinality()+r.Cardinality())
+	return l, r, nil
+}
+
+// equalOn reports pairwise equality of a's attributes at acols with b's
+// attributes at bcols: the collision check separating true hash-join matches
+// from hash collisions.
+func equalOn(a tuple.Tuple, acols []int, b tuple.Tuple, bcols []int) bool {
+	for k := range acols {
+		if !a.At(acols[k]).Equal(b.At(bcols[k])) {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleSet is a hash set of tuples with positional-equality collision chains,
+// used by the streaming duplicate elimination.
+type tupleSet struct {
+	index map[uint64]int32
+	tups  []tuple.Tuple
+	next  []int32
+}
+
+func newTupleSet(capacity int) *tupleSet {
+	return &tupleSet{index: make(map[uint64]int32, capacity)}
+}
+
+func (s *tupleSet) len() int { return len(s.tups) }
+
+// insert adds t and reports whether it was absent.
+func (s *tupleSet) insert(t tuple.Tuple) bool {
+	h := t.Hash()
+	head, ok := s.index[h]
+	if !ok {
+		head = -1
+	}
+	for i := head; i != -1; i = s.next[i] {
+		if s.tups[i].Equal(t) {
+			return false
+		}
+	}
+	s.index[h] = int32(len(s.tups))
+	s.tups = append(s.tups, t)
+	s.next = append(s.next, head)
+	return true
+}
+
+// colList renders 0-based column positions in the 1-based %i surface syntax.
+func colList(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = "%" + strconv.Itoa(c+1)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,303 @@
+// Package plan implements the physical layer of the multi-set extended
+// relational algebra: a planner that compiles logical expressions (package
+// algebra) into trees of physical operators, and a streaming executor that
+// runs those trees against a relation source.
+//
+// The split mirrors the paper's own separation of concerns: Section 3 defines
+// the logical algebra and proves the equivalences (Theorems 3.1–3.3) that
+// make plans interchangeable; choosing *which* equivalent plan to run — hash
+// join vs. nested loops, build side, operator pipelining — is a physical
+// decision and lives here, fed by the same cardinality-based cost model the
+// rewriter uses (cost.go).
+//
+// # Iterator contract
+//
+// Physical operators are push-based streams.  An operator's run method calls
+// its emit function once per output chunk (t, n): tuple t occurs n (> 0) more
+// times.  The stream as a whole denotes the multi-set that sums all chunks;
+// the SAME tuple MAY be emitted in several chunks (for example by a union
+// whose operands share a tuple, or by a projection that collapses distinct
+// inputs), and consumers must add multiplicities rather than assume
+// distinctness.  Chunk order is unspecified — relations are unordered.
+//
+// Ownership: emitted tuples are immutable and may be retained by the
+// consumer; they are often shared with the source relations.  Schema
+// propagation happens entirely at plan time: every node carries its output
+// schema, and operator typing (predicates, projections, aggregates) is
+// validated during compilation, so execution never re-checks shapes.  Errors
+// returned by emit abort the stream immediately and propagate out of
+// Execute; operators must not swallow them.
+//
+// Pipelining falls out of the model: a chain of streaming operators
+// (Filter, Project, ExtProject, Union, the probe side of a HashJoin, the
+// outer side of a NestedLoopJoin, Unique's output) processes one chunk at a
+// time and never materialises an intermediate relation.  Blocking operators
+// (hash-join build side, HashAggregate, Difference, Intersect, TClose,
+// NestedLoopJoin's inner side) hold exactly the state their algorithm
+// requires, which Stats reports as MaterialisedTuples.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"mra/internal/multiset"
+	"mra/internal/schema"
+	"mra/internal/tuple"
+)
+
+// Source resolves database relation names to relation instances at execution
+// time.  It is structurally identical to eval.Source, so every evaluation
+// source (storage engine, transactions, map sources) satisfies it.
+type Source interface {
+	// Relation returns the named relation instance.
+	Relation(name string) (*multiset.Relation, bool)
+}
+
+// Emit receives one chunk (t, n) of an operator's output stream: tuple t
+// occurs n more times.  Returning an error aborts the stream.
+type Emit func(t tuple.Tuple, n uint64) error
+
+// Node is one physical operator of a compiled plan.  Nodes are built by the
+// Planner and are immutable once compiled; a plan may be executed any number
+// of times and against different sources (the schemas must match the catalog
+// it was planned against).
+type Node interface {
+	// Schema is the operator's output schema, fixed at plan time.
+	Schema() schema.Relation
+	// Children returns the operator's input operators.
+	Children() []Node
+	// Describe renders the operator and its physical choices on one line.
+	Describe() string
+	// Estimate is the planner's output-cardinality estimate for this node.
+	Estimate() float64
+
+	// meta exposes the embedded bookkeeping; it also keeps the interface
+	// closed to this package.
+	meta() *base
+
+	// run streams the operator's output into emit.
+	run(ctx *execCtx, emit Emit) error
+}
+
+// base carries the bookkeeping every physical operator shares.
+type base struct {
+	schema schema.Relation
+	est    float64
+	id     int
+	// exactEst marks estimates that are known cardinalities (base table
+	// scans), rendered without the "~" approximation marker.
+	exactEst bool
+	// capHint sizes result hash tables.  It deliberately differs from est
+	// where the estimate is a poor allocation guide: a hash join's output is
+	// sized by its probe side, and scans size by distinct tuples rather than
+	// occurrences when the source can tell them apart.
+	capHint float64
+}
+
+func (b *base) Schema() schema.Relation { return b.schema }
+func (b *base) Estimate() float64       { return b.est }
+func (b *base) meta() *base             { return b }
+
+// materializer is implemented by operators that can produce their entire
+// result as a relation at least as cheaply as streaming it chunk by chunk
+// (scans hand out an O(1) copy-on-write clone; the blocking set operators
+// compute a full relation anyway).  The returned relation is owned by the
+// caller.
+type materializer interface {
+	Node
+	result(ctx *execCtx) (*multiset.Relation, error)
+}
+
+// Stats aggregates execution statistics, recorded per physical operator.
+type Stats struct {
+	// IntermediateTuples is the total number of tuples (counting
+	// multiplicities) emitted by all non-leaf operators.
+	IntermediateTuples uint64
+	// PeakRelationTuples is the largest single non-leaf operator output seen.
+	PeakRelationTuples uint64
+	// Operators counts executed non-leaf operator nodes.
+	Operators int
+	// MaterialisedTuples counts tuples (with multiplicity) stored in
+	// operator-internal state: hash-join build tables, nested-loop inner
+	// relations, aggregation tables, and the inputs of the blocking set
+	// operators.  Fully pipelined plans report zero.
+	MaterialisedTuples uint64
+	// PerOperator breaks the same numbers down by operator, in plan
+	// (pre-order) position.
+	PerOperator []OperatorStats
+}
+
+// OperatorStats is the per-operator slice of Stats.
+type OperatorStats struct {
+	// Operator is the operator's Describe rendering.
+	Operator string
+	// Emitted is the number of tuples (counting multiplicities) the operator
+	// emitted downstream.
+	Emitted uint64
+	// Materialised is the number of tuples the operator held in internal
+	// state (zero for fully streaming operators).
+	Materialised uint64
+}
+
+// Plan is a compiled physical plan.
+type Plan struct {
+	// Root is the plan's top operator.
+	Root Node
+	// nodes lists all operators in pre-order; ids index into it.
+	nodes []Node
+}
+
+// Execute runs the plan against a source and materialises the root stream
+// into a relation.
+func (p *Plan) Execute(src Source) (*multiset.Relation, error) {
+	return p.exec(src, nil)
+}
+
+// ExecuteStats is Execute with per-operator statistics accumulated into st.
+func (p *Plan) ExecuteStats(src Source, st *Stats) (*multiset.Relation, error) {
+	return p.exec(src, st)
+}
+
+func (p *Plan) exec(src Source, st *Stats) (*multiset.Relation, error) {
+	ctx := &execCtx{src: src, stats: st}
+	if st != nil {
+		ctx.perOp = make([]OperatorStats, len(p.nodes))
+		for i, n := range p.nodes {
+			ctx.perOp[i].Operator = n.Describe()
+		}
+	}
+	var out *multiset.Relation
+	var err error
+	if m, ok := p.Root.(materializer); ok {
+		out, err = ctx.result(m)
+	} else {
+		out = multiset.NewWithCapacity(p.Root.Schema(), capacityFor(p.Root.meta().capHint))
+		err = ctx.run(p.Root, func(t tuple.Tuple, n uint64) error {
+			out.Add(t, n)
+			return nil
+		})
+	}
+	if st != nil {
+		st.PerOperator = append(st.PerOperator, ctx.perOp...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// String renders the plan as an indented operator tree with cardinality
+// estimates, suitable for explain output.
+func (p *Plan) String() string {
+	var b strings.Builder
+	renderNode(&b, p.Root, "", "")
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func renderNode(b *strings.Builder, n Node, head, tail string) {
+	marker := "~"
+	if n.meta().exactEst {
+		marker = ""
+	}
+	rows := int64(n.Estimate() + 0.5)
+	if rows == 0 && n.Estimate() > 0 {
+		rows = 1
+	}
+	fmt.Fprintf(b, "%s%s  (%s%d rows)\n", head, n.Describe(), marker, rows)
+	children := n.Children()
+	for i, c := range children {
+		if i == len(children)-1 {
+			renderNode(b, c, tail+"└─ ", tail+"   ")
+		} else {
+			renderNode(b, c, tail+"├─ ", tail+"│  ")
+		}
+	}
+}
+
+// execCtx carries per-execution state through the operator tree.
+type execCtx struct {
+	src   Source
+	stats *Stats
+	perOp []OperatorStats
+}
+
+// run streams a node's output into emit, recording emission statistics for
+// non-leaf operators when enabled.
+func (ctx *execCtx) run(n Node, emit Emit) error {
+	if ctx.stats == nil || len(n.Children()) == 0 {
+		return n.run(ctx, emit)
+	}
+	var emitted uint64
+	err := n.run(ctx, func(t tuple.Tuple, c uint64) error {
+		emitted += c
+		return emit(t, c)
+	})
+	st := ctx.stats
+	st.Operators++
+	st.IntermediateTuples += emitted
+	if emitted > st.PeakRelationTuples {
+		st.PeakRelationTuples = emitted
+	}
+	ctx.perOp[n.meta().id].Emitted += emitted
+	return err
+}
+
+// result produces a materializer node's full relation, recording the same
+// emission statistics run would.
+func (ctx *execCtx) result(m materializer) (*multiset.Relation, error) {
+	rel, err := m.result(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.stats != nil && len(m.Children()) > 0 {
+		card := rel.Cardinality()
+		st := ctx.stats
+		st.Operators++
+		st.IntermediateTuples += card
+		if card > st.PeakRelationTuples {
+			st.PeakRelationTuples = card
+		}
+		ctx.perOp[m.meta().id].Emitted += card
+	}
+	return rel, nil
+}
+
+// materialize runs a subtree into a relation, taking the cheap path when the
+// node can produce one directly.
+func (ctx *execCtx) materialize(n Node) (*multiset.Relation, error) {
+	if m, ok := n.(materializer); ok {
+		return ctx.result(m)
+	}
+	out := multiset.NewWithCapacity(n.Schema(), capacityFor(n.meta().capHint))
+	err := ctx.run(n, func(t tuple.Tuple, c uint64) error {
+		out.Add(t, c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// materialised records tuples held in an operator's internal state.
+func (ctx *execCtx) materialised(n Node, count uint64) {
+	if ctx.stats == nil {
+		return
+	}
+	ctx.stats.MaterialisedTuples += count
+	ctx.perOp[n.meta().id].Materialised += count
+}
+
+// capacityFor converts a cardinality estimate into a pre-sizing hint, clamped
+// so a wild overestimate cannot balloon an allocation.
+func capacityFor(est float64) int {
+	const maxHint = 1 << 16
+	if est <= 0 {
+		return 0
+	}
+	if est >= maxHint {
+		return maxHint
+	}
+	return int(est)
+}

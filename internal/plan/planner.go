@@ -1,0 +1,367 @@
+package plan
+
+import (
+	"fmt"
+
+	"mra/internal/algebra"
+	"mra/internal/scalar"
+	"mra/internal/schema"
+	"mra/internal/value"
+)
+
+// Planner compiles logical expressions into physical plans.  All physical
+// decisions are made here, at plan time, from the cost model's cardinality
+// estimates:
+//
+//   - σφ(E1 × E2) and σφ(E1 ⋈ E2) fold their conditions into the join
+//     (Theorem 3.1 read right-to-left), so equality conjuncts from either
+//     level can hash;
+//   - joins with hashable conjuncts become HashJoins, with the build side
+//     chosen as the operand of smaller estimated cardinality (the physical
+//     commutation the algebra's join commutativity licenses);
+//   - joins without hashable conjuncts, and bare products, become
+//     NestedLoopJoins with the smaller estimated operand materialised as the
+//     inner side;
+//   - everything pipelineable (σ, π, extended π, ⊎, δ) compiles to streaming
+//     operators, so cascades execute in one pass with no intermediate
+//     relations.
+type Planner struct {
+	// Cards supplies base-relation cardinalities; nil falls back to the cost
+	// model's default.
+	Cards CardinalitySource
+}
+
+// NewPlanner returns a planner drawing base cardinalities from cards (which
+// may be nil).
+func NewPlanner(cards CardinalitySource) *Planner { return &Planner{Cards: cards} }
+
+// Plan compiles the expression against the catalog.  Operator typing (schema
+// inference, condition and arithmetic validation) happens here; execution
+// assumes a well-typed plan.
+func (pl *Planner) Plan(e algebra.Expr, cat algebra.Catalog) (*Plan, error) {
+	root, err := pl.compile(e, cat)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Root: root, nodes: make([]Node, 0, 8)}
+	number(root, &p.nodes)
+	return p, nil
+}
+
+// number assigns pre-order ids used by the per-operator statistics.
+func number(n Node, nodes *[]Node) {
+	n.meta().id = len(*nodes)
+	*nodes = append(*nodes, n)
+	for _, c := range n.Children() {
+		number(c, nodes)
+	}
+}
+
+// schemaExpr is a pre-resolved algebra leaf standing in for an already
+// compiled subtree, so operator typing can reuse the algebra package's
+// Schema validation against the child's known schema without re-walking the
+// logical tree.
+type schemaExpr struct{ s schema.Relation }
+
+func (f schemaExpr) Schema(algebra.Catalog) (schema.Relation, error) { return f.s, nil }
+func (f schemaExpr) Children() []algebra.Expr                        { return nil }
+func (f schemaExpr) String() string                                  { return "·" }
+
+func (pl *Planner) compile(e algebra.Expr, cat algebra.Catalog) (Node, error) {
+	switch n := e.(type) {
+	case algebra.Rel:
+		if cat == nil {
+			return nil, fmt.Errorf("plan: no catalog to resolve relation %q", n.Name)
+		}
+		s, ok := cat.RelationSchema(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown relation %q", n.Name)
+		}
+		node := &scanNode{name: n.Name}
+		node.schema = s
+		node.est = defaultRelationCard
+		if pl.Cards != nil {
+			if c, ok := pl.Cards.RelationCardinality(n.Name); ok {
+				node.est = float64(c)
+				node.exactEst = true
+			}
+		}
+		node.capHint = node.est
+		if d, ok := pl.Cards.(DistinctCardinalitySource); ok {
+			if c, ok := d.RelationDistinctCount(n.Name); ok {
+				node.capHint = float64(c)
+			}
+		}
+		return node, nil
+
+	case algebra.Literal:
+		s, err := n.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		node := &valuesNode{rows: n.Rows}
+		node.schema = s
+		node.est = float64(len(n.Rows))
+		node.exactEst = true
+		node.capHint = node.est
+		return node, nil
+
+	case algebra.Select:
+		if n.Cond == nil {
+			return nil, fmt.Errorf("%w: select without a condition", algebra.ErrPlan)
+		}
+		// A selection directly above a product or join is a join in disguise:
+		// fold the condition in so its equality conjuncts can hash.
+		switch in := n.Input.(type) {
+		case algebra.Product:
+			return pl.compileJoin(n.Cond, in.Left, in.Right, cat)
+		case algebra.Join:
+			if in.Cond == nil {
+				return nil, fmt.Errorf("%w: join without a condition", algebra.ErrPlan)
+			}
+			return pl.compileJoin(scalar.And{Left: in.Cond, Right: n.Cond}, in.Left, in.Right, cat)
+		}
+		input, err := pl.compile(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Cond.Validate(input.Schema()); err != nil {
+			return nil, fmt.Errorf("%w: %v", algebra.ErrPlan, err)
+		}
+		node := &filterNode{pred: n.Cond, input: input}
+		node.schema = input.Schema()
+		node.est = input.Estimate() * selectionSelectivity
+		node.capHint = node.est
+		return node, nil
+
+	case algebra.Project:
+		input, err := pl.compile(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.Columns) == 0 {
+			return nil, fmt.Errorf("%w: projection with an empty attribute list", algebra.ErrPlan)
+		}
+		s, err := input.Schema().Project(n.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", algebra.ErrPlan, err)
+		}
+		node := &projectNode{cols: n.Columns, input: input}
+		node.schema = s
+		node.est = input.Estimate()
+		node.capHint = input.meta().capHint
+		return node, nil
+
+	case algebra.ExtProject:
+		input, err := pl.compile(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		s, err := algebra.NewExtProject(n.Items, n.Names, schemaExpr{input.Schema()}).Schema(nil)
+		if err != nil {
+			return nil, err
+		}
+		node := &extProjectNode{items: n.Items, input: input}
+		node.schema = s
+		node.est = input.Estimate()
+		node.capHint = input.meta().capHint
+		return node, nil
+
+	case algebra.Product:
+		return pl.compileJoin(nil, n.Left, n.Right, cat)
+
+	case algebra.Join:
+		if n.Cond == nil {
+			return nil, fmt.Errorf("%w: join without a condition", algebra.ErrPlan)
+		}
+		return pl.compileJoin(n.Cond, n.Left, n.Right, cat)
+
+	case algebra.Union:
+		left, right, s, err := pl.compilePair("union", n.Left, n.Right, cat)
+		if err != nil {
+			return nil, err
+		}
+		node := &unionNode{left: left, right: right}
+		node.schema = s
+		node.est = left.Estimate() + right.Estimate()
+		node.capHint = left.meta().capHint + right.meta().capHint
+		return node, nil
+
+	case algebra.Difference:
+		left, right, s, err := pl.compilePair("diff", n.Left, n.Right, cat)
+		if err != nil {
+			return nil, err
+		}
+		node := &differenceNode{left: left, right: right}
+		node.schema = s
+		node.est = left.Estimate()
+		node.capHint = node.est
+		return node, nil
+
+	case algebra.Intersect:
+		left, right, s, err := pl.compilePair("intersect", n.Left, n.Right, cat)
+		if err != nil {
+			return nil, err
+		}
+		node := &intersectNode{left: left, right: right}
+		node.schema = s
+		node.est = min(left.Estimate(), right.Estimate())
+		node.capHint = node.est
+		return node, nil
+
+	case algebra.Unique:
+		input, err := pl.compile(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		node := &uniqueNode{input: input}
+		node.schema = input.Schema()
+		node.est = input.Estimate() * uniqueReduction
+		node.capHint = input.meta().capHint
+		return node, nil
+
+	case algebra.GroupBy:
+		input, err := pl.compile(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		gb := n
+		gb.Input = schemaExpr{input.Schema()}
+		s, err := gb.Schema(nil)
+		if err != nil {
+			return nil, err
+		}
+		node := &hashAggNode{gb: groupSpec{groupCols: n.GroupCols, agg: n.Agg, aggCol: n.AggCol, outSchema: s}, input: input}
+		node.schema = s
+		node.est = input.Estimate() * groupReduction
+		if len(n.GroupCols) == 0 {
+			node.est = 1
+		}
+		node.capHint = node.est
+		return node, nil
+
+	case algebra.TClose:
+		input, err := pl.compile(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		s, err := algebra.NewTClose(schemaExpr{input.Schema()}).Schema(nil)
+		if err != nil {
+			return nil, err
+		}
+		node := &tcloseNode{input: input}
+		node.schema = s
+		node.est = input.Estimate() * transitiveBlowup
+		node.capHint = node.est
+		return node, nil
+
+	default:
+		return nil, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+// compilePair compiles the operands of a union-compatible binary operator and
+// checks their compatibility.
+func (pl *Planner) compilePair(op string, le, re algebra.Expr, cat algebra.Catalog) (left, right Node, s schema.Relation, err error) {
+	left, err = pl.compile(le, cat)
+	if err != nil {
+		return nil, nil, schema.Relation{}, err
+	}
+	right, err = pl.compile(re, cat)
+	if err != nil {
+		return nil, nil, schema.Relation{}, err
+	}
+	if !left.Schema().Compatible(right.Schema()) {
+		return nil, nil, schema.Relation{},
+			fmt.Errorf("plan: %s applied to incompatible schemas %s and %s", op, left.Schema(), right.Schema())
+	}
+	return left, right, left.Schema(), nil
+}
+
+// compileJoin plans E1 ⋈φ E2 (and σφ(E1 × E2), which is the same thing by
+// Theorem 3.1).  A nil condition is a bare Cartesian product.
+func (pl *Planner) compileJoin(cond scalar.Predicate, le, re algebra.Expr, cat algebra.Catalog) (Node, error) {
+	left, err := pl.compile(le, cat)
+	if err != nil {
+		return nil, err
+	}
+	right, err := pl.compile(re, cat)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := left.Schema().Concat(right.Schema())
+
+	if cond == nil {
+		node := &nestedLoopNode{left: left, right: right, innerRight: right.Estimate() <= left.Estimate()}
+		node.schema = outSchema
+		node.est = left.Estimate() * right.Estimate()
+		node.capHint = node.est
+		return node, nil
+	}
+	if err := cond.Validate(outSchema); err != nil {
+		return nil, fmt.Errorf("plan: %v", err)
+	}
+
+	leftCols, rightCols, residual := equiCols(cond, left.Schema().Arity())
+	est := left.Estimate() * right.Estimate() * joinSelectivity
+	if len(leftCols) == 0 {
+		node := &nestedLoopNode{left: left, right: right, cond: cond, innerRight: right.Estimate() <= left.Estimate()}
+		node.schema = outSchema
+		node.est = est
+		node.capHint = est
+		return node, nil
+	}
+	node := &hashJoinNode{
+		left:      left,
+		right:     right,
+		leftCols:  leftCols,
+		rightCols: rightCols,
+		buildLeft: left.Estimate() < right.Estimate(),
+	}
+	if len(residual) > 0 {
+		node.residual = scalar.NewAnd(residual...)
+	}
+	node.schema = outSchema
+	node.est = est
+	// Size the join output by its probe side — the classic one-match-per-probe
+	// heuristic — rather than by the selectivity-based estimate, which can be
+	// off by the full key-range factor.
+	probe := right
+	if !node.buildLeft {
+		probe = left
+	}
+	node.capHint = probe.meta().capHint
+	return node, nil
+}
+
+// equiCols extracts from a join condition the pairs of attribute positions
+// (left input position, right input position) connected by top-level equality
+// conjuncts, plus the residual conjuncts that still need per-pair evaluation.
+// leftArity is the arity of the left operand; positions ≥ leftArity address
+// the right operand in the concatenated schema.
+func equiCols(cond scalar.Predicate, leftArity int) (leftCols, rightCols []int, residual []scalar.Predicate) {
+	for _, c := range scalar.Conjuncts(cond) {
+		cmp, ok := c.(scalar.Compare)
+		if !ok || cmp.Op != value.CmpEq {
+			residual = append(residual, c)
+			continue
+		}
+		la, lok := cmp.Left.(scalar.Attr)
+		ra, rok := cmp.Right.(scalar.Attr)
+		if !lok || !rok {
+			residual = append(residual, c)
+			continue
+		}
+		switch {
+		case la.Index < leftArity && ra.Index >= leftArity:
+			leftCols = append(leftCols, la.Index)
+			rightCols = append(rightCols, ra.Index-leftArity)
+		case ra.Index < leftArity && la.Index >= leftArity:
+			leftCols = append(leftCols, ra.Index)
+			rightCols = append(rightCols, la.Index-leftArity)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	return leftCols, rightCols, residual
+}

@@ -2,7 +2,7 @@ package rewrite
 
 import (
 	"mra/internal/algebra"
-	"mra/internal/scalar"
+	"mra/internal/plan"
 )
 
 // Rewriter applies a rule set bottom-up until no rule applies anywhere in the
@@ -118,134 +118,21 @@ func rebuildChildren(e algebra.Expr, cat algebra.Catalog, rules []Rule, trace *[
 // Cost model
 // ---------------------------------------------------------------------------
 
+// The cardinality-based cost model moved to internal/plan, where the planner
+// feeds it real base-table cardinalities; the aliases below keep the historic
+// rewrite-side API for the benchmarks and the optimizer ablation experiment.
+
 // CardinalitySource provides base-relation cardinalities for the cost model.
-type CardinalitySource interface {
-	// RelationCardinality returns the number of tuples (counting duplicates)
-	// in the named relation, and whether the relation is known.
-	RelationCardinality(name string) (uint64, bool)
-}
+type CardinalitySource = plan.CardinalitySource
 
 // MapCardinalities is a CardinalitySource backed by a map.
-type MapCardinalities map[string]uint64
-
-// RelationCardinality implements CardinalitySource.
-func (m MapCardinalities) RelationCardinality(name string) (uint64, bool) {
-	c, ok := m[name]
-	return c, ok
-}
-
-// Default selectivities of the cost model.  They are deliberately coarse: the
-// model only needs to rank plans whose cost differs by orders of magnitude
-// (product vs. hash join, pruned vs. unpruned group-by inputs).
-const (
-	defaultRelationCard   = 1000.0
-	selectionSelectivity  = 0.25
-	joinSelectivity       = 0.1
-	uniqueReduction       = 0.6
-	groupReduction        = 0.2
-	transitiveBlowup      = 4.0
-	perTupleProcessingFee = 1.0
-)
+type MapCardinalities = plan.MapCardinalities
 
 // Cost estimates the total processing cost of an expression: the sum over all
 // operators of the tuples they must inspect plus the tuples they emit.
-// Products pay for their full output; hash joins pay for build plus probe.
-func Cost(e algebra.Expr, cards CardinalitySource) float64 {
-	cost, _ := costAndCard(e, cards)
-	return cost
-}
+func Cost(e algebra.Expr, cards CardinalitySource) float64 { return plan.Cost(e, cards) }
 
 // EstimateCardinality estimates the output cardinality of an expression.
 func EstimateCardinality(e algebra.Expr, cards CardinalitySource) float64 {
-	_, card := costAndCard(e, cards)
-	return card
-}
-
-func costAndCard(e algebra.Expr, cards CardinalitySource) (cost, card float64) {
-	switch n := e.(type) {
-	case algebra.Rel:
-		if c, ok := cards.RelationCardinality(n.Name); ok {
-			return 0, float64(c)
-		}
-		return 0, defaultRelationCard
-	case algebra.Literal:
-		return 0, float64(len(n.Rows))
-	case algebra.Union:
-		lc, lk := costAndCard(n.Left, cards)
-		rc, rk := costAndCard(n.Right, cards)
-		out := lk + rk
-		return lc + rc + out*perTupleProcessingFee, out
-	case algebra.Difference:
-		lc, lk := costAndCard(n.Left, cards)
-		rc, rk := costAndCard(n.Right, cards)
-		return lc + rc + (lk+rk)*perTupleProcessingFee, lk
-	case algebra.Intersect:
-		lc, lk := costAndCard(n.Left, cards)
-		rc, rk := costAndCard(n.Right, cards)
-		out := lk
-		if rk < out {
-			out = rk
-		}
-		return lc + rc + (lk+rk)*perTupleProcessingFee, out
-	case algebra.Product:
-		lc, lk := costAndCard(n.Left, cards)
-		rc, rk := costAndCard(n.Right, cards)
-		out := lk * rk
-		return lc + rc + out*perTupleProcessingFee, out
-	case algebra.Join:
-		lc, lk := costAndCard(n.Left, cards)
-		rc, rk := costAndCard(n.Right, cards)
-		// Hash join when an equality conjunct links the two sides; otherwise
-		// nested loops over the product.
-		if hasEquiConjunct(n) {
-			out := (lk * rk) * joinSelectivity
-			return lc + rc + (lk+rk+out)*perTupleProcessingFee, out
-		}
-		out := lk * rk * joinSelectivity
-		return lc + rc + (lk*rk)*perTupleProcessingFee, out
-	case algebra.Select:
-		ic, ik := costAndCard(n.Input, cards)
-		out := ik * selectionSelectivity
-		return ic + ik*perTupleProcessingFee, out
-	case algebra.Project:
-		// Projections are pipelined: they narrow tuples without materialising
-		// a new relation, so they carry no per-tuple charge of their own.
-		return costAndCard(n.Input, cards)
-	case algebra.ExtProject:
-		return costAndCard(n.Input, cards)
-	case algebra.Unique:
-		ic, ik := costAndCard(n.Input, cards)
-		return ic + ik*perTupleProcessingFee, ik * uniqueReduction
-	case algebra.GroupBy:
-		ic, ik := costAndCard(n.Input, cards)
-		out := ik * groupReduction
-		if len(n.GroupCols) == 0 {
-			out = 1
-		}
-		return ic + ik*perTupleProcessingFee, out
-	case algebra.TClose:
-		ic, ik := costAndCard(n.Input, cards)
-		out := ik * transitiveBlowup
-		return ic + (ik+out)*perTupleProcessingFee*2, out
-	default:
-		return 0, defaultRelationCard
-	}
-}
-
-// hasEquiConjunct reports whether the join condition contains an equality
-// conjunct between two attribute references, the shape the physical engine
-// executes as a hash join.
-func hasEquiConjunct(j algebra.Join) bool {
-	for _, c := range scalar.Conjuncts(j.Cond) {
-		cmp, ok := c.(scalar.Compare)
-		if !ok {
-			continue
-		}
-		_, lok := cmp.Left.(scalar.Attr)
-		_, rok := cmp.Right.(scalar.Attr)
-		if lok && rok && cmp.Op.String() == "=" {
-			return true
-		}
-	}
-	return false
+	return plan.EstimateCardinality(e, cards)
 }

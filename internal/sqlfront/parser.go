@@ -81,6 +81,15 @@ type tableRef struct {
 	pos   int
 }
 
+// orderItem is one ORDER BY entry: a column reference or a 1-based output
+// position, with direction.
+type orderItem struct {
+	col  colRef
+	pos  int // 1-based output position when > 0; col is used otherwise
+	desc bool
+	at   int // source position for error messages
+}
+
 // selectQuery is a parsed SELECT statement.
 type selectQuery struct {
 	distinct bool
@@ -90,6 +99,10 @@ type selectQuery struct {
 	where    sqlExpr
 	groupBy  []colRef
 	having   sqlExpr
+	orderBy  []orderItem
+	limit    uint64
+	hasLimit bool
+	offset   uint64
 }
 
 // insertStmt is a parsed INSERT INTO ... VALUES statement.
@@ -277,10 +290,85 @@ func (p *parser) parseSelect() (*selectQuery, error) {
 			q.having = cond
 		}
 	}
+	if p.acceptKeyword("order") {
+		if _, err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.parseOrderItem()
+			if err != nil {
+				return nil, err
+			}
+			q.orderBy = append(q.orderBy, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	hasOffset := false
+	for {
+		switch {
+		case !q.hasLimit && p.acceptKeyword("limit"):
+			n, err := p.parseCount("LIMIT")
+			if err != nil {
+				return nil, err
+			}
+			q.limit, q.hasLimit = n, true
+			continue
+		case !hasOffset && p.acceptKeyword("offset"):
+			m, err := p.parseCount("OFFSET")
+			if err != nil {
+				return nil, err
+			}
+			q.offset, hasOffset = m, true
+			continue
+		}
+		break
+	}
 	if err := p.expectEnd(); err != nil {
 		return nil, err
 	}
 	return q, nil
+}
+
+// parseOrderItem parses one ORDER BY entry: `col [ASC|DESC]` or a 1-based
+// SELECT-list position `n [ASC|DESC]`.
+func (p *parser) parseOrderItem() (orderItem, error) {
+	t := p.peek()
+	item := orderItem{at: t.pos}
+	if t.kind == tNumber {
+		p.next()
+		v := parseNumberValue(t.text)
+		if v.Kind() != value.KindInt || v.Int() < 1 {
+			return orderItem{}, errf(t.pos, "ORDER BY position must be a positive integer, found %q", t.text)
+		}
+		item.pos = int(v.Int())
+	} else {
+		c, err := p.parseColRef()
+		if err != nil {
+			return orderItem{}, err
+		}
+		item.col = c
+	}
+	if p.acceptKeyword("desc") {
+		item.desc = true
+	} else {
+		p.acceptKeyword("asc")
+	}
+	return item, nil
+}
+
+// parseCount parses the non-negative integer operand of LIMIT or OFFSET.
+func (p *parser) parseCount(clause string) (uint64, error) {
+	t := p.next()
+	if t.kind != tNumber {
+		return 0, errf(t.pos, "expected a number after %s, found %s", clause, t)
+	}
+	v := parseNumberValue(t.text)
+	if v.Kind() != value.KindInt || v.Int() < 0 {
+		return 0, errf(t.pos, "%s must be a non-negative integer, found %q", clause, t.text)
+	}
+	return uint64(v.Int()), nil
 }
 
 func (p *parser) parseSelectItem() (selectItem, error) {
@@ -314,7 +402,8 @@ func (p *parser) parseTableRef(requireOn bool) (tableRef, error) {
 		ref.alias = a.text
 	} else if nxt := p.peek(); nxt.kind == tIdent &&
 		!nxt.isKeyword("where") && !nxt.isKeyword("group") && !nxt.isKeyword("join") &&
-		!nxt.isKeyword("inner") && !nxt.isKeyword("on") && !nxt.isKeyword("having") {
+		!nxt.isKeyword("inner") && !nxt.isKeyword("on") && !nxt.isKeyword("having") &&
+		!nxt.isKeyword("order") && !nxt.isKeyword("limit") && !nxt.isKeyword("offset") {
 		ref.alias = p.next().text
 	}
 	if requireOn {

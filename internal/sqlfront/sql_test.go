@@ -42,14 +42,14 @@ func beerSource() eval.MapSource {
 func runSQL(t *testing.T, sql string) *multiset.Relation {
 	t.Helper()
 	src := beerSource()
-	e, err := CompileQuery(sql, src.Catalog())
+	q, err := CompileQuery(sql, src.Catalog())
 	if err != nil {
 		t.Fatalf("compile %q: %v", sql, err)
 	}
-	if err := algebra.Validate(e, src.Catalog()); err != nil {
-		t.Fatalf("validate %q (%s): %v", sql, e, err)
+	if err := algebra.Validate(q.Expr, src.Catalog()); err != nil {
+		t.Fatalf("validate %q (%s): %v", sql, q.Expr, err)
 	}
-	r, err := (&eval.Engine{}).Eval(e, src)
+	r, err := (&eval.Engine{}).Eval(q.Expr, src)
 	if err != nil {
 		t.Fatalf("eval %q: %v", sql, err)
 	}
@@ -117,11 +117,11 @@ func TestExample32SQL(t *testing.T) {
 	        FROM beer, brewery
 	        WHERE beer.brewery = brewery.name
 	        GROUP BY country`
-	e, err := CompileQuery(sql, src.Catalog())
+	q, err := CompileQuery(sql, src.Catalog())
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := (&eval.Engine{}).Eval(e, src)
+	got, err := (&eval.Engine{}).Eval(q.Expr, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestInsertDeleteUpdateSQL(t *testing.T) {
 
 	// Execute the whole script against a fake context and verify the effects.
 	ctx := newFakeContext(src)
-	prog, err := CompileScript(`
+	prog, _, err := CompileScript(`
 		INSERT INTO beer VALUES ('radler', 'brolsch', 2.0);
 		DELETE FROM beer WHERE brewery = 'guinness';
 		UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'guineken';
@@ -323,7 +323,7 @@ func TestCompileErrors(t *testing.T) {
 		t.Errorf("error format: %v", err)
 	}
 	// CompileScript reports which statement failed.
-	_, err = CompileScript("SELECT name FROM beer; SELECT nosuch FROM beer", cat)
+	_, _, err = CompileScript("SELECT name FROM beer; SELECT nosuch FROM beer", cat)
 	if err == nil || !strings.Contains(err.Error(), "nosuch") {
 		t.Errorf("script error should identify the failing statement: %v", err)
 	}
@@ -369,3 +369,87 @@ func (f *fakeContext) Assign(name string, r *multiset.Relation) error {
 }
 
 func (f *fakeContext) Output(r *multiset.Relation) { f.outputs = append(f.outputs, r) }
+
+// TestOrderByLimitCompile checks the resolution of ORDER BY / LIMIT / OFFSET
+// into presentation modifiers against the output schema.
+func TestOrderByLimitCompile(t *testing.T) {
+	cat := beerSource().Catalog()
+
+	q, err := CompileQuery("SELECT name, alcperc FROM beer ORDER BY alcperc DESC, name LIMIT 3 OFFSET 1", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Modifiers{Order: []OrderKey{{Col: 1, Desc: true}, {Col: 0}}, Limit: 3, HasLimit: true, Offset: 1}
+	if len(q.Mods.Order) != 2 || q.Mods.Order[0] != want.Order[0] || q.Mods.Order[1] != want.Order[1] ||
+		q.Mods.Limit != want.Limit || !q.Mods.HasLimit || q.Mods.Offset != want.Offset {
+		t.Errorf("modifiers = %+v, want %+v", q.Mods, want)
+	}
+
+	// 1-based SELECT-list positions resolve too.
+	q, err = CompileQuery("SELECT name, alcperc FROM beer ORDER BY 2 DESC", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Mods.Order) != 1 || q.Mods.Order[0] != (OrderKey{Col: 1, Desc: true}) {
+		t.Errorf("positional order = %+v", q.Mods.Order)
+	}
+
+	// ORDER BY resolves against the *output* schema, aliases included.
+	q, err = CompileQuery("SELECT name AS n FROM beer ORDER BY n", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Mods.Order) != 1 || q.Mods.Order[0].Col != 0 {
+		t.Errorf("alias order = %+v", q.Mods.Order)
+	}
+
+	// Grouped queries order by grouping columns or the aggregate.
+	q, err = CompileQuery("SELECT brewery, COUNT(*) AS beers FROM beer GROUP BY brewery ORDER BY beers DESC LIMIT 2", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Mods.Order) != 1 || q.Mods.Order[0] != (OrderKey{Col: 1, Desc: true}) || q.Mods.Limit != 2 {
+		t.Errorf("grouped order = %+v", q.Mods)
+	}
+
+	bad := []string{
+		"SELECT name FROM beer ORDER BY alcperc",         // not an output column
+		"SELECT name FROM beer ORDER BY 2",               // position out of range
+		"SELECT name FROM beer ORDER BY 0",               // positions are 1-based
+		"SELECT name FROM beer LIMIT -1",                 // negative limit
+		"SELECT name FROM beer LIMIT 2 OFFSET -3",        // negative offset
+		"SELECT name FROM beer ORDER BY name LIMIT x",    // non-numeric limit
+		"SELECT name FROM beer OFFSET 0 OFFSET 3",        // duplicate OFFSET
+		"SELECT name FROM beer LIMIT 1 LIMIT 2",          // duplicate LIMIT
+		"SELECT b.name FROM beer b ORDER BY nosuch.name", // qualified ORDER BY
+		"SELECT b.name FROM beer b ORDER BY b.name",      // qualifiers are gone after projection
+	}
+	for _, sql := range bad {
+		if _, err := CompileQuery(sql, cat); err == nil {
+			t.Errorf("%q should fail to compile", sql)
+		}
+	}
+
+	// Statement-level compilation rejects the presentation modifiers: a bare
+	// statement output is an unordered multi-set.
+	if _, err := CompileStatement("SELECT name FROM beer ORDER BY name", cat); err == nil {
+		t.Error("CompileStatement must reject ORDER BY")
+	}
+	// ...but CompileScript carries them through per query statement.
+	prog, mods, err := CompileScript(
+		"INSERT INTO beer VALUES ('x', 'y', 1.0); SELECT name FROM beer LIMIT 2; SELECT name FROM beer", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 3 || len(mods) != 2 {
+		t.Fatalf("program %d statements, %d query modifiers", len(prog), len(mods))
+	}
+	if !mods[0].HasLimit || mods[0].Limit != 2 || mods[1].Active() {
+		t.Errorf("script modifiers = %+v", mods)
+	}
+
+	// A table alias is still allowed right before the new clauses.
+	if _, err := CompileQuery("SELECT b.name FROM beer b ORDER BY name", cat); err != nil {
+		t.Errorf("alias before ORDER BY: %v", err)
+	}
+}

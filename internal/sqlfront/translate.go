@@ -11,62 +11,124 @@ import (
 	"mra/internal/value"
 )
 
+// OrderKey is one resolved ORDER BY key: a 0-based position in the query's
+// output schema and a direction.
+type OrderKey struct {
+	// Col is the 0-based output column.
+	Col int
+	// Desc orders descending when set.
+	Desc bool
+}
+
+// Modifiers are the presentation-level ORDER BY / LIMIT / OFFSET clauses of a
+// SELECT.  The multi-set algebra is unordered, so they have no expression
+// counterpart; they are applied to the materialised result by the facade.
+type Modifiers struct {
+	// Order lists the sort keys, outermost first.
+	Order []OrderKey
+	// Offset skips the first Offset rows of the (ordered) result.
+	Offset uint64
+	// Limit caps the number of returned rows when HasLimit is set.
+	Limit    uint64
+	HasLimit bool
+}
+
+// Active reports whether the modifiers change the result presentation.
+func (m Modifiers) Active() bool {
+	return len(m.Order) > 0 || m.HasLimit || m.Offset > 0
+}
+
+// Query is a compiled SELECT: the algebra expression plus its presentation
+// modifiers.
+type Query struct {
+	// Expr is the translated multi-set algebra expression.
+	Expr algebra.Expr
+	// Mods are the ORDER BY / LIMIT / OFFSET clauses.
+	Mods Modifiers
+}
+
 // CompileQuery parses a SELECT statement and translates it into a multi-set
-// algebra expression over the given catalog.
-func CompileQuery(sql string, cat algebra.Catalog) (algebra.Expr, error) {
+// algebra expression (plus presentation modifiers) over the given catalog.
+func CompileQuery(sql string, cat algebra.Catalog) (Query, error) {
 	p, err := newParser(sql)
 	if err != nil {
-		return nil, err
+		return Query{}, err
 	}
 	q, err := p.parseSelect()
 	if err != nil {
-		return nil, err
+		return Query{}, err
 	}
-	return translateSelect(q, cat)
+	return translateQuery(q, cat)
 }
 
 // CompileStatement parses any supported SQL statement.  Queries are wrapped in
 // a query statement (?E); INSERT, DELETE and UPDATE become the corresponding
-// extended relational algebra statements of Definition 4.1.
+// extended relational algebra statements of Definition 4.1.  A SELECT with
+// ORDER BY or LIMIT is rejected here: statement outputs are bare multi-sets,
+// so the presentation modifiers would be lost — use CompileQuery or
+// CompileScript, whose callers apply them to the materialised results.
 func CompileStatement(sql string, cat algebra.Catalog) (stmt.Statement, error) {
-	p, err := newParser(sql)
+	s, mods, err := compileStatement(sql, cat)
 	if err != nil {
 		return nil, err
+	}
+	if mods.Active() {
+		return nil, errf(0, "ORDER BY/LIMIT are only supported on queries whose results are returned to the caller")
+	}
+	return s, nil
+}
+
+// compileStatement compiles one statement, carrying any SELECT presentation
+// modifiers alongside.
+func compileStatement(sql string, cat algebra.Catalog) (stmt.Statement, Modifiers, error) {
+	p, err := newParser(sql)
+	if err != nil {
+		return nil, Modifiers{}, err
 	}
 	node, err := p.parseStatement()
 	if err != nil {
-		return nil, err
+		return nil, Modifiers{}, err
 	}
 	switch n := node.(type) {
 	case *selectQuery:
-		e, err := translateSelect(n, cat)
+		q, err := translateQuery(n, cat)
 		if err != nil {
-			return nil, err
+			return nil, Modifiers{}, err
 		}
-		return stmt.Query{Source: e}, nil
+		return stmt.Query{Source: q.Expr}, q.Mods, nil
 	case *insertStmt:
-		return translateInsert(n, cat)
+		s, err := translateInsert(n, cat)
+		return s, Modifiers{}, err
 	case *deleteStmt:
-		return translateDelete(n, cat)
+		s, err := translateDelete(n, cat)
+		return s, Modifiers{}, err
 	case *updateStmt:
-		return translateUpdate(n, cat)
+		s, err := translateUpdate(n, cat)
+		return s, Modifiers{}, err
 	default:
-		return nil, errf(0, "unsupported statement %T", node)
+		return nil, Modifiers{}, errf(0, "unsupported statement %T", node)
 	}
 }
 
 // CompileScript compiles a semicolon-separated sequence of SQL statements into
-// one extended relational algebra program.
-func CompileScript(sql string, cat algebra.Catalog) (stmt.Program, error) {
+// one extended relational algebra program.  The second return value holds, for
+// each query statement of the program in execution order, its presentation
+// modifiers (the zero value when none), to be applied to the corresponding
+// output.
+func CompileScript(sql string, cat algebra.Catalog) (stmt.Program, []Modifiers, error) {
 	var prog stmt.Program
+	var mods []Modifiers
 	for _, piece := range splitStatements(sql) {
-		s, err := CompileStatement(piece, cat)
+		s, m, err := compileStatement(piece, cat)
 		if err != nil {
-			return nil, fmt.Errorf("in %q: %w", strings.TrimSpace(piece), err)
+			return nil, nil, fmt.Errorf("in %q: %w", strings.TrimSpace(piece), err)
 		}
 		prog = append(prog, s)
+		if _, isQuery := s.(stmt.Query); isQuery {
+			mods = append(mods, m)
+		}
 	}
-	return prog, nil
+	return prog, mods, nil
 }
 
 // splitStatements splits a script on semicolons that are outside string
@@ -284,6 +346,43 @@ func translateBool(e sqlExpr, env *env) (scalar.Predicate, error) {
 // ---------------------------------------------------------------------------
 // SELECT translation
 // ---------------------------------------------------------------------------
+
+// translateQuery translates the SELECT body and resolves its ORDER BY /
+// LIMIT / OFFSET clauses against the query's output schema.
+func translateQuery(q *selectQuery, cat algebra.Catalog) (Query, error) {
+	expr, err := translateSelect(q, cat)
+	if err != nil {
+		return Query{}, err
+	}
+	out := Query{Expr: expr, Mods: Modifiers{Offset: q.offset, Limit: q.limit, HasLimit: q.hasLimit}}
+	if len(q.orderBy) == 0 {
+		return out, nil
+	}
+	outSchema, err := expr.Schema(cat)
+	if err != nil {
+		return Query{}, err
+	}
+	for _, item := range q.orderBy {
+		col := item.pos - 1
+		if item.pos > 0 {
+			if item.pos > outSchema.Arity() {
+				return Query{}, errf(item.at, "ORDER BY position %d out of range for %d output columns", item.pos, outSchema.Arity())
+			}
+		} else {
+			// Output columns are anonymous (the table qualifiers are gone after
+			// projection), so ORDER BY takes the bare output name only.
+			if item.col.qualifier != "" {
+				return Query{}, errf(item.at, "ORDER BY must use the unqualified output column name, not %q", item.col.display())
+			}
+			col = outSchema.IndexOf(item.col.name)
+			if col < 0 {
+				return Query{}, errf(item.at, "ORDER BY column %q must name an output column of the SELECT list", item.col.display())
+			}
+		}
+		out.Mods.Order = append(out.Mods.Order, OrderKey{Col: col, Desc: item.desc})
+	}
+	return out, nil
+}
 
 func translateSelect(q *selectQuery, cat algebra.Catalog) (algebra.Expr, error) {
 	env, expr, err := buildFrom(q.from, cat)

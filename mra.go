@@ -31,6 +31,7 @@ import (
 	"mra/internal/algebra"
 	"mra/internal/eval"
 	"mra/internal/multiset"
+	"mra/internal/plan"
 	"mra/internal/rewrite"
 	"mra/internal/schema"
 	"mra/internal/sqlfront"
@@ -207,30 +208,65 @@ func (db *DB) QueryXRA(expr string) (*Result, error) {
 }
 
 // QuerySQL compiles a SQL SELECT statement onto the algebra and evaluates it.
+// ORDER BY, LIMIT and OFFSET — which have no counterpart in the unordered bag
+// algebra — are applied to the materialised result.
 func (db *DB) QuerySQL(sql string) (*Result, error) {
-	e, err := sqlfront.CompileQuery(sql, db.store)
+	q, err := sqlfront.CompileQuery(sql, db.store)
 	if err != nil {
 		return nil, err
 	}
-	return db.QueryExpr(e)
+	res, err := db.QueryExpr(q.Expr)
+	if err != nil {
+		return nil, err
+	}
+	return res.withModifiers(q.Mods), nil
 }
 
-// Explain returns the original and optimised plan renderings of an XRA
-// expression together with the applied rewrite rules.
-func (db *DB) Explain(expr string) (original, optimised string, rules []string, err error) {
+// Explain describes how the database would execute an XRA expression: the
+// parsed logical expression, the rewritten (optimised) one with the applied
+// rule names, and the compiled physical plan with its operator choices and
+// cardinality estimates.
+type Explain struct {
+	// Logical is the parsed expression in algebra syntax.
+	Logical string
+	// Optimised is the expression after rewriting.
+	Optimised string
+	// Rules names the applied rewrite rules, in order.
+	Rules []string
+	// Physical is the multi-line rendering of the physical operator tree the
+	// planner would execute.
+	Physical string
+}
+
+// Explain compiles an XRA expression through the rewriter and the physical
+// planner without executing it.
+func (db *DB) Explain(expr string) (*Explain, error) {
 	e, err := xraparse.ParseExpression(expr)
 	if err != nil {
-		return "", "", nil, err
+		return nil, err
 	}
 	if err := algebra.Validate(e, db.store); err != nil {
-		return "", "", nil, err
+		return nil, err
 	}
 	opt, trace := db.rewriter.Rewrite(e, db.store)
 	names := make([]string, len(trace))
 	for i, a := range trace {
 		names[i] = a.Rule
 	}
-	return e.String(), opt.String(), names, nil
+	planned := opt
+	if !db.Optimize {
+		planned = e
+	}
+	phys, err := plan.NewPlanner(db.store).Plan(planned, db.store)
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{
+		Logical:   e.String(),
+		Optimised: opt.String(),
+		Rules:     names,
+		Physical:  phys.String(),
+	}, nil
 }
 
 // ExecProgram runs an extended relational algebra program as one transaction
@@ -273,13 +309,23 @@ func (db *DB) MustExecXRA(script string) []*Result {
 }
 
 // ExecSQL compiles a SQL script (semicolon-separated statements) into one
-// program and runs it as a single transaction.
+// program and runs it as a single transaction.  ORDER BY / LIMIT clauses of
+// SELECT statements are applied to the corresponding results.
 func (db *DB) ExecSQL(script string) ([]*Result, error) {
-	prog, err := sqlfront.CompileScript(script, db.store)
+	prog, mods, err := sqlfront.CompileScript(script, db.store)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecProgram(prog)
+	results, err := db.ExecProgram(prog)
+	if err != nil {
+		return results, err
+	}
+	for i := range results {
+		if i < len(mods) {
+			results[i] = results[i].withModifiers(mods[i])
+		}
+	}
+	return results, nil
 }
 
 // Begin opens an explicit transaction.

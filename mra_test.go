@@ -307,23 +307,26 @@ func TestExplicitTransactions(t *testing.T) {
 
 func TestExplain(t *testing.T) {
 	db := openBeerDB(t)
-	orig, opt, rules, err := db.Explain("select[%2 = %4 and %6 = 'netherlands'](product(beer, brewery))")
+	ex, err := db.Explain("select[%2 = %4 and %6 = 'netherlands'](product(beer, brewery))")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(orig, "product(") {
-		t.Errorf("original plan = %s", orig)
+	if !strings.Contains(ex.Logical, "product(") {
+		t.Errorf("original plan = %s", ex.Logical)
 	}
-	if !strings.Contains(opt, "join[") {
-		t.Errorf("optimised plan = %s", opt)
+	if !strings.Contains(ex.Optimised, "join[") {
+		t.Errorf("optimised plan = %s", ex.Optimised)
 	}
-	if len(rules) == 0 {
+	if len(ex.Rules) == 0 {
 		t.Error("expected at least one applied rule")
 	}
-	if _, _, _, err := db.Explain("select[%1 =](beer)"); err == nil {
+	if !strings.Contains(ex.Physical, "HashJoin") {
+		t.Errorf("physical plan must show the hash join:\n%s", ex.Physical)
+	}
+	if _, err := db.Explain("select[%1 =](beer)"); err == nil {
 		t.Error("parse errors must surface")
 	}
-	if _, _, _, err := db.Explain("select[%9 = 1](beer)"); err == nil {
+	if _, err := db.Explain("select[%9 = 1](beer)"); err == nil {
 		t.Error("validation errors must surface")
 	}
 }

@@ -1,0 +1,110 @@
+package mra
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mra/internal/multiset"
+	"mra/internal/schema"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// TestQuerySQLOrderByLimit exercises the new ORDER BY / LIMIT / OFFSET
+// support end to end through the public SQL API.
+func TestQuerySQLOrderByLimit(t *testing.T) {
+	db := explainBeerDB(t)
+
+	res, err := db.QuerySQL("SELECT name, alcperc FROM beer ORDER BY alcperc DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 2 || res.Len() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "tripel" || rows[1][0] != "bock" {
+		t.Errorf("descending order wrong: %v", rows)
+	}
+
+	// Ascending with OFFSET; ties (two 'pils' rows) stay deterministic via
+	// the canonical order.
+	res, err = db.QuerySQL("SELECT name FROM beer ORDER BY name OFFSET 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = res.Rows()
+	if len(rows) != 4 || rows[0][0] != "pils" || rows[1][0] != "pils" || rows[3][0] != "tripel" {
+		t.Errorf("offset rows = %v", rows)
+	}
+
+	// LIMIT counts occurrences: duplicates are limited away individually.
+	res, err = db.QuerySQL("SELECT name FROM beer ORDER BY name LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Multiplicity("bock") != 1 || res.Multiplicity("pils") != 1 {
+		t.Errorf("limited result = %s", res)
+	}
+
+	// The table rendering follows the requested order, not canonical order.
+	res, err = db.QuerySQL("SELECT name, alcperc FROM beer ORDER BY alcperc DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Table()
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if !strings.HasPrefix(lines[2], "tripel") || !strings.HasPrefix(lines[3], "bock") {
+		t.Errorf("table order wrong:\n%s", table)
+	}
+
+	// ORDER BY must name an output column; ordering on a non-selected column
+	// is rejected with a clear error.
+	if _, err := db.QuerySQL("SELECT name FROM beer ORDER BY alcperc"); err == nil {
+		t.Error("ORDER BY on a non-output column must fail")
+	}
+
+	// OFFSET past the end yields an empty result, not an error.
+	res, err = db.QuerySQL("SELECT name FROM beer ORDER BY name OFFSET 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("offset past end = %s", res)
+	}
+
+	// ExecSQL (the script path the shell uses) honours modifiers per query.
+	results, err := db.ExecSQL("SELECT name, alcperc FROM beer ORDER BY alcperc DESC LIMIT 1; SELECT name FROM beer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Len() != 1 || results[0].Rows()[0][0] != "tripel" {
+		t.Errorf("script results = %v", results[0].Rows())
+	}
+	if results[1].Len() != 5 {
+		t.Errorf("unmodified script query = %d rows", results[1].Len())
+	}
+
+	// Explicit transactions reject the modifiers: their outputs are bare
+	// multi-sets with no presentation channel.
+	tx := db.Begin()
+	defer tx.Abort()
+	if err := tx.ExecSQL("SELECT name FROM beer ORDER BY name"); err == nil {
+		t.Error("Tx.ExecSQL must reject ORDER BY")
+	}
+}
+
+// TestResultLenSaturates pins the fix for the unchecked uint64→int cast:
+// cardinalities beyond the int range saturate instead of wrapping negative.
+func TestResultLenSaturates(t *testing.T) {
+	rel := multiset.New(schema.Anonymous(schema.Attribute{Name: "x", Type: value.KindInt}))
+	rel.Add(tuple.Ints(1), math.MaxUint64)
+	res := &Result{rel: rel}
+	if got := res.Len(); got != math.MaxInt {
+		t.Errorf("Len = %d, want math.MaxInt", got)
+	}
+	if got := res.DistinctLen(); got != 1 {
+		t.Errorf("DistinctLen = %d", got)
+	}
+}

@@ -2,17 +2,25 @@ package mra
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"mra/internal/multiset"
+	"mra/internal/sqlfront"
 	"mra/internal/tuple"
 	"mra/internal/value"
 )
 
 // Result is a materialised query result: a multi-set of tuples together with
-// its schema.
+// its schema.  Relations are unordered; when a SQL query carries ORDER BY /
+// LIMIT clauses the result additionally records an explicit presentation
+// order, honoured by Rows and Table.
 type Result struct {
 	rel *multiset.Relation
+	// ordered, when non-nil, lists every occurrence in presentation order
+	// (after ORDER BY / OFFSET / LIMIT).
+	ordered []tuple.Tuple
 }
 
 // Columns returns the result's column names; unnamed computed columns are
@@ -30,20 +38,83 @@ func (r *Result) Columns() []string {
 	return out
 }
 
-// Len returns the number of rows, counting duplicates.
-func (r *Result) Len() int { return int(r.rel.Cardinality()) }
+// Len returns the number of rows, counting duplicates.  Cardinalities beyond
+// the int range saturate at math.MaxInt rather than wrapping through a
+// truncating conversion.
+func (r *Result) Len() int {
+	c := r.rel.Cardinality()
+	if c > math.MaxInt {
+		return math.MaxInt
+	}
+	return int(c)
+}
 
 // DistinctLen returns the number of distinct rows.
 func (r *Result) DistinctLen() int { return r.rel.DistinctCount() }
 
-// Rows returns all rows (duplicates expanded) in canonical order.  Values are
-// native Go values: int64, float64, string, bool or nil.
+// Rows returns all rows (duplicates expanded) in presentation order: the
+// query's ORDER BY order when one was given, canonical order otherwise.
+// Values are native Go values: int64, float64, string, bool or nil.
 func (r *Result) Rows() [][]any {
-	out := make([][]any, 0, r.rel.Cardinality())
-	for _, t := range r.rel.Tuples() {
+	tuples := r.ordered
+	if tuples == nil {
+		tuples = r.rel.Tuples()
+	}
+	out := make([][]any, 0, len(tuples))
+	for _, t := range tuples {
 		out = append(out, rowOf(t))
 	}
 	return out
+}
+
+// withModifiers applies a SQL query's ORDER BY / OFFSET / LIMIT clauses: the
+// occurrences are sorted by the keys (ties keep canonical order, so the
+// result is deterministic), the window is cut, and the relation is rebuilt
+// from the surviving rows so Len, Multiplicity and DistinctRows stay
+// consistent with what the caller sees.
+func (r *Result) withModifiers(m sqlfront.Modifiers) *Result {
+	if !m.Active() {
+		return r
+	}
+	rows := r.rel.Tuples() // canonical order: the deterministic sort base
+	if len(m.Order) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range m.Order {
+				c := rows[i].At(k.Col).Compare(rows[j].At(k.Col))
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	cut := false
+	if m.Offset > 0 {
+		if m.Offset >= uint64(len(rows)) {
+			rows = rows[:0]
+		} else {
+			rows = rows[m.Offset:]
+		}
+		cut = true
+	}
+	if m.HasLimit && uint64(len(rows)) > m.Limit {
+		rows = rows[:m.Limit]
+		cut = true
+	}
+	if !cut {
+		// Pure ORDER BY: every occurrence survives, so the existing relation
+		// is reused and only the presentation order is attached.
+		return &Result{rel: r.rel, ordered: rows}
+	}
+	rel := multiset.NewWithCapacity(r.rel.Schema(), len(rows))
+	for _, t := range rows {
+		rel.Add(t, 1)
+	}
+	return &Result{rel: rel, ordered: rows}
 }
 
 // DistinctRows returns one row per distinct tuple together with its
@@ -101,7 +172,8 @@ func rowOf(t tuple.Tuple) []any {
 func (r *Result) String() string { return r.rel.String() }
 
 // Table renders the result as an aligned text table with a header row, one
-// line per occurrence, in canonical order.
+// line per occurrence, in presentation order (ORDER BY order when given,
+// canonical order otherwise).
 func (r *Result) Table() string {
 	cols := r.Columns()
 	widths := make([]int, len(cols))
@@ -109,7 +181,7 @@ func (r *Result) Table() string {
 		widths[i] = len(c)
 	}
 	var rows [][]string
-	r.rel.EachSorted(func(t tuple.Tuple, count uint64) bool {
+	addRow := func(t tuple.Tuple, count uint64) {
 		cells := make([]string, t.Arity())
 		for i := 0; i < t.Arity(); i++ {
 			cells[i] = t.At(i).Display()
@@ -120,8 +192,17 @@ func (r *Result) Table() string {
 		for k := uint64(0); k < count; k++ {
 			rows = append(rows, cells)
 		}
-		return true
-	})
+	}
+	if r.ordered != nil {
+		for _, t := range r.ordered {
+			addRow(t, 1)
+		}
+	} else {
+		r.rel.EachSorted(func(t tuple.Tuple, count uint64) bool {
+			addRow(t, count)
+			return true
+		})
+	}
 
 	var b strings.Builder
 	writeRow := func(cells []string) {
