@@ -399,3 +399,45 @@ func BenchmarkE10_TransitiveClosure(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Exec — the partitioned parallel runtime: the E1 join and E2 pushdown shapes
+// swept over gang widths.  workers=1 is the serial planner (no exchanges);
+// wider gangs insert Partition/Merge exchange operators.  On a single
+// hardware thread the wider gangs only measure the exchange overhead; the
+// speedup needs real cores.
+// ---------------------------------------------------------------------------
+
+func BenchmarkExec_ParallelWorkers(b *testing.B) {
+	fact, dim := workload.JoinPair(workload.JoinConfig{LeftTuples: 2000, RightTuples: 200, Seed: 3})
+	jsrc := eval.MapSource{"fact": fact, "dim": dim}
+	join := algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim"))
+
+	ssrc := eval.MapSource{
+		"e1": workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 5000, DuplicationFactor: 2, Seed: 4}),
+		"e2": workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 5000, DuplicationFactor: 2, Seed: 5}),
+	}
+	sigma := algebra.NewSelect(
+		scalar.NewCompare(value.CmpLt, scalar.NewAttr(1), scalar.NewConst(value.NewInt(1<<15))),
+		algebra.NewUnion(algebra.NewRel("e1"), algebra.NewRel("e2")))
+
+	for _, w := range []int{1, 2, 4, 8} {
+		eng := &eval.Engine{Workers: w}
+		b.Run(fmt.Sprintf("join/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Eval(join, jsrc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sigma-union/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Eval(sigma, ssrc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -36,6 +36,7 @@ func main() {
 	jsonLabel := flag.String("json", "", "instead of the experiment tables, run the E1/E2 benchmark set and write machine-readable BENCH_<label>.json")
 	compare := flag.String("compare", "", "with -json: compare the fresh series against a committed BENCH_<label>.json baseline and exit non-zero on regression")
 	maxRatio := flag.Float64("maxratio", 2.0, "with -compare: maximum allowed ns/op ratio (measured / baseline) before the run counts as a regression")
+	flag.IntVar(&workers, "workers", 1, "parallel worker count for the physical engine (1 = serial); applies to the experiments and the main -json series")
 	flag.Parse()
 
 	if *jsonLabel != "" {
@@ -92,6 +93,10 @@ func main() {
 	}
 }
 
+// workers is the -workers flag: the parallelism degree of the physical
+// engine used by the experiments and the main -json benchmark series.
+var workers = 1
+
 // timeIt measures a single evaluation.
 func timeIt(fn func()) time.Duration {
 	start := time.Now()
@@ -99,9 +104,10 @@ func timeIt(fn func()) time.Duration {
 	return time.Since(start)
 }
 
-// evalMust evaluates an expression with the physical engine.
+// evalMust evaluates an expression with the physical engine at the configured
+// worker count.
 func evalMust(e algebra.Expr, src eval.Source) *multiset.Relation {
-	r, err := (&eval.Engine{}).Eval(e, src)
+	r, err := (&eval.Engine{Workers: workers}).Eval(e, src)
 	if err != nil {
 		panic(err)
 	}
@@ -466,21 +472,33 @@ func compareBaseline(fresh benchFile, baselinePath string, maxRatio float64) err
 	return nil
 }
 
+// parallelWorkers is the gang width of the parallel E1/E2 benchmark
+// variants: the `.../parallel-wN` series entries, measured alongside the main
+// (serial unless -workers says otherwise) series.  Their names are absent
+// from the serial baselines, so -compare ignores them; compare them against
+// the same-named serial entries by hand or in the run's stderr summary.
+const parallelWorkers = 4
+
 // writeBenchJSON runs the E1/E2 benchmark set (the same expression shapes as
 // the testing.B benchmarks at the repository root) through testing.Benchmark
 // and writes the series as BENCH_<label>.json, the machine-readable baseline
-// future performance PRs are compared against.  It returns the series it
+// future performance PRs are compared against.  The main series runs at the
+// -workers count (default serial); shapes the planner can parallelise are
+// additionally measured as `/parallel-w4` variants.  It returns the series it
 // measured so callers can compare it against a committed baseline.
 func writeBenchJSON(label string) (benchFile, error) {
-	evalLoop := func(expr algebra.Expr, src eval.Source) func(b *testing.B) {
+	evalLoopW := func(expr algebra.Expr, src eval.Source, w int) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := (&eval.Engine{}).Eval(expr, src); err != nil {
+				if _, err := (&eval.Engine{Workers: w}).Eval(expr, src); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
+	}
+	evalLoop := func(expr algebra.Expr, src eval.Source) func(b *testing.B) {
+		return evalLoopW(expr, src, workers)
 	}
 
 	var cases []struct {
@@ -492,6 +510,11 @@ func writeBenchJSON(label string) (benchFile, error) {
 			name string
 			fn   func(b *testing.B)
 		}{name, fn})
+	}
+	// addParallel measures the same shape serially and as a parallel variant.
+	addParallel := func(name string, expr algebra.Expr, src eval.Source) {
+		add(name, evalLoop(expr, src))
+		add(fmt.Sprintf("%s/parallel-w%d", name, parallelWorkers), evalLoopW(expr, src, parallelWorkers))
 	}
 
 	// E1 — Theorem 3.1: native operators vs their derived forms.
@@ -508,10 +531,17 @@ func writeBenchJSON(label string) (benchFile, error) {
 		fact, dim := workload.JoinPair(workload.JoinConfig{LeftTuples: n, RightTuples: n / 10, Seed: 3})
 		jsrc := eval.MapSource{"fact": fact, "dim": dim}
 		cond := scalar.Eq(0, 2)
-		add(fmt.Sprintf("E1_JoinNativeVsSigmaProduct/native/n=%d", n),
-			evalLoop(algebra.NewJoin(cond, algebra.NewRel("fact"), algebra.NewRel("dim")), jsrc))
-		add(fmt.Sprintf("E1_JoinNativeVsSigmaProduct/derived/n=%d", n),
-			evalLoop(algebra.NewSelect(cond, algebra.NewProduct(algebra.NewRel("fact"), algebra.NewRel("dim"))), jsrc))
+		join := algebra.NewJoin(cond, algebra.NewRel("fact"), algebra.NewRel("dim"))
+		sigma := algebra.NewSelect(cond, algebra.NewProduct(algebra.NewRel("fact"), algebra.NewRel("dim")))
+		if n >= 2000 {
+			// Only the large join clears the planner's parallel threshold; the
+			// small one would plan serial and measure the same thing twice.
+			addParallel(fmt.Sprintf("E1_JoinNativeVsSigmaProduct/native/n=%d", n), join, jsrc)
+			addParallel(fmt.Sprintf("E1_JoinNativeVsSigmaProduct/derived/n=%d", n), sigma, jsrc)
+		} else {
+			add(fmt.Sprintf("E1_JoinNativeVsSigmaProduct/native/n=%d", n), evalLoop(join, jsrc))
+			add(fmt.Sprintf("E1_JoinNativeVsSigmaProduct/derived/n=%d", n), evalLoop(sigma, jsrc))
+		}
 	}
 
 	// E2 — Theorem 3.2: distribution of σ and π over ⊎.  Workloads use the
@@ -524,18 +554,18 @@ func writeBenchJSON(label string) (benchFile, error) {
 		"e2": workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 5000, DuplicationFactor: 2, Seed: 5}),
 	}
 	pred := scalar.NewCompare(value.CmpLt, scalar.NewAttr(1), scalar.NewConst(value.NewInt(1<<15)))
-	add("E2_SelectionPushdownOverUnion/sigma-over-union",
-		evalLoop(algebra.NewSelect(pred, algebra.NewUnion(e1r, e2r)), ssrc))
-	add("E2_SelectionPushdownOverUnion/union-of-sigmas",
-		evalLoop(algebra.NewUnion(algebra.NewSelect(pred, e1r), algebra.NewSelect(pred, e2r)), ssrc))
+	addParallel("E2_SelectionPushdownOverUnion/sigma-over-union",
+		algebra.NewSelect(pred, algebra.NewUnion(e1r, e2r)), ssrc)
+	addParallel("E2_SelectionPushdownOverUnion/union-of-sigmas",
+		algebra.NewUnion(algebra.NewSelect(pred, e1r), algebra.NewSelect(pred, e2r)), ssrc)
 	psrc := eval.MapSource{
 		"e1": workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 5000, DuplicationFactor: 2, Seed: 6}),
 		"e2": workload.Duplicated(workload.DuplicationConfig{DistinctTuples: 5000, DuplicationFactor: 2, Seed: 7}),
 	}
-	add("E2_ProjectionPushdownOverUnion/pi-over-union",
-		evalLoop(algebra.NewProject([]int{0}, algebra.NewUnion(e1r, e2r)), psrc))
-	add("E2_ProjectionPushdownOverUnion/union-of-pis",
-		evalLoop(algebra.NewUnion(algebra.NewProject([]int{0}, e1r), algebra.NewProject([]int{0}, e2r)), psrc))
+	addParallel("E2_ProjectionPushdownOverUnion/pi-over-union",
+		algebra.NewProject([]int{0}, algebra.NewUnion(e1r, e2r)), psrc)
+	addParallel("E2_ProjectionPushdownOverUnion/union-of-pis",
+		algebra.NewUnion(algebra.NewProject([]int{0}, e1r), algebra.NewProject([]int{0}, e2r)), psrc)
 
 	out := benchFile{
 		Label:     label,
@@ -562,6 +592,24 @@ func writeBenchJSON(label string) (benchFile, error) {
 		fmt.Fprintf(os.Stderr, "%s\t%d iters\t%.0f ns/op\t%d B/op\t%d allocs/op\n",
 			c.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
+	// Summarise the parallel variants against their serial counterparts
+	// measured in this same run (ratio < 1 means the gang won).
+	byName := make(map[string]benchResult, len(out.Benchmarks))
+	for _, b := range out.Benchmarks {
+		byName[b.Name] = b
+	}
+	suffix := fmt.Sprintf("/parallel-w%d", parallelWorkers)
+	for _, b := range out.Benchmarks {
+		serialName := strings.TrimSuffix(b.Name, suffix)
+		if serialName == b.Name {
+			continue
+		}
+		if base, ok := byName[serialName]; ok && base.NsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "parallel w=%d %s: %.2fx serial (%.0f vs %.0f ns/op)\n",
+				parallelWorkers, serialName, b.NsPerOp/base.NsPerOp, b.NsPerOp, base.NsPerOp)
+		}
+	}
+
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return benchFile{}, err

@@ -15,6 +15,7 @@
 //	\d                list relations
 //	\d name           show a relation's schema and cardinality
 //	\explain <expr>   show the original and optimised plan of an XRA expression
+//	\set workers N    set the parallel worker count (1 = serial, 0 = auto)
 //	\time on|off      toggle per-statement timing
 //	\q                quit
 package main
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -155,6 +157,18 @@ func handleMeta(db *mra.DB, cmd string, timing *bool, out io.Writer) bool {
 			return false
 		}
 		fmt.Fprintf(out, "%s (%d tuples)\n", rel, db.Cardinality(name))
+	case "\\set":
+		if len(fields) != 3 || fields[1] != "workers" {
+			fmt.Fprintln(out, "usage: \\set workers N   (1 = serial, 0 = auto-detect)")
+			return false
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fmt.Fprintf(out, "workers must be an integer, got %q\n", fields[2])
+			return false
+		}
+		db.SetWorkers(n)
+		fmt.Fprintf(out, "workers: %d\n", db.Workers())
 	case "\\time":
 		if len(fields) > 1 && fields[1] == "on" {
 			*timing = true
@@ -174,6 +188,9 @@ func handleMeta(db *mra.DB, cmd string, timing *bool, out io.Writer) bool {
 		fmt.Fprintln(out, "original :", ex.Logical)
 		fmt.Fprintln(out, "optimised:", ex.Optimised)
 		fmt.Fprintln(out, "rules    :", strings.Join(ex.Rules, ", "))
+		if ex.Workers > 1 {
+			fmt.Fprintln(out, "workers  :", ex.Workers)
+		}
 		fmt.Fprintln(out, "physical :")
 		for _, line := range strings.Split(ex.Physical, "\n") {
 			fmt.Fprintln(out, "  "+line)

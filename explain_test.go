@@ -103,3 +103,75 @@ func TestExplainHonoursOptimizeFlag(t *testing.T) {
 		t.Errorf("physical plan should hash-join σ(×):\n%s", ex.Physical)
 	}
 }
+
+// TestExplainParallelExchange pins the explain rendering of a parallel plan:
+// with workers configured and inputs above the planner's threshold, the
+// physical tree shows the Merge gang boundary and the per-operand Partition
+// exchanges on the join columns, and the query still computes the serial
+// result.
+func TestExplainParallelExchange(t *testing.T) {
+	db := Open()
+	db.MustCreateRelation("fact", Col("key", Int), Col("payload", Int))
+	db.MustCreateRelation("dim", Col("key", Int), Col("attr", Int))
+	factRows := make([][]any, 0, 1500)
+	for i := 0; i < 1500; i++ {
+		factRows = append(factRows, []any{i % 100, i})
+	}
+	dimRows := make([][]any, 0, 100)
+	for i := 0; i < 100; i++ {
+		dimRows = append(dimRows, []any{i, i * 10})
+	}
+	if err := db.InsertValues("fact", factRows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertValues("dim", dimRows...); err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := db.QueryXRA("join[%1 = %3](fact, dim)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db.SetWorkers(4)
+	if db.Workers() != 4 {
+		t.Fatalf("Workers() = %d", db.Workers())
+	}
+	ex, err := db.Explain("join[%1 = %3](fact, dim)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Workers != 4 {
+		t.Errorf("Explain.Workers = %d", ex.Workers)
+	}
+	wantPhysical := strings.Join([]string{
+		"Merge [workers=4]  (~15000 rows)",
+		"└─ HashJoin [%1 = %3] build=right  (~15000 rows)",
+		"   ├─ Partition [hash(%1) workers=4]  (1500 rows)",
+		"   │  └─ Scan fact  (1500 rows)",
+		"   └─ Partition [hash(%1) workers=4]  (100 rows)",
+		"      └─ Scan dim  (100 rows)",
+	}, "\n")
+	if ex.Physical != wantPhysical {
+		t.Errorf("parallel physical plan:\n%s\nwant:\n%s", ex.Physical, wantPhysical)
+	}
+
+	// The parallel execution produces the serial multi-set.
+	parallel, err := db.QueryXRA("join[%1 = %3](fact, dim)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Len() != serial.Len() || parallel.DistinctLen() != serial.DistinctLen() {
+		t.Errorf("parallel result %d/%d rows, serial %d/%d",
+			parallel.Len(), parallel.DistinctLen(), serial.Len(), serial.DistinctLen())
+	}
+
+	// Small inputs stay serial: no exchange operators below the threshold.
+	exSmall, err := db.Explain("select[%2 < 50](dim)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(exSmall.Physical, "Merge") {
+		t.Errorf("a 100-tuple pipeline must stay serial:\n%s", exSmall.Physical)
+	}
+}

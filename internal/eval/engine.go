@@ -4,6 +4,7 @@ import (
 	"mra/internal/algebra"
 	"mra/internal/multiset"
 	"mra/internal/plan"
+	"mra/internal/tuple"
 )
 
 // Engine is the physical evaluator.  It produces exactly the same multi-sets
@@ -23,6 +24,15 @@ type Engine struct {
 	CollectStats bool
 	// Stats accumulates execution statistics since the last Reset.
 	Stats Stats
+	// Workers is the parallelism degree handed to the planner: above 1 the
+	// planner wraps eligible shapes in Partition/Merge exchanges and the plan
+	// executes on the partitioned parallel runtime of internal/exec.  At or
+	// below 1 (including the zero value) plans stay serial.
+	Workers int
+	// ParallelThreshold overrides the planner's default estimated-cardinality
+	// threshold for inserting exchanges; zero keeps the default.  Tests use it
+	// to force parallel plans on small inputs.
+	ParallelThreshold float64
 }
 
 // Stats aggregates intermediate result sizes per physical operator, counting
@@ -32,10 +42,19 @@ type Stats = plan.Stats
 // Reset clears the collected statistics.
 func (e *Engine) Reset() { e.Stats = Stats{} }
 
+// planner builds the engine's configured planner for a source.
+func (e *Engine) planner(src Source) *plan.Planner {
+	return &plan.Planner{
+		Cards:             Cardinalities(src),
+		Workers:           e.Workers,
+		ParallelThreshold: e.ParallelThreshold,
+	}
+}
+
 // Eval compiles the expression into a physical plan and executes it against
 // the source.
 func (e *Engine) Eval(expr algebra.Expr, src Source) (*multiset.Relation, error) {
-	p, err := plan.NewPlanner(Cardinalities(src)).Plan(expr, CatalogOf(src))
+	p, err := e.planner(src).Plan(expr, CatalogOf(src))
 	if err != nil {
 		return nil, err
 	}
@@ -43,4 +62,20 @@ func (e *Engine) Eval(expr algebra.Expr, src Source) (*multiset.Relation, error)
 		return p.ExecuteStats(src, &e.Stats)
 	}
 	return p.Execute(src)
+}
+
+// EvalOrdered compiles the expression into a physical plan rooted at a Sort
+// operator over the given keys and executes it, returning the occurrences in
+// sort order alongside the result relation.  It serves the presentation path
+// of SQL ORDER BY: relations stay unordered, the order lives only in the
+// returned slice.
+func (e *Engine) EvalOrdered(expr algebra.Expr, src Source, keys []plan.SortKey) ([]tuple.Tuple, *multiset.Relation, error) {
+	p, err := e.planner(src).PlanOrdered(expr, CatalogOf(src), keys)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.CollectStats {
+		return p.ExecuteOrdered(src, &e.Stats)
+	}
+	return p.ExecuteOrdered(src, nil)
 }

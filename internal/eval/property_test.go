@@ -532,3 +532,49 @@ func TestPropertyPlannerPreservesBagSemantics(t *testing.T) {
 		t.Errorf("only %d random expressions evaluated cleanly (%d errored); generator too error-prone", checked, errored)
 	}
 }
+
+// TestPropertyParallelMatchesReference is the parallel oracle property: for
+// random expressions over random databases, the partitioned parallel engine
+// must produce exactly the Reference evaluator's multi-set — multiplicities
+// included — at every tested worker count, and must agree with it on whether
+// evaluation errors.  ParallelThreshold 1 forces exchange operators onto the
+// tiny random inputs, so the parallel operators (partitioned scans,
+// partition-wise joins, partitioned aggregation, merge) are exercised rather
+// than planned away.  Run with -race to check the runtime's concurrency.
+func TestPropertyParallelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1994))
+	g := &exprGen{rng: rng}
+	workerCounts := []int{1, 2, 4, 8}
+	checked, errored := 0, 0
+	for round := 0; round < 30; round++ {
+		src := randomSource(rng)
+		for i := 0; i < 6; i++ {
+			arity := 1 + g.intn(3)
+			e := g.gen(3, arity)
+			ref, refErr := (Reference{}).Eval(e, src)
+			for _, w := range workerCounts {
+				eng := &Engine{Workers: w, ParallelThreshold: 1}
+				phys, physErr := eng.Eval(e, src)
+				if (refErr == nil) != (physErr == nil) {
+					t.Fatalf("round %d workers=%d: evaluators disagree on errors for %s:\nreference: %v\nparallel:  %v",
+						round, w, e, refErr, physErr)
+				}
+				if refErr != nil {
+					continue
+				}
+				if !ref.Equal(phys) {
+					t.Fatalf("round %d workers=%d: parallel engine changed bag semantics of %s:\nreference: %s\nparallel:  %s",
+						round, w, e, ref, phys)
+				}
+			}
+			if refErr != nil {
+				errored++
+				continue
+			}
+			checked++
+		}
+	}
+	if checked < 60 {
+		t.Errorf("only %d random expressions evaluated cleanly (%d errored); generator too error-prone", checked, errored)
+	}
+}

@@ -1,0 +1,203 @@
+// Package exec implements the partitioned parallel execution runtime behind
+// the physical layer's exchange operators: a gang-scheduling worker pool,
+// hash-range partitioners that split tuple streams across workers, and
+// per-worker partial multi-sets that a merge sums back into one relation.
+//
+// The runtime exploits a property the multi-set algebra guarantees by
+// construction: relations are functions from tuples to multiplicities
+// (Definition 2.2), so splitting a relation into disjoint partitions and
+// summing the per-partition results of a distributive operator reproduces the
+// serial result exactly — multiplicities add across partitions.  The policy of
+// *where* to partition (join keys, grouping columns, full tuples) lives in
+// package plan, which inserts Partition/Merge exchange nodes around eligible
+// operator shapes; this package supplies the mechanism only and knows nothing
+// about operators.
+//
+// Concurrency contract: a worker's sink is private to that worker — the
+// runtime never calls it from two goroutines — so operator code running under
+// Exchange keeps the single-threaded Emit contract of package plan.  Workers
+// must not share mutable state; anything a worker accumulates is either its
+// partial relation (merged by Partials) or per-worker counters folded by the
+// caller after Pool.Run returns.
+package exec
+
+import (
+	"runtime"
+	"sync"
+
+	"mra/internal/multiset"
+	"mra/internal/schema"
+	"mra/internal/tuple"
+)
+
+// maxWorkers bounds the parallelism degree: beyond it the per-worker slices
+// of any realistic input are too thin to amortise goroutine and merge costs.
+const maxWorkers = 64
+
+// DefaultWorkers returns the auto-detected parallelism degree: the number of
+// schedulable CPUs, capped so wide machines do not shred small inputs.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Resolve normalises a configured worker count: values below one mean
+// auto-detect (DefaultWorkers), and everything is clamped to maxWorkers.
+func Resolve(workers int) int {
+	if workers < 1 {
+		workers = DefaultWorkers()
+	}
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	return workers
+}
+
+// Pool is a gang-scheduling worker pool of fixed width.  Run schedules one
+// task instance per worker and joins them; goroutines are cheap enough in Go
+// that the pool gangs per exchange rather than keeping idle workers parked.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width, normalised through Resolve.
+func NewPool(workers int) *Pool { return &Pool{workers: Resolve(workers)} }
+
+// Workers returns the pool's width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes task(w) for every worker w in [0, Workers) concurrently and
+// waits for all of them.  It returns the error of the lowest-numbered failed
+// worker (deterministic regardless of scheduling); the other workers still run
+// to completion, so partial state stays consistent for accounting.
+func (p *Pool) Run(task func(worker int) error) error {
+	if p.workers == 1 {
+		return task(0)
+	}
+	errs := make([]error, p.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = task(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partitioner deterministically assigns tuples to workers by hash range:
+// tuple t belongs to worker Owner(t), computed from the hash of the selected
+// attribute positions (or of the whole tuple when none are selected).  Equal
+// projections always land on the same worker, which is what makes
+// partition-wise joins and grouped aggregation exact: tuples that could meet
+// are never split across workers.
+type Partitioner struct {
+	cols    []int
+	workers uint64
+}
+
+// NewPartitioner returns a partitioner over the given attribute positions for
+// the given worker count.  A nil or empty cols list partitions by the full
+// tuple hash.
+func NewPartitioner(cols []int, workers int) Partitioner {
+	return Partitioner{cols: cols, workers: uint64(Resolve(workers))}
+}
+
+// Workers returns the partitioner's worker count.
+func (p Partitioner) Workers() int { return int(p.workers) }
+
+// Owner returns the worker index the tuple belongs to.
+func (p Partitioner) Owner(t tuple.Tuple) int {
+	if len(p.cols) == 0 {
+		return int(t.Hash() % p.workers)
+	}
+	return int(t.HashOn(p.cols) % p.workers)
+}
+
+// Partials holds the per-worker partial results of an exchange: one private
+// relation per worker, merged by summing multiplicities (the Merge side of the
+// exchange).  Disjoint input partitions may still produce overlapping output
+// tuples — a projection can collapse tuples from different partitions onto the
+// same result — so the merge must add, never assume distinctness.
+type Partials struct {
+	rels []*multiset.Relation
+}
+
+// NewPartials allocates one empty partial relation per worker, each pre-sized
+// for about capacityEach distinct tuples.
+func NewPartials(s schema.Relation, workers, capacityEach int) *Partials {
+	rels := make([]*multiset.Relation, Resolve(workers))
+	for i := range rels {
+		rels[i] = multiset.NewWithCapacity(s, capacityEach)
+	}
+	return &Partials{rels: rels}
+}
+
+// Rel returns worker w's private partial relation.
+func (p *Partials) Rel(w int) *multiset.Relation { return p.rels[w] }
+
+// Cardinality returns the total number of tuples (counting multiplicities)
+// across all partials.
+func (p *Partials) Cardinality() uint64 {
+	var total uint64
+	for _, r := range p.rels {
+		total += r.Cardinality()
+	}
+	return total
+}
+
+// Each streams every partial's chunks into fn, partial by partial.  The same
+// tuple may be delivered once per partial; consumers sum multiplicities.
+func (p *Partials) Each(fn func(t tuple.Tuple, n uint64) error) error {
+	for _, r := range p.rels {
+		var iterErr error
+		r.Each(func(t tuple.Tuple, n uint64) bool {
+			iterErr = fn(t, n)
+			return iterErr == nil
+		})
+		if iterErr != nil {
+			return iterErr
+		}
+	}
+	return nil
+}
+
+// Merge sums all partials into the given relation (created by the caller, so
+// it can be pre-sized) and returns it.  It reuses the partials' cached tuple
+// hashes, so merging never re-hashes attribute values.
+func (p *Partials) Merge(into *multiset.Relation) *multiset.Relation {
+	for _, r := range p.rels {
+		into.MergeFrom(r)
+	}
+	return into
+}
+
+// Exchange is the runtime of one Merge exchange: it runs producer once per
+// worker of the pool, collecting each worker's stream into a private partial
+// relation, and returns the partials.  The sink passed to a producer is that
+// worker's own; it is never called concurrently.  On error the partials
+// collected so far are still returned so the caller can account for them.
+func Exchange(pool *Pool, s schema.Relation, capacityEach int, producer func(worker int, sink func(t tuple.Tuple, n uint64) error) error) (*Partials, error) {
+	parts := NewPartials(s, pool.Workers(), capacityEach)
+	err := pool.Run(func(w int) error {
+		rel := parts.Rel(w)
+		return producer(w, func(t tuple.Tuple, n uint64) error {
+			rel.Add(t, n)
+			return nil
+		})
+	})
+	return parts, err
+}

@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"mra/internal/multiset"
+	"mra/internal/schema"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+func testSchema() schema.Relation {
+	return schema.NewRelation("t",
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt},
+	)
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(4); got != 4 {
+		t.Errorf("Resolve(4) = %d", got)
+	}
+	if got := Resolve(0); got < 1 {
+		t.Errorf("Resolve(0) = %d, want auto-detected >= 1", got)
+	}
+	if got := Resolve(-3); got < 1 {
+		t.Errorf("Resolve(-3) = %d, want auto-detected >= 1", got)
+	}
+	if got := Resolve(1 << 20); got != maxWorkers {
+		t.Errorf("Resolve(huge) = %d, want %d", got, maxWorkers)
+	}
+}
+
+// TestPoolRunsEveryWorker checks that every worker index runs exactly once.
+func TestPoolRunsEveryWorker(t *testing.T) {
+	for _, w := range []int{1, 2, 7} {
+		pool := NewPool(w)
+		var ran [64]atomic.Int32
+		if err := pool.Run(func(worker int) error {
+			ran[worker].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < w; i++ {
+			if got := ran[i].Load(); got != 1 {
+				t.Errorf("workers=%d: worker %d ran %d times", w, i, got)
+			}
+		}
+	}
+}
+
+// TestPoolErrorDeterminism checks the error of the lowest-numbered failing
+// worker is returned, regardless of goroutine scheduling.
+func TestPoolErrorDeterminism(t *testing.T) {
+	pool := NewPool(8)
+	for round := 0; round < 20; round++ {
+		err := pool.Run(func(worker int) error {
+			if worker >= 3 {
+				return fmt.Errorf("worker %d failed", worker)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "worker 3 failed" {
+			t.Fatalf("round %d: err = %v, want worker 3's", round, err)
+		}
+	}
+}
+
+// TestPartitionerDisjointCover checks the partition function is a total
+// function onto [0, workers): every tuple has exactly one owner, owners are in
+// range, and equal join-key projections share an owner.
+func TestPartitionerDisjointCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	full := NewPartitioner(nil, 4)
+	keyed := NewPartitioner([]int{1}, 4)
+	for i := 0; i < 500; i++ {
+		a, b := int64(rng.Intn(50)), int64(rng.Intn(10))
+		tp := tuple.Ints(a, b)
+		if o := full.Owner(tp); o < 0 || o >= 4 {
+			t.Fatalf("full owner %d out of range", o)
+		}
+		// Same key attribute => same keyed owner, whatever the other column is.
+		other := tuple.Ints(a+1000, b)
+		if keyed.Owner(tp) != keyed.Owner(other) {
+			t.Fatalf("keyed partitioner split key %d across workers", b)
+		}
+	}
+}
+
+// TestExchangeSumsPartials checks the fundamental exchange identity: the merge
+// of per-worker partials over a disjoint partition of the input equals the
+// serial result, multiplicities included — even when workers produce
+// overlapping output tuples.
+func TestExchangeSumsPartials(t *testing.T) {
+	s := testSchema()
+	in := multiset.New(s)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		in.Add(tuple.Ints(int64(rng.Intn(20)), int64(rng.Intn(5))), uint64(1+rng.Intn(3)))
+	}
+
+	serial := multiset.New(s)
+	in.Each(func(tp tuple.Tuple, n uint64) bool {
+		serial.Add(tp, n)
+		return true
+	})
+
+	for _, w := range []int{1, 2, 4, 8} {
+		pool := NewPool(w)
+		parts, err := Exchange(pool, s, 16, func(worker int, sink func(tuple.Tuple, uint64) error) error {
+			var sinkErr error
+			in.EachInPartition(worker, pool.Workers(), func(tp tuple.Tuple, n uint64) bool {
+				sinkErr = sink(tp, n)
+				return sinkErr == nil
+			})
+			return sinkErr
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parts.Cardinality() != serial.Cardinality() {
+			t.Fatalf("workers=%d: partial cardinality %d, want %d", w, parts.Cardinality(), serial.Cardinality())
+		}
+		merged := parts.Merge(multiset.NewWithCapacity(s, 64))
+		if !merged.Equal(serial) {
+			t.Fatalf("workers=%d: merged %s != serial %s", w, merged, serial)
+		}
+		// Streaming consumption must sum to the same multi-set.
+		streamed := multiset.New(s)
+		if err := parts.Each(func(tp tuple.Tuple, n uint64) error {
+			streamed.Add(tp, n)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !streamed.Equal(serial) {
+			t.Fatalf("workers=%d: streamed %s != serial %s", w, streamed, serial)
+		}
+	}
+}
+
+// TestExchangepropagatesErrors checks a failing worker aborts the exchange
+// while the other partials remain intact for accounting.
+func TestExchangePropagatesErrors(t *testing.T) {
+	s := testSchema()
+	boom := errors.New("boom")
+	parts, err := Exchange(NewPool(4), s, 4, func(worker int, sink func(tuple.Tuple, uint64) error) error {
+		if worker == 2 {
+			return boom
+		}
+		return sink(tuple.Ints(int64(worker), 0), 1)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if parts == nil || parts.Rel(0).Cardinality() != 1 {
+		t.Errorf("surviving partials should be returned for accounting")
+	}
+}

@@ -230,6 +230,59 @@ func (r *Relation) Each(fn func(t tuple.Tuple, count uint64) bool) {
 	}
 }
 
+// EachInPartition calls fn once per distinct tuple belonging to hash partition
+// part of parts: the tuples whose cached hash satisfies hash mod parts == part.
+// The partitions for a fixed parts are disjoint and cover the relation, which
+// is what the parallel runtime's partitioned scans rely on; because the hash
+// is cached per entry, selecting a partition costs one integer modulo per
+// entry and never re-hashes attribute values.  If fn returns false, iteration
+// stops.  fn must not mutate r.
+func (r *Relation) EachInPartition(part, parts int, fn func(t tuple.Tuple, count uint64) bool) {
+	if parts <= 1 {
+		r.Each(fn)
+		return
+	}
+	p, n := uint64(part), uint64(parts)
+	entries := r.tab.entries
+	for i := range entries {
+		if entries[i].count == 0 || entries[i].hash%n != p {
+			continue
+		}
+		if !fn(entries[i].tup, entries[i].count) {
+			return
+		}
+	}
+}
+
+// MergeFrom adds every tuple of o to r with its multiplicity (multi-set union
+// in place): the merge step of the parallel runtime's exchange operators.  It
+// reuses o's cached entry hashes, so merging partial results never re-hashes
+// attribute values.  o is not modified.
+func (r *Relation) MergeFrom(o *Relation) {
+	if o.tab.total == 0 {
+		return
+	}
+	r.materialize()
+	tab := r.tab
+	entries := o.tab.entries
+	for i := range entries {
+		e := &entries[i]
+		if e.count == 0 {
+			continue
+		}
+		if j := tab.find(e.hash, e.tup); j != chainEnd {
+			re := &tab.entries[j]
+			if re.count == 0 {
+				tab.live++
+			}
+			re.count += e.count
+			tab.total += e.count
+			continue
+		}
+		tab.insert(e.hash, e.tup, e.count)
+	}
+}
+
 // EachOccurrence calls fn once per occurrence, i.e. a tuple with multiplicity
 // k is visited k times.  If fn returns false, iteration stops.
 func (r *Relation) EachOccurrence(fn func(t tuple.Tuple) bool) {

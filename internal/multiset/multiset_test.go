@@ -379,3 +379,74 @@ func TestIncompatibleError(t *testing.T) {
 		t.Errorf("Error = %q", e.Error())
 	}
 }
+
+// TestEachInPartitionDisjointCover checks the hash partitions are disjoint and
+// cover the relation for several partition counts, multiplicities included.
+func TestEachInPartitionDisjointCover(t *testing.T) {
+	s := schema.NewRelation("r",
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt})
+	r := New(s)
+	for i := 0; i < 100; i++ {
+		r.Add(tuple.Ints(int64(i%17), int64(i%5)), uint64(1+i%3))
+	}
+	// A tombstone must stay invisible to partitioned iteration.
+	r.Add(tuple.Ints(999, 999), 2)
+	r.Remove(tuple.Ints(999, 999), 2)
+
+	for _, parts := range []int{1, 2, 3, 8} {
+		union := New(s)
+		for p := 0; p < parts; p++ {
+			r.EachInPartition(p, parts, func(tp tuple.Tuple, n uint64) bool {
+				if union.Multiplicity(tp) != 0 {
+					t.Fatalf("parts=%d: tuple %s in two partitions", parts, tp)
+				}
+				union.Add(tp, n)
+				return true
+			})
+		}
+		if !union.Equal(r) {
+			t.Fatalf("parts=%d: union of partitions %s != relation %s", parts, union, r)
+		}
+	}
+}
+
+// TestMergeFrom checks the cached-hash merge sums multiplicities, revives
+// tombstones, and leaves the source untouched.
+func TestMergeFrom(t *testing.T) {
+	s := schema.NewRelation("r", schema.Attribute{Name: "a", Type: value.KindInt})
+	a, b := New(s), New(s)
+	a.Add(tuple.Ints(1), 2)
+	a.Add(tuple.Ints(2), 1)
+	a.Add(tuple.Ints(3), 1)
+	a.Remove(tuple.Ints(3), 1) // tombstone in the destination
+	b.Add(tuple.Ints(1), 3)
+	b.Add(tuple.Ints(3), 4)
+	b.Add(tuple.Ints(5), 1)
+
+	a.MergeFrom(b)
+	if got := a.Multiplicity(tuple.Ints(1)); got != 5 {
+		t.Errorf("a(1) = %d, want 5", got)
+	}
+	if got := a.Multiplicity(tuple.Ints(3)); got != 4 {
+		t.Errorf("a(3) = %d, want 4 (tombstone revived)", got)
+	}
+	if a.Cardinality() != 11 || a.DistinctCount() != 4 {
+		t.Errorf("cardinality/distinct = %d/%d, want 11/4", a.Cardinality(), a.DistinctCount())
+	}
+	if b.Cardinality() != 8 {
+		t.Errorf("source changed: %s", b)
+	}
+
+	// Merging into a copy-on-write view must not corrupt the other view.
+	base := New(s)
+	base.Add(tuple.Ints(7), 1)
+	view := base.Clone()
+	view.MergeFrom(b)
+	if base.Cardinality() != 1 {
+		t.Errorf("COW base changed by MergeFrom: %s", base)
+	}
+	if view.Multiplicity(tuple.Ints(1)) != 3 || view.Multiplicity(tuple.Ints(7)) != 1 {
+		t.Errorf("view after merge = %s", view)
+	}
+}

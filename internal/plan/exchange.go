@@ -1,0 +1,363 @@
+package plan
+
+import (
+	"fmt"
+
+	"mra/internal/exec"
+	"mra/internal/multiset"
+	"mra/internal/tuple"
+)
+
+// This file implements the exchange operators of the partitioned parallel
+// runtime and the planner pass that inserts them.
+//
+// A Merge node runs its subtree once per worker on an exec.Pool; every worker
+// executes the same operator tree but sees only its hash-range slice of the
+// inputs, cut by the Partition nodes below.  Each worker's output stream is
+// collected into a private partial relation and the Merge sums the partials —
+// exact under bag semantics, because multiplicities add across disjoint
+// partitions (the paper's relations are functions dom(𝓡) → ℕ, and the
+// operators parallelised here distribute over partition union).
+//
+// Three shapes are parallelised, each with the partition placement that keeps
+// it exact:
+//
+//   - streaming pipelines (σ/π/extπ/⊎ over scans): Partition by full tuple
+//     hash directly above each scan, so the per-tuple operator work divides
+//     across workers; a partition above a bare scan reuses the relation's
+//     cached entry hashes and costs one modulo per tuple;
+//   - hash joins: Partition each operand by the hash of its join columns, so
+//     tuples that could match always land in the same worker — partition-wise
+//     build and probe;
+//   - hash aggregates with grouping columns: Partition the input by the hash
+//     of the grouping columns, so every group is computed whole by exactly
+//     one worker and the merged output needs no second aggregation pass.
+
+// DefaultParallelThreshold is the estimated input cardinality (tuples,
+// counting duplicates) below which the planner leaves a shape serial: under
+// it, goroutine spawn and partial-merge costs dominate the divided work.
+const DefaultParallelThreshold = 1024.0
+
+// ---------------------------------------------------------------------------
+// Exchange operators
+// ---------------------------------------------------------------------------
+
+// partitionNode cuts the stream of its input to the executing worker's hash
+// slice: a chunk (t, n) passes through worker w iff the configured hash of t
+// falls in w's range.  Outside a parallel region it is the identity.
+type partitionNode struct {
+	base
+	input Node
+	// cols are the attribute positions hashed for partitioning; nil means the
+	// full tuple hash (used above pipeline scans, where any disjoint split is
+	// correct).
+	cols []int
+	// workers is the gang width the planner inserted this node for (display
+	// only; execution uses the width of the enclosing Merge's gang).
+	workers int
+}
+
+func (p *partitionNode) Children() []Node { return []Node{p.input} }
+
+func (p *partitionNode) Describe() string {
+	if p.cols == nil {
+		return fmt.Sprintf("Partition [hash workers=%d]", p.workers)
+	}
+	return fmt.Sprintf("Partition [hash(%s) workers=%d]", colList(p.cols), p.workers)
+}
+
+func (p *partitionNode) run(ctx *execCtx, emit Emit) error {
+	if ctx.workers <= 1 {
+		return ctx.run(p.input, emit)
+	}
+	// Fast path: a full-tuple partition directly above a scan selects its
+	// slice by the relation's cached entry hashes — one modulo per tuple, no
+	// re-hashing.
+	if s, ok := p.input.(*scanNode); ok && p.cols == nil {
+		r, err := s.lookup(ctx)
+		if err != nil {
+			return err
+		}
+		var iterErr error
+		r.EachInPartition(ctx.worker, ctx.workers, func(t tuple.Tuple, n uint64) bool {
+			iterErr = emit(t, n)
+			return iterErr == nil
+		})
+		return iterErr
+	}
+	part := exec.NewPartitioner(p.cols, ctx.workers)
+	return ctx.run(p.input, func(t tuple.Tuple, n uint64) error {
+		if part.Owner(t) != ctx.worker {
+			return nil
+		}
+		return emit(t, n)
+	})
+}
+
+// mergeNode is the gang boundary: it executes its subtree once per worker on
+// the exec runtime and emits the sum of the per-worker partial multisets.
+// Nested inside an already parallel region it degrades to a pass-through, so
+// a plan remains correct however exchanges end up composed.
+type mergeNode struct {
+	base
+	input   Node
+	workers int
+}
+
+func (m *mergeNode) Children() []Node { return []Node{m.input} }
+func (m *mergeNode) Describe() string { return fmt.Sprintf("Merge [workers=%d]", m.workers) }
+
+// snapshotSource is a frozen name→relation map handed to worker goroutines.
+// Workers must not call the parent's Source: transaction sources record the
+// relations they resolve (for commit validation) and are not safe for
+// concurrent use, so every scan leaf is resolved once, in the parent
+// goroutine, before the gang starts.
+type snapshotSource map[string]*multiset.Relation
+
+// Relation implements Source.
+func (s snapshotSource) Relation(name string) (*multiset.Relation, bool) {
+	r, ok := s[name]
+	return r, ok
+}
+
+// snapshotScans pre-resolves every scan leaf under n through the parent
+// context's source.
+func snapshotScans(ctx *execCtx, n Node, into snapshotSource) error {
+	if s, ok := n.(*scanNode); ok {
+		if _, done := into[s.name]; !done {
+			r, err := s.lookup(ctx)
+			if err != nil {
+				return err
+			}
+			into[s.name] = r
+		}
+	}
+	for _, c := range n.Children() {
+		if err := snapshotScans(ctx, c, into); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gang runs the per-worker subtree executions and returns the partials; the
+// caller decides whether to stream or materialise them.
+func (m *mergeNode) gang(ctx *execCtx) (*exec.Partials, error) {
+	snap := make(snapshotSource)
+	if err := snapshotScans(ctx, m.input, snap); err != nil {
+		return nil, err
+	}
+	pool := exec.NewPool(m.workers)
+	wctxs := make([]*execCtx, pool.Workers())
+	capEach := capacityFor(m.input.meta().capHint)/pool.Workers() + 1
+	parts, err := exec.Exchange(pool, m.input.Schema(), capEach, func(w int, sink func(tuple.Tuple, uint64) error) error {
+		wctx := ctx.workerCtx(w, pool.Workers())
+		wctx.src = snap
+		wctxs[w] = wctx
+		return wctx.run(m.input, func(t tuple.Tuple, n uint64) error { return sink(t, n) })
+	})
+	ctx.foldWorkers(wctxs)
+	// The per-worker partials are the exchange's materialised state.
+	ctx.materialised(m, parts.Cardinality())
+	return parts, err
+}
+
+func (m *mergeNode) run(ctx *execCtx, emit Emit) error {
+	if ctx.workers > 1 {
+		return ctx.run(m.input, emit)
+	}
+	parts, err := m.gang(ctx)
+	if err != nil {
+		return err
+	}
+	return parts.Each(func(t tuple.Tuple, n uint64) error { return emit(t, n) })
+}
+
+// result implements materializer: when a consumer wants the whole relation
+// (or the Merge is the plan root), the partials are summed directly with
+// their cached hashes instead of being re-hashed through an emit stream.
+func (m *mergeNode) result(ctx *execCtx) (*multiset.Relation, error) {
+	if ctx.workers > 1 {
+		return ctx.materialize(m.input)
+	}
+	parts, err := m.gang(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return parts.Merge(multiset.NewWithCapacity(m.Schema(), capacityFor(m.capHint))), nil
+}
+
+// ---------------------------------------------------------------------------
+// Planner pass
+// ---------------------------------------------------------------------------
+
+// parallelize walks a freshly compiled plan top-down and wraps the topmost
+// eligible shapes in exchanges.  A wrapped subtree is not revisited — its
+// operators already execute once per worker — while ineligible nodes are kept
+// serial and their children are visited instead.
+func (pl *Planner) parallelize(n Node) Node {
+	if pl.Workers <= 1 {
+		return n
+	}
+	workers := exec.Resolve(pl.Workers)
+	if workers <= 1 {
+		return n
+	}
+	threshold := pl.ParallelThreshold
+	if threshold <= 0 {
+		threshold = DefaultParallelThreshold
+	}
+	return pl.parallelizeNode(n, workers, threshold)
+}
+
+func (pl *Planner) parallelizeNode(n Node, workers int, threshold float64) Node {
+	switch x := n.(type) {
+	case *hashJoinNode:
+		// Partition-wise build and probe: both operands split by their join
+		// column hashes, so matching tuples meet inside one worker.
+		if x.left.Estimate()+x.right.Estimate() >= threshold &&
+			streamable(x.left) && streamable(x.right) {
+			x.left = newPartition(x.left, x.leftCols, workers)
+			x.right = newPartition(x.right, x.rightCols, workers)
+			return newMerge(x, workers)
+		}
+	case *hashAggNode:
+		// Partition by grouping columns: groups never span workers, so the
+		// merged partials are the final grouped result.  Global aggregates
+		// (no grouping columns) have a single output group and stay serial.
+		if len(x.gb.groupCols) > 0 && x.input.Estimate() >= threshold && streamable(x.input) {
+			x.input = newPartition(x.input, x.gb.groupCols, workers)
+			return newMerge(x, workers)
+		}
+	case *filterNode, *projectNode, *extProjectNode, *unionNode:
+		// A streaming pipeline: partition every scan by its cached full-tuple
+		// hash so the per-tuple filter/projection work divides across workers.
+		if streamable(n) && pipelineWork(n) && leafEstimate(n) >= threshold {
+			partitionScans(n, workers)
+			return newMerge(n, workers)
+		}
+	}
+	replaceChildren(n, func(c Node) Node { return pl.parallelizeNode(c, workers, threshold) })
+	return n
+}
+
+// streamable reports whether the subtree is a pure streaming pipeline over
+// leaves — the shapes cheap and safe to replicate per worker.  Blocking or
+// stateful operators (joins, aggregates, δ, set difference/intersection,
+// closure) are excluded: re-running them once per worker would repeat their
+// full cost, and δ above a projection is not partition-exact under a
+// full-tuple split of the inputs.
+func streamable(n Node) bool {
+	switch x := n.(type) {
+	case *scanNode, *valuesNode:
+		return true
+	case *filterNode:
+		return streamable(x.input)
+	case *projectNode:
+		return streamable(x.input)
+	case *extProjectNode:
+		return streamable(x.input)
+	case *unionNode:
+		return streamable(x.left) && streamable(x.right)
+	default:
+		return false
+	}
+}
+
+// pipelineWork reports whether the pipeline contains at least one per-tuple
+// operator.  A bare scan (or union of scans) only copies tuples; splitting a
+// copy across workers buys nothing and pays the exchange.
+func pipelineWork(n Node) bool {
+	switch x := n.(type) {
+	case *filterNode, *projectNode, *extProjectNode:
+		_ = x
+		return true
+	case *unionNode:
+		return pipelineWork(x.left) || pipelineWork(x.right)
+	default:
+		return false
+	}
+}
+
+// leafEstimate sums the estimated cardinalities of the subtree's leaves: the
+// number of tuples the pipeline will push, which is what the parallel split
+// divides.
+func leafEstimate(n Node) float64 {
+	if len(n.Children()) == 0 {
+		return n.Estimate()
+	}
+	var total float64
+	for _, c := range n.Children() {
+		total += leafEstimate(c)
+	}
+	return total
+}
+
+// partitionScans inserts a full-tuple-hash Partition above every leaf of a
+// streamable pipeline.
+func partitionScans(n Node, workers int) {
+	replaceChildren(n, func(c Node) Node {
+		if len(c.Children()) == 0 {
+			return newPartition(c, nil, workers)
+		}
+		partitionScans(c, workers)
+		return c
+	})
+}
+
+// replaceChildren rewrites each child edge of a node in place.
+func replaceChildren(n Node, f func(Node) Node) {
+	switch x := n.(type) {
+	case *filterNode:
+		x.input = f(x.input)
+	case *projectNode:
+		x.input = f(x.input)
+	case *extProjectNode:
+		x.input = f(x.input)
+	case *uniqueNode:
+		x.input = f(x.input)
+	case *unionNode:
+		x.left, x.right = f(x.left), f(x.right)
+	case *hashJoinNode:
+		x.left, x.right = f(x.left), f(x.right)
+	case *nestedLoopNode:
+		x.left, x.right = f(x.left), f(x.right)
+	case *differenceNode:
+		x.left, x.right = f(x.left), f(x.right)
+	case *intersectNode:
+		x.left, x.right = f(x.left), f(x.right)
+	case *hashAggNode:
+		x.input = f(x.input)
+	case *tcloseNode:
+		x.input = f(x.input)
+	case *sortNode:
+		x.input = f(x.input)
+	case *partitionNode:
+		x.input = f(x.input)
+	case *mergeNode:
+		x.input = f(x.input)
+	}
+}
+
+// newPartition wraps a node in a Partition.  The estimate is the full stream
+// (estimates describe the collective stream, not one worker's slice); the
+// capacity hint is the per-worker share, which sizes the hash tables built
+// from a single slice — a partitioned join build, for example.
+func newPartition(input Node, cols []int, workers int) Node {
+	p := &partitionNode{input: input, cols: cols, workers: workers}
+	p.schema = input.Schema()
+	p.est = input.Estimate()
+	p.exactEst = input.meta().exactEst
+	p.capHint = input.meta().capHint / float64(workers)
+	return p
+}
+
+// newMerge wraps a node in a Merge of the given gang width.
+func newMerge(input Node, workers int) Node {
+	m := &mergeNode{input: input, workers: workers}
+	m.schema = input.Schema()
+	m.est = input.Estimate()
+	m.exactEst = input.meta().exactEst
+	m.capHint = input.meta().capHint
+	return m
+}

@@ -1,0 +1,231 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mra/internal/algebra"
+	"mra/internal/scalar"
+	"mra/internal/value"
+)
+
+// parallelPlanner builds a planner of the given width that parallelises
+// everything eligible, regardless of input size.
+func parallelPlanner(src mapSource, workers int) *Planner {
+	return &Planner{Cards: cardsOf(src), Workers: workers, ParallelThreshold: 1}
+}
+
+// countNodes counts plan nodes of the exchange kinds.
+func countNodes(p *Plan) (merges, partitions int) {
+	for _, n := range p.nodes {
+		switch n.(type) {
+		case *mergeNode:
+			merges++
+		case *partitionNode:
+			partitions++
+		}
+	}
+	return
+}
+
+// parallelShapes are the three shapes the planner parallelises, over the
+// fact/dim test source.
+func parallelShapes() map[string]algebra.Expr {
+	pred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(50)))
+	return map[string]algebra.Expr{
+		"pipeline": algebra.NewProject([]int{0}, algebra.NewSelect(pred, algebra.NewRel("fact"))),
+		"union-pipeline": algebra.NewSelect(pred,
+			algebra.NewUnion(algebra.NewRel("fact"), algebra.NewRel("fact"))),
+		"hash-join": algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim")),
+		"join-residual": algebra.NewJoin(
+			scalar.NewAnd(scalar.Eq(0, 2), scalar.NewCompare(value.CmpLt, scalar.NewAttr(1), scalar.NewAttr(3))),
+			algebra.NewRel("fact"), algebra.NewRel("dim")),
+		"hash-agg": algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("fact")),
+		"agg-over-pipeline": algebra.NewGroupBy([]int{0}, algebra.AggMax, 1,
+			algebra.NewSelect(pred, algebra.NewRel("fact"))),
+	}
+}
+
+// TestParallelMatchesSerial is the core exchange property: for every
+// parallelised shape and several gang widths, the parallel plan produces
+// exactly the serial multi-set, multiplicities included.
+func TestParallelMatchesSerial(t *testing.T) {
+	src := testSource(1000)
+	for name, e := range parallelShapes() {
+		serial, err := mustPlan(t, e, src).Execute(src)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			p, err := parallelPlanner(src, w).Plan(e, catalogOf(src))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			merges, _ := countNodes(p)
+			if merges == 0 {
+				t.Fatalf("%s workers=%d: no exchange inserted:\n%s", name, w, p)
+			}
+			par, err := p.Execute(src)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			if !par.Equal(serial) {
+				t.Errorf("%s workers=%d: parallel result differs\nserial:   %s\nparallel: %s",
+					name, w, serial, par)
+			}
+		}
+	}
+}
+
+// TestParallelThreshold checks exchange insertion is gated on the estimated
+// input cardinality and on the worker count.
+func TestParallelThreshold(t *testing.T) {
+	src := testSource(1000) // 1100 input tuples across fact and dim
+	join := algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim"))
+
+	// Serial planner: never.
+	p := mustPlan(t, join, src)
+	if m, pt := countNodes(p); m+pt != 0 {
+		t.Errorf("serial planner inserted exchanges:\n%s", p)
+	}
+
+	// Parallel planner with the default threshold: 1100 tuples exceed it.
+	pp := &Planner{Cards: cardsOf(src), Workers: 4}
+	p2, err := pp.Plan(join, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := countNodes(p2); m != 1 {
+		t.Errorf("default threshold must parallelise a 1100-tuple join:\n%s", p2)
+	}
+
+	// Small inputs stay serial even with workers configured.
+	small := testSource(100)
+	p3, err := (&Planner{Cards: cardsOf(small), Workers: 4}).Plan(join, catalogOf(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, pt := countNodes(p3); m+pt != 0 {
+		t.Errorf("110 tuples are below the threshold, exchanges inserted:\n%s", p3)
+	}
+}
+
+// TestParallelPlanRendering pins the explain rendering of a parallel join:
+// Merge above the join, Partition on the join columns above each operand.
+func TestParallelPlanRendering(t *testing.T) {
+	src := testSource(1000)
+	join := algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim"))
+	p, err := (&Planner{Cards: cardsOf(src), Workers: 4}).Plan(join, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"Merge [workers=4]  (~10000 rows)",
+		"└─ HashJoin [%1 = %3] build=right  (~10000 rows)",
+		"   ├─ Partition [hash(%1) workers=4]  (1000 rows)",
+		"   │  └─ Scan fact  (1000 rows)",
+		"   └─ Partition [hash(%1) workers=4]  (100 rows)",
+		"      └─ Scan dim  (100 rows)",
+	}, "\n")
+	if got := p.String(); got != want {
+		t.Errorf("parallel plan rendering:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestParallelStatsFolding checks the per-worker statistics are folded into
+// the parent: logical emission totals match the serial execution (every tuple
+// is processed by exactly one worker), and the merge accounts its partials.
+func TestParallelStatsFolding(t *testing.T) {
+	src := testSource(1000)
+	pred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(500)))
+	e := algebra.NewSelect(pred, algebra.NewRel("fact"))
+
+	var serial Stats
+	sout, err := mustPlan(t, e, src).ExecuteStats(src, &serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := parallelPlanner(src, 4).Plan(e, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var par Stats
+	pout, err := p.ExecuteStats(src, &par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pout.Equal(sout) {
+		t.Fatalf("results differ")
+	}
+	// The filter's total emissions across workers equal the serial emissions.
+	var filterEmitted uint64
+	for _, op := range par.PerOperator {
+		if strings.HasPrefix(op.Operator, "Filter") {
+			filterEmitted += op.Emitted
+		}
+	}
+	if filterEmitted != sout.Cardinality() {
+		t.Errorf("filter emitted %d across workers, want %d", filterEmitted, sout.Cardinality())
+	}
+	if serial.IntermediateTuples != sout.Cardinality() {
+		t.Errorf("serial intermediate = %d", serial.IntermediateTuples)
+	}
+	// The merge holds the partials (the parallel region's materialised state).
+	if par.MaterialisedTuples != sout.Cardinality() {
+		t.Errorf("merge materialised %d, want the output cardinality %d", par.MaterialisedTuples, sout.Cardinality())
+	}
+}
+
+// TestParallelErrorPropagation checks a runtime error inside one worker's
+// slice aborts the parallel execution, like its serial counterpart.
+func TestParallelErrorPropagation(t *testing.T) {
+	src := testSource(1000)
+	// %2 / %1 divides by zero for the fact tuples with key 0.
+	div := algebra.NewExtProject(
+		[]scalar.Expr{scalar.NewArith(value.OpDiv, scalar.NewAttr(1), scalar.NewAttr(0))}, nil,
+		algebra.NewRel("fact"))
+	if _, err := mustPlan(t, div, src).Execute(src); !errors.Is(err, value.ErrDivideByZero) {
+		t.Fatalf("serial err = %v", err)
+	}
+	p, err := parallelPlanner(src, 4).Plan(div, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := countNodes(p); m == 0 {
+		t.Fatalf("expected a parallel plan:\n%s", p)
+	}
+	if _, err := p.Execute(src); !errors.Is(err, value.ErrDivideByZero) {
+		t.Errorf("parallel err = %v, want ErrDivideByZero", err)
+	}
+}
+
+// TestParallelBlockingConsumers checks a Merge under a blocking operator
+// (difference, closure input, sort) materialises correctly through the
+// materializer fast path.
+func TestParallelBlockingConsumers(t *testing.T) {
+	src := testSource(1000)
+	pred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(100)))
+	filtered := algebra.NewSelect(pred, algebra.NewRel("fact"))
+	diff := algebra.NewDifference(algebra.NewRel("fact"), filtered)
+
+	serial, err := mustPlan(t, diff, src).Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parallelPlanner(src, 4).Plan(diff, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := countNodes(p); m == 0 {
+		t.Fatalf("the filtered operand must run parallel:\n%s", p)
+	}
+	par, err := p.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Equal(serial) {
+		t.Errorf("difference over a parallel operand differs\nserial:   %s\nparallel: %s", serial, par)
+	}
+}

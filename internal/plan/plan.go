@@ -35,6 +35,30 @@
 // (hash-join build side, HashAggregate, Difference, Intersect, TClose,
 // NestedLoopJoin's inner side) hold exactly the state their algorithm
 // requires, which Stats reports as MaterialisedTuples.
+//
+// # Parallel execution
+//
+// When the planner runs with Workers > 1 it inserts exchange operators
+// (exchange.go) around eligible shapes: a Merge node runs its subtree once
+// per worker on the runtime of package exec, and Partition nodes inside that
+// subtree split the streams by hash range so each worker sees a disjoint
+// slice.  Bag semantics make this exact: multiplicities sum across disjoint
+// partitions, so the merged partials equal the serial result.
+//
+// The Emit contract is per worker under parallel execution: within one worker
+// the stream rules above hold unchanged, and an emit function is never called
+// concurrently — each worker's chunks flow into a private partial relation
+// that the Merge sums afterwards.  Operators therefore need no locks, and
+// must not share mutable state across workers; anything per-execution lives
+// in the worker's own execCtx.  Scan leaves resolve their relations through
+// a snapshot the Merge takes before the gang starts, so a Source that is not
+// safe for concurrent use — a transaction recording the relations it reads —
+// is never called from two workers.  Statistics follow the same rule: each worker
+// records into its own counters, and the Merge folds them into the parent's
+// Stats after the gang joins — there are no shared atomics on the hot path.
+// In a parallel region each logical operator executes once per worker, and
+// Stats.Operators counts operator executions, so a node under a W-worker
+// Merge contributes W.
 package plan
 
 import (
@@ -116,7 +140,8 @@ type Stats struct {
 	IntermediateTuples uint64
 	// PeakRelationTuples is the largest single non-leaf operator output seen.
 	PeakRelationTuples uint64
-	// Operators counts executed non-leaf operator nodes.
+	// Operators counts non-leaf operator executions; inside a parallel region
+	// each logical operator executes once per worker and counts each time.
 	Operators int
 	// MaterialisedTuples counts tuples (with multiplicity) stored in
 	// operator-internal state: hash-join build tables, nested-loop inner
@@ -215,11 +240,52 @@ func renderNode(b *strings.Builder, n Node, head, tail string) {
 	}
 }
 
-// execCtx carries per-execution state through the operator tree.
+// execCtx carries per-execution state through the operator tree.  Inside a
+// parallel region every worker owns a private execCtx (and private stats), so
+// operators never synchronise; the Merge folds worker contexts back into the
+// parent with foldWorkers.
 type execCtx struct {
 	src   Source
 	stats *Stats
 	perOp []OperatorStats
+	// worker and workers identify the partition slice this context executes:
+	// Partition nodes pass through only the chunks owned by worker (of
+	// workers).  workers <= 1 means serial execution.
+	worker  int
+	workers int
+}
+
+// workerCtx derives worker w's private context for a gang of the given width.
+// Statistics, when enabled on the parent, are recorded into fresh per-worker
+// counters and folded back by foldWorkers.
+func (ctx *execCtx) workerCtx(w, workers int) *execCtx {
+	wctx := &execCtx{src: ctx.src, worker: w, workers: workers}
+	if ctx.stats != nil {
+		wctx.stats = &Stats{}
+		wctx.perOp = make([]OperatorStats, len(ctx.perOp))
+	}
+	return wctx
+}
+
+// foldWorkers accumulates the per-worker statistics of a finished gang into
+// the parent context: tuple counters sum, peaks take the maximum.
+func (ctx *execCtx) foldWorkers(workers []*execCtx) {
+	if ctx.stats == nil {
+		return
+	}
+	st := ctx.stats
+	for _, w := range workers {
+		st.IntermediateTuples += w.stats.IntermediateTuples
+		st.MaterialisedTuples += w.stats.MaterialisedTuples
+		st.Operators += w.stats.Operators
+		if w.stats.PeakRelationTuples > st.PeakRelationTuples {
+			st.PeakRelationTuples = w.stats.PeakRelationTuples
+		}
+		for i := range w.perOp {
+			ctx.perOp[i].Emitted += w.perOp[i].Emitted
+			ctx.perOp[i].Materialised += w.perOp[i].Materialised
+		}
+	}
 }
 
 // run streams a node's output into emit, recording emission statistics for

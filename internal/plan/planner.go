@@ -29,10 +29,20 @@ type Planner struct {
 	// Cards supplies base-relation cardinalities; nil falls back to the cost
 	// model's default.
 	Cards CardinalitySource
+	// Workers is the parallelism degree of compiled plans.  At or below 1
+	// (including the zero value) plans are serial and no exchange operators
+	// are inserted; above 1 the planner wraps eligible shapes — streaming
+	// pipelines, hash joins, grouped hash aggregates — in Partition/Merge
+	// exchanges (exchange.go) when their estimated input cardinality exceeds
+	// ParallelThreshold.
+	Workers int
+	// ParallelThreshold overrides DefaultParallelThreshold when positive: the
+	// estimated input cardinality below which a shape stays serial.
+	ParallelThreshold float64
 }
 
-// NewPlanner returns a planner drawing base cardinalities from cards (which
-// may be nil).
+// NewPlanner returns a serial planner drawing base cardinalities from cards
+// (which may be nil).
 func NewPlanner(cards CardinalitySource) *Planner { return &Planner{Cards: cards} }
 
 // Plan compiles the expression against the catalog.  Operator typing (schema
@@ -43,6 +53,7 @@ func (pl *Planner) Plan(e algebra.Expr, cat algebra.Catalog) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	root = pl.parallelize(root)
 	p := &Plan{Root: root, nodes: make([]Node, 0, 8)}
 	number(root, &p.nodes)
 	return p, nil

@@ -1,0 +1,150 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mra/internal/algebra"
+	"mra/internal/multiset"
+	"mra/internal/tuple"
+)
+
+// SortKey is one ordering key of a Sort operator: a 0-based attribute
+// position in the operator's input schema and a direction.
+type SortKey struct {
+	// Col is the 0-based attribute position.
+	Col int
+	// Desc orders descending when set.
+	Desc bool
+}
+
+// compareKeys orders two tuples by the key list, breaking ties with the full
+// canonical tuple order so sorted output is deterministic however the input
+// stream (or the parallel gang that produced it) was scheduled.
+func compareKeys(keys []SortKey, a, b tuple.Tuple) int {
+	for _, k := range keys {
+		c := a.At(k.Col).Compare(b.At(k.Col))
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return -c
+		}
+		return c
+	}
+	return a.Compare(b)
+}
+
+// SortTuples sorts rows in place by the key list (ties in canonical tuple
+// order).  It is the same ordering the Sort physical operator produces; the
+// facade uses it to sort already materialised results on the presentation
+// path.
+func SortTuples(rows []tuple.Tuple, keys []SortKey) {
+	sort.Slice(rows, func(i, j int) bool { return compareKeys(keys, rows[i], rows[j]) < 0 })
+}
+
+// sortNode is the Sort physical operator: a blocking operator that
+// materialises its input and emits the chunks in key order.  Relations are
+// unordered, so Sort exists purely for presentation — the ORDER BY path of
+// the SQL front-end plans it as the root operator and consumes the root
+// stream in emission order.
+type sortNode struct {
+	base
+	keys  []SortKey
+	input Node
+}
+
+func (s *sortNode) Children() []Node { return []Node{s.input} }
+
+func (s *sortNode) Describe() string {
+	parts := make([]string, len(s.keys))
+	for i, k := range s.keys {
+		parts[i] = "%" + strconv.Itoa(k.Col+1)
+		if k.Desc {
+			parts[i] += " desc"
+		}
+	}
+	return "Sort [" + strings.Join(parts, ", ") + "]"
+}
+
+func (s *sortNode) run(ctx *execCtx, emit Emit) error {
+	in, err := ctx.materialize(s.input)
+	if err != nil {
+		return err
+	}
+	ctx.materialised(s, in.Cardinality())
+	type chunk struct {
+		tup   tuple.Tuple
+		count uint64
+	}
+	chunks := make([]chunk, 0, in.DistinctCount())
+	in.Each(func(t tuple.Tuple, n uint64) bool {
+		chunks = append(chunks, chunk{tup: t, count: n})
+		return true
+	})
+	sort.Slice(chunks, func(i, j int) bool { return compareKeys(s.keys, chunks[i].tup, chunks[j].tup) < 0 })
+	for _, c := range chunks {
+		if err := emit(c.tup, c.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlanOrdered compiles the expression like Plan and roots the result with a
+// Sort operator over the given keys, which must address the expression's
+// output schema.  The plan's root stream then emits in key order;
+// ExecuteOrdered captures that order.
+func (pl *Planner) PlanOrdered(e algebra.Expr, cat algebra.Catalog, keys []SortKey) (*Plan, error) {
+	root, err := pl.compile(e, cat)
+	if err != nil {
+		return nil, err
+	}
+	root = pl.parallelize(root)
+	for _, k := range keys {
+		if k.Col < 0 || k.Col >= root.Schema().Arity() {
+			return nil, fmt.Errorf("plan: sort key %%%d out of range for arity %d", k.Col+1, root.Schema().Arity())
+		}
+	}
+	s := &sortNode{keys: keys, input: root}
+	s.schema = root.Schema()
+	s.est = root.Estimate()
+	s.exactEst = root.meta().exactEst
+	s.capHint = root.meta().capHint
+	p := &Plan{Root: s, nodes: make([]Node, 0, 8)}
+	number(s, &p.nodes)
+	return p, nil
+}
+
+// ExecuteOrdered runs the plan and returns its occurrences in root emission
+// order (a tuple with multiplicity k appears k times consecutively) together
+// with the result relation.  The order is only meaningful when the root is an
+// order-producing operator — a Sort, as built by PlanOrdered.  st, when
+// non-nil, accumulates per-operator statistics as in ExecuteStats.
+func (p *Plan) ExecuteOrdered(src Source, st *Stats) ([]tuple.Tuple, *multiset.Relation, error) {
+	ctx := &execCtx{src: src, stats: st}
+	if st != nil {
+		ctx.perOp = make([]OperatorStats, len(p.nodes))
+		for i, n := range p.nodes {
+			ctx.perOp[i].Operator = n.Describe()
+		}
+	}
+	out := multiset.NewWithCapacity(p.Root.Schema(), capacityFor(p.Root.meta().capHint))
+	var ordered []tuple.Tuple
+	err := ctx.run(p.Root, func(t tuple.Tuple, n uint64) error {
+		out.Add(t, n)
+		for i := uint64(0); i < n; i++ {
+			ordered = append(ordered, t)
+		}
+		return nil
+	})
+	if st != nil {
+		st.PerOperator = append(st.PerOperator, ctx.perOp...)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return ordered, out, nil
+}

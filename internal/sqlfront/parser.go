@@ -81,11 +81,12 @@ type tableRef struct {
 	pos   int
 }
 
-// orderItem is one ORDER BY entry: a column reference or a 1-based output
+// orderItem is one ORDER BY entry: a scalar expression (an output column
+// name, or an arbitrary expression over the FROM columns) or a 1-based output
 // position, with direction.
 type orderItem struct {
-	col  colRef
-	pos  int // 1-based output position when > 0; col is used otherwise
+	expr sqlExpr
+	pos  int // 1-based output position when > 0; expr is used otherwise
 	desc bool
 	at   int // source position for error messages
 }
@@ -331,8 +332,10 @@ func (p *parser) parseSelect() (*selectQuery, error) {
 	return q, nil
 }
 
-// parseOrderItem parses one ORDER BY entry: `col [ASC|DESC]` or a 1-based
-// SELECT-list position `n [ASC|DESC]`.
+// parseOrderItem parses one ORDER BY entry: `expr [ASC|DESC]` or a 1-based
+// SELECT-list position `n [ASC|DESC]`.  An expression key may be an output
+// column name or any scalar expression over the FROM columns; the translator
+// decides which.
 func (p *parser) parseOrderItem() (orderItem, error) {
 	t := p.peek()
 	item := orderItem{at: t.pos}
@@ -344,11 +347,11 @@ func (p *parser) parseOrderItem() (orderItem, error) {
 		}
 		item.pos = int(v.Int())
 	} else {
-		c, err := p.parseColRef()
+		e, err := p.parseScalar()
 		if err != nil {
 			return orderItem{}, err
 		}
-		item.col = c
+		item.expr = e
 	}
 	if p.acceptKeyword("desc") {
 		item.desc = true

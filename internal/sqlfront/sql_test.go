@@ -413,16 +413,20 @@ func TestOrderByLimitCompile(t *testing.T) {
 	}
 
 	bad := []string{
-		"SELECT name FROM beer ORDER BY alcperc",         // not an output column
-		"SELECT name FROM beer ORDER BY 2",               // position out of range
-		"SELECT name FROM beer ORDER BY 0",               // positions are 1-based
-		"SELECT name FROM beer LIMIT -1",                 // negative limit
-		"SELECT name FROM beer LIMIT 2 OFFSET -3",        // negative offset
-		"SELECT name FROM beer ORDER BY name LIMIT x",    // non-numeric limit
-		"SELECT name FROM beer OFFSET 0 OFFSET 3",        // duplicate OFFSET
-		"SELECT name FROM beer LIMIT 1 LIMIT 2",          // duplicate LIMIT
-		"SELECT b.name FROM beer b ORDER BY nosuch.name", // qualified ORDER BY
-		"SELECT b.name FROM beer b ORDER BY b.name",      // qualifiers are gone after projection
+		"SELECT name FROM beer ORDER BY 2",            // position out of range
+		"SELECT name FROM beer ORDER BY 0",            // positions are 1-based
+		"SELECT name FROM beer LIMIT -1",              // negative limit
+		"SELECT name FROM beer LIMIT 2 OFFSET -3",     // negative offset
+		"SELECT name FROM beer ORDER BY name LIMIT x", // non-numeric limit
+		"SELECT name FROM beer OFFSET 0 OFFSET 3",     // duplicate OFFSET
+		"SELECT name FROM beer LIMIT 1 LIMIT 2",       // duplicate LIMIT
+		// Unresolvable key expressions still fail.
+		"SELECT b.name FROM beer b ORDER BY nosuch.name",
+		// Grouping collapses the FROM columns, so only output columns and
+		// positions can order grouped queries.
+		"SELECT brewery, COUNT(*) FROM beer GROUP BY brewery ORDER BY alcperc",
+		// Hidden sort columns would change what DISTINCT deduplicates.
+		"SELECT DISTINCT name FROM beer ORDER BY alcperc",
 	}
 	for _, sql := range bad {
 		if _, err := CompileQuery(sql, cat); err == nil {
@@ -451,5 +455,72 @@ func TestOrderByLimitCompile(t *testing.T) {
 	// A table alias is still allowed right before the new clauses.
 	if _, err := CompileQuery("SELECT b.name FROM beer b ORDER BY name", cat); err != nil {
 		t.Errorf("alias before ORDER BY: %v", err)
+	}
+}
+
+// TestOrderByExpressionKeys checks ORDER BY keys that are not output columns
+// compile onto hidden trailing sort columns over the FROM schema.
+func TestOrderByExpressionKeys(t *testing.T) {
+	src := beerSource()
+	cat := src.Catalog()
+
+	// A non-selected column becomes one hidden trailing key column.
+	q, err := CompileQuery("SELECT name FROM beer ORDER BY alcperc DESC", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mods.Hidden != 1 || len(q.Mods.Order) != 1 || q.Mods.Order[0] != (OrderKey{Col: 1, Desc: true}) {
+		t.Fatalf("modifiers = %+v", q.Mods)
+	}
+	s, err := q.Expr.Schema(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 2 || s.Attribute(0).Name != "name" || s.Attribute(1).Name != "" {
+		t.Errorf("extended schema = %s", s)
+	}
+	out, err := (&eval.Engine{}).Eval(q.Expr, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cardinality() != 4 {
+		t.Errorf("result = %s", out)
+	}
+
+	// Mixed output-column and expression keys: the unqualified output name
+	// sorts in place, the arithmetic expression rides as a hidden column.
+	q, err = CompileQuery("SELECT name FROM beer b ORDER BY name, b.alcperc * -1", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mods.Hidden != 1 || len(q.Mods.Order) != 2 ||
+		q.Mods.Order[0] != (OrderKey{Col: 0}) || q.Mods.Order[1] != (OrderKey{Col: 1}) {
+		t.Errorf("mixed modifiers = %+v", q.Mods)
+	}
+
+	// Qualified references are never output columns (qualifiers are gone
+	// after projection), so they resolve over FROM as hidden keys.
+	q, err = CompileQuery("SELECT b.name FROM beer b ORDER BY b.name", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mods.Hidden != 1 || len(q.Mods.Order) != 1 || q.Mods.Order[0] != (OrderKey{Col: 1}) {
+		t.Errorf("qualified modifiers = %+v", q.Mods)
+	}
+
+	// SELECT * grows an identity projection for the hidden key.
+	q, err = CompileQuery("SELECT * FROM beer ORDER BY alcperc + 1 DESC", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mods.Hidden != 1 || q.Mods.Order[0] != (OrderKey{Col: 3, Desc: true}) {
+		t.Fatalf("star modifiers = %+v", q.Mods)
+	}
+	s, err = q.Expr.Schema(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 4 || s.Attribute(0).Name != "name" || s.Attribute(2).Name != "alcperc" {
+		t.Errorf("star extended schema = %s", s)
 	}
 }

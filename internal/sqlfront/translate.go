@@ -31,6 +31,11 @@ type Modifiers struct {
 	// Limit caps the number of returned rows when HasLimit is set.
 	Limit    uint64
 	HasLimit bool
+	// Hidden is the number of trailing hidden sort columns the translator
+	// appended to the query's projection so ORDER BY could reference
+	// expressions that are not output columns.  The facade sorts on them and
+	// strips them before the result is presented.
+	Hidden int
 }
 
 // Active reports whether the modifiers change the result presentation.
@@ -348,9 +353,15 @@ func translateBool(e sqlExpr, env *env) (scalar.Predicate, error) {
 // ---------------------------------------------------------------------------
 
 // translateQuery translates the SELECT body and resolves its ORDER BY /
-// LIMIT / OFFSET clauses against the query's output schema.
+// LIMIT / OFFSET clauses.  Keys that name an output column (or a 1-based
+// position) sort the result as-is; any other key expression is computed as a
+// hidden trailing projection column over the FROM schema — the facade sorts
+// on it through the physical Sort operator and strips it before presentation.
+// Hidden keys require a plain (non-grouped, non-DISTINCT) SELECT: grouping
+// collapses the FROM columns away, and extra sort columns would change what
+// DISTINCT deduplicates.
 func translateQuery(q *selectQuery, cat algebra.Catalog) (Query, error) {
-	expr, err := translateSelect(q, cat)
+	expr, err := translateSelect(q, cat, nil)
 	if err != nil {
 		return Query{}, err
 	}
@@ -362,29 +373,66 @@ func translateQuery(q *selectQuery, cat algebra.Catalog) (Query, error) {
 	if err != nil {
 		return Query{}, err
 	}
+	grouped := len(q.groupBy) > 0 || hasAggregates(q)
+	var hidden []sqlExpr
 	for _, item := range q.orderBy {
 		col := item.pos - 1
-		if item.pos > 0 {
+		switch {
+		case item.pos > 0:
 			if item.pos > outSchema.Arity() {
 				return Query{}, errf(item.at, "ORDER BY position %d out of range for %d output columns", item.pos, outSchema.Arity())
 			}
-		} else {
-			// Output columns are anonymous (the table qualifiers are gone after
-			// projection), so ORDER BY takes the bare output name only.
-			if item.col.qualifier != "" {
-				return Query{}, errf(item.at, "ORDER BY must use the unqualified output column name, not %q", item.col.display())
+		case isOutputColumn(item.expr, outSchema):
+			col = outSchema.IndexOf(item.expr.(colRef).name)
+		default:
+			// The key is not an output column: compute it as a hidden trailing
+			// column when the query shape allows.
+			if grouped {
+				return Query{}, errf(item.at, "ORDER BY on a grouped query must use an output column or position")
 			}
-			col = outSchema.IndexOf(item.col.name)
-			if col < 0 {
-				return Query{}, errf(item.at, "ORDER BY column %q must name an output column of the SELECT list", item.col.display())
+			if q.distinct {
+				return Query{}, errf(item.at, "ORDER BY with DISTINCT must use an output column or position")
 			}
+			col = outSchema.Arity() + len(hidden)
+			hidden = append(hidden, item.expr)
 		}
 		out.Mods.Order = append(out.Mods.Order, OrderKey{Col: col, Desc: item.desc})
+	}
+	if len(hidden) > 0 {
+		// Re-translate with the hidden key columns appended to the projection.
+		expr, err = translateSelect(q, cat, hidden)
+		if err != nil {
+			return Query{}, err
+		}
+		out.Expr = expr
+		out.Mods.Hidden = len(hidden)
 	}
 	return out, nil
 }
 
-func translateSelect(q *selectQuery, cat algebra.Catalog) (algebra.Expr, error) {
+// isOutputColumn reports whether an ORDER BY key expression is a bare
+// unqualified column name of the output schema (output columns are anonymous
+// after projection, so qualified references never match).
+func isOutputColumn(e sqlExpr, out schema.Relation) bool {
+	c, ok := e.(colRef)
+	return ok && c.qualifier == "" && out.IndexOf(c.name) >= 0
+}
+
+// hasAggregates reports whether the SELECT list contains an aggregate call.
+func hasAggregates(q *selectQuery) bool {
+	for _, item := range q.items {
+		if _, ok := item.expr.(aggExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// translateSelect translates the SELECT body.  hidden, when non-empty, lists
+// ORDER BY key expressions to append as unnamed trailing projection columns;
+// the caller guarantees the query is a plain SELECT (no grouping, aggregates
+// or DISTINCT).
+func translateSelect(q *selectQuery, cat algebra.Catalog, hidden []sqlExpr) (algebra.Expr, error) {
 	env, expr, err := buildFrom(q.from, cat)
 	if err != nil {
 		return nil, err
@@ -397,31 +445,42 @@ func translateSelect(q *selectQuery, cat algebra.Catalog) (algebra.Expr, error) 
 		expr = algebra.NewSelect(cond, expr)
 	}
 
-	hasAggregate := false
-	for _, item := range q.items {
-		if _, ok := item.expr.(aggExpr); ok {
-			hasAggregate = true
-		}
-	}
-
 	switch {
-	case len(q.groupBy) > 0 || hasAggregate:
+	case len(q.groupBy) > 0 || hasAggregates(q):
 		expr, err = translateGrouped(q, env, expr)
 		if err != nil {
 			return nil, err
 		}
-	case q.star:
+	case q.star && len(hidden) == 0:
 		// SELECT *: the concatenated relation as-is.
 	default:
-		items := make([]scalar.Expr, 0, len(q.items))
-		names := make([]string, 0, len(q.items))
-		for _, item := range q.items {
-			se, err := translateScalar(item.expr, env)
+		items := make([]scalar.Expr, 0, len(q.items)+len(hidden))
+		names := make([]string, 0, len(q.items)+len(hidden))
+		if q.star {
+			// SELECT * with hidden sort keys: an identity projection of every
+			// FROM column, so the keys can ride along as extra columns.
+			s := env.schemaOf()
+			for i := 0; i < s.Arity(); i++ {
+				items = append(items, scalar.NewAttr(i))
+				names = append(names, s.Attribute(i).Name)
+			}
+		} else {
+			for _, item := range q.items {
+				se, err := translateScalar(item.expr, env)
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, se)
+				names = append(names, outputName(item, env))
+			}
+		}
+		for _, h := range hidden {
+			se, err := translateScalar(h, env)
 			if err != nil {
 				return nil, err
 			}
 			items = append(items, se)
-			names = append(names, outputName(item, env))
+			names = append(names, "")
 		}
 		expr = algebra.NewExtProject(items, names, expr)
 	}

@@ -46,6 +46,10 @@ type Manager struct {
 
 	mu     sync.Mutex
 	nextID uint64
+	// workers is the parallelism degree handed to each new transaction's
+	// evaluation engine; at or below 1 evaluation is serial.  Guarded by mu
+	// (SetWorkers may race with concurrent Begin calls otherwise).
+	workers int
 	// commitTime records, per relation name, the logical time of its last
 	// committed change; validation compares it with the transaction's start
 	// time.
@@ -60,6 +64,15 @@ func NewManager(db *storage.Database) *Manager {
 // Database returns the underlying storage engine.
 func (m *Manager) Database() *storage.Database { return m.db }
 
+// SetWorkers configures the parallelism degree handed to transactions begun
+// afterwards; at or below 1 evaluation is serial.  Transactions already in
+// flight keep their degree.
+func (m *Manager) SetWorkers(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workers = n
+}
+
 // Begin opens a new transaction on the current database state.
 func (m *Manager) Begin() *Tx {
 	m.mu.Lock()
@@ -69,7 +82,7 @@ func (m *Manager) Begin() *Tx {
 		mgr:       m,
 		id:        m.nextID,
 		startTime: m.db.LogicalTime(),
-		engine:    &eval.Engine{},
+		engine:    &eval.Engine{Workers: m.workers},
 		workspace: make(map[string]*multiset.Relation),
 		temps:     make(map[string]*multiset.Relation),
 		reads:     make(map[string]struct{}),

@@ -30,6 +30,7 @@ import (
 
 	"mra/internal/algebra"
 	"mra/internal/eval"
+	"mra/internal/exec"
 	"mra/internal/multiset"
 	"mra/internal/plan"
 	"mra/internal/rewrite"
@@ -70,6 +71,9 @@ type DB struct {
 	store    *storage.Database
 	manager  *txn.Manager
 	rewriter *rewrite.Rewriter
+	// workers is the parallelism degree of the physical engine; see
+	// SetWorkers.
+	workers int
 	// Optimize controls whether queries are rewritten before evaluation.  It
 	// defaults to true.
 	Optimize bool
@@ -82,9 +86,28 @@ func Open() *DB {
 		store:    store,
 		manager:  txn.NewManager(store),
 		rewriter: rewrite.NewRewriter(),
+		workers:  1,
 		Optimize: true,
 	}
 }
+
+// SetWorkers configures the parallel worker count of the physical engine for
+// subsequent queries and transactions.  At 1 — the default — plans execute
+// serially; above 1 the planner inserts Partition/Merge exchange operators
+// around large pipelines, hash joins and grouped aggregates, and the plan
+// runs partitioned across that many workers.  A count below 1 auto-detects
+// from the machine.  Reconfiguration applies to queries and transactions
+// started afterwards.
+func (db *DB) SetWorkers(n int) {
+	db.workers = exec.Resolve(n)
+	db.manager.SetWorkers(db.workers)
+}
+
+// Workers returns the configured parallel worker count.
+func (db *DB) Workers() int { return db.workers }
+
+// engine builds a physical evaluator with the database's configuration.
+func (db *DB) engine() *eval.Engine { return &eval.Engine{Workers: db.workers} }
 
 // CreateRelation declares a new empty relation.
 func (db *DB) CreateRelation(name string, cols ...Column) error {
@@ -191,7 +214,7 @@ func (db *DB) QueryExpr(e algebra.Expr) (*Result, error) {
 	plan := db.prepare(e)
 	tx := db.manager.Begin()
 	defer tx.Abort()
-	rel, err := (&eval.Engine{}).Eval(plan, tx)
+	rel, err := db.engine().Eval(plan, tx)
 	if err != nil {
 		return nil, err
 	}
@@ -209,16 +232,45 @@ func (db *DB) QueryXRA(expr string) (*Result, error) {
 
 // QuerySQL compiles a SQL SELECT statement onto the algebra and evaluates it.
 // ORDER BY, LIMIT and OFFSET — which have no counterpart in the unordered bag
-// algebra — are applied to the materialised result.
+// algebra — are presentation modifiers: an ORDER BY query executes through a
+// physical Sort operator rooting the plan (so keys may be arbitrary
+// expressions, carried as hidden sort columns when they are not output
+// columns), and LIMIT/OFFSET window the ordered occurrences.
 func (db *DB) QuerySQL(sql string) (*Result, error) {
 	q, err := sqlfront.CompileQuery(sql, db.store)
 	if err != nil {
 		return nil, err
 	}
+	if len(q.Mods.Order) > 0 {
+		return db.queryOrdered(q)
+	}
 	res, err := db.QueryExpr(q.Expr)
 	if err != nil {
 		return nil, err
 	}
+	return res.withModifiers(q.Mods), nil
+}
+
+// queryOrdered evaluates an ORDER BY query through the physical Sort
+// operator: the plan is rooted with a Sort over the resolved keys, the root
+// stream's emission order is captured as the presentation order, and the
+// window and hidden-column modifiers are applied to it.
+func (db *DB) queryOrdered(q sqlfront.Query) (*Result, error) {
+	if err := algebra.Validate(q.Expr, db.store); err != nil {
+		return nil, err
+	}
+	planned := db.prepare(q.Expr)
+	keys := make([]plan.SortKey, len(q.Mods.Order))
+	for i, k := range q.Mods.Order {
+		keys[i] = plan.SortKey{Col: k.Col, Desc: k.Desc}
+	}
+	tx := db.manager.Begin()
+	defer tx.Abort()
+	ordered, rel, err := db.engine().EvalOrdered(planned, tx, keys)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{rel: rel, ordered: ordered}
 	return res.withModifiers(q.Mods), nil
 }
 
@@ -234,8 +286,12 @@ type Explain struct {
 	// Rules names the applied rewrite rules, in order.
 	Rules []string
 	// Physical is the multi-line rendering of the physical operator tree the
-	// planner would execute.
+	// planner would execute, including any Partition/Merge exchange operators
+	// inserted for parallel execution.
 	Physical string
+	// Workers is the parallelism degree the plan was compiled for (1 when
+	// serial).
+	Workers int
 }
 
 // Explain compiles an XRA expression through the rewriter and the physical
@@ -257,7 +313,7 @@ func (db *DB) Explain(expr string) (*Explain, error) {
 	if !db.Optimize {
 		planned = e
 	}
-	phys, err := plan.NewPlanner(db.store).Plan(planned, db.store)
+	phys, err := (&plan.Planner{Cards: db.store, Workers: db.workers}).Plan(planned, db.store)
 	if err != nil {
 		return nil, err
 	}
@@ -266,6 +322,7 @@ func (db *DB) Explain(expr string) (*Explain, error) {
 		Optimised: opt.String(),
 		Rules:     names,
 		Physical:  phys.String(),
+		Workers:   db.workers,
 	}, nil
 }
 

@@ -59,10 +59,36 @@ func TestQuerySQLOrderByLimit(t *testing.T) {
 		t.Errorf("table order wrong:\n%s", table)
 	}
 
-	// ORDER BY must name an output column; ordering on a non-selected column
-	// is rejected with a clear error.
-	if _, err := db.QuerySQL("SELECT name FROM beer ORDER BY alcperc"); err == nil {
-		t.Error("ORDER BY on a non-output column must fail")
+	// ORDER BY on a non-selected column computes it as a hidden sort column
+	// through the physical Sort operator and strips it from the presentation.
+	res, err = db.QuerySQL("SELECT name FROM beer ORDER BY alcperc DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Columns(); len(got) != 1 || got[0] != "name" {
+		t.Errorf("hidden sort column leaked into the output: %v", got)
+	}
+	rows = res.Rows()
+	if len(rows) != 5 || rows[0][0] != "tripel" || rows[1][0] != "bock" || rows[4][0] != "stout" {
+		t.Errorf("hidden-column order wrong: %v", rows)
+	}
+	if res.Len() != 5 || res.Multiplicity("pils") != 2 {
+		t.Errorf("hidden-column result = %s", res)
+	}
+
+	// Arbitrary key expressions work too, windowing included.
+	res, err = db.QuerySQL("SELECT name FROM beer ORDER BY alcperc * -1 LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = res.Rows()
+	if len(rows) != 2 || rows[0][0] != "tripel" || rows[1][0] != "bock" || res.Len() != 2 {
+		t.Errorf("expression-key order wrong: %v", rows)
+	}
+
+	// Grouped queries still require output columns or positions as keys.
+	if _, err := db.QuerySQL("SELECT brewery, COUNT(*) FROM beer GROUP BY brewery ORDER BY alcperc"); err == nil {
+		t.Error("ORDER BY on a non-output column of a grouped query must fail")
 	}
 
 	// OFFSET past the end yields an empty result, not an error.

@@ -3,10 +3,10 @@ package mra
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"mra/internal/multiset"
+	"mra/internal/plan"
 	"mra/internal/sqlfront"
 	"mra/internal/tuple"
 	"mra/internal/value"
@@ -68,49 +68,64 @@ func (r *Result) Rows() [][]any {
 }
 
 // withModifiers applies a SQL query's ORDER BY / OFFSET / LIMIT clauses: the
-// occurrences are sorted by the keys (ties keep canonical order, so the
-// result is deterministic), the window is cut, and the relation is rebuilt
-// from the surviving rows so Len, Multiplicity and DistinctRows stay
-// consistent with what the caller sees.
+// occurrences are sorted by the keys (ties fall back to canonical order, so
+// the result is deterministic), the window is cut, any hidden sort columns
+// the translator appended are stripped, and the relation is rebuilt from the
+// surviving rows so Len, Multiplicity and DistinctRows stay consistent with
+// what the caller sees.  A result that already carries a presentation order —
+// produced by the physical Sort operator on the QuerySQL path — is not
+// re-sorted; the script path sorts here with the same plan.SortTuples
+// ordering the operator uses.
 func (r *Result) withModifiers(m sqlfront.Modifiers) *Result {
 	if !m.Active() {
 		return r
 	}
-	rows := r.rel.Tuples() // canonical order: the deterministic sort base
-	if len(m.Order) > 0 {
-		sort.SliceStable(rows, func(i, j int) bool {
-			for _, k := range m.Order {
-				c := rows[i].At(k.Col).Compare(rows[j].At(k.Col))
-				if c == 0 {
-					continue
-				}
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
+	rows := r.ordered
+	presorted := rows != nil
+	if rows == nil {
+		rows = r.rel.Tuples() // canonical order: the deterministic sort base
 	}
-	cut := false
+	if len(m.Order) > 0 && !presorted {
+		keys := make([]plan.SortKey, len(m.Order))
+		for i, k := range m.Order {
+			keys[i] = plan.SortKey{Col: k.Col, Desc: k.Desc}
+		}
+		plan.SortTuples(rows, keys)
+	}
+	rebuild := false
 	if m.Offset > 0 {
 		if m.Offset >= uint64(len(rows)) {
 			rows = rows[:0]
 		} else {
 			rows = rows[m.Offset:]
 		}
-		cut = true
+		rebuild = true
 	}
 	if m.HasLimit && uint64(len(rows)) > m.Limit {
 		rows = rows[:m.Limit]
-		cut = true
+		rebuild = true
 	}
-	if !cut {
+	s := r.rel.Schema()
+	if m.Hidden > 0 {
+		// Strip the trailing hidden sort columns from the presentation.
+		visible := make([]int, s.Arity()-m.Hidden)
+		for i := range visible {
+			visible[i] = i
+		}
+		s, _ = s.Project(visible)
+		stripped := make([]tuple.Tuple, len(rows))
+		for i, t := range rows {
+			stripped[i], _ = t.Project(visible)
+		}
+		rows = stripped
+		rebuild = true
+	}
+	if !rebuild {
 		// Pure ORDER BY: every occurrence survives, so the existing relation
 		// is reused and only the presentation order is attached.
 		return &Result{rel: r.rel, ordered: rows}
 	}
-	rel := multiset.NewWithCapacity(r.rel.Schema(), len(rows))
+	rel := multiset.NewWithCapacity(s, len(rows))
 	for _, t := range rows {
 		rel.Add(t, 1)
 	}
