@@ -37,6 +37,7 @@ func main() {
 	compare := flag.String("compare", "", "with -json: compare the fresh series against a committed BENCH_<label>.json baseline and exit non-zero on regression")
 	maxRatio := flag.Float64("maxratio", 2.0, "with -compare: maximum allowed ns/op ratio (measured / baseline) before the run counts as a regression")
 	flag.IntVar(&workers, "workers", 1, "parallel worker count for the physical engine (1 = serial); applies to the experiments and the main -json series")
+	flag.IntVar(&morselSize, "morsel", 0, "morsel size for parallel scans (0 = cost-model sizing); applies wherever -workers enables parallel plans")
 	flag.Parse()
 
 	if *jsonLabel != "" {
@@ -97,6 +98,10 @@ func main() {
 // engine used by the experiments and the main -json benchmark series.
 var workers = 1
 
+// morselSize is the -morsel flag: the morsel size of parallel scans, zero
+// meaning the planner's cost-model sizing.
+var morselSize = 0
+
 // timeIt measures a single evaluation.
 func timeIt(fn func()) time.Duration {
 	start := time.Now()
@@ -105,9 +110,9 @@ func timeIt(fn func()) time.Duration {
 }
 
 // evalMust evaluates an expression with the physical engine at the configured
-// worker count.
+// worker count and morsel size.
 func evalMust(e algebra.Expr, src eval.Source) *multiset.Relation {
-	r, err := (&eval.Engine{Workers: workers}).Eval(e, src)
+	r, err := (&eval.Engine{Workers: workers, MorselSize: morselSize}).Eval(e, src)
 	if err != nil {
 		panic(err)
 	}
@@ -487,15 +492,19 @@ const parallelWorkers = 4
 // additionally measured as `/parallel-w4` variants.  It returns the series it
 // measured so callers can compare it against a committed baseline.
 func writeBenchJSON(label string) (benchFile, error) {
-	evalLoopW := func(expr algebra.Expr, src eval.Source, w int) func(b *testing.B) {
+	evalLoopEng := func(expr algebra.Expr, src eval.Source, eng eval.Engine) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := (&eval.Engine{Workers: w}).Eval(expr, src); err != nil {
+				e := eng
+				if _, err := e.Eval(expr, src); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
+	}
+	evalLoopW := func(expr algebra.Expr, src eval.Source, w int) func(b *testing.B) {
+		return evalLoopEng(expr, src, eval.Engine{Workers: w, MorselSize: morselSize})
 	}
 	evalLoop := func(expr algebra.Expr, src eval.Source) func(b *testing.B) {
 		return evalLoopW(expr, src, workers)
@@ -567,6 +576,32 @@ func writeBenchJSON(label string) (benchFile, error) {
 	addParallel("E2_ProjectionPushdownOverUnion/union-of-pis",
 		algebra.NewUnion(algebra.NewProject([]int{0}, e1r), algebra.NewProject([]int{0}, e2r)), psrc)
 
+	// addScheduler measures one shape three ways: serial, through the
+	// 4-worker morsel scheduler, and through the legacy static-slice
+	// scheduler (the pre-morsel gang, kept behind a planner knob exactly for
+	// this comparison).
+	addScheduler := func(name string, expr algebra.Expr, src eval.Source) {
+		add(name, evalLoop(expr, src))
+		add(fmt.Sprintf("%s/parallel-w%d", name, parallelWorkers),
+			evalLoopEng(expr, src, eval.Engine{Workers: parallelWorkers, MorselSize: morselSize}))
+		add(fmt.Sprintf("%s/parallel-w%d-static", name, parallelWorkers),
+			evalLoopEng(expr, src, eval.Engine{Workers: parallelWorkers, StaticSlices: true}))
+	}
+
+	// E11 — skewed-key workloads: Zipf-distributed fact keys concentrate the
+	// filter and probe work on a few hot keys.  The static scheduler pays one
+	// full filtering pass per worker and leaves hot hash ranges in a single
+	// worker's slice; the morsel scheduler visits every entry once across the
+	// gang and rebalances hot ranges dynamically.
+	skFact, skDim := workload.JoinPair(workload.JoinConfig{
+		LeftTuples: 20000, RightTuples: 100, KeyRange: 100, Skew: 1.4, Seed: 11})
+	sksrc := eval.MapSource{"fact": skFact, "dim": skDim}
+	skPred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(1<<14)))
+	addScheduler("E11_SkewedScanPipeline/sigma-pi-zipf",
+		algebra.NewProject([]int{0}, algebra.NewSelect(skPred, algebra.NewRel("fact"))), sksrc)
+	addScheduler("E11_SkewedJoin/zipf-probe",
+		algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim")), sksrc)
+
 	out := benchFile{
 		Label:     label,
 		Source:    "mrabench -json",
@@ -593,20 +628,32 @@ func writeBenchJSON(label string) (benchFile, error) {
 			c.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
 	// Summarise the parallel variants against their serial counterparts
-	// measured in this same run (ratio < 1 means the gang won).
+	// measured in this same run (ratio < 1 means the gang won), and the
+	// morsel scheduler against the static-slice baseline (ratio < 1 means
+	// morsel stealing won).
 	byName := make(map[string]benchResult, len(out.Benchmarks))
 	for _, b := range out.Benchmarks {
 		byName[b.Name] = b
 	}
-	suffix := fmt.Sprintf("/parallel-w%d", parallelWorkers)
+	msuffix := fmt.Sprintf("/parallel-w%d", parallelWorkers)
+	ssuffix := msuffix + "-static"
 	for _, b := range out.Benchmarks {
-		serialName := strings.TrimSuffix(b.Name, suffix)
-		if serialName == b.Name {
+		if serialName, ok := strings.CutSuffix(b.Name, ssuffix); ok {
+			if base, ok := byName[serialName]; ok && base.NsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "static w=%d %s: %.2fx serial (%.0f vs %.0f ns/op)\n",
+					parallelWorkers, serialName, b.NsPerOp/base.NsPerOp, b.NsPerOp, base.NsPerOp)
+			}
+			if morsel, ok := byName[serialName+msuffix]; ok && b.NsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "morsel-vs-static w=%d %s: %.2fx (%.0f vs %.0f ns/op)\n",
+					parallelWorkers, serialName, morsel.NsPerOp/b.NsPerOp, morsel.NsPerOp, b.NsPerOp)
+			}
 			continue
 		}
-		if base, ok := byName[serialName]; ok && base.NsPerOp > 0 {
-			fmt.Fprintf(os.Stderr, "parallel w=%d %s: %.2fx serial (%.0f vs %.0f ns/op)\n",
-				parallelWorkers, serialName, b.NsPerOp/base.NsPerOp, b.NsPerOp, base.NsPerOp)
+		if serialName, ok := strings.CutSuffix(b.Name, msuffix); ok {
+			if base, ok := byName[serialName]; ok && base.NsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "parallel w=%d %s: %.2fx serial (%.0f vs %.0f ns/op)\n",
+					parallelWorkers, serialName, b.NsPerOp/base.NsPerOp, b.NsPerOp, base.NsPerOp)
+			}
 		}
 	}
 

@@ -146,11 +146,10 @@ func TestExplainParallelExchange(t *testing.T) {
 	}
 	wantPhysical := strings.Join([]string{
 		"Merge [workers=4]  (~15000 rows)",
-		"└─ HashJoin [%1 = %3] build=right  (~15000 rows)",
-		"   ├─ Partition [hash(%1) workers=4]  (1500 rows)",
+		"└─ HashJoin [%1 = %3] build=right shared  (~15000 rows)",
+		"   ├─ Partition [morsel size=64]  (1500 rows)",
 		"   │  └─ Scan fact  (1500 rows)",
-		"   └─ Partition [hash(%1) workers=4]  (100 rows)",
-		"      └─ Scan dim  (100 rows)",
+		"   └─ Scan dim  (100 rows)",
 	}, "\n")
 	if ex.Physical != wantPhysical {
 		t.Errorf("parallel physical plan:\n%s\nwant:\n%s", ex.Physical, wantPhysical)

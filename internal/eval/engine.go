@@ -33,6 +33,17 @@ type Engine struct {
 	// threshold for inserting exchanges; zero keeps the default.  Tests use it
 	// to force parallel plans on small inputs.
 	ParallelThreshold float64
+	// MorselSize overrides the cost model's morsel sizing for parallel scans;
+	// zero lets the planner size morsels per scan.  Tests use tiny sizes to
+	// force many steal rounds on small inputs.
+	MorselSize int
+	// BatchSize overrides the emit batch size of compiled plans; zero keeps
+	// the default.  Tests use tiny sizes to force batch boundaries.
+	BatchSize int
+	// StaticSlices reverts parallel scan scheduling to the legacy
+	// one-static-slice-per-worker split, for benchmarking the morsel
+	// scheduler against its baseline.
+	StaticSlices bool
 }
 
 // Stats aggregates intermediate result sizes per physical operator, counting
@@ -48,6 +59,9 @@ func (e *Engine) planner(src Source) *plan.Planner {
 		Cards:             Cardinalities(src),
 		Workers:           e.Workers,
 		ParallelThreshold: e.ParallelThreshold,
+		MorselSize:        e.MorselSize,
+		BatchSize:         e.BatchSize,
+		StaticSlices:      e.StaticSlices,
 	}
 }
 

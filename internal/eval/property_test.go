@@ -578,3 +578,82 @@ func TestPropertyParallelMatchesReference(t *testing.T) {
 		t.Errorf("only %d random expressions evaluated cleanly (%d errored); generator too error-prone", checked, errored)
 	}
 }
+
+// skewedRelation builds a relation whose keys and multiplicities are heavily
+// skewed: a handful of hot tuples carry most of the occurrences (a crude Zipf
+// shape).  Under the static one-slice-per-worker scheduler such data
+// concentrates work in one hash range; the morsel scheduler must stay exact
+// while it rebalances.
+func skewedRelation(rng *rand.Rand, name string, tuples int) *multiset.Relation {
+	s := schema.NewRelation(name,
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt},
+	)
+	r := multiset.New(s)
+	for i := 0; i < tuples; i++ {
+		// Key 0 absorbs roughly half the draws, key 1 a quarter, and so on.
+		key := 0
+		for key < 4 && rng.Intn(2) == 0 {
+			key++
+		}
+		mult := uint64(1)
+		if key == 0 {
+			mult = uint64(1 + rng.Intn(50)) // hot tuples are also heavy
+		}
+		r.Add(tuple.Ints(int64(key), int64(rng.Intn(3))), mult)
+	}
+	return r
+}
+
+// TestPropertyMorselStealingUnderSkew is the morsel-scheduler oracle: for
+// skewed random databases, the parallel engine with forced exchanges, tiny
+// morsels, and tiny emit batches must produce exactly the Reference
+// evaluator's multi-set at workers 1, 2, 4 and 8 — for the batched-emit
+// pipeline shapes, for the shared-build hash join, and for the parallel
+// blocking set operators Difference and Intersect.  Tiny morsels force many
+// steal rounds even on small inputs; tiny batches force flushes at every
+// boundary.  Run with -race to check the queue and the shared build table.
+func TestPropertyMorselStealingUnderSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(4994))
+	pred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(1)))
+	e1, e2 := algebra.NewRel("e1"), algebra.NewRel("e2")
+	exprs := []algebra.Expr{
+		// Batched-emit pipelines.
+		algebra.NewProject([]int{1}, algebra.NewSelect(pred, e1)),
+		algebra.NewSelect(pred, algebra.NewUnion(e1, e2)),
+		algebra.NewExtProject(
+			[]scalar.Expr{scalar.NewArith(value.OpAdd, scalar.NewAttr(0), scalar.NewAttr(1))}, nil, e1),
+		// Shared-build join probing the skewed side.
+		algebra.NewJoin(scalar.Eq(0, 2), e1, e2),
+		// Parallel blocking set operators.
+		algebra.NewDifference(e1, e2),
+		algebra.NewIntersect(e1, e2),
+		algebra.NewDifference(algebra.NewSelect(pred, e1), algebra.NewProject([]int{0, 1}, e2)),
+		// Partitioned aggregation over the hot keys.
+		algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, e1),
+	}
+	for round := 0; round < 25; round++ {
+		src := MapSource{
+			"e1": skewedRelation(rng, "e1", 40),
+			"e2": skewedRelation(rng, "e2", 40),
+		}
+		for _, e := range exprs {
+			ref, refErr := (Reference{}).Eval(e, src)
+			for _, w := range []int{1, 2, 4, 8} {
+				eng := &Engine{Workers: w, ParallelThreshold: 1, MorselSize: 1, BatchSize: 2}
+				phys, physErr := eng.Eval(e, src)
+				if (refErr == nil) != (physErr == nil) {
+					t.Fatalf("round %d workers=%d: evaluators disagree on errors for %s:\nreference: %v\nparallel:  %v",
+						round, w, e, refErr, physErr)
+				}
+				if refErr != nil {
+					continue
+				}
+				if !ref.Equal(phys) {
+					t.Fatalf("round %d workers=%d: morsel execution changed bag semantics of %s:\nreference: %s\nparallel:  %s",
+						round, w, e, ref, phys)
+				}
+			}
+		}
+	}
+}

@@ -1,29 +1,33 @@
-// Package exec implements the partitioned parallel execution runtime behind
-// the physical layer's exchange operators: a gang-scheduling worker pool,
-// hash-range partitioners that split tuple streams across workers, and
-// per-worker partial multi-sets that a merge sums back into one relation.
+// Package exec implements the morsel-driven parallel execution runtime behind
+// the physical layer's exchange operators: a gang-scheduling worker pool, a
+// work-stealing morsel queue that hands idle workers fixed-size slices of a
+// scan, hash-range partitioners for the operators that need key-consistent
+// splits, and per-worker partial multi-sets that a merge sums back into one
+// relation.
 //
 // The runtime exploits a property the multi-set algebra guarantees by
 // construction: relations are functions from tuples to multiplicities
 // (Definition 2.2), so splitting a relation into disjoint partitions and
 // summing the per-partition results of a distributive operator reproduces the
 // serial result exactly — multiplicities add across partitions.  The policy of
-// *where* to partition (join keys, grouping columns, full tuples) lives in
-// package plan, which inserts Partition/Merge exchange nodes around eligible
-// operator shapes; this package supplies the mechanism only and knows nothing
-// about operators.
+// *where* to partition (grouping columns, full tuples) and where morsels are
+// safe (any disjoint split of a scan) lives in package plan, which inserts
+// Partition/Merge exchange nodes around eligible operator shapes; this package
+// supplies the mechanism only and knows nothing about operators.
 //
-// Concurrency contract: a worker's sink is private to that worker — the
-// runtime never calls it from two goroutines — so operator code running under
-// Exchange keeps the single-threaded Emit contract of package plan.  Workers
-// must not share mutable state; anything a worker accumulates is either its
-// partial relation (merged by Partials) or per-worker counters folded by the
-// caller after Pool.Run returns.
+// Concurrency contract: a worker's partial relation is private to that worker
+// — the runtime never touches it from two goroutines — so operator code
+// running under Exchange keeps the single-threaded Emit contract of package
+// plan.  Workers must not share mutable state; anything a worker accumulates
+// is either its partial relation (merged by Partials) or per-worker counters
+// folded by the caller after Pool.Run returns.  The only cross-worker state is
+// MorselQueue, whose claims are a single atomic fetch-add.
 package exec
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mra/internal/multiset"
 	"mra/internal/schema"
@@ -96,6 +100,60 @@ func (p *Pool) Run(task func(worker int) error) error {
 		}
 	}
 	return nil
+}
+
+// DefaultMorselSize is the number of scan entries a worker claims per visit
+// to a MorselQueue when the planner does not size morsels itself.  Small
+// enough that a gang rebalances around skewed slices, large enough that the
+// atomic claim amortises.
+const DefaultMorselSize = 1024
+
+// MorselQueue hands out fixed-size, disjoint index ranges ("morsels") of
+// [0, total) to competing workers.  It is the work-stealing core of
+// morsel-driven scheduling: instead of pre-cutting one static slice per
+// worker, every worker claims the next unprocessed morsel when it runs out of
+// work, so a skewed slice no longer serialises the gang behind its unlucky
+// owner.  Claims are a single atomic fetch-add; the queue is safe for
+// concurrent use and never hands the same index to two workers.
+type MorselQueue struct {
+	size  uint64
+	total uint64
+	next  atomic.Uint64
+}
+
+// NewMorselQueue returns a queue over [0, total) handing out morsels of the
+// given size.  A size at or below zero selects DefaultMorselSize.
+func NewMorselQueue(total, size int) *MorselQueue {
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	if total < 0 {
+		total = 0
+	}
+	return &MorselQueue{size: uint64(size), total: uint64(total)}
+}
+
+// Next claims the next unprocessed morsel and returns its index range
+// [lo, hi).  ok is false once the queue is exhausted; a drained queue stays
+// drained.
+//
+// Next yields the processor before claiming: when the gang is wider than the
+// machine (workers > GOMAXPROCS), claims then interleave across workers
+// instead of one goroutine draining the whole queue inside its scheduling
+// quantum — which would concentrate the partial results, and their hash-table
+// growth, in a single worker.  On a machine with idle processors the yield is
+// a few nanoseconds.
+func (q *MorselQueue) Next() (lo, hi int, ok bool) {
+	runtime.Gosched()
+	end := q.next.Add(q.size)
+	start := end - q.size
+	if start >= q.total {
+		return 0, 0, false
+	}
+	if end > q.total {
+		end = q.total
+	}
+	return int(start), int(end), true
 }
 
 // Partitioner deterministically assigns tuples to workers by hash range:
@@ -186,18 +244,15 @@ func (p *Partials) Merge(into *multiset.Relation) *multiset.Relation {
 }
 
 // Exchange is the runtime of one Merge exchange: it runs producer once per
-// worker of the pool, collecting each worker's stream into a private partial
-// relation, and returns the partials.  The sink passed to a producer is that
-// worker's own; it is never called concurrently.  On error the partials
-// collected so far are still returned so the caller can account for them.
-func Exchange(pool *Pool, s schema.Relation, capacityEach int, producer func(worker int, sink func(t tuple.Tuple, n uint64) error) error) (*Partials, error) {
+// worker of the pool, handing each worker its private partial relation to
+// accumulate into (by Add or the batched AddBatch), and returns the partials.
+// The relation passed to a producer is that worker's own; the runtime never
+// touches it concurrently.  On error the partials collected so far are still
+// returned so the caller can account for them.
+func Exchange(pool *Pool, s schema.Relation, capacityEach int, producer func(worker int, into *multiset.Relation) error) (*Partials, error) {
 	parts := NewPartials(s, pool.Workers(), capacityEach)
 	err := pool.Run(func(w int) error {
-		rel := parts.Rel(w)
-		return producer(w, func(t tuple.Tuple, n uint64) error {
-			rel.Add(t, n)
-			return nil
-		})
+		return producer(w, parts.Rel(w))
 	})
 	return parts, err
 }

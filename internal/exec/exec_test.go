@@ -112,13 +112,12 @@ func TestExchangeSumsPartials(t *testing.T) {
 
 	for _, w := range []int{1, 2, 4, 8} {
 		pool := NewPool(w)
-		parts, err := Exchange(pool, s, 16, func(worker int, sink func(tuple.Tuple, uint64) error) error {
-			var sinkErr error
+		parts, err := Exchange(pool, s, 16, func(worker int, into *multiset.Relation) error {
 			in.EachInPartition(worker, pool.Workers(), func(tp tuple.Tuple, n uint64) bool {
-				sinkErr = sink(tp, n)
-				return sinkErr == nil
+				into.Add(tp, n)
+				return true
 			})
-			return sinkErr
+			return nil
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -149,16 +148,87 @@ func TestExchangeSumsPartials(t *testing.T) {
 func TestExchangePropagatesErrors(t *testing.T) {
 	s := testSchema()
 	boom := errors.New("boom")
-	parts, err := Exchange(NewPool(4), s, 4, func(worker int, sink func(tuple.Tuple, uint64) error) error {
+	parts, err := Exchange(NewPool(4), s, 4, func(worker int, into *multiset.Relation) error {
 		if worker == 2 {
 			return boom
 		}
-		return sink(tuple.Ints(int64(worker), 0), 1)
+		into.Add(tuple.Ints(int64(worker), 0), 1)
+		return nil
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if parts == nil || parts.Rel(0).Cardinality() != 1 {
 		t.Errorf("surviving partials should be returned for accounting")
+	}
+}
+
+// TestMorselQueueDisjointCover checks the queue's claims are disjoint,
+// in-range, and collectively cover [0, total) exactly once — under serial use
+// and under concurrent stealing — for several morsel sizes, including sizes
+// that do not divide the total and sizes larger than the total.
+func TestMorselQueueDisjointCover(t *testing.T) {
+	for _, tc := range []struct{ total, size int }{
+		{0, 16}, {1, 16}, {100, 16}, {100, 1}, {100, 7}, {5, 100}, {4096, 0},
+	} {
+		q := NewMorselQueue(tc.total, tc.size)
+		covered := make([]bool, tc.total)
+		for {
+			lo, hi, ok := q.Next()
+			if !ok {
+				break
+			}
+			if lo < 0 || hi > tc.total || lo >= hi {
+				t.Fatalf("total=%d size=%d: bad morsel [%d,%d)", tc.total, tc.size, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("total=%d size=%d: index %d claimed twice", tc.total, tc.size, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("total=%d size=%d: index %d never claimed", tc.total, tc.size, i)
+			}
+		}
+		if _, _, ok := q.Next(); ok {
+			t.Fatalf("total=%d size=%d: drained queue handed out another morsel", tc.total, tc.size)
+		}
+	}
+}
+
+// TestMorselQueueConcurrentStealing checks concurrent workers drain the queue
+// without overlap or loss: the claimed ranges sum to exactly the total.
+func TestMorselQueueConcurrentStealing(t *testing.T) {
+	const total, size, workers = 100000, 64, 8
+	q := NewMorselQueue(total, size)
+	var claimed atomic.Uint64
+	pool := NewPool(workers)
+	var owned [workers]int
+	if err := pool.Run(func(w int) error {
+		for {
+			lo, hi, ok := q.Next()
+			if !ok {
+				return nil
+			}
+			claimed.Add(uint64(hi - lo))
+			owned[w] += hi - lo
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if claimed.Load() != total {
+		t.Fatalf("claimed %d indices, want %d", claimed.Load(), total)
+	}
+	// Stealing means no worker is required to own a fixed 1/workers share,
+	// but collectively the gang must account for everything.
+	sum := 0
+	for _, n := range owned {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("per-worker ownership sums to %d, want %d", sum, total)
 	}
 }

@@ -84,6 +84,23 @@ func (t *table) insert(h uint64, tup tuple.Tuple, n uint64) {
 	t.total += n
 }
 
+// add increases the multiplicity of tup (whose hash is h) by n, reviving a
+// tombstoned entry in place or inserting a fresh one.  It is the one copy of
+// the probe/resurrect/insert sequence shared by the scalar, batched and merge
+// sinks; callers handle copy-on-write materialisation and n == 0 skipping.
+func (t *table) add(h uint64, tup tuple.Tuple, n uint64) {
+	if i := t.find(h, tup); i != chainEnd {
+		e := &t.entries[i]
+		if e.count == 0 {
+			t.live++
+		}
+		e.count += n
+		t.total += n
+		return
+	}
+	t.insert(h, tup, n)
+}
+
 // Relation is a multi-set relation instance.  The zero value is not usable;
 // construct relations with New.  A Relation must not be copied by value.
 type Relation struct {
@@ -143,18 +160,7 @@ func (r *Relation) Add(t tuple.Tuple, n uint64) {
 		return
 	}
 	r.materialize()
-	tab := r.tab
-	h := t.Hash()
-	if i := tab.find(h, t); i != chainEnd {
-		e := &tab.entries[i]
-		if e.count == 0 {
-			tab.live++
-		}
-		e.count += n
-		tab.total += n
-		return
-	}
-	tab.insert(h, t, n)
+	r.tab.add(t.Hash(), t, n)
 }
 
 // Remove decreases the multiplicity of t by n, clamping at zero ("monus", the
@@ -254,6 +260,85 @@ func (r *Relation) EachInPartition(part, parts int, fn func(t tuple.Tuple, count
 	}
 }
 
+// EachBatch calls fn with consecutive vectors of up to size live chunks
+// (tuples[i] occurs counts[i] times), filled from the entry arena in one
+// tight pass: the vectorised form of Each, with no per-tuple callback.  The
+// slices passed to fn are reused between calls and must not be retained;
+// the tuples inside them may be.  If fn returns false, iteration stops.
+func (r *Relation) EachBatch(size int, fn func(tuples []tuple.Tuple, counts []uint64) bool) {
+	if size <= 0 {
+		size = 256
+	}
+	tuples := make([]tuple.Tuple, 0, size)
+	counts := make([]uint64, 0, size)
+	entries := r.tab.entries
+	for i := range entries {
+		if entries[i].count == 0 {
+			continue
+		}
+		tuples = append(tuples, entries[i].tup)
+		counts = append(counts, entries[i].count)
+		if len(tuples) == size {
+			if !fn(tuples, counts) {
+				return
+			}
+			tuples, counts = tuples[:0], counts[:0]
+		}
+	}
+	if len(tuples) > 0 {
+		fn(tuples, counts)
+	}
+}
+
+// EntrySpan returns the size of the relation's entry arena — the index domain
+// EachEntryRange iterates over.  The span counts tombstoned entries too, so it
+// is stable across reads and only grows under insertion; morsel-driven scans
+// cut [0, EntrySpan()) into work-stealing ranges.
+func (r *Relation) EntrySpan() int { return len(r.tab.entries) }
+
+// EachEntryRange calls fn once per live tuple stored in arena positions
+// [lo, hi), clamped to the entry span.  The ranges of a partition of
+// [0, EntrySpan()) are disjoint and cover the relation, which is what makes
+// any morsel-wise split of a scan exact under bag semantics: every occurrence
+// is delivered by exactly one range.  If fn returns false, iteration stops.
+// fn must not mutate r.
+func (r *Relation) EachEntryRange(lo, hi int, fn func(t tuple.Tuple, count uint64) bool) {
+	entries := r.tab.entries
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(entries) {
+		hi = len(entries)
+	}
+	for i := lo; i < hi; i++ {
+		if entries[i].count == 0 {
+			continue
+		}
+		if !fn(entries[i].tup, entries[i].count) {
+			return
+		}
+	}
+}
+
+// AddBatch adds tuples[i] with multiplicity counts[i] for every i, like a
+// loop over Add but with the copy-on-write check hoisted out of the loop.  It
+// is the sink half of the physical layer's batched emit: one call installs a
+// whole output batch.  Zero counts are skipped.  The slices must have equal
+// length; the relation keeps references to the tuples but not to the slices.
+func (r *Relation) AddBatch(tuples []tuple.Tuple, counts []uint64) {
+	if len(tuples) == 0 {
+		return
+	}
+	r.materialize()
+	tab := r.tab
+	for i, t := range tuples {
+		if counts[i] == 0 {
+			continue
+		}
+		tab.add(t.Hash(), t, counts[i])
+	}
+}
+
 // MergeFrom adds every tuple of o to r with its multiplicity (multi-set union
 // in place): the merge step of the parallel runtime's exchange operators.  It
 // reuses o's cached entry hashes, so merging partial results never re-hashes
@@ -270,16 +355,7 @@ func (r *Relation) MergeFrom(o *Relation) {
 		if e.count == 0 {
 			continue
 		}
-		if j := tab.find(e.hash, e.tup); j != chainEnd {
-			re := &tab.entries[j]
-			if re.count == 0 {
-				tab.live++
-			}
-			re.count += e.count
-			tab.total += e.count
-			continue
-		}
-		tab.insert(e.hash, e.tup, e.count)
+		tab.add(e.hash, e.tup, e.count)
 	}
 }
 

@@ -450,3 +450,84 @@ func TestMergeFrom(t *testing.T) {
 		t.Errorf("view after merge = %s", view)
 	}
 }
+
+// TestEachEntryRangeDisjointCover checks that any partition of
+// [0, EntrySpan()) into ranges delivers every live tuple exactly once with
+// its full multiplicity, skipping tombstones, and that out-of-range bounds
+// are clamped.
+func TestEachEntryRangeDisjointCover(t *testing.T) {
+	s := schema.NewRelation("r",
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt})
+	r := New(s)
+	for i := 0; i < 100; i++ {
+		r.Add(tuple.Ints(int64(i%30), int64(i%7)), uint64(1+i%4))
+	}
+	r.Remove(tuple.Ints(3, 3), 1<<40) // tombstone mid-arena
+
+	for _, step := range []int{1, 7, 17, 1000} {
+		sum := New(s)
+		span := r.EntrySpan()
+		for lo := 0; lo < span; lo += step {
+			r.EachEntryRange(lo, lo+step, func(tp tuple.Tuple, n uint64) bool {
+				sum.Add(tp, n)
+				return true
+			})
+		}
+		if !sum.Equal(r) {
+			t.Fatalf("step %d: range union %s != relation %s", step, sum, r)
+		}
+	}
+
+	// Clamping: negative lo and hi past the span are tolerated.
+	whole := New(s)
+	r.EachEntryRange(-5, r.EntrySpan()+100, func(tp tuple.Tuple, n uint64) bool {
+		whole.Add(tp, n)
+		return true
+	})
+	if !whole.Equal(r) {
+		t.Fatalf("clamped full range %s != relation %s", whole, r)
+	}
+
+	// Early termination.
+	calls := 0
+	r.EachEntryRange(0, r.EntrySpan(), func(tuple.Tuple, uint64) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("early stop after %d calls, want 3", calls)
+	}
+}
+
+// TestAddBatch checks the batched add equals a loop of Adds — accumulation,
+// zero-count skipping — and respects copy-on-write sharing.
+func TestAddBatch(t *testing.T) {
+	s := schema.NewRelation("r", schema.Attribute{Name: "a", Type: value.KindInt})
+	tuples := []tuple.Tuple{tuple.Ints(1), tuple.Ints(2), tuple.Ints(1), tuple.Ints(3)}
+	counts := []uint64{2, 1, 3, 0}
+
+	batched := New(s)
+	batched.AddBatch(tuples, counts)
+	looped := New(s)
+	for i := range tuples {
+		looped.Add(tuples[i], counts[i])
+	}
+	if !batched.Equal(looped) {
+		t.Fatalf("AddBatch %s != looped Adds %s", batched, looped)
+	}
+	if batched.Contains(tuple.Ints(3)) {
+		t.Error("zero-count chunk inserted")
+	}
+
+	base := New(s)
+	base.Add(tuple.Ints(9), 1)
+	view := base.Clone()
+	view.AddBatch(tuples, counts)
+	if base.Cardinality() != 1 {
+		t.Errorf("COW base changed by AddBatch: %s", base)
+	}
+	if view.Multiplicity(tuple.Ints(1)) != 5 {
+		t.Errorf("view(1) = %d, want 5", view.Multiplicity(tuple.Ints(1)))
+	}
+}

@@ -1,0 +1,153 @@
+package plan
+
+import (
+	"mra/internal/tuple"
+)
+
+// This file implements the vectorised half of the streaming contract: the
+// Batch chunk vector, the EmitBatch consumer side, and the adapters that let
+// batch-native and chunk-at-a-time operators compose freely.  Batching exists
+// purely to amortise call overhead — a pipeline of batch-native operators
+// crosses operator boundaries once per batch instead of once per tuple — and
+// never changes the multi-set a stream denotes.
+
+// DefaultBatchSize is the number of chunks per emitted batch when the planner
+// does not size batches itself.  Large enough that per-batch call overhead
+// vanishes against per-tuple work, small enough that a batch of tuples stays
+// cache-resident.
+const DefaultBatchSize = 128
+
+// Batch is one vector of stream chunks: tuple Tuples[i] occurs Counts[i] more
+// times, for every i.  A batch denotes the multi-set summing its chunks, and
+// like the scalar Emit contract the same tuple may appear in several chunks
+// (even within one batch); consumers add multiplicities.
+//
+// Ownership: a Batch handed to an EmitBatch is only valid for the duration of
+// the call — producers reuse the backing slices for the next batch.  The
+// tuples themselves are immutable and may be retained; the slices may not.
+type Batch struct {
+	// Tuples holds the chunk tuples.
+	Tuples []tuple.Tuple
+	// Counts holds the chunk multiplicities, parallel to Tuples.
+	Counts []uint64
+}
+
+// Len returns the number of chunks in the batch.
+func (b *Batch) Len() int { return len(b.Tuples) }
+
+// Total returns the number of tuple occurrences the batch denotes: the sum of
+// its counts.
+func (b *Batch) Total() uint64 {
+	var s uint64
+	for _, c := range b.Counts {
+		s += c
+	}
+	return s
+}
+
+// reset empties the batch, keeping the backing capacity for reuse.
+func (b *Batch) reset() {
+	b.Tuples = b.Tuples[:0]
+	b.Counts = b.Counts[:0]
+}
+
+// push appends one chunk.
+func (b *Batch) push(t tuple.Tuple, n uint64) {
+	b.Tuples = append(b.Tuples, t)
+	b.Counts = append(b.Counts, n)
+}
+
+// EmitBatch receives one batch of an operator's output stream.  Returning an
+// error aborts the stream.  The batch is owned by the producer and must not be
+// retained (see Batch).
+type EmitBatch func(b *Batch) error
+
+// batchRunner is implemented by operators with a native vectorised execution
+// path.  Operators without one still participate in batched pipelines through
+// the fallback shim in execCtx.runBatch, which buffers their chunk-at-a-time
+// output into batches.
+type batchRunner interface {
+	Node
+	// runBatch streams the operator's output into emit, batch-wise.
+	runBatch(ctx *execCtx, emit EmitBatch) error
+}
+
+// batchWriter accumulates chunks into a reusable batch and flushes it to emit
+// whenever it reaches the configured size.  Producers must call flush once at
+// end of stream.
+type batchWriter struct {
+	out  Batch
+	size int
+	emit EmitBatch
+}
+
+// newBatchWriter returns a writer emitting batches of the given size.
+func newBatchWriter(size int, emit EmitBatch) *batchWriter {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &batchWriter{
+		out:  Batch{Tuples: make([]tuple.Tuple, 0, size), Counts: make([]uint64, 0, size)},
+		size: size,
+		emit: emit,
+	}
+}
+
+// push appends one chunk, flushing the batch downstream when full.
+func (w *batchWriter) push(t tuple.Tuple, n uint64) error {
+	w.out.Tuples = append(w.out.Tuples, t)
+	w.out.Counts = append(w.out.Counts, n)
+	if len(w.out.Tuples) >= w.size {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush emits the buffered batch, if any, and resets the buffer.
+func (w *batchWriter) flush() error {
+	if len(w.out.Tuples) == 0 {
+		return nil
+	}
+	err := w.emit(&w.out)
+	w.out.reset()
+	return err
+}
+
+// mapped resizes a reusable output batch to mirror the chunk structure of an
+// input batch, sharing the input's Counts slice — safe under the no-retention
+// rule of the EmitBatch contract.  Per-tuple transforms (projections) fill
+// out.Tuples in their own tight loop, so a mapped boundary costs one tuple
+// store per chunk and nothing else.
+func mapped(out *Batch, b *Batch) {
+	if cap(out.Tuples) < len(b.Tuples) {
+		out.Tuples = make([]tuple.Tuple, len(b.Tuples))
+	}
+	out.Tuples = out.Tuples[:len(b.Tuples)]
+	out.Counts = b.Counts
+}
+
+// unbatched adapts a batch-native operator to the chunk-at-a-time Emit
+// contract: every chunk of every batch is forwarded individually.  It backs
+// the run methods of batch-native operators, so the scalar contract stays
+// universally available.
+func unbatched(ctx *execCtx, n batchRunner, emit Emit) error {
+	return n.runBatch(ctx, func(b *Batch) error {
+		for i := range b.Tuples {
+			if err := emit(b.Tuples[i], b.Counts[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// shimBatches adapts a chunk-at-a-time operator to the EmitBatch contract by
+// buffering its output: the per-operator fallback shim that keeps operators
+// without a native batch path composable inside vectorised pipelines.
+func shimBatches(ctx *execCtx, n Node, emit EmitBatch) error {
+	w := newBatchWriter(ctx.batchCap(), emit)
+	if err := n.run(ctx, w.push); err != nil {
+		return err
+	}
+	return w.flush()
+}

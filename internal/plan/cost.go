@@ -53,6 +53,33 @@ const (
 	perTupleProcessingFee = 1.0
 )
 
+// Morsel sizing bounds.  The cost model aims at several morsels per worker so
+// the queue can rebalance around skew, clamped below so the atomic claim
+// amortises and above so a morsel's batch output stays cache-resident.
+const (
+	minMorselSize          = 64
+	maxMorselSize          = 4096
+	morselsPerWorkerTarget = 8
+)
+
+// morselSizeFor chooses the morsel size for a scan of about distinct entries
+// executing under a gang of the given width: the entry count divided so each
+// worker sees morselsPerWorkerTarget morsels on average, clamped to
+// [minMorselSize, maxMorselSize].
+func morselSizeFor(distinct float64, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	size := int(distinct) / (workers * morselsPerWorkerTarget)
+	if size < minMorselSize {
+		return minMorselSize
+	}
+	if size > maxMorselSize {
+		return maxMorselSize
+	}
+	return size
+}
+
 // Cost estimates the total processing cost of an expression: the sum over all
 // operators of the tuples they must inspect plus the tuples they emit.
 // Products pay for their full output; hash joins pay for build plus probe.

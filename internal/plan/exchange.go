@@ -8,30 +8,46 @@ import (
 	"mra/internal/tuple"
 )
 
-// This file implements the exchange operators of the partitioned parallel
+// This file implements the exchange operators of the morsel-driven parallel
 // runtime and the planner pass that inserts them.
 //
 // A Merge node runs its subtree once per worker on an exec.Pool; every worker
-// executes the same operator tree but sees only its hash-range slice of the
+// executes the same operator tree but sees only a disjoint slice of the
 // inputs, cut by the Partition nodes below.  Each worker's output stream is
 // collected into a private partial relation and the Merge sums the partials —
 // exact under bag semantics, because multiplicities add across disjoint
 // partitions (the paper's relations are functions dom(𝓡) → ℕ, and the
 // operators parallelised here distribute over partition union).
 //
-// Three shapes are parallelised, each with the partition placement that keeps
-// it exact:
+// How a Partition cuts its slice depends on what the operator above it needs:
 //
-//   - streaming pipelines (σ/π/extπ/⊎ over scans): Partition by full tuple
-//     hash directly above each scan, so the per-tuple operator work divides
-//     across workers; a partition above a bare scan reuses the relation's
-//     cached entry hashes and costs one modulo per tuple;
-//   - hash joins: Partition each operand by the hash of its join columns, so
-//     tuples that could match always land in the same worker — partition-wise
-//     build and probe;
-//   - hash aggregates with grouping columns: Partition the input by the hash
-//     of the grouping columns, so every group is computed whole by exactly
-//     one worker and the merged output needs no second aggregation pass.
+//   - morsel partitions (scans under streaming pipelines and under the probe
+//     side of a parallel hash join) take no fixed slice at all: the gang
+//     shares one exec.MorselQueue per scan, and every worker claims the next
+//     fixed-size entry range when it runs out of work.  Any disjoint split of
+//     a scan is exact, so the queue is free to rebalance — a worker stuck on
+//     an expensive range simply stops claiming while the others drain the
+//     rest, which is what keeps skewed data from serialising the gang behind
+//     one overloaded worker;
+//   - hash partitions assign chunks statically by hash — of the grouping
+//     columns under a parallel aggregate (groups never span workers, so the
+//     merged partials need no second aggregation pass) or of the full tuple
+//     under parallel Difference/Intersect (both operands agree on every
+//     tuple's owner, so per-worker monus/min results sum to the serial
+//     result).  These operators need key-consistent slices, which dynamic
+//     stealing cannot provide.
+//
+// Parallel hash joins do not partition by join key at all: the exchange
+// builds the join table once, in the parent, before the gang starts, and the
+// workers probe it read-only over morsel-partitioned probe scans.  A complete
+// shared table means no key-closure requirement on the probe split, so probe
+// work rebalances freely even when the join keys are heavily skewed.
+//
+// All state a gang shares — morsel queues, pre-built join tables, the scan
+// snapshot — is created by the parent before the workers start and is either
+// read-only (tables, snapshot) or internally synchronised by one atomic
+// (queues), so workers keep the single-threaded Emit contract of the package
+// comment.
 
 // DefaultParallelThreshold is the estimated input cardinality (tuples,
 // counting duplicates) below which the planner leaves a shape serial: under
@@ -42,24 +58,45 @@ const DefaultParallelThreshold = 1024.0
 // Exchange operators
 // ---------------------------------------------------------------------------
 
-// partitionNode cuts the stream of its input to the executing worker's hash
-// slice: a chunk (t, n) passes through worker w iff the configured hash of t
-// falls in w's range.  Outside a parallel region it is the identity.
+// partitionMode selects how a partitionNode cuts the executing worker's
+// slice.
+type partitionMode int
+
+const (
+	// partitionMorsel streams work-stealing entry ranges of a leaf claimed
+	// from the gang's shared morsel queue.  Exact for any operator above it
+	// that distributes over arbitrary disjoint splits.
+	partitionMorsel partitionMode = iota
+	// partitionHash passes through only the chunks whose hash (of cols, or of
+	// the full tuple when cols is nil) falls in the executing worker's range.
+	// Exact for operators that need key-consistent slices.
+	partitionHash
+)
+
+// partitionNode cuts the stream of its input to the executing worker's
+// slice; outside a parallel region it is the identity.
 type partitionNode struct {
 	base
 	input Node
-	// cols are the attribute positions hashed for partitioning; nil means the
-	// full tuple hash (used above pipeline scans, where any disjoint split is
-	// correct).
+	// mode selects morsel stealing or static hash assignment.
+	mode partitionMode
+	// cols are the attribute positions hashed for partitionHash; nil means
+	// the full tuple hash.
 	cols []int
 	// workers is the gang width the planner inserted this node for (display
-	// only; execution uses the width of the enclosing Merge's gang).
+	// and static splits; morsel execution uses the shared queue instead).
 	workers int
+	// morselSize is the entry range size of partitionMorsel claims, chosen by
+	// the cost model (or the planner's MorselSize override) at plan time.
+	morselSize int
 }
 
 func (p *partitionNode) Children() []Node { return []Node{p.input} }
 
 func (p *partitionNode) Describe() string {
+	if p.mode == partitionMorsel {
+		return fmt.Sprintf("Partition [morsel size=%d]", p.morselSize)
+	}
 	if p.cols == nil {
 		return fmt.Sprintf("Partition [hash workers=%d]", p.workers)
 	}
@@ -67,31 +104,101 @@ func (p *partitionNode) Describe() string {
 }
 
 func (p *partitionNode) run(ctx *execCtx, emit Emit) error {
+	return unbatched(ctx, p, emit)
+}
+
+// runBatch implements batchRunner: the worker's slice is emitted batch-wise,
+// straight off the leaf arena for morsel and scan-hash slices.
+func (p *partitionNode) runBatch(ctx *execCtx, emit EmitBatch) error {
 	if ctx.workers <= 1 {
-		return ctx.run(p.input, emit)
+		return ctx.runBatch(p.input, emit)
 	}
-	// Fast path: a full-tuple partition directly above a scan selects its
-	// slice by the relation's cached entry hashes — one modulo per tuple, no
-	// re-hashing.
+	if p.mode == partitionMorsel {
+		if q := ctx.morselQueue(p); q != nil {
+			return p.runMorsels(ctx, q, emit)
+		}
+		// No queue (defensive): degrade to a static full-tuple hash slice,
+		// which is exact wherever a morsel split is.
+	}
+	// Fast path: a full-tuple hash partition directly above a scan selects
+	// its slice by the relation's cached entry hashes — one modulo per tuple,
+	// no re-hashing.
 	if s, ok := p.input.(*scanNode); ok && p.cols == nil {
 		r, err := s.lookup(ctx)
 		if err != nil {
 			return err
 		}
+		w := newBatchWriter(ctx.batchCap(), emit)
 		var iterErr error
 		r.EachInPartition(ctx.worker, ctx.workers, func(t tuple.Tuple, n uint64) bool {
-			iterErr = emit(t, n)
+			iterErr = w.push(t, n)
 			return iterErr == nil
 		})
-		return iterErr
+		if iterErr != nil {
+			return iterErr
+		}
+		return w.flush()
 	}
 	part := exec.NewPartitioner(p.cols, ctx.workers)
-	return ctx.run(p.input, func(t tuple.Tuple, n uint64) error {
-		if part.Owner(t) != ctx.worker {
-			return nil
+	w := newBatchWriter(ctx.batchCap(), emit)
+	err := ctx.runBatch(p.input, func(b *Batch) error {
+		for i, t := range b.Tuples {
+			if part.Owner(t) != ctx.worker {
+				continue
+			}
+			if err := w.push(t, b.Counts[i]); err != nil {
+				return err
+			}
 		}
-		return emit(t, n)
+		return nil
 	})
+	if err != nil {
+		return err
+	}
+	return w.flush()
+}
+
+// runMorsels drains the shared queue: the worker claims entry ranges of the
+// leaf until none remain, emitting each range's live chunks batch-wise.  The
+// gang collectively delivers every chunk exactly once.
+func (p *partitionNode) runMorsels(ctx *execCtx, q *exec.MorselQueue, emit EmitBatch) error {
+	w := newBatchWriter(ctx.batchCap(), emit)
+	switch leaf := p.input.(type) {
+	case *scanNode:
+		r, err := leaf.lookup(ctx)
+		if err != nil {
+			return err
+		}
+		for {
+			lo, hi, ok := q.Next()
+			if !ok {
+				break
+			}
+			var iterErr error
+			r.EachEntryRange(lo, hi, func(t tuple.Tuple, n uint64) bool {
+				iterErr = w.push(t, n)
+				return iterErr == nil
+			})
+			if iterErr != nil {
+				return iterErr
+			}
+		}
+	case *valuesNode:
+		for {
+			lo, hi, ok := q.Next()
+			if !ok {
+				break
+			}
+			for _, row := range leaf.rows[lo:hi] {
+				if err := w.push(tuple.New(row...), 1); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("plan: morsel partition above non-leaf %T", p.input)
+	}
+	return w.flush()
 }
 
 // mergeNode is the gang boundary: it executes its subtree once per worker on
@@ -106,6 +213,33 @@ type mergeNode struct {
 
 func (m *mergeNode) Children() []Node { return []Node{m.input} }
 func (m *mergeNode) Describe() string { return fmt.Sprintf("Merge [workers=%d]", m.workers) }
+
+// gangState is the shared state of one gang execution, created by the parent
+// before the workers start: the morsel queues (one per morsel partition,
+// internally synchronised) and the pre-built join tables (read-only once
+// built).  Workers access it through their execCtx and never mutate the maps.
+type gangState struct {
+	morsels map[int]*exec.MorselQueue
+	builds  map[int]*joinTable
+}
+
+// morselQueue returns the gang's shared queue for a morsel partition, or nil
+// outside a gang.
+func (ctx *execCtx) morselQueue(p *partitionNode) *exec.MorselQueue {
+	if ctx.gang == nil {
+		return nil
+	}
+	return ctx.gang.morsels[p.meta().id]
+}
+
+// sharedBuild returns the gang's pre-built table for a shared hash join, or
+// nil when the join must build its own.
+func (ctx *execCtx) sharedBuild(j *hashJoinNode) *joinTable {
+	if ctx.gang == nil {
+		return nil
+	}
+	return ctx.gang.builds[j.meta().id]
+}
 
 // snapshotSource is a frozen name→relation map handed to worker goroutines.
 // Workers must not call the parent's Source: transaction sources record the
@@ -140,6 +274,59 @@ func snapshotScans(ctx *execCtx, n Node, into snapshotSource) error {
 	return nil
 }
 
+// prepare builds the gang's shared state for the subtree: one morsel queue
+// per morsel partition (sized over the leaf's entry arena) and one join table
+// per shared hash join, built here in the parent — once, single-threaded —
+// so the workers only probe.  The build subtree of a shared join executes
+// during prepare and is therefore not walked for worker-side state.  The
+// caller's ctx resolves scans through the gang snapshot, so the build sees
+// exactly the relations the workers will.
+func prepare(ctx *execCtx, n Node, snap snapshotSource, gs *gangState) error {
+	switch x := n.(type) {
+	case *partitionNode:
+		if x.mode == partitionMorsel {
+			span, err := leafSpan(x.input, snap)
+			if err != nil {
+				return err
+			}
+			gs.morsels[x.meta().id] = exec.NewMorselQueue(span, x.morselSize)
+		}
+	case *hashJoinNode:
+		if x.shared {
+			tb, err := x.buildTable(ctx)
+			if err != nil {
+				return err
+			}
+			gs.builds[x.meta().id] = tb
+			probe, _ := x.probeSide()
+			return prepare(ctx, probe, snap, gs)
+		}
+	}
+	for _, c := range n.Children() {
+		if err := prepare(ctx, c, snap, gs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leafSpan returns the morsel index domain of a leaf: the entry-arena span of
+// a snapshotted scan, or the row count of a literal.
+func leafSpan(n Node, snap snapshotSource) (int, error) {
+	switch leaf := n.(type) {
+	case *scanNode:
+		r, ok := snap[leaf.name]
+		if !ok {
+			return 0, fmt.Errorf("plan: morsel scan %q missing from snapshot", leaf.name)
+		}
+		return r.EntrySpan(), nil
+	case *valuesNode:
+		return len(leaf.rows), nil
+	default:
+		return 0, fmt.Errorf("plan: morsel partition above non-leaf %T", n)
+	}
+}
+
 // gang runs the per-worker subtree executions and returns the partials; the
 // caller decides whether to stream or materialise them.
 func (m *mergeNode) gang(ctx *execCtx) (*exec.Partials, error) {
@@ -148,13 +335,23 @@ func (m *mergeNode) gang(ctx *execCtx) (*exec.Partials, error) {
 		return nil, err
 	}
 	pool := exec.NewPool(m.workers)
+	gs := &gangState{morsels: make(map[int]*exec.MorselQueue), builds: make(map[int]*joinTable)}
+	// Prepare resolves through the snapshot (statistics still flow into the
+	// parent's counters via the shared pointers), so shared-join builds see
+	// exactly the relations the workers will and the source is not walked a
+	// second time.
+	pctx := *ctx
+	pctx.src = snap
+	if err := prepare(&pctx, m.input, snap, gs); err != nil {
+		return nil, err
+	}
 	wctxs := make([]*execCtx, pool.Workers())
 	capEach := capacityFor(m.input.meta().capHint)/pool.Workers() + 1
-	parts, err := exec.Exchange(pool, m.input.Schema(), capEach, func(w int, sink func(tuple.Tuple, uint64) error) error {
-		wctx := ctx.workerCtx(w, pool.Workers())
+	parts, err := exec.Exchange(pool, m.input.Schema(), capEach, func(w int, into *multiset.Relation) error {
+		wctx := ctx.workerCtx(w, pool.Workers(), gs)
 		wctx.src = snap
 		wctxs[w] = wctx
-		return wctx.run(m.input, func(t tuple.Tuple, n uint64) error { return sink(t, n) })
+		return wctx.collect(m.input, into)
 	})
 	ctx.foldWorkers(wctxs)
 	// The per-worker partials are the exchange's materialised state.
@@ -163,14 +360,23 @@ func (m *mergeNode) gang(ctx *execCtx) (*exec.Partials, error) {
 }
 
 func (m *mergeNode) run(ctx *execCtx, emit Emit) error {
+	return unbatched(ctx, m, emit)
+}
+
+// runBatch implements batchRunner: the merged partials stream out batch-wise.
+func (m *mergeNode) runBatch(ctx *execCtx, emit EmitBatch) error {
 	if ctx.workers > 1 {
-		return ctx.run(m.input, emit)
+		return ctx.runBatch(m.input, emit)
 	}
 	parts, err := m.gang(ctx)
 	if err != nil {
 		return err
 	}
-	return parts.Each(func(t tuple.Tuple, n uint64) error { return emit(t, n) })
+	w := newBatchWriter(ctx.batchCap(), emit)
+	if err := parts.Each(func(t tuple.Tuple, n uint64) error { return w.push(t, n) }); err != nil {
+		return err
+	}
+	return w.flush()
 }
 
 // result implements materializer: when a consumer wants the whole relation
@@ -213,12 +419,21 @@ func (pl *Planner) parallelize(n Node) Node {
 func (pl *Planner) parallelizeNode(n Node, workers int, threshold float64) Node {
 	switch x := n.(type) {
 	case *hashJoinNode:
-		// Partition-wise build and probe: both operands split by their join
-		// column hashes, so matching tuples meet inside one worker.
-		if x.left.Estimate()+x.right.Estimate() >= threshold &&
-			streamable(x.left) && streamable(x.right) {
-			x.left = newPartition(x.left, x.leftCols, workers)
-			x.right = newPartition(x.right, x.rightCols, workers)
+		// Shared-build parallel join: the table is built once by the
+		// exchange, the probe side runs per worker over morsel-partitioned
+		// scans.  No key partitioning means probe work rebalances freely
+		// under join-key skew.
+		probe, _ := x.probeSide()
+		if x.left.Estimate()+x.right.Estimate() >= threshold && streamable(probe) {
+			x.shared = true
+			wrapped := pl.partitionLeaves(probe, workers)
+			if x.buildLeft {
+				x.right = wrapped
+				x.left = pl.parallelizeNode(x.left, workers, threshold)
+			} else {
+				x.left = wrapped
+				x.right = pl.parallelizeNode(x.right, workers, threshold)
+			}
 			return newMerge(x, workers)
 		}
 	case *hashAggNode:
@@ -226,14 +441,26 @@ func (pl *Planner) parallelizeNode(n Node, workers int, threshold float64) Node 
 		// merged partials are the final grouped result.  Global aggregates
 		// (no grouping columns) have a single output group and stay serial.
 		if len(x.gb.groupCols) > 0 && x.input.Estimate() >= threshold && streamable(x.input) {
-			x.input = newPartition(x.input, x.gb.groupCols, workers)
+			x.input = newPartition(x.input, partitionHash, x.gb.groupCols, workers, 0)
+			return newMerge(x, workers)
+		}
+	case *differenceNode:
+		// Full-tuple hash partitions on both operands: every tuple's owner is
+		// the same on both sides, so the per-worker monus results sum to the
+		// serial difference.
+		if pl.parallelizeSetOp(&x.left, &x.right, workers, threshold) {
+			return newMerge(x, workers)
+		}
+	case *intersectNode:
+		// Same full-tuple split as Difference; min distributes the same way.
+		if pl.parallelizeSetOp(&x.left, &x.right, workers, threshold) {
 			return newMerge(x, workers)
 		}
 	case *filterNode, *projectNode, *extProjectNode, *unionNode:
-		// A streaming pipeline: partition every scan by its cached full-tuple
-		// hash so the per-tuple filter/projection work divides across workers.
+		// A streaming pipeline: morsel-partition every scan so the per-tuple
+		// filter/projection work divides across workers.
 		if streamable(n) && pipelineWork(n) && leafEstimate(n) >= threshold {
-			partitionScans(n, workers)
+			pl.partitionInnerLeaves(n, workers)
 			return newMerge(n, workers)
 		}
 	}
@@ -241,12 +468,58 @@ func (pl *Planner) parallelizeNode(n Node, workers int, threshold float64) Node 
 	return n
 }
 
+// parallelizeSetOp decides and applies the full-tuple-hash split of a
+// blocking set operator's operands, reporting whether the operator should be
+// wrapped in a Merge.  Both operands must be streamable (they are replicated
+// per worker) and their combined estimate must clear the threshold.
+func (pl *Planner) parallelizeSetOp(left, right *Node, workers int, threshold float64) bool {
+	if (*left).Estimate()+(*right).Estimate() < threshold ||
+		!streamable(*left) || !streamable(*right) {
+		return false
+	}
+	*left = pl.partitionSetOperand(*left, workers)
+	*right = pl.partitionSetOperand(*right, workers)
+	return true
+}
+
+// partitionSetOperand wraps a set-operator operand for its full-tuple hash
+// split.  Filters and unions preserve tuples — every output tuple IS a leaf
+// tuple, unchanged — so the partition sinks to the scan leaves, where the
+// cached-entry-hash fast path selects a worker's slice for one modulo per
+// entry instead of re-running the pipeline per worker and discarding
+// (W-1)/W of it.  Projections change tuples (the owner of an output tuple
+// is not the owner of its source), so a non-preserving operand is
+// partitioned at its root.
+func (pl *Planner) partitionSetOperand(n Node, workers int) Node {
+	if len(n.Children()) == 0 || !tuplePreserving(n) {
+		return newPartition(n, partitionHash, nil, workers, 0)
+	}
+	replaceChildren(n, func(c Node) Node { return pl.partitionSetOperand(c, workers) })
+	return n
+}
+
+// tuplePreserving reports whether every output tuple of the subtree is one of
+// its leaf tuples, unchanged — the condition under which a full-tuple hash
+// split of the leaves induces exactly the same split of the output.
+func tuplePreserving(n Node) bool {
+	switch x := n.(type) {
+	case *scanNode, *valuesNode:
+		return true
+	case *filterNode:
+		return tuplePreserving(x.input)
+	case *unionNode:
+		return tuplePreserving(x.left) && tuplePreserving(x.right)
+	default:
+		return false
+	}
+}
+
 // streamable reports whether the subtree is a pure streaming pipeline over
 // leaves — the shapes cheap and safe to replicate per worker.  Blocking or
 // stateful operators (joins, aggregates, δ, set difference/intersection,
 // closure) are excluded: re-running them once per worker would repeat their
-// full cost, and δ above a projection is not partition-exact under a
-// full-tuple split of the inputs.
+// full cost, and δ above a projection is not partition-exact under any
+// disjoint split of the inputs.
 func streamable(n Node) bool {
 	switch x := n.(type) {
 	case *scanNode, *valuesNode:
@@ -293,16 +566,34 @@ func leafEstimate(n Node) float64 {
 	return total
 }
 
-// partitionScans inserts a full-tuple-hash Partition above every leaf of a
-// streamable pipeline.
-func partitionScans(n Node, workers int) {
-	replaceChildren(n, func(c Node) Node {
-		if len(c.Children()) == 0 {
-			return newPartition(c, nil, workers)
-		}
-		partitionScans(c, workers)
-		return c
-	})
+// scanPartition wraps one leaf in the planner's scan partition: a
+// work-stealing morsel partition sized by the cost model, or the legacy
+// static hash slice when StaticSlices is set.
+func (pl *Planner) scanPartition(leaf Node, workers int) Node {
+	if pl.StaticSlices {
+		return newPartition(leaf, partitionHash, nil, workers, 0)
+	}
+	size := pl.MorselSize
+	if size <= 0 {
+		size = morselSizeFor(leaf.meta().capHint, workers)
+	}
+	return newPartition(leaf, partitionMorsel, nil, workers, size)
+}
+
+// partitionLeaves wraps every leaf of a streamable subtree in a scan
+// partition and returns the wrapped tree (which is the partition itself when
+// the subtree is a bare leaf).
+func (pl *Planner) partitionLeaves(n Node, workers int) Node {
+	if len(n.Children()) == 0 {
+		return pl.scanPartition(n, workers)
+	}
+	pl.partitionInnerLeaves(n, workers)
+	return n
+}
+
+// partitionInnerLeaves wraps every leaf strictly below n in a scan partition.
+func (pl *Planner) partitionInnerLeaves(n Node, workers int) {
+	replaceChildren(n, func(c Node) Node { return pl.partitionLeaves(c, workers) })
 }
 
 // replaceChildren rewrites each child edge of a node in place.
@@ -342,9 +633,9 @@ func replaceChildren(n Node, f func(Node) Node) {
 // newPartition wraps a node in a Partition.  The estimate is the full stream
 // (estimates describe the collective stream, not one worker's slice); the
 // capacity hint is the per-worker share, which sizes the hash tables built
-// from a single slice — a partitioned join build, for example.
-func newPartition(input Node, cols []int, workers int) Node {
-	p := &partitionNode{input: input, cols: cols, workers: workers}
+// from a single slice — a partitioned aggregate's groups, for example.
+func newPartition(input Node, mode partitionMode, cols []int, workers, morselSize int) Node {
+	p := &partitionNode{input: input, mode: mode, cols: cols, workers: workers, morselSize: morselSize}
 	p.schema = input.Schema()
 	p.est = input.Estimate()
 	p.exactEst = input.meta().exactEst

@@ -29,7 +29,7 @@ func countNodes(p *Plan) (merges, partitions int) {
 	return
 }
 
-// parallelShapes are the three shapes the planner parallelises, over the
+// parallelShapes are the operator shapes the planner parallelises, over the
 // fact/dim test source.
 func parallelShapes() map[string]algebra.Expr {
 	pred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(50)))
@@ -41,8 +41,14 @@ func parallelShapes() map[string]algebra.Expr {
 		"join-residual": algebra.NewJoin(
 			scalar.NewAnd(scalar.Eq(0, 2), scalar.NewCompare(value.CmpLt, scalar.NewAttr(1), scalar.NewAttr(3))),
 			algebra.NewRel("fact"), algebra.NewRel("dim")),
+		"join-over-pipeline": algebra.NewJoin(scalar.Eq(0, 2),
+			algebra.NewSelect(pred, algebra.NewRel("fact")), algebra.NewRel("dim")),
 		"hash-agg": algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("fact")),
 		"agg-over-pipeline": algebra.NewGroupBy([]int{0}, algebra.AggMax, 1,
+			algebra.NewSelect(pred, algebra.NewRel("fact"))),
+		"difference": algebra.NewDifference(algebra.NewRel("fact"),
+			algebra.NewSelect(pred, algebra.NewRel("fact"))),
+		"intersect": algebra.NewIntersect(algebra.NewRel("fact"),
 			algebra.NewSelect(pred, algebra.NewRel("fact"))),
 	}
 }
@@ -75,6 +81,119 @@ func TestParallelMatchesSerial(t *testing.T) {
 					name, w, serial, par)
 			}
 		}
+	}
+}
+
+// TestMorselSchedulingMatchesSerial sweeps tiny morsel and batch sizes —
+// forcing many steal rounds and many batch boundaries on small inputs — and
+// checks every parallel shape still produces exactly the serial multi-set.
+// It also pins the legacy static-slice scheduler to the same results, so the
+// benchmarking baseline stays correct.
+func TestMorselSchedulingMatchesSerial(t *testing.T) {
+	src := testSource(1000)
+	for name, e := range parallelShapes() {
+		serial, err := mustPlan(t, e, src).Execute(src)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, w := range []int{2, 8} {
+			for _, cfg := range []struct{ morsel, batch int }{
+				{1, 1}, {3, 2}, {16, 4}, {1, 1024}, {4096, 1},
+			} {
+				pp := parallelPlanner(src, w)
+				pp.MorselSize, pp.BatchSize = cfg.morsel, cfg.batch
+				p, err := pp.Plan(e, catalogOf(src))
+				if err != nil {
+					t.Fatalf("%s w=%d morsel=%d batch=%d: %v", name, w, cfg.morsel, cfg.batch, err)
+				}
+				par, err := p.Execute(src)
+				if err != nil {
+					t.Fatalf("%s w=%d morsel=%d batch=%d: %v", name, w, cfg.morsel, cfg.batch, err)
+				}
+				if !par.Equal(serial) {
+					t.Errorf("%s w=%d morsel=%d batch=%d: result differs\nserial:   %s\nparallel: %s",
+						name, w, cfg.morsel, cfg.batch, serial, par)
+				}
+			}
+			static := parallelPlanner(src, w)
+			static.StaticSlices = true
+			p, err := static.Plan(e, catalogOf(src))
+			if err != nil {
+				t.Fatalf("%s w=%d static: %v", name, w, err)
+			}
+			par, err := p.Execute(src)
+			if err != nil {
+				t.Fatalf("%s w=%d static: %v", name, w, err)
+			}
+			if !par.Equal(serial) {
+				t.Errorf("%s w=%d static slices: result differs\nserial:   %s\nparallel: %s",
+					name, w, serial, par)
+			}
+		}
+	}
+}
+
+// TestParallelSetOperatorExchanges pins the plan shape of a parallel
+// Difference: a Merge above the operator with full-tuple hash Partitions on
+// both operands (monus distributes over a tuple-consistent split, Theorem
+// 3.1-style), and checks the executed result against serial.
+func TestParallelSetOperatorExchanges(t *testing.T) {
+	src := testSource(1000)
+	pred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(100)))
+	diff := algebra.NewDifference(algebra.NewRel("fact"),
+		algebra.NewSelect(pred, algebra.NewRel("fact")))
+	p, err := (&Planner{Cards: cardsOf(src), Workers: 4}).Plan(diff, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merges, partitions := countNodes(p)
+	if merges != 1 || partitions != 2 {
+		t.Fatalf("parallel difference: %d merges, %d partitions:\n%s", merges, partitions, p)
+	}
+	rendering := p.String()
+	if !strings.Contains(rendering, "Difference") || !strings.Contains(rendering, "Partition [hash workers=4]") {
+		t.Errorf("parallel difference rendering:\n%s", rendering)
+	}
+	// Filters preserve tuples, so the full-tuple partition sinks below the
+	// filter to the scan, where the cached-entry-hash fast path applies.
+	if !strings.Contains(rendering, "Filter [%2 >= 100]  (~250 rows)\n      └─ Partition [hash workers=4]") {
+		t.Errorf("partition not sunk below the tuple-preserving filter:\n%s", rendering)
+	}
+
+	// Projections change tuples: their operands must partition at the root,
+	// never below the projection (the owner of a projected tuple is not the
+	// owner of its source).
+	projDiff := algebra.NewDifference(
+		algebra.NewProject([]int{0}, algebra.NewRel("fact")),
+		algebra.NewProject([]int{0}, algebra.NewRel("fact")))
+	pp, err := (&Planner{Cards: cardsOf(src), Workers: 4}).Plan(projDiff, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pp.String(), "Partition [hash workers=4]  (~1000 rows)\n   │  └─ Project [%1]") {
+		t.Errorf("projection operand must partition at its root:\n%s", pp)
+	}
+	serialProj, err := mustPlan(t, projDiff, src).Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parProj, err := pp.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parProj.Equal(serialProj) {
+		t.Errorf("parallel difference over projections differs\nserial:   %s\nparallel: %s", serialProj, parProj)
+	}
+	serial, err := mustPlan(t, diff, src).Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := p.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Equal(serial) {
+		t.Errorf("parallel difference differs\nserial:   %s\nparallel: %s", serial, par)
 	}
 }
 
@@ -112,7 +231,9 @@ func TestParallelThreshold(t *testing.T) {
 }
 
 // TestParallelPlanRendering pins the explain rendering of a parallel join:
-// Merge above the join, Partition on the join columns above each operand.
+// Merge above the shared-build join, with a morsel Partition above the
+// probe-side scan and the build side left bare (it is built once by the
+// exchange, not per worker).
 func TestParallelPlanRendering(t *testing.T) {
 	src := testSource(1000)
 	join := algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim"))
@@ -122,14 +243,22 @@ func TestParallelPlanRendering(t *testing.T) {
 	}
 	want := strings.Join([]string{
 		"Merge [workers=4]  (~10000 rows)",
-		"└─ HashJoin [%1 = %3] build=right  (~10000 rows)",
-		"   ├─ Partition [hash(%1) workers=4]  (1000 rows)",
+		"└─ HashJoin [%1 = %3] build=right shared  (~10000 rows)",
+		"   ├─ Partition [morsel size=64]  (1000 rows)",
 		"   │  └─ Scan fact  (1000 rows)",
-		"   └─ Partition [hash(%1) workers=4]  (100 rows)",
-		"      └─ Scan dim  (100 rows)",
+		"   └─ Scan dim  (100 rows)",
 	}, "\n")
 	if got := p.String(); got != want {
 		t.Errorf("parallel plan rendering:\n%s\nwant:\n%s", got, want)
+	}
+	// The legacy scheduler knob swaps the morsel partition for a static
+	// full-tuple hash slice, leaving the shared build in place.
+	ps, err := (&Planner{Cards: cardsOf(src), Workers: 4, StaticSlices: true}).Plan(join, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps.String(); !strings.Contains(got, "Partition [hash workers=4]") {
+		t.Errorf("static-slice plan rendering:\n%s", got)
 	}
 }
 

@@ -45,6 +45,24 @@ func (s *scanNode) run(ctx *execCtx, emit Emit) error {
 	return each(r, emit)
 }
 
+// runBatch implements batchRunner: the relation's distinct entries are
+// vectorised into batches straight off the hash-table arena, with no
+// per-tuple callback (multiset.EachBatch fills whole vectors in one pass).
+func (s *scanNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	r, err := s.lookup(ctx)
+	if err != nil {
+		return err
+	}
+	var b Batch
+	var iterErr error
+	r.EachBatch(ctx.batchCap(), func(tuples []tuple.Tuple, counts []uint64) bool {
+		b.Tuples, b.Counts = tuples, counts
+		iterErr = emit(&b)
+		return iterErr == nil
+	})
+	return iterErr
+}
+
 // result implements materializer: the clone is an O(1) copy-on-write view.
 func (s *scanNode) result(ctx *execCtx) (*multiset.Relation, error) {
 	r, err := s.lookup(ctx)
@@ -72,6 +90,17 @@ func (v *valuesNode) run(_ *execCtx, emit Emit) error {
 	return nil
 }
 
+// runBatch implements batchRunner over the literal rows.
+func (v *valuesNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	w := newBatchWriter(ctx.batchCap(), emit)
+	for _, row := range v.rows {
+		if err := w.push(tuple.New(row...), 1); err != nil {
+			return err
+		}
+	}
+	return w.flush()
+}
+
 // ---------------------------------------------------------------------------
 // Streaming unary operators
 // ---------------------------------------------------------------------------
@@ -86,6 +115,9 @@ type filterNode struct {
 func (f *filterNode) Children() []Node { return []Node{f.input} }
 func (f *filterNode) Describe() string { return fmt.Sprintf("Filter [%s]", f.pred) }
 
+// run is the scalar fast path: serial plans chain per-chunk closures with no
+// batch copies.  It must stay semantically identical to runBatch; the
+// random-expression property tests exercise both.
 func (f *filterNode) run(ctx *execCtx, emit Emit) error {
 	return ctx.run(f.input, func(t tuple.Tuple, n uint64) error {
 		ok, err := f.pred.Holds(t)
@@ -99,6 +131,32 @@ func (f *filterNode) run(ctx *execCtx, emit Emit) error {
 	})
 }
 
+// runBatch implements batchRunner: each input batch is filtered in one pass
+// into a compacted output batch, so a selective filter crosses the downstream
+// operator boundary far less than once per input tuple.
+func (f *filterNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	w := newBatchWriter(ctx.batchCap(), emit)
+	err := ctx.runBatch(f.input, func(b *Batch) error {
+		for i, t := range b.Tuples {
+			ok, err := f.pred.Holds(t)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := w.push(t, b.Counts[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return w.flush()
+}
+
 // projectNode is the streaming positional projection πα.
 type projectNode struct {
 	base
@@ -109,6 +167,7 @@ type projectNode struct {
 func (p *projectNode) Children() []Node { return []Node{p.input} }
 func (p *projectNode) Describe() string { return "Project [" + colList(p.cols) + "]" }
 
+// run is the scalar fast path of the projection (see filterNode.run).
 func (p *projectNode) run(ctx *execCtx, emit Emit) error {
 	return ctx.run(p.input, func(t tuple.Tuple, n uint64) error {
 		out, err := t.Project(p.cols)
@@ -116,6 +175,23 @@ func (p *projectNode) run(ctx *execCtx, emit Emit) error {
 			return err
 		}
 		return emit(out, n)
+	})
+}
+
+// runBatch implements batchRunner: input batches are narrowed one-to-one into
+// a mapped output batch that reuses the input's chunk structure.
+func (p *projectNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	var out Batch
+	return ctx.runBatch(p.input, func(b *Batch) error {
+		mapped(&out, b)
+		for i, t := range b.Tuples {
+			mt, err := t.Project(p.cols)
+			if err != nil {
+				return err
+			}
+			out.Tuples[i] = mt
+		}
+		return emit(&out)
 	})
 }
 
@@ -136,6 +212,8 @@ func (p *extProjectNode) Describe() string {
 	return "ExtProject [" + strings.Join(items, ", ") + "]"
 }
 
+// run is the scalar fast path of the extended projection (see
+// filterNode.run).
 func (p *extProjectNode) run(ctx *execCtx, emit Emit) error {
 	return ctx.run(p.input, func(t tuple.Tuple, n uint64) error {
 		vals := make([]value.Value, len(p.items))
@@ -147,6 +225,27 @@ func (p *extProjectNode) run(ctx *execCtx, emit Emit) error {
 			vals[i] = v
 		}
 		return emit(tuple.FromSlice(vals), n)
+	})
+}
+
+// runBatch implements batchRunner: the arithmetic items are evaluated
+// one-to-one over each input batch into a mapped output batch.
+func (p *extProjectNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	var out Batch
+	return ctx.runBatch(p.input, func(b *Batch) error {
+		mapped(&out, b)
+		for i, t := range b.Tuples {
+			vals := make([]value.Value, len(p.items))
+			for j, item := range p.items {
+				v, err := item.Eval(t)
+				if err != nil {
+					return err
+				}
+				vals[j] = v
+			}
+			out.Tuples[i] = tuple.FromSlice(vals)
+		}
+		return emit(&out)
 	})
 }
 
@@ -191,14 +290,61 @@ func (u *unionNode) run(ctx *execCtx, emit Emit) error {
 	return ctx.run(u.right, emit)
 }
 
+// runBatch implements batchRunner by streaming both operands' batches.
+func (u *unionNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	if err := ctx.runBatch(u.left, emit); err != nil {
+		return err
+	}
+	return ctx.runBatch(u.right, emit)
+}
+
 // ---------------------------------------------------------------------------
 // Joins
 // ---------------------------------------------------------------------------
 
+// joinTable is the materialised build side of a hash join: a flat node arena
+// with collision chains headed by a hash index (no per-tuple key allocation).
+// Once built it is read-only, which is what lets a parallel join build it once
+// and share it across the gang's probe workers.
+type joinTable struct {
+	nodes []joinChainNode
+	index map[uint64]int32
+	// built counts the tuple occurrences the table holds.
+	built uint64
+}
+
+// joinChainNode is one arena slot of a joinTable.
+type joinChainNode struct {
+	tup   tuple.Tuple
+	count uint64
+	next  int32
+}
+
+// newJoinTable returns an empty table pre-sized for about capacity entries.
+func newJoinTable(capacity int) *joinTable {
+	return &joinTable{
+		nodes: make([]joinChainNode, 0, capacity),
+		index: make(map[uint64]int32, capacity),
+	}
+}
+
+// insert adds one build chunk under the hash of its join columns.
+func (tb *joinTable) insert(t tuple.Tuple, n uint64, buildCols []int) {
+	h := t.HashOn(buildCols)
+	head, ok := tb.index[h]
+	if !ok {
+		head = -1
+	}
+	tb.index[h] = int32(len(tb.nodes))
+	tb.nodes = append(tb.nodes, joinChainNode{tup: t, count: n, next: head})
+	tb.built += n
+}
+
 // hashJoinNode executes an equi-join: the build side is materialised into a
-// flat node arena with collision chains headed by a hash index (no per-tuple
-// key allocation), the probe side streams.  The planner chooses the build
-// side from the cost model's cardinality estimates.
+// joinTable, the probe side streams batch-wise.  The planner chooses the
+// build side from the cost model's cardinality estimates.  Under parallel
+// execution (shared set) the table is built once by the exchange and probed
+// read-only by every worker.
 type hashJoinNode struct {
 	base
 	left, right Node
@@ -210,6 +356,10 @@ type hashJoinNode struct {
 	residual scalar.Predicate
 	// buildLeft selects the build side; the probe side is the other operand.
 	buildLeft bool
+	// shared marks a parallel join: the enclosing exchange pre-builds the
+	// table in the parent and workers only probe (their probe-side scans are
+	// morsel-partitioned, so the gang collectively probes each tuple once).
+	shared bool
 }
 
 func (j *hashJoinNode) Children() []Node { return []Node{j.left, j.right} }
@@ -225,82 +375,139 @@ func (j *hashJoinNode) Describe() string {
 		side = "left"
 	}
 	s := fmt.Sprintf("HashJoin [%s] build=%s", strings.Join(pairs, ", "), side)
+	if j.shared {
+		s += " shared"
+	}
 	if j.residual != nil {
 		s += fmt.Sprintf(" residual=[%s]", j.residual)
 	}
 	return s
 }
 
-func (j *hashJoinNode) run(ctx *execCtx, emit Emit) error {
-	build, probe := j.right, j.left
-	buildCols, probeCols := j.rightCols, j.leftCols
+// buildSide returns the build operand and its join columns.
+func (j *hashJoinNode) buildSide() (Node, []int) {
 	if j.buildLeft {
-		build, probe = j.left, j.right
-		buildCols, probeCols = j.leftCols, j.rightCols
+		return j.left, j.leftCols
 	}
+	return j.right, j.rightCols
+}
 
-	type chainNode struct {
-		tup   tuple.Tuple
-		count uint64
-		next  int32
+// probeSide returns the probe operand and its join columns.
+func (j *hashJoinNode) probeSide() (Node, []int) {
+	if j.buildLeft {
+		return j.right, j.rightCols
 	}
-	nodes := make([]chainNode, 0, capacityFor(build.meta().capHint))
-	index := make(map[uint64]int32, capacityFor(build.meta().capHint))
-	var built uint64
+	return j.left, j.leftCols
+}
+
+// buildTable materialises the build side into a fresh joinTable, charging the
+// held tuples to the operator's state.
+func (j *hashJoinNode) buildTable(ctx *execCtx) (*joinTable, error) {
+	build, buildCols := j.buildSide()
+	tb := newJoinTable(capacityFor(build.meta().capHint))
 	err := ctx.run(build, func(t tuple.Tuple, n uint64) error {
-		h := t.HashOn(buildCols)
-		head, ok := index[h]
-		if !ok {
-			head = -1
-		}
-		index[h] = int32(len(nodes))
-		nodes = append(nodes, chainNode{tup: t, count: n, next: head})
-		built += n
+		tb.insert(t, n, buildCols)
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	ctx.materialised(j, built)
-	if len(nodes) == 0 {
+	ctx.materialised(j, tb.built)
+	return tb, nil
+}
+
+// probeOne probes the table with one chunk (pt, pc), emitting every joined
+// match: the single copy of the match loop shared by the scalar and batched
+// probe paths.
+func (j *hashJoinNode) probeOne(tb *joinTable, pt tuple.Tuple, pc uint64, probeCols, buildCols []int, emit Emit) error {
+	head, ok := tb.index[pt.HashOn(probeCols)]
+	if !ok {
+		return nil
+	}
+	for i := head; i != -1; i = tb.nodes[i].next {
+		bt := tb.nodes[i].tup
+		if !equalOn(pt, probeCols, bt, buildCols) {
+			continue
+		}
+		var joined tuple.Tuple
+		if j.buildLeft {
+			joined = bt.Concat(pt)
+		} else {
+			joined = pt.Concat(bt)
+		}
+		if j.residual != nil {
+			ok, err := j.residual.Holds(joined)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if err := emit(joined, pc*tb.nodes[i].count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run is the scalar fast path of the join: the probe side streams per chunk
+// with no batch copies (see filterNode.run).
+func (j *hashJoinNode) run(ctx *execCtx, emit Emit) error {
+	tb := ctx.sharedBuild(j)
+	if tb == nil {
+		var err error
+		tb, err = j.buildTable(ctx)
+		if err != nil {
+			return err
+		}
+	}
+	probe, probeCols := j.probeSide()
+	if len(tb.nodes) == 0 {
 		// An empty build side makes the join empty: skip hashing and probing.
 		// The probe side still runs (discarding its output) because the
 		// algebra is strict — errors in the probe subtree must surface even
 		// when no tuple could join.
 		return ctx.run(probe, discard)
 	}
-
+	_, buildCols := j.buildSide()
 	return ctx.run(probe, func(pt tuple.Tuple, pc uint64) error {
-		head, ok := index[pt.HashOn(probeCols)]
-		if !ok {
-			return nil
+		return j.probeOne(tb, pt, pc, probeCols, buildCols, emit)
+	})
+}
+
+// runBatch implements batchRunner: the probe stream is consumed batch-wise
+// and the joined output is re-batched, so a join pipeline crosses operator
+// boundaries once per batch on both sides of the table.
+func (j *hashJoinNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	tb := ctx.sharedBuild(j)
+	if tb == nil {
+		var err error
+		tb, err = j.buildTable(ctx)
+		if err != nil {
+			return err
 		}
-		for i := head; i != -1; i = nodes[i].next {
-			bt := nodes[i].tup
-			if !equalOn(pt, probeCols, bt, buildCols) {
-				continue
-			}
-			var joined tuple.Tuple
-			if j.buildLeft {
-				joined = bt.Concat(pt)
-			} else {
-				joined = pt.Concat(bt)
-			}
-			if j.residual != nil {
-				ok, err := j.residual.Holds(joined)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-			}
-			if err := emit(joined, pc*nodes[i].count); err != nil {
+	}
+	probe, probeCols := j.probeSide()
+	if len(tb.nodes) == 0 {
+		// Strictness, as in run: the probe side still executes.
+		return ctx.runBatch(probe, discardBatch)
+	}
+
+	_, buildCols := j.buildSide()
+	w := newBatchWriter(ctx.batchCap(), emit)
+	err := ctx.runBatch(probe, func(b *Batch) error {
+		for k, pt := range b.Tuples {
+			if err := j.probeOne(tb, pt, b.Counts[k], probeCols, buildCols, w.push); err != nil {
 				return err
 			}
 		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	return w.flush()
 }
 
 // nestedLoopNode executes a θ-join with no hashable conjunct (or a bare
@@ -501,6 +708,9 @@ func (t *tcloseNode) result(ctx *execCtx) (*multiset.Relation, error) {
 // discard consumes a stream without keeping anything; joins use it to run a
 // side whose output cannot contribute but whose errors must still surface.
 func discard(tuple.Tuple, uint64) error { return nil }
+
+// discardBatch is discard for batched streams.
+func discardBatch(*Batch) error { return nil }
 
 // each streams a materialised relation into emit.
 func each(r *multiset.Relation, emit Emit) error {

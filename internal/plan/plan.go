@@ -20,6 +20,17 @@
 // inputs), and consumers must add multiplicities rather than assume
 // distinctness.  Chunk order is unspecified — relations are unordered.
 //
+// The contract has a vectorised form (batch.go): operators with a native
+// batch path additionally implement runBatch, which emits Batch vectors of
+// chunks instead of single chunks, amortising the per-chunk call overhead
+// across operator boundaries.  Consumers drive whichever form they prefer
+// through execCtx.run / execCtx.runBatch; adapters bridge the two directions
+// (unbatched splits batches into chunks, the fallback shim buffers chunks
+// into batches), so batch-native and chunk-at-a-time operators compose
+// freely and both forms denote the same multi-set.  A batch is only valid
+// for the duration of the EmitBatch call — producers reuse its backing
+// slices — while the tuples inside it may be retained as usual.
+//
 // Ownership: emitted tuples are immutable and may be retained by the
 // consumer; they are often shared with the source relations.  Schema
 // propagation happens entirely at plan time: every node carries its output
@@ -41,8 +52,13 @@
 // When the planner runs with Workers > 1 it inserts exchange operators
 // (exchange.go) around eligible shapes: a Merge node runs its subtree once
 // per worker on the runtime of package exec, and Partition nodes inside that
-// subtree split the streams by hash range so each worker sees a disjoint
-// slice.  Bag semantics make this exact: multiplicities sum across disjoint
+// subtree split the inputs so each worker sees a disjoint slice.  Scans are
+// split morsel-wise — workers steal fixed-size entry ranges from a shared
+// queue, so a skewed slice never serialises the gang — while operators that
+// need key-consistent splits (grouped aggregation, the set operators)
+// partition statically by hash.  Parallel hash joins build their table once,
+// in the parent, and share it read-only across the gang's probe workers.
+// Bag semantics make every split exact: multiplicities sum across disjoint
 // partitions, so the merged partials equal the serial result.
 //
 // The Emit contract is per worker under parallel execution: within one worker
@@ -171,6 +187,8 @@ type Plan struct {
 	Root Node
 	// nodes lists all operators in pre-order; ids index into it.
 	nodes []Node
+	// batchSize is the emit batch size the planner chose for this plan.
+	batchSize int
 }
 
 // Execute runs the plan against a source and materialises the root stream
@@ -185,7 +203,7 @@ func (p *Plan) ExecuteStats(src Source, st *Stats) (*multiset.Relation, error) {
 }
 
 func (p *Plan) exec(src Source, st *Stats) (*multiset.Relation, error) {
-	ctx := &execCtx{src: src, stats: st}
+	ctx := &execCtx{src: src, stats: st, batchSize: p.batchSize}
 	if st != nil {
 		ctx.perOp = make([]OperatorStats, len(p.nodes))
 		for i, n := range p.nodes {
@@ -198,10 +216,7 @@ func (p *Plan) exec(src Source, st *Stats) (*multiset.Relation, error) {
 		out, err = ctx.result(m)
 	} else {
 		out = multiset.NewWithCapacity(p.Root.Schema(), capacityFor(p.Root.meta().capHint))
-		err = ctx.run(p.Root, func(t tuple.Tuple, n uint64) error {
-			out.Add(t, n)
-			return nil
-		})
+		err = ctx.collect(p.Root, out)
 	}
 	if st != nil {
 		st.PerOperator = append(st.PerOperator, ctx.perOp...)
@@ -248,18 +263,31 @@ type execCtx struct {
 	src   Source
 	stats *Stats
 	perOp []OperatorStats
+	// batchSize is the emit batch size; zero selects DefaultBatchSize.
+	batchSize int
 	// worker and workers identify the partition slice this context executes:
 	// Partition nodes pass through only the chunks owned by worker (of
 	// workers).  workers <= 1 means serial execution.
 	worker  int
 	workers int
+	// gang is the shared read-only state of the enclosing exchange (morsel
+	// queues, pre-built join tables); nil outside parallel regions.
+	gang *gangState
+}
+
+// batchCap returns the effective emit batch size.
+func (ctx *execCtx) batchCap() int {
+	if ctx.batchSize > 0 {
+		return ctx.batchSize
+	}
+	return DefaultBatchSize
 }
 
 // workerCtx derives worker w's private context for a gang of the given width.
 // Statistics, when enabled on the parent, are recorded into fresh per-worker
 // counters and folded back by foldWorkers.
-func (ctx *execCtx) workerCtx(w, workers int) *execCtx {
-	wctx := &execCtx{src: ctx.src, worker: w, workers: workers}
+func (ctx *execCtx) workerCtx(w, workers int, gang *gangState) *execCtx {
+	wctx := &execCtx{src: ctx.src, batchSize: ctx.batchSize, worker: w, workers: workers, gang: gang}
 	if ctx.stats != nil {
 		wctx.stats = &Stats{}
 		wctx.perOp = make([]OperatorStats, len(ctx.perOp))
@@ -299,6 +327,39 @@ func (ctx *execCtx) run(n Node, emit Emit) error {
 		emitted += c
 		return emit(t, c)
 	})
+	ctx.record(n, emitted)
+	return err
+}
+
+// runBatch streams a node's output into emit batch-wise, recording emission
+// statistics for non-leaf operators when enabled.  Operators without a native
+// batch path are adapted through the fallback shim.
+func (ctx *execCtx) runBatch(n Node, emit EmitBatch) error {
+	bn, native := n.(batchRunner)
+	if ctx.stats == nil || len(n.Children()) == 0 {
+		if native {
+			return bn.runBatch(ctx, emit)
+		}
+		return shimBatches(ctx, n, emit)
+	}
+	var emitted uint64
+	wrapped := func(b *Batch) error {
+		emitted += b.Total()
+		return emit(b)
+	}
+	var err error
+	if native {
+		err = bn.runBatch(ctx, wrapped)
+	} else {
+		err = shimBatches(ctx, n, wrapped)
+	}
+	ctx.record(n, emitted)
+	return err
+}
+
+// record accounts one finished operator execution that emitted the given
+// number of tuple occurrences.
+func (ctx *execCtx) record(n Node, emitted uint64) {
 	st := ctx.stats
 	st.Operators++
 	st.IntermediateTuples += emitted
@@ -306,7 +367,6 @@ func (ctx *execCtx) run(n Node, emit Emit) error {
 		st.PeakRelationTuples = emitted
 	}
 	ctx.perOp[n.meta().id].Emitted += emitted
-	return err
 }
 
 // result produces a materializer node's full relation, recording the same
@@ -336,14 +396,30 @@ func (ctx *execCtx) materialize(n Node) (*multiset.Relation, error) {
 		return ctx.result(m)
 	}
 	out := multiset.NewWithCapacity(n.Schema(), capacityFor(n.meta().capHint))
-	err := ctx.run(n, func(t tuple.Tuple, c uint64) error {
-		out.Add(t, c)
-		return nil
-	})
-	if err != nil {
+	if err := ctx.collect(n, out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// collect streams a node's output into a relation, picking the cheaper side
+// of the dual contract.  Inside a parallel worker, batch-native subtrees are
+// consumed batch-wise — their batches are read in place by AddBatch, and
+// vectorised emission is what amortises the per-chunk call across the
+// gang's per-worker streams.  Serial plans (and chunk-at-a-time subtrees)
+// run the scalar fast path instead: with no exchange in play, batching
+// would only buy buffer copies between the same two loops.
+func (ctx *execCtx) collect(n Node, out *multiset.Relation) error {
+	if _, native := n.(batchRunner); native && ctx.workers > 1 {
+		return ctx.runBatch(n, func(b *Batch) error {
+			out.AddBatch(b.Tuples, b.Counts)
+			return nil
+		})
+	}
+	return ctx.run(n, func(t tuple.Tuple, c uint64) error {
+		out.Add(t, c)
+		return nil
+	})
 }
 
 // materialised records tuples held in an operator's internal state.

@@ -39,6 +39,19 @@ type Planner struct {
 	// ParallelThreshold overrides DefaultParallelThreshold when positive: the
 	// estimated input cardinality below which a shape stays serial.
 	ParallelThreshold float64
+	// MorselSize overrides the cost model's per-scan morsel sizing when
+	// positive: every morsel partition of compiled plans claims entry ranges
+	// of exactly this size.  At zero the planner sizes each scan's morsels
+	// from its estimated distinct count and the gang width (morselSizeFor).
+	MorselSize int
+	// BatchSize overrides DefaultBatchSize when positive: the number of
+	// chunks per emitted batch in compiled plans.
+	BatchSize int
+	// StaticSlices reverts scan scheduling to the pre-morsel runtime — one
+	// static full-tuple hash slice per worker — for benchmarking the
+	// scheduler against its baseline.  Hash joins keep their shared build;
+	// only the scan split changes.
+	StaticSlices bool
 }
 
 // NewPlanner returns a serial planner drawing base cardinalities from cards
@@ -54,7 +67,7 @@ func (pl *Planner) Plan(e algebra.Expr, cat algebra.Catalog) (*Plan, error) {
 		return nil, err
 	}
 	root = pl.parallelize(root)
-	p := &Plan{Root: root, nodes: make([]Node, 0, 8)}
+	p := &Plan{Root: root, nodes: make([]Node, 0, 8), batchSize: pl.BatchSize}
 	number(root, &p.nodes)
 	return p, nil
 }

@@ -113,7 +113,7 @@ func (pl *Planner) PlanOrdered(e algebra.Expr, cat algebra.Catalog, keys []SortK
 	s.est = root.Estimate()
 	s.exactEst = root.meta().exactEst
 	s.capHint = root.meta().capHint
-	p := &Plan{Root: s, nodes: make([]Node, 0, 8)}
+	p := &Plan{Root: s, nodes: make([]Node, 0, 8), batchSize: pl.BatchSize}
 	number(s, &p.nodes)
 	return p, nil
 }
@@ -124,7 +124,7 @@ func (pl *Planner) PlanOrdered(e algebra.Expr, cat algebra.Catalog, keys []SortK
 // order-producing operator — a Sort, as built by PlanOrdered.  st, when
 // non-nil, accumulates per-operator statistics as in ExecuteStats.
 func (p *Plan) ExecuteOrdered(src Source, st *Stats) ([]tuple.Tuple, *multiset.Relation, error) {
-	ctx := &execCtx{src: src, stats: st}
+	ctx := &execCtx{src: src, stats: st, batchSize: p.batchSize}
 	if st != nil {
 		ctx.perOp = make([]OperatorStats, len(p.nodes))
 		for i, n := range p.nodes {
