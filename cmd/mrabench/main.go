@@ -484,13 +484,15 @@ func compareBaseline(fresh benchFile, baselinePath string, maxRatio float64) err
 // the same-named serial entries by hand or in the run's stderr summary.
 const parallelWorkers = 4
 
-// writeBenchJSON runs the E1/E2 benchmark set (the same expression shapes as
-// the testing.B benchmarks at the repository root) through testing.Benchmark
-// and writes the series as BENCH_<label>.json, the machine-readable baseline
-// future performance PRs are compared against.  The main series runs at the
-// -workers count (default serial); shapes the planner can parallelise are
-// additionally measured as `/parallel-w4` variants.  It returns the series it
-// measured so callers can compare it against a committed baseline.
+// writeBenchJSON runs the benchmark series (E1/E2 operator shapes, the E11
+// skewed-scheduler set, and the E12 aggregate workloads) through
+// testing.Benchmark and writes them as BENCH_<label>.json, the
+// machine-readable baseline future performance PRs are compared against.  The
+// main series runs at the -workers count (default serial); shapes the planner
+// can parallelise are additionally measured as `/parallel-w4` variants, with
+// `-static` (legacy scan scheduler) and `-onephase` (legacy key-partitioned
+// aggregate) baselines beside the morsel/two-phase defaults.  It returns the
+// series it measured so callers can compare it against a committed baseline.
 func writeBenchJSON(label string) (benchFile, error) {
 	evalLoopEng := func(expr algebra.Expr, src eval.Source, eng eval.Engine) func(b *testing.B) {
 		return func(b *testing.B) {
@@ -602,6 +604,43 @@ func writeBenchJSON(label string) (benchFile, error) {
 	addScheduler("E11_SkewedJoin/zipf-probe",
 		algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim")), sksrc)
 
+	// addAggPhases measures one aggregate shape three ways: serial, through
+	// the two-phase partial/merge exchange (the parallel default), and
+	// through the legacy one-phase key-partitioned exchange (kept behind
+	// Planner.OnePhaseAgg exactly for this comparison; global aggregates plan
+	// serial under it, so their onephase entry measures the serial fallback).
+	addAggPhases := func(name string, expr algebra.Expr, src eval.Source) {
+		add(name, evalLoop(expr, src))
+		add(fmt.Sprintf("%s/parallel-w%d", name, parallelWorkers),
+			evalLoopEng(expr, src, eval.Engine{Workers: parallelWorkers, MorselSize: morselSize}))
+		add(fmt.Sprintf("%s/parallel-w%d-onephase", name, parallelWorkers),
+			evalLoopEng(expr, src, eval.Engine{Workers: parallelWorkers, OnePhaseAgg: true}))
+	}
+
+	// E12 — aggregate workloads for the decomposable two-phase subsystem:
+	// grouped aggregation at low and high group cardinality, Zipf-skewed
+	// group keys (hot groups whose streams serialise behind one worker under
+	// the one-phase key partition), multi-aggregate grouping, and global
+	// aggregates (parallel only via partial-state merging).
+	loAgg, _ := workload.JoinPair(workload.JoinConfig{LeftTuples: 20000, RightTuples: 16, KeyRange: 16, Seed: 20})
+	hiAgg, _ := workload.JoinPair(workload.JoinConfig{LeftTuples: 20000, RightTuples: 100, KeyRange: 10000, Seed: 21})
+	zipfAgg, _ := workload.JoinPair(workload.JoinConfig{LeftTuples: 20000, RightTuples: 100, KeyRange: 100, Skew: 1.4, Seed: 22})
+	asrc := eval.MapSource{"lo": loAgg, "hi": hiAgg, "zipf": zipfAgg}
+	addAggPhases("E12_GroupedAgg/low-card-sum",
+		algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("lo")), asrc)
+	addAggPhases("E12_GroupedAgg/high-card-sum",
+		algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("hi")), asrc)
+	addAggPhases("E12_GroupedAgg/zipf-sum",
+		algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("zipf")), asrc)
+	addAggPhases("E12_MultiAgg/zipf-cnt-sum-max",
+		algebra.NewGroupByMulti([]int{0}, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1}, {Fn: algebra.AggMax, Col: 1},
+		}, algebra.NewRel("zipf")), asrc)
+	addAggPhases("E12_GlobalAgg/zipf-cnt-sum-min",
+		algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1}, {Fn: algebra.AggMin, Col: 1},
+		}, algebra.NewRel("zipf")), asrc)
+
 	out := benchFile{
 		Label:     label,
 		Source:    "mrabench -json",
@@ -637,7 +676,15 @@ func writeBenchJSON(label string) (benchFile, error) {
 	}
 	msuffix := fmt.Sprintf("/parallel-w%d", parallelWorkers)
 	ssuffix := msuffix + "-static"
+	osuffix := msuffix + "-onephase"
 	for _, b := range out.Benchmarks {
+		if serialName, ok := strings.CutSuffix(b.Name, osuffix); ok {
+			if twoPhase, ok := byName[serialName+msuffix]; ok && b.NsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "twophase-vs-onephase w=%d %s: %.2fx (%.0f vs %.0f ns/op)\n",
+					parallelWorkers, serialName, twoPhase.NsPerOp/b.NsPerOp, twoPhase.NsPerOp, b.NsPerOp)
+			}
+			continue
+		}
 		if serialName, ok := strings.CutSuffix(b.Name, ssuffix); ok {
 			if base, ok := byName[serialName]; ok && base.NsPerOp > 0 {
 				fmt.Fprintf(os.Stderr, "static w=%d %s: %.2fx serial (%.0f vs %.0f ns/op)\n",

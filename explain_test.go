@@ -174,3 +174,71 @@ func TestExplainParallelExchange(t *testing.T) {
 		t.Errorf("a 100-tuple pipeline must stay serial:\n%s", exSmall.Physical)
 	}
 }
+
+// TestExplainTwoPhaseAggregate pins the explain rendering of the two-phase
+// parallel aggregate: a GroupMerge gang boundary above a partial
+// HashAggregate whose input is morsel-partitioned.  Workers pre-aggregate
+// their morsels into partial states; the GroupMerge merges the per-worker
+// partial groups — which is also what makes the global (ungrouped) aggregate
+// parallel at all.
+func TestExplainTwoPhaseAggregate(t *testing.T) {
+	db := Open()
+	db.MustCreateRelation("fact", Col("key", Int), Col("payload", Int))
+	factRows := make([][]any, 0, 1500)
+	for i := 0; i < 1500; i++ {
+		factRows = append(factRows, []any{i % 100, i})
+	}
+	if err := db.InsertValues("fact", factRows...); err != nil {
+		t.Fatal(err)
+	}
+	serialGrouped, err := db.QueryXRA("groupby[(%1),SUM,%2](fact)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db.SetWorkers(4)
+	ex, err := db.Explain("groupby[(%1),SUM,%2](fact)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGrouped := strings.Join([]string{
+		"GroupMerge [workers=4]  (~300 rows)",
+		"└─ HashAggregate [(%1) SUM(%2)] partial  (~300 rows)",
+		"   └─ Partition [morsel size=64]  (1500 rows)",
+		"      └─ Scan fact  (1500 rows)",
+	}, "\n")
+	if ex.Physical != wantGrouped {
+		t.Errorf("two-phase grouped plan:\n%s\nwant:\n%s", ex.Physical, wantGrouped)
+	}
+
+	exGlobal, err := db.Explain("groupby[(),CNT,%1,MAX,%2](fact)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGlobal := strings.Join([]string{
+		"GroupMerge [workers=4]  (~1 rows)",
+		"└─ HashAggregate [() CNT(%1), MAX(%2)] partial  (~1 rows)",
+		"   └─ Partition [morsel size=64]  (1500 rows)",
+		"      └─ Scan fact  (1500 rows)",
+	}, "\n")
+	if exGlobal.Physical != wantGlobal {
+		t.Errorf("two-phase global plan:\n%s\nwant:\n%s", exGlobal.Physical, wantGlobal)
+	}
+
+	// The rendered plan executes to the serial result.
+	parallelGrouped, err := db.QueryXRA("groupby[(%1),SUM,%2](fact)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallelGrouped.Len() != serialGrouped.Len() || parallelGrouped.DistinctLen() != 100 {
+		t.Errorf("two-phase grouped result %d/%d rows, serial %d/%d",
+			parallelGrouped.Len(), parallelGrouped.DistinctLen(), serialGrouped.Len(), serialGrouped.DistinctLen())
+	}
+	global, err := db.QuerySQL("SELECT COUNT(*), MAX(payload) FROM fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := global.Rows(); len(rows) != 1 || rows[0][0] != int64(1500) || rows[0][1] != int64(1499) {
+		t.Errorf("parallel global aggregate rows = %v", global.Rows())
+	}
+}

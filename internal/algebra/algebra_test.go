@@ -352,7 +352,7 @@ func TestGroupBySchema(t *testing.T) {
 	if s.Attribute(1).Name != "avg" {
 		t.Errorf("default aggregate column name = %q", s.Attribute(1).Name)
 	}
-	named := GroupBy{GroupCols: []int{5}, Agg: AggAvg, AggCol: 2, Name: "avg_alc", Input: join}
+	named := GroupBy{GroupCols: []int{5}, Aggs: []AggSpec{{Fn: AggAvg, Col: 2, Name: "avg_alc"}}, Input: join}
 	s2, _ := named.Schema(cat)
 	if s2.Attribute(1).Name != "avg_alc" {
 		t.Error("explicit aggregate column name")
@@ -381,6 +381,54 @@ func TestGroupBySchema(t *testing.T) {
 	}
 	if _, err := NewGroupBy([]int{0}, AggCount, 0, NewRel("wine")).Schema(cat); err == nil {
 		t.Error("input error propagates")
+	}
+}
+
+func TestGroupByMultiAggregateSchema(t *testing.T) {
+	cat := beerCatalog()
+	// Γ_{(brewery), CNT, AVG alcperc, MAX alcperc}: grouping column followed
+	// by one column per aggregate, in list order.
+	g := NewGroupByMulti([]int{1}, []AggSpec{
+		{Fn: AggCount, Col: 0}, {Fn: AggAvg, Col: 2}, {Fn: AggMax, Col: 2, Name: "peak"},
+	}, NewRel("beer"))
+	s, err := g.Schema(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 4 || s.Attribute(0).Name != "brewery" ||
+		s.Attribute(1).Name != "cnt" || s.Attribute(1).Type != value.KindInt ||
+		s.Attribute(2).Name != "avg" || s.Attribute(2).Type != value.KindFloat ||
+		s.Attribute(3).Name != "peak" {
+		t.Errorf("multi-aggregate schema = %v", s)
+	}
+	if want := "groupby[(%2),CNT,%1,AVG,%3,MAX,%3]"; !strings.HasPrefix(g.String(), want) {
+		t.Errorf("multi-aggregate string = %q, want prefix %q", g.String(), want)
+	}
+	// Colliding defaulted names stay anonymous instead of failing validation.
+	dup, err := NewGroupByMulti([]int{1}, []AggSpec{
+		{Fn: AggCount, Col: 0}, {Fn: AggCount, Col: 2},
+	}, NewRel("beer")).Schema(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Attribute(1).Name != "cnt" || dup.Attribute(2).Name != "" {
+		t.Errorf("defaulted duplicate names = %q, %q", dup.Attribute(1).Name, dup.Attribute(2).Name)
+	}
+	// Explicitly colliding names fail loudly.
+	if _, err := NewGroupByMulti([]int{1}, []AggSpec{
+		{Fn: AggCount, Col: 0, Name: "x"}, {Fn: AggMax, Col: 2, Name: "x"},
+	}, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("explicit duplicate aggregate names must fail")
+	}
+	// An empty aggregate list is not a groupby.
+	if _, err := (GroupBy{GroupCols: []int{1}, Input: NewRel("beer")}).Schema(cat); err == nil {
+		t.Error("empty aggregate list must fail")
+	}
+	// A bad column in any list member propagates.
+	if _, err := NewGroupByMulti(nil, []AggSpec{
+		{Fn: AggCount, Col: 0}, {Fn: AggSum, Col: 9},
+	}, NewRel("beer")).Schema(cat); err == nil {
+		t.Error("out-of-range aggregate attribute in the list must fail")
 	}
 }
 

@@ -181,31 +181,57 @@ func (u Unique) Children() []Expr { return []Expr{u.Input} }
 // String implements Expr.
 func (u Unique) String() string { return fmt.Sprintf("unique(%s)", u.Input) }
 
-// GroupBy is the groupby expression Γ_{α,f,p}(E) of Definition 3.4: it
+// AggSpec is one aggregate application (f, p) of a groupby expression: the
+// aggregate function, the 0-based position of its attribute parameter, and an
+// optional output column name.
+type AggSpec struct {
+	// Fn is the aggregate function f of Definition 3.3.
+	Fn Aggregate
+	// Col is the 0-based position of the aggregated attribute p.  For CNT it
+	// is a dummy parameter (any valid position), kept for syntactical
+	// uniformity as in the paper.
+	Col int
+	// Name optionally names the aggregate output column; empty selects the
+	// lower-cased aggregate function name (or stays anonymous when that would
+	// collide with an earlier output column).
+	Name string
+}
+
+// GroupBy is the groupby expression Γ_{α,f,p}(E) of Definition 3.4,
+// generalised to a list of aggregate applications computed in one pass: it
 // partitions E by equality on the (duplicate-free) grouping attribute list α
-// and computes the aggregate f on attribute p per group.  The result schema is
-// π_α(𝓔) ⊕ ran(f): the grouping attributes followed by one aggregate column.
-// With an empty α the aggregate is computed over the whole input and the
-// result is a single one-attribute tuple.
+// and computes every aggregate (fᵢ, pᵢ) per group.  The result schema is
+// π_α(𝓔) ⊕ ran(f₁) ⊕ … ⊕ ran(fₖ): the grouping attributes followed by one
+// column per aggregate.  The paper's single-aggregate operator is the
+// degenerate case len(Aggs) == 1 (NewGroupBy); the generalisation is sound
+// because every aggregate is computed over the same partition of E, so the
+// multi-aggregate form equals the α-join of the single-aggregate forms
+// without materialising the join.  With an empty α the aggregates are
+// computed over the whole input and the result is a single tuple.
 type GroupBy struct {
 	// GroupCols are the 0-based grouping attribute positions (α); they must
 	// not repeat.
 	GroupCols []int
-	// Agg is the aggregate function f.
-	Agg Aggregate
-	// AggCol is the 0-based position of the aggregated attribute p.  For CNT
-	// it is a dummy parameter (any valid position).
-	AggCol int
-	// Name optionally names the aggregate output column.
-	Name  string
+	// Aggs are the aggregate applications, in output-column order; the list
+	// must not be empty.
+	Aggs  []AggSpec
 	Input Expr
 }
 
-// NewGroupBy returns a groupby expression.
+// NewGroupBy returns a single-aggregate groupby expression — the paper's
+// Γ_{α,f,p}(E), the degenerate case of the multi-aggregate form.
 func NewGroupBy(groupCols []int, agg Aggregate, aggCol int, input Expr) GroupBy {
+	return NewGroupByMulti(groupCols, []AggSpec{{Fn: agg, Col: aggCol}}, input)
+}
+
+// NewGroupByMulti returns a groupby expression computing every aggregate of
+// the list in one pass over the grouped input.
+func NewGroupByMulti(groupCols []int, aggs []AggSpec, input Expr) GroupBy {
 	cp := make([]int, len(groupCols))
 	copy(cp, groupCols)
-	return GroupBy{GroupCols: cp, Agg: agg, AggCol: aggCol, Input: input}
+	ac := make([]AggSpec, len(aggs))
+	copy(ac, aggs)
+	return GroupBy{GroupCols: cp, Aggs: ac, Input: input}
 }
 
 // Schema implements Expr.
@@ -213,6 +239,9 @@ func (g GroupBy) Schema(cat Catalog) (schema.Relation, error) {
 	in, err := g.Input.Schema(cat)
 	if err != nil {
 		return schema.Relation{}, err
+	}
+	if len(g.Aggs) == 0 {
+		return schema.Relation{}, fmt.Errorf("%w: groupby without an aggregate function", ErrPlan)
 	}
 	seen := make(map[int]struct{}, len(g.GroupCols))
 	for _, c := range g.GroupCols {
@@ -224,22 +253,41 @@ func (g GroupBy) Schema(cat Catalog) (schema.Relation, error) {
 		}
 		seen[c] = struct{}{}
 	}
-	if g.AggCol < 0 || g.AggCol >= in.Arity() {
-		return schema.Relation{}, fmt.Errorf("%w: aggregate attribute %%%d out of range for %s", ErrPlan, g.AggCol+1, in)
-	}
-	aggKind, err := g.Agg.ResultKind(in.Attribute(g.AggCol).Type)
-	if err != nil {
-		return schema.Relation{}, err
-	}
 	grouped, err := in.Project(g.GroupCols)
 	if err != nil {
 		return schema.Relation{}, fmt.Errorf("%w: %v", ErrPlan, err)
 	}
-	name := g.Name
-	if name == "" {
-		name = strings.ToLower(g.Agg.String())
+	// Default aggregate column names fall back to anonymous when they would
+	// collide with an earlier output column; explicit names collide loudly in
+	// Validate below.
+	used := make(map[string]struct{}, grouped.Arity()+len(g.Aggs))
+	for i := 0; i < grouped.Arity(); i++ {
+		if n := grouped.Attribute(i).Name; n != "" {
+			used[strings.ToLower(n)] = struct{}{}
+		}
 	}
-	out := grouped.Concat(schema.Anonymous(schema.Attribute{Name: name, Type: aggKind}))
+	aggAttrs := make([]schema.Attribute, len(g.Aggs))
+	for i, sp := range g.Aggs {
+		if sp.Col < 0 || sp.Col >= in.Arity() {
+			return schema.Relation{}, fmt.Errorf("%w: aggregate attribute %%%d out of range for %s", ErrPlan, sp.Col+1, in)
+		}
+		aggKind, err := sp.Fn.ResultKind(in.Attribute(sp.Col).Type)
+		if err != nil {
+			return schema.Relation{}, err
+		}
+		name := sp.Name
+		if name == "" {
+			name = strings.ToLower(sp.Fn.String())
+			if _, dup := used[name]; dup {
+				name = ""
+			}
+		}
+		if name != "" {
+			used[strings.ToLower(name)] = struct{}{}
+		}
+		aggAttrs[i] = schema.Attribute{Name: name, Type: aggKind}
+	}
+	out := grouped.Concat(schema.Anonymous(aggAttrs...))
 	if err := out.Validate(); err != nil {
 		return schema.Relation{}, fmt.Errorf("%w: %v", ErrPlan, err)
 	}
@@ -255,7 +303,13 @@ func (g GroupBy) String() string {
 	for i, c := range g.GroupCols {
 		cols[i] = fmt.Sprintf("%%%d", c+1)
 	}
-	return fmt.Sprintf("groupby[(%s),%s,%%%d](%s)", strings.Join(cols, ","), g.Agg, g.AggCol+1, g.Input)
+	var b strings.Builder
+	fmt.Fprintf(&b, "groupby[(%s)", strings.Join(cols, ","))
+	for _, sp := range g.Aggs {
+		fmt.Fprintf(&b, ",%s,%%%d", sp.Fn, sp.Col+1)
+	}
+	fmt.Fprintf(&b, "](%s)", g.Input)
+	return b.String()
 }
 
 // TClose is the transitive-closure operator over a binary relation, the

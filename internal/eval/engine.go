@@ -44,6 +44,10 @@ type Engine struct {
 	// one-static-slice-per-worker split, for benchmarking the morsel
 	// scheduler against its baseline.
 	StaticSlices bool
+	// OnePhaseAgg reverts parallel grouped aggregation to the legacy
+	// one-phase key-partitioned shape, for benchmarking the two-phase
+	// partial/merge aggregate against its baseline.
+	OnePhaseAgg bool
 }
 
 // Stats aggregates intermediate result sizes per physical operator, counting
@@ -62,6 +66,7 @@ func (e *Engine) planner(src Source) *plan.Planner {
 		MorselSize:        e.MorselSize,
 		BatchSize:         e.BatchSize,
 		StaticSlices:      e.StaticSlices,
+		OnePhaseAgg:       e.OnePhaseAgg,
 	}
 }
 

@@ -336,8 +336,52 @@ func TestGroupByVariants(t *testing.T) {
 		t.Errorf("integer SUM = %v", isum)
 	}
 	// Aggregation over a non-numeric attribute with SUM fails at eval time too.
-	if _, err := (Reference{}).Eval(algebra.GroupBy{GroupCols: nil, Agg: algebra.AggSum, AggCol: 0, Input: algebra.NewRel("beer")}, src); err == nil {
+	if _, err := (Reference{}).Eval(algebra.NewGroupBy(nil, algebra.AggSum, 0, algebra.NewRel("beer")), src); err == nil {
 		t.Error("SUM over strings must fail")
+	}
+}
+
+// TestGroupByMultiAggregate checks the multi-aggregate Γ on both evaluators:
+// several aggregates computed in one pass equal the α-join of their
+// single-aggregate runs, grouped and globally.
+func TestGroupByMultiAggregate(t *testing.T) {
+	src := beerSource()
+	// CNT + SUM + MIN + MAX of alcperc per brewery, one pass.
+	multi := bothEvaluators(t, algebra.NewGroupByMulti([]int{1}, []algebra.AggSpec{
+		{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 2},
+		{Fn: algebra.AggMin, Col: 2}, {Fn: algebra.AggMax, Col: 2},
+	}, algebra.NewRel("beer")), src)
+	if multi.Multiplicity(tuple.New(
+		value.NewString("guineken"), value.NewInt(2), value.NewFloat(11.5),
+		value.NewFloat(5.0), value.NewFloat(6.5))) != 1 {
+		t.Errorf("multi-aggregate per brewery = %v", multi)
+	}
+	// Each column equals the corresponding single-aggregate run.
+	cnt := bothEvaluators(t, algebra.NewGroupBy([]int{1}, algebra.AggCount, 0, algebra.NewRel("beer")), src)
+	fromMulti := bothEvaluators(t, algebra.NewProject([]int{0, 1}, algebra.NewGroupByMulti([]int{1}, []algebra.AggSpec{
+		{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 2},
+	}, algebra.NewRel("beer"))), src)
+	if !cnt.Equal(fromMulti) {
+		t.Errorf("multi-aggregate CNT column differs:\nsingle: %s\nmulti:  %s", cnt, fromMulti)
+	}
+	// Global multi-aggregate: one tuple with every aggregate.
+	global := bothEvaluators(t, algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+		{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggMin, Col: 2}, {Fn: algebra.AggMax, Col: 2},
+	}, algebra.NewRel("beer")), src)
+	if global.Cardinality() != 1 || !global.Contains(tuple.New(
+		value.NewInt(5), value.NewFloat(4.2), value.NewFloat(9.5))) {
+		t.Errorf("global multi-aggregate = %v", global)
+	}
+	// One undefined member fails the whole application (Definition 3.3).
+	empty := MapSource{"e": multiset.New(schema.Anonymous(schema.Attribute{Name: "x", Type: value.KindInt}))}
+	multiEmpty := algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+		{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggMin, Col: 0},
+	}, algebra.NewRel("e"))
+	if _, err := (Reference{}).Eval(multiEmpty, empty); !errors.Is(err, ErrEmptyAggregate) {
+		t.Errorf("reference: MIN member over empty input = %v, want ErrEmptyAggregate", err)
+	}
+	if _, err := (&Engine{}).Eval(multiEmpty, empty); !errors.Is(err, ErrEmptyAggregate) {
+		t.Errorf("engine: MIN member over empty input = %v, want ErrEmptyAggregate", err)
 	}
 }
 

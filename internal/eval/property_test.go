@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -466,16 +467,27 @@ func (g *exprGen) gen(depth, arity int) algebra.Expr {
 		}
 		return algebra.NewJoin(cond, left, right)
 	case 8:
-		// Group-by: output arity = grouping columns + the aggregate.
-		inner := arity - 1 + g.intn(2) + 1
-		if inner < arity-1 {
-			inner = arity - 1
+		// Group-by: output arity = grouping columns + the aggregate list.
+		// Multi-aggregate groupbys occur with useful probability, so the
+		// decomposable per-aggregate states are exercised side by side.
+		nAggs := 1
+		if arity > 1 && g.intn(2) == 0 {
+			nAggs = 2
+		}
+		nGroup := arity - nAggs
+		inner := nGroup + g.intn(2) + 1
+		if inner < nGroup {
+			inner = nGroup
 		}
 		if inner < 1 {
 			inner = 1
 		}
-		aggs := []algebra.Aggregate{algebra.AggCount, algebra.AggSum, algebra.AggMin, algebra.AggMax}
-		return algebra.NewGroupBy(g.distinctCols(arity-1, inner), aggs[g.intn(len(aggs))], g.intn(inner), g.gen(depth-1, inner))
+		fns := []algebra.Aggregate{algebra.AggCount, algebra.AggSum, algebra.AggMin, algebra.AggMax, algebra.AggAvg}
+		specs := make([]algebra.AggSpec, nAggs)
+		for i := range specs {
+			specs[i] = algebra.AggSpec{Fn: fns[g.intn(len(fns))], Col: g.intn(inner)}
+		}
+		return algebra.NewGroupByMulti(g.distinctCols(nGroup, inner), specs, g.gen(depth-1, inner))
 	default:
 		if arity != 2 {
 			return base()
@@ -629,8 +641,17 @@ func TestPropertyMorselStealingUnderSkew(t *testing.T) {
 		algebra.NewDifference(e1, e2),
 		algebra.NewIntersect(e1, e2),
 		algebra.NewDifference(algebra.NewSelect(pred, e1), algebra.NewProject([]int{0, 1}, e2)),
-		// Partitioned aggregation over the hot keys.
+		// Two-phase aggregation over the hot keys: grouped single- and
+		// multi-aggregate, and global aggregates (parallel via partial-state
+		// merging), all pre-aggregated morsel-wise per worker.
 		algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, e1),
+		algebra.NewGroupByMulti([]int{0}, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1},
+			{Fn: algebra.AggMin, Col: 1}, {Fn: algebra.AggMax, Col: 1},
+		}, e1),
+		algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+			{Fn: algebra.AggSum, Col: 1}, {Fn: algebra.AggAvg, Col: 0}, {Fn: algebra.AggMax, Col: 0},
+		}, algebra.NewSelect(pred, e1)),
 	}
 	for round := 0; round < 25; round++ {
 		src := MapSource{
@@ -654,6 +675,104 @@ func TestPropertyMorselStealingUnderSkew(t *testing.T) {
 						round, w, e, ref, phys)
 				}
 			}
+		}
+	}
+}
+
+// TestPropertyMultiAggregateParallel is the two-phase aggregation oracle: for
+// random uniform and skewed databases, multi-aggregate grouped queries and
+// global (ungrouped) aggregates run through the parallel engine with forced
+// exchanges and tiny morsels must produce exactly the Reference evaluator's
+// multi-set at workers 1, 2, 4 and 8 — the workers pre-aggregate morsel-wise
+// into partial states and the gang parent merges them, so a group spanning
+// every worker must still finalise to the serial value.  The one-phase
+// (key-partitioned) shape is pinned against the same oracle through the
+// OnePhaseAgg knob.
+func TestPropertyMultiAggregateParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3441))
+	e1 := algebra.NewRel("e1")
+	exprs := []algebra.Expr{
+		algebra.NewGroupByMulti([]int{0}, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1},
+			{Fn: algebra.AggAvg, Col: 1}, {Fn: algebra.AggMin, Col: 1}, {Fn: algebra.AggMax, Col: 1},
+		}, e1),
+		algebra.NewGroupByMulti([]int{1, 0}, []algebra.AggSpec{
+			{Fn: algebra.AggSum, Col: 0}, {Fn: algebra.AggCount, Col: 1},
+		}, e1),
+		algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1},
+			{Fn: algebra.AggAvg, Col: 0}, {Fn: algebra.AggMin, Col: 1}, {Fn: algebra.AggMax, Col: 0},
+		}, e1),
+		// Aggregation above a pipeline, so the morsel partitions sit below a
+		// filter whose selectivity varies per round (and may empty the input,
+		// exercising the empty-group global path).
+		algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+			{Fn: algebra.AggAvg, Col: 1}, {Fn: algebra.AggMax, Col: 1},
+		}, algebra.NewSelect(
+			scalar.NewCompare(value.CmpGe, scalar.NewAttr(0), scalar.NewConst(value.NewInt(3))), e1)),
+	}
+	for round := 0; round < 25; round++ {
+		var src MapSource
+		if round%2 == 0 {
+			src = MapSource{"e1": skewedRelation(rng, "e1", 40)}
+		} else {
+			src = MapSource{"e1": randomRelationN(rng, "e1", 2, 20, 6)}
+		}
+		for _, e := range exprs {
+			ref, refErr := (Reference{}).Eval(e, src)
+			for _, w := range []int{1, 2, 4, 8} {
+				for _, onePhase := range []bool{false, true} {
+					eng := &Engine{Workers: w, ParallelThreshold: 1, MorselSize: 1, BatchSize: 2, OnePhaseAgg: onePhase}
+					phys, physErr := eng.Eval(e, src)
+					if (refErr == nil) != (physErr == nil) {
+						t.Fatalf("round %d workers=%d onePhase=%v: evaluators disagree on errors for %s:\nreference: %v\nparallel:  %v",
+							round, w, onePhase, e, refErr, physErr)
+					}
+					if refErr != nil {
+						continue
+					}
+					if !ref.Equal(phys) {
+						t.Fatalf("round %d workers=%d onePhase=%v: parallel aggregation changed bag semantics of %s:\nreference: %s\nparallel:  %s",
+							round, w, onePhase, e, ref, phys)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEmptyInputAggregatesParallel pins Definition 3.3's partiality under the
+// parallel runtime: AVG, MIN and MAX over an empty input must fail with
+// ErrEmptyAggregate at every worker count (the merged partial states of an
+// empty gang finalise to the same error the serial path raises), while CNT
+// and SUM still yield 0.
+func TestEmptyInputAggregatesParallel(t *testing.T) {
+	empty := MapSource{"e": multiset.New(schema.NewRelation("e",
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt},
+	))}
+	for _, w := range []int{1, 2, 4, 8} {
+		eng := &Engine{Workers: w, ParallelThreshold: 1, MorselSize: 1, BatchSize: 2}
+		for _, fn := range []algebra.Aggregate{algebra.AggAvg, algebra.AggMin, algebra.AggMax} {
+			if _, err := eng.Eval(algebra.NewGroupBy(nil, fn, 0, algebra.NewRel("e")), empty); !errors.Is(err, ErrEmptyAggregate) {
+				t.Errorf("workers=%d: global %s over empty input = %v, want ErrEmptyAggregate", w, fn, err)
+			}
+		}
+		// A multi-aggregate list fails as soon as one member is undefined.
+		multi := algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggAvg, Col: 1},
+		}, algebra.NewRel("e"))
+		if _, err := eng.Eval(multi, empty); !errors.Is(err, ErrEmptyAggregate) {
+			t.Errorf("workers=%d: multi-aggregate over empty input = %v, want ErrEmptyAggregate", w, err)
+		}
+		counts, err := eng.Eval(algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1},
+		}, algebra.NewRel("e")), empty)
+		if err != nil {
+			t.Fatalf("workers=%d: CNT/SUM over empty input: %v", w, err)
+		}
+		if !counts.Contains(tuple.Ints(0, 0)) {
+			t.Errorf("workers=%d: CNT/SUM over empty input = %s, want (0, 0)", w, counts)
 		}
 	}
 }

@@ -131,7 +131,7 @@ func refEval(e algebra.Expr, src Source) (*multiset.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return plan.GroupBy(n, in, outSchema)
+		return refGroupBy(n, in, outSchema)
 
 	case algebra.TClose:
 		in, err := refEval(n.Input, src)
@@ -157,6 +157,9 @@ func refEvalPair(a, b algebra.Expr, src Source) (*multiset.Relation, *multiset.R
 	return l, r, nil
 }
 
-// Group-by and transitive closure are shared with the physical layer
-// (plan.GroupBy, plan.TransitiveClosure) so both evaluators implement the
-// partial-function aggregate semantics and the set-level closure identically.
+// Group-by is evaluated by refGroupBy (aggregate.go), a definition-literal
+// implementation independent of the physical layer's decomposable aggregate
+// states, so the property tests pin the two-phase machinery against a naive
+// oracle.  Transitive closure is shared with the physical layer
+// (plan.TransitiveClosure): the set-level fixpoint has no decomposition to
+// pin.

@@ -243,6 +243,23 @@ func (p *Partials) Merge(into *multiset.Relation) *multiset.Relation {
 	return into
 }
 
+// Gather runs producer once per worker of the pool and collects the
+// per-worker results in worker order.  It is the side-channel counterpart of
+// Exchange for exchanges whose partial results are not relations — the
+// two-phase aggregate's per-worker partial group states, for example.  Each
+// result is produced and owned by its worker until Gather returns; on error
+// the results collected so far are still returned (failed workers leave their
+// zero value) so the caller can account for them.
+func Gather[T any](pool *Pool, producer func(worker int) (T, error)) ([]T, error) {
+	out := make([]T, pool.Workers())
+	err := pool.Run(func(w int) error {
+		v, err := producer(w)
+		out[w] = v
+		return err
+	})
+	return out, err
+}
+
 // Exchange is the runtime of one Merge exchange: it runs producer once per
 // worker of the pool, handing each worker its private partial relation to
 // accumulate into (by Add or the batched AddBatch), and returns the partials.

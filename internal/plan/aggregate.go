@@ -16,18 +16,37 @@ import (
 // functions, undefined on empty inputs (Definition 3.3).
 var ErrEmptyAggregate = errors.New("plan: aggregate undefined on an empty multi-set")
 
-// groupSpec is the compiled form of a groupby operator Γ_{α,f,p}.
+// groupSpec is the compiled form of a groupby operator Γ_{α,(f,p)…}: the
+// grouping columns, the aggregate applications in output order, and the
+// result schema.
 type groupSpec struct {
 	groupCols []int
-	agg       algebra.Aggregate
-	aggCol    int
+	aggs      []algebra.AggSpec
 	outSchema schema.Relation
 }
 
-// aggState incrementally computes one of the paper's aggregate functions over
-// a stream of (value, multiplicity) observations.
-type aggState struct {
-	agg   algebra.Aggregate
+// AggState is the decomposable execution state of one aggregate function of
+// Definition 3.3 over a stream of (value, multiplicity) observations.  It is
+// the unit of two-phase aggregation: Add folds input chunks into a local
+// (partial) state, MergePartial combines partial states computed over
+// disjoint portions of the input, and Final produces the aggregate's value.
+//
+// Splitting the input is exact because every aggregate of Definition 3.3 is a
+// fold over a commutative monoid: CNT and SUM add, MIN and MAX take the
+// extremum, and AVG decomposes into the pair (sum, count) that is combined
+// point-wise and divided only at Final.  Final preserves the definition's
+// partiality: AVG, MIN and MAX on a state that saw no input return
+// ErrEmptyAggregate.
+//
+// One machine-arithmetic caveat qualifies the exactness: the float half of a
+// sum (fsum) re-associates when partials merge, and float addition is not
+// associative, so SUM/AVG states over float attributes can round differently
+// than the serial fold.  Callers who need bit-exact parallel results must not
+// split float sums — the planner enforces this by planning such aggregates
+// one-phase (hashAggNode.twoPhaseExact).  Integer sums (isum) are exact
+// int64 arithmetic and merge bit for bit.
+type AggState struct {
+	fn    algebra.Aggregate
 	count uint64
 	isum  int64
 	fsum  float64
@@ -37,10 +56,16 @@ type aggState struct {
 	seen  bool
 }
 
-// add folds in one distinct tuple's attribute value with its multiplicity.
-func (s *aggState) add(v value.Value, count uint64) error {
+// NewAggState returns the empty state of the given aggregate function.
+func NewAggState(fn algebra.Aggregate) AggState { return AggState{fn: fn} }
+
+// Add folds in one stream chunk: the aggregated attribute's value with the
+// chunk's multiplicity.  Nulls count towards CNT (and AVG's divisor) but
+// contribute nothing to sums and extrema; SUM and AVG over a non-numeric,
+// non-null value fail.
+func (s *AggState) Add(v value.Value, count uint64) error {
 	s.count += count
-	switch s.agg {
+	switch s.fn {
 	case algebra.AggCount:
 		return nil
 	case algebra.AggSum, algebra.AggAvg:
@@ -53,7 +78,7 @@ func (s *aggState) add(v value.Value, count uint64) error {
 		case value.KindNull:
 			// Nulls contribute nothing to sums; CNT above still counts them.
 		default:
-			return fmt.Errorf("plan: %s over non-numeric value %s", s.agg, v)
+			return fmt.Errorf("plan: %s over non-numeric value %s", s.fn, v)
 		}
 		return nil
 	case algebra.AggMin, algebra.AggMax:
@@ -72,14 +97,37 @@ func (s *aggState) add(v value.Value, count uint64) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("plan: unknown aggregate %v", s.agg)
+		return fmt.Errorf("plan: unknown aggregate %v", s.fn)
 	}
 }
 
-// result returns the aggregate's value.  AVG, MIN and MAX fail on empty
-// inputs per Definition 3.3.
-func (s *aggState) result() (value.Value, error) {
-	switch s.agg {
+// MergePartial folds another partial state of the same aggregate function
+// into s: counts and sums add, extrema take the minimum/maximum, and AVG's
+// (sum, count) pair combines point-wise.  The other state is left untouched.
+func (s *AggState) MergePartial(o *AggState) {
+	s.count += o.count
+	s.isum += o.isum
+	s.fsum += o.fsum
+	s.fltIn = s.fltIn || o.fltIn
+	if o.seen {
+		if !s.seen {
+			s.min, s.max, s.seen = o.min, o.max, true
+		} else {
+			if o.min.Less(s.min) {
+				s.min = o.min
+			}
+			if s.max.Less(o.max) {
+				s.max = o.max
+			}
+		}
+	}
+}
+
+// Final returns the aggregate's value.  AVG, MIN and MAX fail with
+// ErrEmptyAggregate on states that saw no input, per Definition 3.3's
+// partiality.
+func (s *AggState) Final() (value.Value, error) {
+	switch s.fn {
 	case algebra.AggCount:
 		return value.NewInt(int64(s.count)), nil
 	case algebra.AggSum:
@@ -103,105 +151,138 @@ func (s *aggState) result() (value.Value, error) {
 		}
 		return s.max, nil
 	default:
-		return value.Null, fmt.Errorf("plan: unknown aggregate %v", s.agg)
+		return value.Null, fmt.Errorf("plan: unknown aggregate %v", s.fn)
 	}
 }
 
 // groupTable is the grouped hash table behind the hash aggregate: groups
 // keyed by tuple.HashOn over the grouping columns with positional-equality
 // collision chains — the same scheme the relation representation and the
-// hash join use.
+// hash join use.  Every group owns one AggState per aggregate application,
+// stored in a flat arena (group i's states are states[i*k : (i+1)*k] for k
+// aggregates) so multi-aggregate groups stay cache-adjacent.
 type groupTable struct {
 	spec   groupSpec
 	groups []groupEntry
+	states []AggState
 	index  map[uint64]int32
 }
 
+// groupEntry is one group of the table: a representative input tuple (whose
+// grouping attributes identify the group) and the collision-chain link.
 type groupEntry struct {
-	rep   tuple.Tuple
-	state aggState
-	next  int32
+	rep  tuple.Tuple
+	next int32
 }
 
-func newGroupTable(spec groupSpec) *groupTable {
-	return &groupTable{spec: spec, index: make(map[uint64]int32, 16)}
+func newGroupTable(spec groupSpec, capacity int) *groupTable {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &groupTable{spec: spec, index: make(map[uint64]int32, capacity)}
 }
 
-// add folds one input chunk into its group, creating the group on first
-// sight.
-func (g *groupTable) add(t tuple.Tuple, count uint64) error {
+// findOrCreate returns the index of t's group, creating it (with fresh
+// aggregate states) on first sight.
+func (g *groupTable) findOrCreate(t tuple.Tuple) int {
 	h := t.HashOn(g.spec.groupCols)
-	var entry *groupEntry
 	head, ok := g.index[h]
 	if !ok {
 		head = -1
 	}
 	for i := head; i != -1; i = g.groups[i].next {
 		if equalOn(t, g.spec.groupCols, g.groups[i].rep, g.spec.groupCols) {
-			entry = &g.groups[i]
-			break
+			return int(i)
 		}
 	}
-	if entry == nil {
-		g.index[h] = int32(len(g.groups))
-		g.groups = append(g.groups, groupEntry{rep: t, state: aggState{agg: g.spec.agg}, next: head})
-		entry = &g.groups[len(g.groups)-1]
+	gi := len(g.groups)
+	g.index[h] = int32(gi)
+	g.groups = append(g.groups, groupEntry{rep: t, next: head})
+	for _, sp := range g.spec.aggs {
+		g.states = append(g.states, NewAggState(sp.Fn))
 	}
-	return entry.state.add(t.At(g.spec.aggCol), count)
+	return gi
 }
 
-// each emits one result tuple per group.  With an empty grouping list the
-// aggregate is global: exactly one output tuple, even on empty input
-// (where AVG/MIN/MAX surface ErrEmptyAggregate from the state).
-func (g *groupTable) each(emit Emit) error {
-	if len(g.spec.groupCols) == 0 {
-		st := aggState{agg: g.spec.agg}
-		if len(g.groups) > 0 {
-			st = g.groups[0].state
-		}
-		v, err := st.result()
-		if err != nil {
-			return err
-		}
-		return emit(tuple.New(v), 1)
-	}
-	for i := range g.groups {
-		head, err := g.groups[i].rep.Project(g.spec.groupCols)
-		if err != nil {
-			return err
-		}
-		v, err := g.groups[i].state.result()
-		if err != nil {
-			return err
-		}
-		if err := emit(head.Concat(tuple.New(v)), 1); err != nil {
+// add folds one input chunk into its group's aggregate states, creating the
+// group on first sight.
+func (g *groupTable) add(t tuple.Tuple, count uint64) error {
+	gi := g.findOrCreate(t)
+	k := len(g.spec.aggs)
+	states := g.states[gi*k : (gi+1)*k]
+	for i := range states {
+		if err := states[i].Add(t.At(g.spec.aggs[i].Col), count); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// GroupBy computes Γ_{α,f,p}(E) over a materialised input relation
-// (Definition 3.4).  It is shared with the reference evaluator so both
-// evaluators implement the partial-function semantics identically.
-func GroupBy(n algebra.GroupBy, in *multiset.Relation, outSchema schema.Relation) (*multiset.Relation, error) {
-	groups := newGroupTable(groupSpec{groupCols: n.GroupCols, agg: n.Agg, aggCol: n.AggCol, outSchema: outSchema})
-	var addErr error
-	in.Each(func(t tuple.Tuple, count uint64) bool {
-		addErr = groups.add(t, count)
-		return addErr == nil
-	})
-	if addErr != nil {
-		return nil, addErr
+// mergeFrom folds another table's partial groups into g — the global phase of
+// two-phase aggregation: groups match by their grouping attributes, and
+// matching groups' states combine via MergePartial.  Both tables must share
+// the same spec.
+func (g *groupTable) mergeFrom(o *groupTable) {
+	k := len(g.spec.aggs)
+	for i := range o.groups {
+		gi := g.findOrCreate(o.groups[i].rep)
+		dst := g.states[gi*k : (gi+1)*k]
+		src := o.states[i*k : (i+1)*k]
+		for j := range dst {
+			dst[j].MergePartial(&src[j])
+		}
 	}
-	out := multiset.NewWithCapacity(outSchema, len(groups.groups))
-	if err := groups.each(func(t tuple.Tuple, count uint64) error {
-		out.Add(t, count)
-		return nil
-	}); err != nil {
-		return nil, err
+}
+
+// finalTuple renders one group's output tuple: the projected grouping
+// attributes followed by every aggregate's final value.
+func (g *groupTable) finalTuple(gi int) (tuple.Tuple, error) {
+	k := len(g.spec.aggs)
+	states := g.states[gi*k : (gi+1)*k]
+	vals := make([]value.Value, k)
+	for i := range states {
+		v, err := states[i].Final()
+		if err != nil {
+			return tuple.Tuple{}, err
+		}
+		vals[i] = v
 	}
-	return out, nil
+	if len(g.spec.groupCols) == 0 {
+		return tuple.FromSlice(vals), nil
+	}
+	head, err := g.groups[gi].rep.Project(g.spec.groupCols)
+	if err != nil {
+		return tuple.Tuple{}, err
+	}
+	return head.Concat(tuple.FromSlice(vals)), nil
+}
+
+// each emits one result tuple per group.  With an empty grouping list the
+// aggregate is global: exactly one output tuple, even on empty input (where
+// AVG/MIN/MAX surface ErrEmptyAggregate from their fresh states).
+func (g *groupTable) each(emit Emit) error {
+	if len(g.spec.groupCols) == 0 && len(g.groups) == 0 {
+		vals := make([]value.Value, len(g.spec.aggs))
+		for i, sp := range g.spec.aggs {
+			st := NewAggState(sp.Fn)
+			v, err := st.Final()
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		return emit(tuple.FromSlice(vals), 1)
+	}
+	for i := range g.groups {
+		t, err := g.finalTuple(i)
+		if err != nil {
+			return err
+		}
+		if err := emit(t, 1); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TransitiveClosure computes the smallest transitively closed relation

@@ -3,9 +3,11 @@ package plan
 import (
 	"fmt"
 
+	"mra/internal/algebra"
 	"mra/internal/exec"
 	"mra/internal/multiset"
 	"mra/internal/tuple"
+	"mra/internal/value"
 )
 
 // This file implements the exchange operators of the morsel-driven parallel
@@ -327,22 +329,33 @@ func leafSpan(n Node, snap snapshotSource) (int, error) {
 	}
 }
 
+// gangSetup builds the shared state of one gang execution over a subtree,
+// common to both exchange flavours (Merge and GroupMerge): the scan snapshot,
+// the worker pool, and the gang state — morsel queues and shared join tables,
+// built here in the parent.  Prepare resolves through the snapshot
+// (statistics still flow into the parent's counters via the shared pointers),
+// so shared-join builds see exactly the relations the workers will and the
+// source is not walked a second time.
+func gangSetup(ctx *execCtx, subtree Node, workers int) (*exec.Pool, snapshotSource, *gangState, error) {
+	snap := make(snapshotSource)
+	if err := snapshotScans(ctx, subtree, snap); err != nil {
+		return nil, nil, nil, err
+	}
+	pool := exec.NewPool(workers)
+	gs := &gangState{morsels: make(map[int]*exec.MorselQueue), builds: make(map[int]*joinTable)}
+	pctx := *ctx
+	pctx.src = snap
+	if err := prepare(&pctx, subtree, snap, gs); err != nil {
+		return nil, nil, nil, err
+	}
+	return pool, snap, gs, nil
+}
+
 // gang runs the per-worker subtree executions and returns the partials; the
 // caller decides whether to stream or materialise them.
 func (m *mergeNode) gang(ctx *execCtx) (*exec.Partials, error) {
-	snap := make(snapshotSource)
-	if err := snapshotScans(ctx, m.input, snap); err != nil {
-		return nil, err
-	}
-	pool := exec.NewPool(m.workers)
-	gs := &gangState{morsels: make(map[int]*exec.MorselQueue), builds: make(map[int]*joinTable)}
-	// Prepare resolves through the snapshot (statistics still flow into the
-	// parent's counters via the shared pointers), so shared-join builds see
-	// exactly the relations the workers will and the source is not walked a
-	// second time.
-	pctx := *ctx
-	pctx.src = snap
-	if err := prepare(&pctx, m.input, snap, gs); err != nil {
+	pool, snap, gs, err := gangSetup(ctx, m.input, m.workers)
+	if err != nil {
 		return nil, err
 	}
 	wctxs := make([]*execCtx, pool.Workers())
@@ -393,6 +406,85 @@ func (m *mergeNode) result(ctx *execCtx) (*multiset.Relation, error) {
 	return parts.Merge(multiset.NewWithCapacity(m.Schema(), capacityFor(m.capHint))), nil
 }
 
+// groupMergeNode is the gang boundary of a two-phase parallel aggregate.  Its
+// child is the local phase: a hashAggNode (marked partial) whose input
+// pipeline is morsel-partitioned, so every worker pre-aggregates the morsels
+// it claims into a private group table of partial AggStates.  The parent then
+// combines the per-worker tables with MergePartial and finalises — the global
+// phase.  Unlike the one-phase shape (hash partition on the grouping columns
+// under a plain Merge) no key-consistent split is required: a group may span
+// every worker, the partial states just merge.  That is what makes global
+// (ungrouped) aggregates parallel at all, removes the key-skew serialisation
+// of hot groups, and shrinks merge traffic from one tuple per input
+// occurrence to one partial state per (worker, group).
+type groupMergeNode struct {
+	base
+	agg     *hashAggNode
+	workers int
+}
+
+func (m *groupMergeNode) Children() []Node { return []Node{m.agg} }
+func (m *groupMergeNode) Describe() string {
+	return fmt.Sprintf("GroupMerge [workers=%d]", m.workers)
+}
+
+// gangTables runs the local phase once per worker and merges the partial
+// tables into one global table, ready to finalise.
+func (m *groupMergeNode) gangTables(ctx *execCtx) (*groupTable, error) {
+	pool, snap, gs, err := gangSetup(ctx, m.agg.input, m.workers)
+	if err != nil {
+		return nil, err
+	}
+	wctxs := make([]*execCtx, pool.Workers())
+	tables, err := exec.Gather(pool, func(w int) (*groupTable, error) {
+		wctx := ctx.workerCtx(w, pool.Workers(), gs)
+		wctx.src = snap
+		wctxs[w] = wctx
+		return m.agg.buildGroups(wctx)
+	})
+	ctx.foldWorkers(wctxs)
+	if err != nil {
+		return nil, err
+	}
+	global := tables[0]
+	for _, tb := range tables[1:] {
+		global.mergeFrom(tb)
+	}
+	// The exchange's own state is the merged global table; the per-worker
+	// partials were already charged to the aggregate node by buildGroups.
+	ctx.materialised(m, uint64(len(global.groups)))
+	return global, nil
+}
+
+func (m *groupMergeNode) run(ctx *execCtx, emit Emit) error {
+	if ctx.workers > 1 {
+		// Nested inside an already parallel region: degrade to a pass-through,
+		// like mergeNode, so composed exchanges stay correct.
+		return ctx.run(m.agg, emit)
+	}
+	groups, err := m.gangTables(ctx)
+	if err != nil {
+		return err
+	}
+	return groups.each(emit)
+}
+
+// runBatch implements batchRunner: the finalised groups stream out batch-wise.
+func (m *groupMergeNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	if ctx.workers > 1 {
+		return ctx.runBatch(m.agg, emit)
+	}
+	groups, err := m.gangTables(ctx)
+	if err != nil {
+		return err
+	}
+	w := newBatchWriter(ctx.batchCap(), emit)
+	if err := groups.each(w.push); err != nil {
+		return err
+	}
+	return w.flush()
+}
+
 // ---------------------------------------------------------------------------
 // Planner pass
 // ---------------------------------------------------------------------------
@@ -437,12 +529,29 @@ func (pl *Planner) parallelizeNode(n Node, workers int, threshold float64) Node 
 			return newMerge(x, workers)
 		}
 	case *hashAggNode:
-		// Partition by grouping columns: groups never span workers, so the
-		// merged partials are the final grouped result.  Global aggregates
-		// (no grouping columns) have a single output group and stay serial.
-		if len(x.gb.groupCols) > 0 && x.input.Estimate() >= threshold && streamable(x.input) {
-			x.input = newPartition(x.input, partitionHash, x.gb.groupCols, workers, 0)
-			return newMerge(x, workers)
+		// Two shapes parallelise an aggregate.  Two-phase (the default):
+		// morsel-partition the input pipeline, let every worker pre-aggregate
+		// its morsels into partial states, and merge the per-worker partial
+		// groups in the GroupMerge parent — exact for any disjoint split, so
+		// it covers global aggregates and is immune to group-key skew.
+		// One-phase (the legacy shape, kept for high-cardinality grouping and
+		// as the OnePhaseAgg benchmark baseline): a static hash partition on
+		// the grouping columns under a plain Merge, so groups never span
+		// workers and the merged partial relations are final.  The choice is
+		// cost-based: two-phase pays one partial state per (worker, group) of
+		// merge traffic, which the pre-aggregation reduction estimate
+		// (capHint, bounded by RelationDistinctCount) trades against the
+		// one-phase replicated input passes.
+		if x.input.Estimate() >= threshold && streamable(x.input) {
+			if !pl.OnePhaseAgg && x.twoPhaseExact() && twoPhaseProfitable(x, workers) {
+				x.partial = true
+				x.input = pl.partitionLeaves(x.input, workers)
+				return newGroupMerge(x, workers)
+			}
+			if len(x.gb.groupCols) > 0 {
+				x.input = newPartition(x.input, partitionHash, x.gb.groupCols, workers, 0)
+				return newMerge(x, workers)
+			}
 		}
 	case *differenceNode:
 		// Full-tuple hash partitions on both operands: every tuple's owner is
@@ -466,6 +575,42 @@ func (pl *Planner) parallelizeNode(n Node, workers int, threshold float64) Node 
 	}
 	replaceChildren(n, func(c Node) Node { return pl.parallelizeNode(c, workers, threshold) })
 	return n
+}
+
+// twoPhaseExact reports whether every aggregate of the node's spec merges to
+// the serial result bit for bit under any disjoint split of the input.  CNT,
+// MIN and MAX always do, and so do SUM/AVG over integer attributes (exact
+// int64 sums commute and associate); SUM/AVG over a float attribute do not —
+// float addition is not associative, so per-worker partial sums can round
+// differently than the serial stream — and force the key-partitioned
+// one-phase shape, which feeds each group its serial chunk subsequence in
+// order and stays bit-exact.
+func (a *hashAggNode) twoPhaseExact() bool {
+	in := a.input.Schema()
+	for _, sp := range a.gb.aggs {
+		switch sp.Fn {
+		case algebra.AggSum, algebra.AggAvg:
+			if in.Attribute(sp.Col).Type == value.KindFloat {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// twoPhaseProfitable decides the parallel aggregate shape from the cost
+// model's pre-aggregation reduction estimate.  Global aggregates are always
+// two-phase — one-phase cannot parallelise a single global group at all.
+// Grouped aggregates choose two-phase when the global merge traffic (one
+// partial state per worker and group, estimated from the node's capHint,
+// which RelationDistinctCount bounds for base-table inputs) stays below one
+// pass over the input; when pre-aggregation barely reduces (groups ≈ input),
+// the one-phase shape's single partial relation per worker wins instead.
+func twoPhaseProfitable(x *hashAggNode, workers int) bool {
+	if len(x.gb.groupCols) == 0 {
+		return true
+	}
+	return x.meta().capHint*float64(workers) <= x.input.Estimate()
 }
 
 // parallelizeSetOp decides and applies the full-tuple-hash split of a
@@ -627,6 +772,10 @@ func replaceChildren(n Node, f func(Node) Node) {
 		x.input = f(x.input)
 	case *mergeNode:
 		x.input = f(x.input)
+	case *groupMergeNode:
+		if agg, ok := f(Node(x.agg)).(*hashAggNode); ok {
+			x.agg = agg
+		}
 	}
 }
 
@@ -641,6 +790,17 @@ func newPartition(input Node, mode partitionMode, cols []int, workers, morselSiz
 	p.exactEst = input.meta().exactEst
 	p.capHint = input.meta().capHint / float64(workers)
 	return p
+}
+
+// newGroupMerge wraps a partial hash aggregate in the two-phase exchange's
+// gang boundary.
+func newGroupMerge(agg *hashAggNode, workers int) Node {
+	m := &groupMergeNode{agg: agg, workers: workers}
+	m.schema = agg.Schema()
+	m.est = agg.Estimate()
+	m.exactEst = agg.meta().exactEst
+	m.capHint = agg.meta().capHint
+	return m
 }
 
 // newMerge wraps a node in a Merge of the given gang width.

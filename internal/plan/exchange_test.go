@@ -6,7 +6,10 @@ import (
 	"testing"
 
 	"mra/internal/algebra"
+	"mra/internal/multiset"
 	"mra/internal/scalar"
+	"mra/internal/schema"
+	"mra/internal/tuple"
 	"mra/internal/value"
 )
 
@@ -16,11 +19,12 @@ func parallelPlanner(src mapSource, workers int) *Planner {
 	return &Planner{Cards: cardsOf(src), Workers: workers, ParallelThreshold: 1}
 }
 
-// countNodes counts plan nodes of the exchange kinds.
+// countNodes counts plan nodes of the exchange kinds; GroupMerge is the gang
+// boundary of two-phase aggregates and counts as a merge.
 func countNodes(p *Plan) (merges, partitions int) {
 	for _, n := range p.nodes {
 		switch n.(type) {
-		case *mergeNode:
+		case *mergeNode, *groupMergeNode:
 			merges++
 		case *partitionNode:
 			partitions++
@@ -46,6 +50,13 @@ func parallelShapes() map[string]algebra.Expr {
 		"hash-agg": algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("fact")),
 		"agg-over-pipeline": algebra.NewGroupBy([]int{0}, algebra.AggMax, 1,
 			algebra.NewSelect(pred, algebra.NewRel("fact"))),
+		"multi-agg": algebra.NewGroupByMulti([]int{0}, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1}, {Fn: algebra.AggMax, Col: 1},
+		}, algebra.NewRel("fact")),
+		"global-agg": algebra.NewGroupBy(nil, algebra.AggSum, 1, algebra.NewRel("fact")),
+		"global-multi-agg-pipeline": algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggMin, Col: 1}, {Fn: algebra.AggAvg, Col: 1},
+		}, algebra.NewSelect(pred, algebra.NewRel("fact"))),
 		"difference": algebra.NewDifference(algebra.NewRel("fact"),
 			algebra.NewSelect(pred, algebra.NewRel("fact"))),
 		"intersect": algebra.NewIntersect(algebra.NewRel("fact"),
@@ -356,5 +367,189 @@ func TestParallelBlockingConsumers(t *testing.T) {
 	}
 	if !par.Equal(serial) {
 		t.Errorf("difference over a parallel operand differs\nserial:   %s\nparallel: %s", serial, par)
+	}
+}
+
+// countAggExchanges tallies the aggregate-specific exchange shapes of a plan:
+// two-phase GroupMerge boundaries and one-phase grouping-column hash
+// partitions.
+func countAggExchanges(p *Plan) (twoPhase, onePhaseParts int) {
+	for _, n := range p.nodes {
+		switch x := n.(type) {
+		case *groupMergeNode:
+			twoPhase++
+		case *partitionNode:
+			if x.mode == partitionHash && x.cols != nil {
+				onePhaseParts++
+			}
+		}
+	}
+	return
+}
+
+// TestAggregatePhaseChoice pins the cost-based choice between the two
+// parallel aggregate shapes: low-cardinality grouping (strong pre-aggregation
+// reduction) goes two-phase, grouping on every input column (groups =
+// distinct tuples, no reduction) falls back to the one-phase key partition,
+// and global aggregates — which the one-phase shape cannot parallelise at all
+// — are always two-phase.
+func TestAggregatePhaseChoice(t *testing.T) {
+	src := testSource(1000)
+	lowCard := algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("fact"))
+	allCols := algebra.NewGroupBy([]int{0, 1}, algebra.AggCount, 0, algebra.NewRel("fact"))
+	global := algebra.NewGroupBy(nil, algebra.AggSum, 1, algebra.NewRel("fact"))
+
+	plan := func(e algebra.Expr, onePhase bool) *Plan {
+		pp := parallelPlanner(src, 4)
+		pp.OnePhaseAgg = onePhase
+		p, err := pp.Plan(e, catalogOf(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if two, one := countAggExchanges(plan(lowCard, false)); two != 1 || one != 0 {
+		t.Errorf("low-cardinality grouping: twoPhase=%d onePhase=%d, want two-phase", two, one)
+	}
+	if two, one := countAggExchanges(plan(allCols, false)); two != 0 || one == 0 {
+		t.Errorf("grouping on all columns: twoPhase=%d onePhase=%d, want one-phase", two, one)
+	}
+	if two, _ := countAggExchanges(plan(global, false)); two != 1 {
+		t.Errorf("global aggregate must be two-phase, got %d", two)
+	}
+
+	// The OnePhaseAgg knob forces the legacy shape on grouped aggregates and
+	// leaves global aggregates serial.
+	if two, one := countAggExchanges(plan(lowCard, true)); two != 0 || one == 0 {
+		t.Errorf("OnePhaseAgg grouped: twoPhase=%d onePhase=%d", two, one)
+	}
+	forcedGlobal := plan(global, true)
+	if m, _ := countNodes(forcedGlobal); m != 0 {
+		t.Errorf("OnePhaseAgg global aggregate must stay serial:\n%s", forcedGlobal)
+	}
+
+	// Both forced shapes still compute the serial result.
+	serial, err := mustPlan(t, lowCard, src).Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, onePhase := range []bool{false, true} {
+		got, err := plan(lowCard, onePhase).Execute(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(serial) {
+			t.Errorf("onePhase=%v aggregate differs from serial", onePhase)
+		}
+	}
+}
+
+// TestGroupMergeStats checks the statistics contract of the two-phase
+// exchange: each worker's partial groups are charged to the aggregate
+// operator, the merged global groups to the GroupMerge, and per-worker
+// operator executions fold into the parent's counters.
+func TestGroupMergeStats(t *testing.T) {
+	src := testSource(1000)
+	e := algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("fact"))
+	p, err := parallelPlanner(src, 4).Plan(e, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two, _ := countAggExchanges(p); two != 1 {
+		t.Fatalf("expected a two-phase plan:\n%s", p)
+	}
+	var st Stats
+	out, err := p.ExecuteStats(src, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := out.Cardinality()
+	if groups != 100 {
+		t.Fatalf("groups = %d, want 100", groups)
+	}
+	// The GroupMerge holds the merged global table; the per-worker partial
+	// tables hold at least one entry per group overall (a group may appear in
+	// up to four workers' partials).
+	var mergeHeld, aggHeld uint64
+	for _, op := range st.PerOperator {
+		switch {
+		case strings.HasPrefix(op.Operator, "GroupMerge"):
+			mergeHeld = op.Materialised
+		case strings.HasPrefix(op.Operator, "HashAggregate"):
+			aggHeld = op.Materialised
+		}
+	}
+	if mergeHeld != groups {
+		t.Errorf("GroupMerge materialised = %d, want %d", mergeHeld, groups)
+	}
+	if aggHeld < groups || aggHeld > 4*groups {
+		t.Errorf("partial groups = %d, want within [%d, %d]", aggHeld, groups, 4*groups)
+	}
+}
+
+// TestFloatAggregateStaysExact pins the float-exactness rule of the parallel
+// aggregate: float addition is not associative, so SUM/AVG over a float
+// attribute must not run two-phase (per-worker partial sums could round
+// differently than the serial stream).  Grouped float sums fall back to the
+// one-phase key partition — which feeds each group its serial chunk
+// subsequence, in order — and global float sums stay serial; both must equal
+// the serial result bit for bit.  The catastrophic-cancellation values below
+// make any re-associated summation visibly wrong, not just off by ULPs.
+func TestFloatAggregateStaysExact(t *testing.T) {
+	s := schema.NewRelation("f",
+		schema.Attribute{Name: "g", Type: value.KindInt},
+		schema.Attribute{Name: "v", Type: value.KindFloat})
+	rel := multiset.New(s)
+	rel.Add(tuple.New(value.NewInt(0), value.NewFloat(1e16)), 1)
+	for i := 0; i < 64; i++ {
+		rel.Add(tuple.New(value.NewInt(int64(i%2)), value.NewFloat(float64(i)+0.3)), 1)
+	}
+	rel.Add(tuple.New(value.NewInt(0), value.NewFloat(-1e16)), 1)
+	src := mapSource{"f": rel}
+
+	grouped := algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("f"))
+	global := algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+		{Fn: algebra.AggSum, Col: 1}, {Fn: algebra.AggAvg, Col: 1},
+	}, algebra.NewRel("f"))
+	exactShapes := algebra.NewGroupByMulti([]int{0}, []algebra.AggSpec{
+		{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggMin, Col: 1}, {Fn: algebra.AggMax, Col: 1},
+	}, algebra.NewRel("f"))
+
+	for i, e := range []algebra.Expr{grouped, global, exactShapes} {
+		floatSum := i < 2
+		serial, err := mustPlan(t, e, src).Execute(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			pp := parallelPlanner(src, w)
+			pp.MorselSize = 1
+			p, err := pp.Plan(e, catalogOf(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if two, _ := countAggExchanges(p); two > 0 && floatSum {
+				t.Fatalf("float SUM/AVG must not plan two-phase:\n%s", p)
+			}
+			for round := 0; round < 5; round++ {
+				par, err := p.Execute(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !par.Equal(serial) {
+					t.Fatalf("workers=%d round=%d: float aggregate diverged from serial\nserial:   %s\nparallel: %s",
+						w, round, serial, par)
+				}
+			}
+		}
+	}
+	// CNT/MIN/MAX over floats merge exactly and keep the two-phase shape.
+	p, err := parallelPlanner(src, 4).Plan(exactShapes, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two, _ := countAggExchanges(p); two != 1 {
+		t.Fatalf("CNT/MIN/MAX over floats should stay two-phase:\n%s", p)
 	}
 }

@@ -591,32 +591,84 @@ func (j *nestedLoopNode) run(ctx *execCtx, emit Emit) error {
 // ---------------------------------------------------------------------------
 
 // hashAggNode is the group-by operator Γ: a single-pass grouped hash table
-// over the input stream, emitting one tuple per group when the input is
-// exhausted.
+// over the input stream, computing every aggregate of the spec in that one
+// pass and emitting one tuple per group when the input is exhausted.  Under a
+// two-phase parallel aggregate (partial set) the enclosing GroupMerge drives
+// buildGroups per worker and merges the partial tables instead of consuming
+// the node's emit stream.
 type hashAggNode struct {
 	base
 	gb    groupSpec
 	input Node
+	// partial marks the per-worker local phase of a two-phase parallel
+	// aggregate: the node aggregates its worker's slice into partial states
+	// that the GroupMerge parent combines with MergePartial.
+	partial bool
 }
 
 func (a *hashAggNode) Children() []Node { return []Node{a.input} }
 
 func (a *hashAggNode) Describe() string {
-	return fmt.Sprintf("HashAggregate [(%s) %s(%%%d)]", colList(a.gb.groupCols), a.gb.agg, a.gb.aggCol+1)
+	aggs := make([]string, len(a.gb.aggs))
+	for i, sp := range a.gb.aggs {
+		aggs[i] = fmt.Sprintf("%s(%%%d)", sp.Fn, sp.Col+1)
+	}
+	s := fmt.Sprintf("HashAggregate [(%s) %s]", colList(a.gb.groupCols), strings.Join(aggs, ", "))
+	if a.partial {
+		s += " partial"
+	}
+	return s
 }
 
-func (a *hashAggNode) run(ctx *execCtx, emit Emit) error {
-	groups := newGroupTable(a.gb)
-	err := ctx.run(a.input, func(t tuple.Tuple, n uint64) error {
-		return groups.add(t, n)
-	})
+// buildGroups consumes the input into a fresh group table — batch-wise inside
+// a parallel worker (where vectorised emission pays), chunk-at-a-time
+// otherwise — and charges the group count to the operator's state.
+func (a *hashAggNode) buildGroups(ctx *execCtx) (*groupTable, error) {
+	groups := newGroupTable(a.gb, capacityFor(a.capHint))
+	var err error
+	if _, native := a.input.(batchRunner); native && ctx.workers > 1 {
+		err = ctx.runBatch(a.input, func(b *Batch) error {
+			for i, t := range b.Tuples {
+				if err := groups.add(t, b.Counts[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	} else {
+		err = ctx.run(a.input, func(t tuple.Tuple, n uint64) error {
+			return groups.add(t, n)
+		})
+	}
 	// The operator's state is one entry per group (aggregates fold in place),
 	// not the consumed input.
 	ctx.materialised(a, uint64(len(groups.groups)))
 	if err != nil {
+		return nil, err
+	}
+	return groups, nil
+}
+
+func (a *hashAggNode) run(ctx *execCtx, emit Emit) error {
+	groups, err := a.buildGroups(ctx)
+	if err != nil {
 		return err
 	}
 	return groups.each(emit)
+}
+
+// runBatch implements batchRunner: the input is aggregated batch-wise and the
+// per-group results are emitted as batches.
+func (a *hashAggNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	groups, err := a.buildGroups(ctx)
+	if err != nil {
+		return err
+	}
+	w := newBatchWriter(ctx.batchCap(), emit)
+	if err := groups.each(w.push); err != nil {
+		return err
+	}
+	return w.flush()
 }
 
 // ---------------------------------------------------------------------------

@@ -52,6 +52,12 @@ type Planner struct {
 	// scheduler against its baseline.  Hash joins keep their shared build;
 	// only the scan split changes.
 	StaticSlices bool
+	// OnePhaseAgg reverts parallel grouped aggregation to the legacy
+	// one-phase shape — a static hash partition on the grouping columns under
+	// a Merge, so groups never span workers — for benchmarking the two-phase
+	// partial/merge aggregate against its baseline.  Global aggregates stay
+	// serial under it (a single global group cannot be key-partitioned).
+	OnePhaseAgg bool
 }
 
 // NewPlanner returns a serial planner drawing base cardinalities from cards
@@ -255,13 +261,27 @@ func (pl *Planner) compile(e algebra.Expr, cat algebra.Catalog) (Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		node := &hashAggNode{gb: groupSpec{groupCols: n.GroupCols, agg: n.Agg, aggCol: n.AggCol, outSchema: s}, input: input}
+		node := &hashAggNode{gb: groupSpec{groupCols: n.GroupCols, aggs: n.Aggs, outSchema: s}, input: input}
 		node.schema = s
 		node.est = input.Estimate() * groupReduction
 		if len(n.GroupCols) == 0 {
 			node.est = 1
 		}
 		node.capHint = node.est
+		// Pre-aggregation reduction estimate: a group is a distinct projection
+		// of the input, so the input's distinct-tuple hint (fed by
+		// RelationDistinctCount for base scans) bounds the group count.  The
+		// hint sizes the group table and drives the exchange pass's choice
+		// between the one-phase and two-phase parallel aggregate shapes.
+		if hint := input.meta().capHint; hint > 0 {
+			if len(n.GroupCols) >= input.Schema().Arity() {
+				// Grouping on every attribute: groups are exactly the distinct
+				// input tuples — no pre-aggregation reduction at all.
+				node.capHint = hint
+			} else if node.capHint > hint {
+				node.capHint = hint
+			}
+		}
 		return node, nil
 
 	case algebra.TClose:

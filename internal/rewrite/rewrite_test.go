@@ -225,7 +225,7 @@ func TestPushProjectionIntoGroupBy(t *testing.T) {
 	if len(proj.Columns) != 2 || proj.Columns[0] != 5 || proj.Columns[1] != 2 {
 		t.Errorf("projected columns = %v, want [5 2]", proj.Columns)
 	}
-	if len(ng.GroupCols) != 1 || ng.GroupCols[0] != 0 || ng.AggCol != 1 {
+	if len(ng.GroupCols) != 1 || ng.GroupCols[0] != 0 || ng.Aggs[0].Col != 1 {
 		t.Errorf("remapped group-by = %+v", ng)
 	}
 	if err := algebra.Validate(out, cat); err != nil {

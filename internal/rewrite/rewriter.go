@@ -104,7 +104,7 @@ func rebuildChildren(e algebra.Expr, cat algebra.Catalog, rules []Rule, trace *[
 		return algebra.NewUnique(in), c
 	case algebra.GroupBy:
 		in, c := rewriteNode(n.Input, cat, rules, trace)
-		return algebra.GroupBy{GroupCols: n.GroupCols, Agg: n.Agg, AggCol: n.AggCol, Name: n.Name, Input: in}, c
+		return algebra.GroupBy{GroupCols: n.GroupCols, Aggs: n.Aggs, Input: in}, c
 	case algebra.TClose:
 		in, c := rewriteNode(n.Input, cat, rules, trace)
 		return algebra.NewTClose(in), c

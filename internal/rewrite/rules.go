@@ -261,17 +261,22 @@ func (PushProjectionIntoGroupBy) Apply(e algebra.Expr, cat algebra.Catalog) (alg
 	if err != nil {
 		return e, false
 	}
-	// Needed columns: the grouping attributes plus the aggregated attribute.
+	// Needed columns: the grouping attributes plus every aggregated attribute
+	// (shared attributes are projected once).
 	needed := append([]int(nil), g.GroupCols...)
-	aggPos := -1
-	for i, c := range needed {
-		if c == g.AggCol {
-			aggPos = i
+	posOf := func(c int) int {
+		for i, n := range needed {
+			if n == c {
+				return i
+			}
 		}
+		needed = append(needed, c)
+		return len(needed) - 1
 	}
-	if aggPos == -1 {
-		needed = append(needed, g.AggCol)
-		aggPos = len(needed) - 1
+	newAggs := make([]algebra.AggSpec, len(g.Aggs))
+	for i, sp := range g.Aggs {
+		sp.Col = posOf(sp.Col)
+		newAggs[i] = sp
 	}
 	if len(needed) >= in.Arity() {
 		return e, false // nothing to prune
@@ -282,9 +287,7 @@ func (PushProjectionIntoGroupBy) Apply(e algebra.Expr, cat algebra.Catalog) (alg
 	}
 	return algebra.GroupBy{
 		GroupCols: newGroupCols,
-		Agg:       g.Agg,
-		AggCol:    aggPos,
-		Name:      g.Name,
+		Aggs:      newAggs,
 		Input:     algebra.NewProject(needed, g.Input),
 	}, true
 }

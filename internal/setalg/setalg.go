@@ -166,7 +166,7 @@ func (e Engine) eval(expr algebra.Expr, src eval.Source) (*multiset.Relation, er
 			return nil, err
 		}
 		sub := eval.MapSource{"__set_input__": in}
-		g := algebra.GroupBy{GroupCols: n.GroupCols, Agg: n.Agg, AggCol: n.AggCol, Name: n.Name,
+		g := algebra.GroupBy{GroupCols: n.GroupCols, Aggs: n.Aggs,
 			Input: algebra.NewRel("__set_input__")}
 		out, err := (eval.Reference{}).Eval(g, sub)
 		if err != nil {

@@ -224,7 +224,7 @@ func TestSetOperatorsAndErrors(t *testing.T) {
 	if _, err := e.Eval(badXP, src); err == nil {
 		t.Error("extended projection errors must propagate")
 	}
-	badGroup := algebra.GroupBy{GroupCols: nil, Agg: algebra.AggSum, AggCol: 0, Input: algebra.NewRel("beer")}
+	badGroup := algebra.NewGroupBy(nil, algebra.AggSum, 0, algebra.NewRel("beer"))
 	if _, err := e.Eval(badGroup, src); err == nil {
 		t.Error("group-by errors must propagate")
 	}

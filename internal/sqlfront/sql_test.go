@@ -181,6 +181,72 @@ func TestGroupByVariantsSQL(t *testing.T) {
 	}
 }
 
+// TestMultiAggregateSQL exercises the lifted one-aggregate-per-query
+// restriction: several aggregates plan as one groupby pass, mixed freely with
+// grouping columns and reordered to SELECT order.
+func TestMultiAggregateSQL(t *testing.T) {
+	multi := runSQL(t, "SELECT brewery, COUNT(*) AS n, SUM(alcperc) AS total, MAX(alcperc) FROM beer GROUP BY brewery")
+	if multi.Cardinality() != 3 {
+		t.Fatalf("groups = %d, want 3", multi.Cardinality())
+	}
+	if multi.Multiplicity(tuple.New(
+		value.NewString("guineken"), value.NewInt(2), value.NewFloat(11.5), value.NewFloat(6.5))) != 1 {
+		t.Errorf("guineken row wrong: %s", multi)
+	}
+	// Aggregates interleaved with the grouping column reorder correctly.
+	flipped := runSQL(t, "SELECT MIN(alcperc), brewery, COUNT(*) FROM beer GROUP BY brewery")
+	if flipped.Multiplicity(tuple.New(
+		value.NewFloat(5.0), value.NewString("guineken"), value.NewInt(2))) != 1 {
+		t.Errorf("interleaved output wrong: %s", flipped)
+	}
+	// Global multi-aggregate without GROUP BY.
+	global := runSQL(t, "SELECT COUNT(*), MIN(alcperc), MAX(alcperc) FROM beer")
+	if global.Cardinality() != 1 || !global.Contains(tuple.New(
+		value.NewInt(4), value.NewFloat(4.2), value.NewFloat(6.5))) {
+		t.Errorf("global multi-aggregate = %s", global)
+	}
+	// Two unnamed COUNTs coexist (the second column is anonymous).
+	double := runSQL(t, "SELECT COUNT(*), COUNT(name) FROM beer")
+	if !double.Contains(tuple.New(value.NewInt(4), value.NewInt(4))) {
+		t.Errorf("double count = %s", double)
+	}
+	// HAVING may use an aggregate that is not in the SELECT list: it rides as
+	// a hidden trailing column and is stripped from the output.
+	having := runSQL(t, "SELECT brewery, SUM(alcperc) FROM beer GROUP BY brewery HAVING COUNT(*) >= 2")
+	if having.Cardinality() != 1 || !having.Contains(tuple.New(value.NewString("guineken"), value.NewFloat(11.5))) {
+		t.Errorf("HAVING with hidden aggregate = %s", having)
+	}
+}
+
+// TestGroupByWithoutAggregateSQL checks GROUP BY with no aggregate translates
+// to a distinct projection (π + δ): one output row per group.
+func TestGroupByWithoutAggregateSQL(t *testing.T) {
+	r := runSQL(t, "SELECT brewery FROM beer GROUP BY brewery")
+	if r.Cardinality() != 3 || r.DistinctCount() != 3 {
+		t.Errorf("GROUP BY without aggregate = %s, want 3 distinct rows", r)
+	}
+	if !r.Contains(tuple.New(value.NewString("guineken"))) {
+		t.Errorf("missing group: %s", r)
+	}
+	// Projecting a subset of the grouping columns keeps one row per group
+	// (duplicates across groups allowed, as SQL prescribes).
+	sub := runSQL(t, "SELECT name FROM beer GROUP BY name, brewery")
+	if sub.Cardinality() != 4 {
+		t.Errorf("subset projection = %s, want one row per (name, brewery) group", sub)
+	}
+	// HAVING on grouping columns still applies.
+	hav := runSQL(t, "SELECT brewery FROM beer GROUP BY brewery HAVING brewery <> 'guineken'")
+	if hav.Cardinality() != 2 {
+		t.Errorf("HAVING on aggregate-free grouping = %s", hav)
+	}
+	// HAVING with an aggregate over an aggregate-free SELECT uses the groupby
+	// path and strips the hidden column.
+	havAgg := runSQL(t, "SELECT brewery FROM beer GROUP BY brewery HAVING COUNT(*) >= 2")
+	if havAgg.Cardinality() != 1 || !havAgg.Contains(tuple.New(value.NewString("guineken"))) {
+		t.Errorf("HAVING aggregate over aggregate-free SELECT = %s", havAgg)
+	}
+}
+
 func TestInsertDeleteUpdateSQL(t *testing.T) {
 	src := beerSource()
 	cat := src.Catalog()
@@ -283,9 +349,7 @@ func TestCompileErrors(t *testing.T) {
 		"SELECT name FROM beer WHERE name >",
 		"SELECT name FROM beer WHERE name = 'x' extra",
 		"SELECT name FROM beer GROUP BY",
-		"SELECT name FROM beer GROUP BY name",                                       // no aggregate
 		"SELECT name, AVG(alcperc) FROM beer GROUP BY brewery",                      // name not grouped
-		"SELECT AVG(alcperc), SUM(alcperc) FROM beer",                               // two aggregates
 		"SELECT AVG(*) FROM beer",                                                   // * only for COUNT
 		"SELECT AVG(alcperc + 1) FROM beer",                                         // aggregate args must be columns
 		"SELECT * FROM beer GROUP BY brewery",                                       // star with grouping

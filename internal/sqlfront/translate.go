@@ -355,11 +355,15 @@ func translateBool(e sqlExpr, env *env) (scalar.Predicate, error) {
 // translateQuery translates the SELECT body and resolves its ORDER BY /
 // LIMIT / OFFSET clauses.  Keys that name an output column (or a 1-based
 // position) sort the result as-is; any other key expression is computed as a
-// hidden trailing projection column over the FROM schema — the facade sorts
-// on it through the physical Sort operator and strips it before presentation.
-// Hidden keys require a plain (non-grouped, non-DISTINCT) SELECT: grouping
-// collapses the FROM columns away, and extra sort columns would change what
-// DISTINCT deduplicates.
+// hidden trailing projection column — the facade sorts on it through the
+// physical Sort operator and strips it before presentation.  On a plain
+// SELECT a hidden key may be any scalar expression over the FROM schema; on a
+// grouped query it must be an aggregate call or a grouping column, carried as
+// a hidden trailing aggregate (or grouping) column of the Γ translation.
+// DISTINCT queries still require output-column keys — extra sort columns
+// would change what DISTINCT deduplicates — but an ORDER BY aggregate that
+// repeats a SELECT-list aggregate resolves to that output column and needs no
+// hidden column at all.
 func translateQuery(q *selectQuery, cat algebra.Catalog) (Query, error) {
 	expr, err := translateSelect(q, cat, nil)
 	if err != nil {
@@ -385,11 +389,14 @@ func translateQuery(q *selectQuery, cat algebra.Catalog) (Query, error) {
 		case isOutputColumn(item.expr, outSchema):
 			col = outSchema.IndexOf(item.expr.(colRef).name)
 		default:
+			// A key repeating a SELECT-list aggregate sorts on that output
+			// column directly.
+			if pos := matchSelectAgg(q, item.expr); grouped && pos >= 0 {
+				col = pos
+				break
+			}
 			// The key is not an output column: compute it as a hidden trailing
 			// column when the query shape allows.
-			if grouped {
-				return Query{}, errf(item.at, "ORDER BY on a grouped query must use an output column or position")
-			}
 			if q.distinct {
 				return Query{}, errf(item.at, "ORDER BY with DISTINCT must use an output column or position")
 			}
@@ -408,6 +415,43 @@ func translateQuery(q *selectQuery, cat algebra.Catalog) (Query, error) {
 		out.Mods.Hidden = len(hidden)
 	}
 	return out, nil
+}
+
+// matchSelectAgg returns the output position of a SELECT-list aggregate the
+// expression repeats (COUNT(x) matches any COUNT — the attribute parameter is
+// a dummy), or -1.  Grouped output columns correspond to SELECT items
+// one-to-one, so the item index is the output position.
+func matchSelectAgg(q *selectQuery, e sqlExpr) int {
+	key, ok := e.(aggExpr)
+	if !ok {
+		return -1
+	}
+	kfn, err := algebra.ParseAggregate(key.fn)
+	if err != nil {
+		return -1
+	}
+	for i, item := range q.items {
+		have, ok := item.expr.(aggExpr)
+		if !ok {
+			continue
+		}
+		hfn, err := algebra.ParseAggregate(have.fn)
+		if err != nil || hfn != kfn {
+			continue
+		}
+		if kfn == algebra.AggCount {
+			return i
+		}
+		if have.star != key.star {
+			continue
+		}
+		a, aok := have.arg.(colRef)
+		b, bok := key.arg.(colRef)
+		if aok && bok && strings.EqualFold(a.qualifier, b.qualifier) && strings.EqualFold(a.name, b.name) {
+			return i
+		}
+	}
+	return -1
 }
 
 // isOutputColumn reports whether an ORDER BY key expression is a bare
@@ -429,9 +473,10 @@ func hasAggregates(q *selectQuery) bool {
 }
 
 // translateSelect translates the SELECT body.  hidden, when non-empty, lists
-// ORDER BY key expressions to append as unnamed trailing projection columns;
-// the caller guarantees the query is a plain SELECT (no grouping, aggregates
-// or DISTINCT).
+// ORDER BY key expressions to append as unnamed trailing projection columns:
+// arbitrary scalar expressions over the FROM schema on a plain SELECT,
+// aggregate calls or grouping columns on a grouped one.  The caller
+// guarantees the query is not DISTINCT when hidden columns are requested.
 func translateSelect(q *selectQuery, cat algebra.Catalog, hidden []sqlExpr) (algebra.Expr, error) {
 	env, expr, err := buildFrom(q.from, cat)
 	if err != nil {
@@ -447,7 +492,7 @@ func translateSelect(q *selectQuery, cat algebra.Catalog, hidden []sqlExpr) (alg
 
 	switch {
 	case len(q.groupBy) > 0 || hasAggregates(q):
-		expr, err = translateGrouped(q, env, expr)
+		expr, err = translateGrouped(q, env, expr, hidden)
 		if err != nil {
 			return nil, err
 		}
@@ -505,11 +550,16 @@ func outputName(item selectItem, env *env) string {
 	return ""
 }
 
-// translateGrouped handles GROUP BY queries and global aggregates.  The
-// multi-set algebra's groupby operator computes one aggregate per expression
-// (Definition 3.4), so the SELECT list may contain the grouping columns plus
-// exactly one aggregate call, in any order.
-func translateGrouped(q *selectQuery, env *env, input algebra.Expr) (algebra.Expr, error) {
+// translateGrouped handles GROUP BY queries and global aggregates.  The SELECT
+// list may mix grouping columns and any number of aggregate calls, in any
+// order — the multi-aggregate groupby operator computes them all in one pass.
+// HAVING aggregates and hidden ORDER BY aggregate keys that do not repeat a
+// SELECT aggregate ride as extra trailing aggregate columns: HAVING-only ones
+// are stripped by the final projection, ORDER BY ones stay trailing so the
+// facade can sort on them and strip them at presentation.  A GROUP BY whose
+// query uses no aggregate at all translates to a distinct projection
+// δ(π_α(E)) — one output row per group, as SQL prescribes.
+func translateGrouped(q *selectQuery, env *env, input algebra.Expr, hidden []sqlExpr) (algebra.Expr, error) {
 	if q.star {
 		return nil, errf(0, "SELECT * cannot be combined with GROUP BY or aggregates")
 	}
@@ -523,130 +573,218 @@ func translateGrouped(q *selectQuery, env *env, input algebra.Expr) (algebra.Exp
 		groupCols = append(groupCols, pos)
 	}
 
-	// Classify select items.
-	var agg *aggExpr
-	aggAlias := ""
-	type plainItem struct {
-		pos   int
-		alias string
+	var aggs []algebra.AggSpec
+	// resolveAggSpec resolves one aggregate call to its (function, attribute)
+	// pair over the FROM schema.
+	resolveAggSpec := func(n aggExpr) (algebra.AggSpec, error) {
+		fn, err := algebra.ParseAggregate(n.fn)
+		if err != nil {
+			return algebra.AggSpec{}, errf(n.pos, "%v", err)
+		}
+		col := 0
+		if !n.star {
+			c, ok := n.arg.(colRef)
+			if !ok {
+				return algebra.AggSpec{}, errf(n.pos, "aggregate arguments must be plain columns")
+			}
+			col, err = env.resolve(c)
+			if err != nil {
+				return algebra.AggSpec{}, err
+			}
+		} else if fn != algebra.AggCount {
+			return algebra.AggSpec{}, errf(n.pos, "only COUNT may take * as its argument")
+		}
+		return algebra.AggSpec{Fn: fn, Col: col}, nil
 	}
-	var plains []plainItem
-	order := make([]int, 0, len(q.items)) // -1 marks the aggregate's position in the SELECT list
+	// findAgg returns the index of an equivalent already-collected aggregate
+	// (COUNT's attribute is a dummy, so any COUNT matches any other), or -1.
+	findAgg := func(sp algebra.AggSpec) int {
+		for i, have := range aggs {
+			if have.Fn != sp.Fn {
+				continue
+			}
+			if sp.Fn == algebra.AggCount || have.Col == sp.Col {
+				return i
+			}
+		}
+		return -1
+	}
+	groupIndex := func(pos int) int {
+		for gi, g := range groupCols {
+			if g == pos {
+				return gi
+			}
+		}
+		return -1
+	}
+
+	// Classify the SELECT list.  outRef records, per output column, whether it
+	// is a grouping column (group ≥ 0) or an aggregate (agg ≥ 0).
+	type outRef struct{ group, agg int }
+	outs := make([]outRef, 0, len(q.items))
+	used := make(map[string]bool, len(groupCols)+len(q.items))
+	fromSchema := env.schemaOf()
+	for _, g := range groupCols {
+		if n := fromSchema.Attribute(g).Name; n != "" {
+			used[strings.ToLower(n)] = true
+		}
+	}
 	for _, item := range q.items {
 		switch n := item.expr.(type) {
 		case aggExpr:
-			if agg != nil {
-				return nil, errf(n.pos, "at most one aggregate per query is supported by the groupby operator")
+			sp, err := resolveAggSpec(n)
+			if err != nil {
+				return nil, err
 			}
-			cp := n
-			agg = &cp
-			aggAlias = item.alias
-			order = append(order, -1)
+			name := item.alias
+			if name == "" {
+				// Defaulted names that would collide with an earlier output
+				// column stay anonymous instead of failing schema validation.
+				name = strings.ToLower(sp.Fn.String())
+				if used[name] {
+					name = ""
+				}
+			}
+			if name != "" {
+				used[strings.ToLower(name)] = true
+			}
+			sp.Name = name
+			aggs = append(aggs, sp)
+			outs = append(outs, outRef{group: -1, agg: len(aggs) - 1})
 		case colRef:
 			pos, err := env.resolve(n)
 			if err != nil {
 				return nil, err
 			}
-			found := false
-			for _, g := range groupCols {
-				if g == pos {
-					found = true
-					break
-				}
-			}
-			if !found {
+			gi := groupIndex(pos)
+			if gi == -1 {
 				return nil, errf(n.pos, "column %q must appear in the GROUP BY clause", n.display())
 			}
-			plains = append(plains, plainItem{pos: pos, alias: item.alias})
-			order = append(order, pos)
+			outs = append(outs, outRef{group: gi, agg: -1})
 		default:
-			return nil, errf(0, "grouped queries may select grouping columns and one aggregate only")
+			return nil, errf(0, "grouped queries may select grouping columns and aggregate calls only")
 		}
 	}
-	if agg == nil {
-		return nil, errf(0, "GROUP BY without an aggregate in the SELECT list is not supported; use SELECT DISTINCT instead")
-	}
 
-	aggFn, err := algebra.ParseAggregate(agg.fn)
-	if err != nil {
-		return nil, errf(agg.pos, "%v", err)
-	}
-	aggCol := 0
-	if !agg.star {
-		c, ok := agg.arg.(colRef)
-		if !ok {
-			return nil, errf(agg.pos, "aggregate arguments must be plain columns")
-		}
-		aggCol, err = env.resolve(c)
-		if err != nil {
-			return nil, err
-		}
-	} else if aggFn != algebra.AggCount {
-		return nil, errf(agg.pos, "only COUNT may take * as its argument")
-	}
-
-	name := aggAlias
-	if name == "" {
-		name = strings.ToLower(aggFn.String())
-	}
-	grouped := algebra.GroupBy{GroupCols: groupCols, Agg: aggFn, AggCol: aggCol, Name: name, Input: input}
-
-	// HAVING filters the grouped result; its columns resolve against the
-	// group-by output schema (grouping columns followed by the aggregate).
-	var result algebra.Expr = grouped
+	// HAVING resolves against the groupby output schema; aggregates it uses
+	// that are not in the SELECT list append hidden specs.
+	var havingCond scalar.Predicate
 	if q.having != nil {
-		henv := &env2{groupCols: groupCols, src: env, aggName: name}
+		henv := &havingEnv{groupCols: groupCols, src: env, aggs: &aggs, resolve: resolveAggSpec, find: findAgg}
 		cond, err := henv.translateBool(q.having)
 		if err != nil {
 			return nil, err
 		}
-		result = algebra.NewSelect(cond, result)
+		havingCond = cond
 	}
 
-	// Reorder the output to match the SELECT list when necessary: the groupby
-	// operator emits grouping columns first (in GROUP BY order) and the
-	// aggregate last.
-	finalCols := make([]int, 0, len(order))
-	for _, o := range order {
-		if o == -1 {
-			finalCols = append(finalCols, len(groupCols))
-			continue
-		}
-		for gi, g := range groupCols {
-			if g == o {
-				finalCols = append(finalCols, gi)
-				break
+	// Hidden ORDER BY keys: aggregate calls (appended as trailing specs when
+	// they do not repeat a SELECT aggregate) or grouping columns.
+	hiddenRefs := make([]outRef, 0, len(hidden))
+	for _, h := range hidden {
+		switch n := h.(type) {
+		case aggExpr:
+			sp, err := resolveAggSpec(n)
+			if err != nil {
+				return nil, err
 			}
+			ai := findAgg(sp)
+			if ai == -1 {
+				aggs = append(aggs, sp) // anonymous hidden column
+				ai = len(aggs) - 1
+			}
+			hiddenRefs = append(hiddenRefs, outRef{group: -1, agg: ai})
+		case colRef:
+			pos, err := env.resolve(n)
+			if err != nil {
+				return nil, err
+			}
+			gi := groupIndex(pos)
+			if gi == -1 {
+				return nil, errf(n.pos, "ORDER BY on a grouped query must use an output column, a grouping column, or an aggregate")
+			}
+			hiddenRefs = append(hiddenRefs, outRef{group: gi, agg: -1})
+		default:
+			return nil, errf(0, "ORDER BY on a grouped query must use an output column, a grouping column, or an aggregate")
 		}
 	}
-	identity := len(finalCols) == len(groupCols)+1
-	if identity {
-		for i, c := range finalCols {
-			if c != i {
-				identity = false
-				break
-			}
+
+	if len(aggs) == 0 {
+		// GROUP BY with no aggregate anywhere: one output row per group is a
+		// distinct projection.  Positions in δ(π_α(E)) coincide with the
+		// havingEnv numbering (grouping columns first), so the HAVING
+		// condition applies unchanged.
+		var result algebra.Expr = algebra.NewUnique(algebra.NewProject(groupCols, input))
+		if havingCond != nil {
+			result = algebra.NewSelect(havingCond, result)
+		}
+		finalCols := make([]int, 0, len(outs)+len(hiddenRefs))
+		for _, o := range append(outs, hiddenRefs...) {
+			finalCols = append(finalCols, o.group)
+		}
+		if isIdentityCols(finalCols, len(groupCols)) {
+			return result, nil
+		}
+		return algebra.NewProject(finalCols, result), nil
+	}
+
+	grouped := algebra.GroupBy{GroupCols: groupCols, Aggs: aggs, Input: input}
+	var result algebra.Expr = grouped
+	if havingCond != nil {
+		result = algebra.NewSelect(havingCond, result)
+	}
+
+	// Project the groupby output (grouping columns first, aggregates after,
+	// both in operator order) into SELECT order, with hidden ORDER BY columns
+	// trailing; HAVING-only aggregate columns are dropped here.
+	finalCols := make([]int, 0, len(outs)+len(hiddenRefs))
+	for _, o := range append(outs, hiddenRefs...) {
+		if o.agg >= 0 {
+			finalCols = append(finalCols, len(groupCols)+o.agg)
+		} else {
+			finalCols = append(finalCols, o.group)
 		}
 	}
-	if identity {
+	if isIdentityCols(finalCols, len(groupCols)+len(aggs)) {
 		return result, nil
 	}
 	return algebra.NewProject(finalCols, result), nil
 }
 
-// env2 resolves HAVING-clause references against the output schema of a
-// group-by: grouping columns keep their names, the aggregate column is
-// addressed by its alias (or the lower-cased aggregate name) or by repeating
-// the aggregate call.
-type env2 struct {
-	groupCols []int
-	src       *env
-	aggName   string
+// isIdentityCols reports whether cols is exactly 0..arity-1, i.e. a
+// projection that would keep every column in place.
+func isIdentityCols(cols []int, arity int) bool {
+	if len(cols) != arity {
+		return false
+	}
+	for i, c := range cols {
+		if c != i {
+			return false
+		}
+	}
+	return true
 }
 
-func (h *env2) resolve(c colRef) (int, error) {
-	if strings.EqualFold(c.name, h.aggName) && c.qualifier == "" {
-		return len(h.groupCols), nil
+// havingEnv resolves HAVING-clause references against the output schema of a
+// group-by: grouping columns keep their names (numbered first, in GROUP BY
+// order), aggregate columns are addressed by their alias, their defaulted
+// name, or by repeating the aggregate call — which appends a hidden trailing
+// aggregate when the call is not already computed.
+type havingEnv struct {
+	groupCols []int
+	src       *env
+	aggs      *[]algebra.AggSpec
+	resolve   func(aggExpr) (algebra.AggSpec, error)
+	find      func(algebra.AggSpec) int
+}
+
+func (h *havingEnv) resolveCol(c colRef) (int, error) {
+	if c.qualifier == "" {
+		for i, sp := range *h.aggs {
+			if sp.Name != "" && strings.EqualFold(c.name, sp.Name) {
+				return len(h.groupCols) + i, nil
+			}
+		}
 	}
 	pos, err := h.src.resolve(c)
 	if err != nil {
@@ -657,13 +795,27 @@ func (h *env2) resolve(c colRef) (int, error) {
 			return gi, nil
 		}
 	}
-	return 0, errf(c.pos, "HAVING column %q is neither a grouping column nor the aggregate", c.display())
+	return 0, errf(c.pos, "HAVING column %q is neither a grouping column nor an aggregate", c.display())
 }
 
-func (h *env2) translateScalar(e sqlExpr) (scalar.Expr, error) {
+// resolveAgg maps an aggregate call in HAVING to its groupby output column,
+// appending a hidden trailing aggregate spec when the call is new.
+func (h *havingEnv) resolveAgg(n aggExpr) (int, error) {
+	sp, err := h.resolve(n)
+	if err != nil {
+		return 0, err
+	}
+	if i := h.find(sp); i >= 0 {
+		return len(h.groupCols) + i, nil
+	}
+	*h.aggs = append(*h.aggs, sp) // anonymous hidden column
+	return len(h.groupCols) + len(*h.aggs) - 1, nil
+}
+
+func (h *havingEnv) translateScalar(e sqlExpr) (scalar.Expr, error) {
 	switch n := e.(type) {
 	case colRef:
-		pos, err := h.resolve(n)
+		pos, err := h.resolveCol(n)
 		if err != nil {
 			return nil, err
 		}
@@ -685,14 +837,17 @@ func (h *env2) translateScalar(e sqlExpr) (scalar.Expr, error) {
 		}
 		return scalar.NewArith(op, l, r), nil
 	case aggExpr:
-		// Repeating the aggregate call in HAVING refers to the aggregate column.
-		return scalar.NewAttr(len(h.groupCols)), nil
+		pos, err := h.resolveAgg(n)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.NewAttr(pos), nil
 	default:
 		return nil, errf(0, "unsupported HAVING expression %T", e)
 	}
 }
 
-func (h *env2) translateBool(e sqlExpr) (scalar.Predicate, error) {
+func (h *havingEnv) translateBool(e sqlExpr) (scalar.Predicate, error) {
 	switch n := e.(type) {
 	case cmpExpr:
 		l, err := h.translateScalar(n.left)

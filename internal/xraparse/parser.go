@@ -500,8 +500,9 @@ func (p *parser) parseBracketPredicate() (scalar.Predicate, error) {
 	return cond, nil
 }
 
-// parseGroupBy parses groupby[(α), AGG, %p](E); the grouping list may be
-// empty: groupby[(), CNT, %1](E).
+// parseGroupBy parses groupby[(α), AGG, %p, AGG, %p, ...](E): the grouping
+// list followed by one or more aggregate applications computed in one pass.
+// The grouping list may be empty: groupby[(), CNT, %1](E).
 func (p *parser) parseGroupBy() (algebra.Expr, error) {
 	if _, err := p.expectPunct("["); err != nil {
 		return nil, err
@@ -525,27 +526,34 @@ func (p *parser) parseGroupBy() (algebra.Expr, error) {
 		}
 	}
 	p.next() // ')'
-	if _, err := p.expectPunct(","); err != nil {
-		return nil, err
-	}
-	aggTok := p.next()
-	if aggTok.kind != tokIdent {
-		return nil, p.errorf(aggTok, "expected an aggregate function, found %s", aggTok)
-	}
-	agg, err := algebra.ParseAggregate(aggTok.text)
-	if err != nil {
-		return nil, p.errorf(aggTok, "%v", err)
-	}
-	if _, err := p.expectPunct(","); err != nil {
-		return nil, err
-	}
-	attrTok := p.next()
-	if attrTok.kind != tokAttr {
-		return nil, p.errorf(attrTok, "expected an aggregate attribute %%i, found %s", attrTok)
-	}
-	aggCol, err := attrIndex(attrTok)
-	if err != nil {
-		return nil, err
+	var aggs []algebra.AggSpec
+	for {
+		if _, err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		aggTok := p.next()
+		if aggTok.kind != tokIdent {
+			return nil, p.errorf(aggTok, "expected an aggregate function, found %s", aggTok)
+		}
+		agg, err := algebra.ParseAggregate(aggTok.text)
+		if err != nil {
+			return nil, p.errorf(aggTok, "%v", err)
+		}
+		if _, err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		attrTok := p.next()
+		if attrTok.kind != tokAttr {
+			return nil, p.errorf(attrTok, "expected an aggregate attribute %%i, found %s", attrTok)
+		}
+		aggCol, err := attrIndex(attrTok)
+		if err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, algebra.AggSpec{Fn: agg, Col: aggCol})
+		if !p.peekIsPunct(",") {
+			break
+		}
 	}
 	if _, err := p.expectPunct("]"); err != nil {
 		return nil, err
@@ -554,7 +562,7 @@ func (p *parser) parseGroupBy() (algebra.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return algebra.NewGroupBy(groupCols, agg, aggCol, in), nil
+	return algebra.NewGroupByMulti(groupCols, aggs, in), nil
 }
 
 // parseLiteral parses a literal relation [(v, ...), (v, ...)], inferring an

@@ -94,6 +94,8 @@ func TestParseOperators(t *testing.T) {
 		"dedup(project[%2](beer))":                        2,
 		"groupby[(), CNT, %1](beer)":                      1,
 		"groupby[(%2), count, %1](beer)":                  2,
+		"groupby[(%2), count, %1, MAX, %3](beer)":         2, // multi-aggregate: one row per group
+		"groupby[(), CNT, %1, MIN, %3, max, %3](beer)":    1,
 		"join[%2 = %4](beer, brewery)":                    3,
 		"[(1, 'x'), (1, 'x'), (2, 'y')]":                  3,
 		"select[%1 % 2 = 0]([(1), (2), (3), (4)])":        2,
@@ -279,6 +281,7 @@ func TestParseRoundTripThroughString(t *testing.T) {
 		"project[%1](select[%6 = 'netherlands'](join[%2 = %4](beer, brewery)))",
 		"union(beer, diff(beer, beer))",
 		"groupby[(%2),SUM,%3](beer)",
+		"groupby[(%2),CNT,%1,SUM,%3,MAX,%3](beer)",
 		"unique(project[%2](beer))",
 		"intersect(beer, beer)",
 		"tclose(project[%1, %2](brewery))",

@@ -6,8 +6,9 @@
 //
 //   - the full extended relational algebra of the paper (union, difference,
 //     product, selection, projection, intersection, join, arithmetic
-//     projection, duplicate elimination, group-by with CNT/SUM/AVG/MIN/MAX,
-//     and the transitive-closure extension);
+//     projection, duplicate elimination, group-by with any list of
+//     CNT/SUM/AVG/MIN/MAX aggregates computed in one pass, and the
+//     transitive-closure extension);
 //   - statements, programs and transactions (insert, delete, update,
 //     assignment, query; atomic commit/abort with logical time);
 //   - an XRA textual front-end (the PRISMA/DB-style algebra language) and a

@@ -86,7 +86,8 @@ func TestQuerySQLOrderByLimit(t *testing.T) {
 		t.Errorf("expression-key order wrong: %v", rows)
 	}
 
-	// Grouped queries still require output columns or positions as keys.
+	// Grouped-query keys must be output columns, grouping columns or
+	// aggregates — a plain FROM column the grouping collapsed away fails.
 	if _, err := db.QuerySQL("SELECT brewery, COUNT(*) FROM beer GROUP BY brewery ORDER BY alcperc"); err == nil {
 		t.Error("ORDER BY on a non-output column of a grouped query must fail")
 	}
@@ -132,5 +133,65 @@ func TestResultLenSaturates(t *testing.T) {
 	}
 	if got := res.DistinctLen(); got != 1 {
 		t.Errorf("DistinctLen = %d", got)
+	}
+}
+
+// TestOrderByAggregate exercises aggregate-aware ORDER BY key translation on
+// grouped queries: keys repeating a SELECT aggregate sort on that output
+// column, and aggregates absent from the SELECT list ride as hidden trailing
+// aggregate columns that are stripped before presentation.
+func TestOrderByAggregate(t *testing.T) {
+	db := explainBeerDB(t)
+
+	// ORDER BY an aggregate that is in the SELECT list (no hidden column).
+	res, err := db.QuerySQL("SELECT brewery, COUNT(*) FROM beer GROUP BY brewery ORDER BY COUNT(*) DESC, brewery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 4 || rows[0][0] != "guineken" || rows[0][1] != int64(2) || rows[1][0] != "brolsch" {
+		t.Errorf("ORDER BY COUNT(*) DESC rows = %v", rows)
+	}
+
+	// ORDER BY an aggregate that is NOT in the SELECT list: hidden trailing
+	// aggregate column, stripped from the presented rows.
+	res, err = db.QuerySQL("SELECT brewery, COUNT(*) FROM beer GROUP BY brewery ORDER BY SUM(alcperc) DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = res.Rows()
+	if len(rows) != 2 || len(rows[0]) != 2 || rows[0][0] != "guineken" || rows[1][0] != "westmalle" {
+		t.Errorf("hidden SUM key rows = %v", rows)
+	}
+
+	// A grouping column as the key of an aggregate-free GROUP BY.
+	res, err = db.QuerySQL("SELECT brewery FROM beer GROUP BY brewery ORDER BY COUNT(*) DESC, brewery LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = res.Rows()
+	if len(rows) != 1 || len(rows[0]) != 1 || rows[0][0] != "guineken" {
+		t.Errorf("aggregate key over aggregate-free SELECT = %v", rows)
+	}
+
+	// DISTINCT grouped queries may sort on aggregates the SELECT list already
+	// computes, but hidden aggregate keys would change what DISTINCT
+	// deduplicates and stay rejected.
+	if _, err := db.QuerySQL("SELECT DISTINCT brewery, COUNT(*) AS n FROM beer GROUP BY brewery ORDER BY COUNT(*) DESC"); err != nil {
+		t.Errorf("DISTINCT with a SELECT-matched aggregate key: %v", err)
+	}
+	if _, err := db.QuerySQL("SELECT DISTINCT brewery FROM beer GROUP BY brewery ORDER BY COUNT(*)"); err == nil {
+		t.Error("DISTINCT with a hidden aggregate key must fail")
+	}
+
+	// The hidden-aggregate path composes with parallel execution.
+	db.SetWorkers(4)
+	res, err = db.QuerySQL("SELECT brewery, COUNT(*), AVG(alcperc) FROM beer GROUP BY brewery ORDER BY MAX(alcperc) DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = res.Rows()
+	if len(rows) != 1 || rows[0][0] != "westmalle" {
+		t.Errorf("parallel hidden-key rows = %v", rows)
 	}
 }
