@@ -10,22 +10,28 @@
 //	xra -sql                # interactive SQL shell
 //
 // Inside the shell, statements end with ';'.  `begin ... end;` groups
-// statements into one transaction.  The meta-commands are:
+// statements into one transaction.  Ctrl-C cancels the running statement
+// (the transaction aborts, the database stays unchanged); pressing it at the
+// prompt exits.  The meta-commands are:
 //
-//	\d                list relations
-//	\d name           show a relation's schema and cardinality
-//	\explain <expr>   show the original and optimised plan of an XRA expression
-//	\set workers N    set the parallel worker count (1 = serial, 0 = auto)
-//	\time on|off      toggle per-statement timing
-//	\q                quit
+//	\d                  list relations
+//	\d name             show a relation's schema and cardinality
+//	\explain <expr>     show the original and optimised plan of an XRA expression
+//	\set workers N      set the parallel worker count (1 = serial, 0 = auto)
+//	\set timeout <dur>  set a per-statement deadline (e.g. 500ms, 2s; 0 = off)
+//	\set memlimit <n>   set a per-query memory budget in bytes (0 = off)
+//	\time on|off        toggle per-statement timing
+//	\q                  quit
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -56,7 +62,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := runScript(db, string(data), *sqlMode, os.Stdout); err != nil {
+			if err := runScript(context.Background(), db, string(data), *sqlMode, os.Stdout); err != nil {
 				fatal(err)
 			}
 		}
@@ -71,20 +77,33 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// runScript executes a whole script in the selected language, printing query
-// outputs as tables.
-func runScript(db *mra.DB, script string, sqlMode bool, out io.Writer) error {
+// runScript executes a whole script in the selected language under the given
+// lifecycle context, printing query outputs as tables.
+func runScript(ctx context.Context, db *mra.DB, script string, sqlMode bool, out io.Writer) error {
 	var results []*mra.Result
 	var err error
 	if sqlMode {
-		results, err = db.ExecSQL(script)
+		results, err = db.ExecSQLContext(ctx, script)
 	} else {
-		results, err = db.ExecXRA(script)
+		results, err = db.ExecXRAContext(ctx, script)
 	}
 	for _, r := range results {
 		fmt.Fprintln(out, r.Table())
 	}
 	return err
+}
+
+// statementCtx builds the lifecycle context of one statement execution: the
+// per-statement deadline (when set) stacked on Ctrl-C cancellation.  The
+// returned stop must be called when the statement finishes, so a later Ctrl-C
+// at the prompt is not swallowed by a dead context.
+func statementCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	return dctx, func() { cancel(); stop() }
 }
 
 // repl runs the interactive shell.
@@ -98,13 +117,14 @@ func repl(db *mra.DB, sqlMode bool, in io.Reader, out io.Writer) {
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	timing := false
+	var timeout time.Duration
 	prompt := func() { fmt.Fprintf(out, "%s> ", lang) }
 	prompt()
 	for scanner.Scan() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if strings.HasPrefix(trimmed, "\\") && buf.Len() == 0 {
-			if handleMeta(db, trimmed, &timing, out) {
+			if handleMeta(db, trimmed, &timing, &timeout, out) {
 				return
 			}
 			prompt()
@@ -117,7 +137,9 @@ func repl(db *mra.DB, sqlMode bool, in io.Reader, out io.Writer) {
 			continue
 		}
 		start := time.Now()
-		err := runScript(db, buf.String(), sqlMode, out)
+		ctx, stop := statementCtx(timeout)
+		err := runScript(ctx, db, buf.String(), sqlMode, out)
+		stop()
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
@@ -138,7 +160,7 @@ func unbalancedTransaction(src string) bool {
 
 // handleMeta processes a backslash meta-command; it returns true when the
 // shell should exit.
-func handleMeta(db *mra.DB, cmd string, timing *bool, out io.Writer) bool {
+func handleMeta(db *mra.DB, cmd string, timing *bool, timeout *time.Duration, out io.Writer) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
@@ -158,17 +180,46 @@ func handleMeta(db *mra.DB, cmd string, timing *bool, out io.Writer) bool {
 		}
 		fmt.Fprintf(out, "%s (%d tuples)\n", rel, db.Cardinality(name))
 	case "\\set":
-		if len(fields) != 3 || fields[1] != "workers" {
-			fmt.Fprintln(out, "usage: \\set workers N   (1 = serial, 0 = auto-detect)")
+		if len(fields) != 3 {
+			fmt.Fprintln(out, "usage: \\set workers N | \\set timeout <dur> | \\set memlimit <bytes>")
 			return false
 		}
-		n, err := strconv.Atoi(fields[2])
-		if err != nil {
-			fmt.Fprintf(out, "workers must be an integer, got %q\n", fields[2])
-			return false
+		switch fields[1] {
+		case "workers":
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				fmt.Fprintf(out, "workers must be an integer, got %q\n", fields[2])
+				return false
+			}
+			db.SetWorkers(n)
+			fmt.Fprintf(out, "workers: %d\n", db.Workers())
+		case "timeout":
+			d, err := time.ParseDuration(fields[2])
+			if err != nil || d < 0 {
+				fmt.Fprintf(out, "timeout must be a duration like 500ms or 2s (0 disables), got %q\n", fields[2])
+				return false
+			}
+			*timeout = d
+			if d == 0 {
+				fmt.Fprintln(out, "timeout: off")
+			} else {
+				fmt.Fprintf(out, "timeout: %v\n", d)
+			}
+		case "memlimit":
+			n, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || n < 0 {
+				fmt.Fprintf(out, "memlimit must be a byte count (0 disables), got %q\n", fields[2])
+				return false
+			}
+			db.SetMemoryLimit(n)
+			if n == 0 {
+				fmt.Fprintln(out, "memlimit: off")
+			} else {
+				fmt.Fprintf(out, "memlimit: %d bytes\n", n)
+			}
+		default:
+			fmt.Fprintln(out, "usage: \\set workers N | \\set timeout <dur> | \\set memlimit <bytes>")
 		}
-		db.SetWorkers(n)
-		fmt.Fprintf(out, "workers: %d\n", db.Workers())
 	case "\\time":
 		if len(fields) > 1 && fields[1] == "on" {
 			*timing = true

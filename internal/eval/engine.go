@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+
 	"mra/internal/algebra"
 	"mra/internal/multiset"
 	"mra/internal/plan"
@@ -40,6 +42,11 @@ type Engine struct {
 	// BatchSize overrides the emit batch size of compiled plans; zero keeps
 	// the default.  Tests use tiny sizes to force batch boundaries.
 	BatchSize int
+	// MemoryLimit bounds, in bytes, the operator-internal state one evaluation
+	// may hold (hash-join builds, group tables, sorts); evaluations exceeding
+	// it fail with an error wrapping plan.ErrMemoryBudget.  Zero disables
+	// enforcement.
+	MemoryLimit int64
 	// StaticSlices reverts parallel scan scheduling to the legacy
 	// one-static-slice-per-worker split, for benchmarking the morsel
 	// scheduler against its baseline.
@@ -65,6 +72,7 @@ func (e *Engine) planner(src Source) *plan.Planner {
 		ParallelThreshold: e.ParallelThreshold,
 		MorselSize:        e.MorselSize,
 		BatchSize:         e.BatchSize,
+		MemoryLimit:       e.MemoryLimit,
 		StaticSlices:      e.StaticSlices,
 		OnePhaseAgg:       e.OnePhaseAgg,
 	}
@@ -73,14 +81,21 @@ func (e *Engine) planner(src Source) *plan.Planner {
 // Eval compiles the expression into a physical plan and executes it against
 // the source.
 func (e *Engine) Eval(expr algebra.Expr, src Source) (*multiset.Relation, error) {
+	return e.EvalContext(context.Background(), expr, src)
+}
+
+// EvalContext is Eval under a lifecycle context: execution polls ctx at
+// amortised checkpoints and aborts with ctx.Err() once it is cancelled or past
+// its deadline.  A Background context adds no cost over Eval.
+func (e *Engine) EvalContext(ctx context.Context, expr algebra.Expr, src Source) (*multiset.Relation, error) {
 	p, err := e.planner(src).Plan(expr, CatalogOf(src))
 	if err != nil {
 		return nil, err
 	}
 	if e.CollectStats {
-		return p.ExecuteStats(src, &e.Stats)
+		return p.ExecuteStatsContext(ctx, src, &e.Stats)
 	}
-	return p.Execute(src)
+	return p.ExecuteContext(ctx, src)
 }
 
 // EvalOrdered compiles the expression into a physical plan rooted at a Sort
@@ -89,12 +104,18 @@ func (e *Engine) Eval(expr algebra.Expr, src Source) (*multiset.Relation, error)
 // of SQL ORDER BY: relations stay unordered, the order lives only in the
 // returned slice.
 func (e *Engine) EvalOrdered(expr algebra.Expr, src Source, keys []plan.SortKey) ([]tuple.Tuple, *multiset.Relation, error) {
+	return e.EvalOrderedContext(context.Background(), expr, src, keys)
+}
+
+// EvalOrderedContext is EvalOrdered under a lifecycle context (see
+// EvalContext).
+func (e *Engine) EvalOrderedContext(ctx context.Context, expr algebra.Expr, src Source, keys []plan.SortKey) ([]tuple.Tuple, *multiset.Relation, error) {
 	p, err := e.planner(src).PlanOrdered(expr, CatalogOf(src), keys)
 	if err != nil {
 		return nil, nil, err
 	}
 	if e.CollectStats {
-		return p.ExecuteOrdered(src, &e.Stats)
+		return p.ExecuteOrderedContext(ctx, src, &e.Stats)
 	}
-	return p.ExecuteOrdered(src, nil)
+	return p.ExecuteOrderedContext(ctx, src, nil)
 }

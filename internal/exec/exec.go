@@ -22,10 +22,26 @@
 // is either its partial relation (merged by Partials) or per-worker counters
 // folded by the caller after Pool.Run returns.  The only cross-worker state is
 // MorselQueue, whose claims are a single atomic fetch-add.
+//
+// Lifecycle contract: every gang run is scoped by a context.  Pool.Run derives
+// a per-gang context that is cancelled the moment any worker fails — by
+// returning an error or by panicking — so the sibling workers, which poll that
+// context at morsel/batch granularity (package plan's checkpoints), stop
+// promptly instead of draining their remaining input.  A panicking worker
+// never crashes the process: the panic is recovered into a *PanicError
+// carrying the worker id and stack, and takes part in the deterministic error
+// merge (gangError) that prefers root-cause errors over the context
+// cancellations they induced.  The runtime holds no channels between workers —
+// partials are plain per-worker slices joined by a WaitGroup — so there is
+// nothing to drain on an abort and a cancelled gang leaks no goroutines.
 package exec
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -76,30 +92,94 @@ func NewPool(workers int) *Pool { return &Pool{workers: Resolve(workers)} }
 // Workers returns the pool's width.
 func (p *Pool) Workers() int { return p.workers }
 
-// Run executes task(w) for every worker w in [0, Workers) concurrently and
-// waits for all of them.  It returns the error of the lowest-numbered failed
-// worker (deterministic regardless of scheduling); the other workers still run
-// to completion, so partial state stays consistent for accounting.
-func (p *Pool) Run(task func(worker int) error) error {
+// PanicError is a worker panic converted into an error: the gang runtime
+// recovers panics inside worker goroutines so a crashing operator aborts the
+// query, not the process.  It records which worker crashed and the stack at
+// the panic site; the enclosing exchange wraps it with the operator it was
+// executing.
+type PanicError struct {
+	// Worker is the index of the panicked worker within its gang.
+	Worker int
+	// Value is the value the worker panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic with its worker id; the stack is kept out of the
+// one-line message and available on the field.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// Run executes task(ctx, w) for every worker w in [0, Workers) concurrently
+// and waits for all of them.  The context passed to the tasks is derived from
+// ctx and cancelled as soon as any worker fails — returns an error or panics —
+// so sibling workers polling it stop promptly; it is also cancelled when Run
+// returns.  A panicking worker is recovered into a *PanicError instead of
+// crashing the process.  The returned error is chosen by gangError:
+// deterministically the lowest-numbered worker's failure, with root-cause
+// errors (panics, operator failures) preferred over the context cancellations
+// they induced in their siblings.
+func (p *Pool) Run(ctx context.Context, task func(ctx context.Context, worker int) error) error {
 	if p.workers == 1 {
-		return task(0)
+		return runWorker(ctx, 0, task)
 	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	errs := make([]error, p.workers)
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = task(w)
+			if err := runWorker(gctx, w, task); err != nil {
+				errs[w] = err
+				// Wake the siblings: one failed worker aborts the gang.
+				cancel()
+			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	return gangError(errs)
+}
+
+// runWorker runs one worker's task with panic recovery and the fault-injection
+// worker-start hook.
+func runWorker(ctx context.Context, w int, task func(ctx context.Context, worker int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Worker: w, Value: r, Stack: debug.Stack()}
 		}
+	}()
+	if f := currentFaults(); f != nil && f.WorkerStart != nil {
+		f.WorkerStart(w)
 	}
-	return nil
+	return task(ctx, w)
+}
+
+// gangError merges the per-worker failures of one gang run into the single
+// error the exchange surfaces.  Root-cause errors win over context
+// cancellations: when worker 3 panics and the gang context cancellation makes
+// workers 0–2 return context.Canceled, first-error-wins by worker order would
+// mask the panic behind a cancellation it caused.  Among errors of the same
+// class the lowest-numbered worker wins, so the result is deterministic
+// regardless of scheduling.
+func gangError(errs []error) error {
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return ctxErr
 }
 
 // DefaultMorselSize is the number of scan entries a worker claims per visit
@@ -144,6 +224,9 @@ func NewMorselQueue(total, size int) *MorselQueue {
 // growth, in a single worker.  On a machine with idle processors the yield is
 // a few nanoseconds.
 func (q *MorselQueue) Next() (lo, hi int, ok bool) {
+	if f := currentFaults(); f != nil {
+		f.claim()
+	}
 	runtime.Gosched()
 	end := q.next.Add(q.size)
 	start := end - q.size
@@ -249,11 +332,13 @@ func (p *Partials) Merge(into *multiset.Relation) *multiset.Relation {
 // two-phase aggregate's per-worker partial group states, for example.  Each
 // result is produced and owned by its worker until Gather returns; on error
 // the results collected so far are still returned (failed workers leave their
-// zero value) so the caller can account for them.
-func Gather[T any](pool *Pool, producer func(worker int) (T, error)) ([]T, error) {
+// zero value) so the caller can account for them.  The gang context and
+// failure semantics are Pool.Run's: producers receive a per-gang context that
+// is cancelled when any worker fails.
+func Gather[T any](ctx context.Context, pool *Pool, producer func(ctx context.Context, worker int) (T, error)) ([]T, error) {
 	out := make([]T, pool.Workers())
-	err := pool.Run(func(w int) error {
-		v, err := producer(w)
+	err := pool.Run(ctx, func(wctx context.Context, w int) error {
+		v, err := producer(wctx, w)
 		out[w] = v
 		return err
 	})
@@ -265,11 +350,13 @@ func Gather[T any](pool *Pool, producer func(worker int) (T, error)) ([]T, error
 // accumulate into (by Add or the batched AddBatch), and returns the partials.
 // The relation passed to a producer is that worker's own; the runtime never
 // touches it concurrently.  On error the partials collected so far are still
-// returned so the caller can account for them.
-func Exchange(pool *Pool, s schema.Relation, capacityEach int, producer func(worker int, into *multiset.Relation) error) (*Partials, error) {
+// returned so the caller can account for them.  The gang context and failure
+// semantics are Pool.Run's: producers receive a per-gang context that is
+// cancelled when any worker fails.
+func Exchange(ctx context.Context, pool *Pool, s schema.Relation, capacityEach int, producer func(ctx context.Context, worker int, into *multiset.Relation) error) (*Partials, error) {
 	parts := NewPartials(s, pool.Workers(), capacityEach)
-	err := pool.Run(func(w int) error {
-		return producer(w, parts.Rel(w))
+	err := pool.Run(ctx, func(wctx context.Context, w int) error {
+		return producer(wctx, w, parts.Rel(w))
 	})
 	return parts, err
 }

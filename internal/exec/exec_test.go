@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -40,7 +41,7 @@ func TestPoolRunsEveryWorker(t *testing.T) {
 	for _, w := range []int{1, 2, 7} {
 		pool := NewPool(w)
 		var ran [64]atomic.Int32
-		if err := pool.Run(func(worker int) error {
+		if err := pool.Run(context.Background(), func(_ context.Context, worker int) error {
 			ran[worker].Add(1)
 			return nil
 		}); err != nil {
@@ -59,7 +60,7 @@ func TestPoolRunsEveryWorker(t *testing.T) {
 func TestPoolErrorDeterminism(t *testing.T) {
 	pool := NewPool(8)
 	for round := 0; round < 20; round++ {
-		err := pool.Run(func(worker int) error {
+		err := pool.Run(context.Background(), func(_ context.Context, worker int) error {
 			if worker >= 3 {
 				return fmt.Errorf("worker %d failed", worker)
 			}
@@ -112,7 +113,7 @@ func TestExchangeSumsPartials(t *testing.T) {
 
 	for _, w := range []int{1, 2, 4, 8} {
 		pool := NewPool(w)
-		parts, err := Exchange(pool, s, 16, func(worker int, into *multiset.Relation) error {
+		parts, err := Exchange(context.Background(), pool, s, 16, func(_ context.Context, worker int, into *multiset.Relation) error {
 			in.EachInPartition(worker, pool.Workers(), func(tp tuple.Tuple, n uint64) bool {
 				into.Add(tp, n)
 				return true
@@ -148,7 +149,7 @@ func TestExchangeSumsPartials(t *testing.T) {
 func TestExchangePropagatesErrors(t *testing.T) {
 	s := testSchema()
 	boom := errors.New("boom")
-	parts, err := Exchange(NewPool(4), s, 4, func(worker int, into *multiset.Relation) error {
+	parts, err := Exchange(context.Background(), NewPool(4), s, 4, func(_ context.Context, worker int, into *multiset.Relation) error {
 		if worker == 2 {
 			return boom
 		}
@@ -207,7 +208,7 @@ func TestMorselQueueConcurrentStealing(t *testing.T) {
 	var claimed atomic.Uint64
 	pool := NewPool(workers)
 	var owned [workers]int
-	if err := pool.Run(func(w int) error {
+	if err := pool.Run(context.Background(), func(_ context.Context, w int) error {
 		for {
 			lo, hi, ok := q.Next()
 			if !ok {

@@ -1,0 +1,58 @@
+package exec
+
+// This file is the fault-injection harness of the parallel runtime.  It is
+// hook-gated rather than build-tag-gated: the hooks sit on paths that are
+// already amortised (worker start — once per gang worker — and morsel claims —
+// one per claimed entry range), and when no injector is installed each hook is
+// a single atomic pointer load returning nil, so production execution pays
+// nothing measurable.  The lifecycle property tests use the harness to panic a
+// chosen worker, delay morsel claims, and cancel queries at randomised claim
+// counts, proving that every injected fault yields a clean error with no
+// deadlock and no leaked goroutine.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Faults configures the fault-injection harness.  All fields are optional; the
+// zero value injects nothing.  Hooks run on live gang workers and must be safe
+// for concurrent use.
+type Faults struct {
+	// WorkerStart, when non-nil, runs at the start of every gang worker —
+	// before any query work, inside the runtime's panic-recovery scope — so it
+	// may panic to simulate a crashed worker.
+	WorkerStart func(worker int)
+	// MorselClaim, when non-nil, runs on every morsel-queue claim.  Tests use
+	// it to count claims and cancel a query's context at a randomised point
+	// mid-exchange.
+	MorselClaim func()
+	// ClaimDelay pauses every morsel-queue claim for the given duration,
+	// simulating a slow worker so deadlines trip mid-exchange.
+	ClaimDelay time.Duration
+}
+
+// claim runs the morsel-claim fault actions.
+func (f *Faults) claim() {
+	if f.ClaimDelay > 0 {
+		time.Sleep(f.ClaimDelay)
+	}
+	if f.MorselClaim != nil {
+		f.MorselClaim()
+	}
+}
+
+// activeFaults is the installed injector; nil (the default) disables all
+// hooks.
+var activeFaults atomic.Pointer[Faults]
+
+// InjectFaults installs a fault injector for the whole process and returns a
+// function restoring the previous one.  It is intended for tests only; tests
+// that inject faults must not run in parallel with each other.
+func InjectFaults(f *Faults) (restore func()) {
+	prev := activeFaults.Swap(f)
+	return func() { activeFaults.Store(prev) }
+}
+
+// currentFaults returns the installed injector, or nil when none is.
+func currentFaults() *Faults { return activeFaults.Load() }

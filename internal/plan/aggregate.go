@@ -166,6 +166,10 @@ type groupTable struct {
 	groups []groupEntry
 	states []AggState
 	index  map[uint64]int32
+	// mem, when non-nil, is charged for every created group (the
+	// representative tuple plus its aggregate states), so a runaway grouping
+	// trips the query's memory budget instead of exhausting the process.
+	mem *MemoryGauge
 }
 
 // groupEntry is one group of the table: a representative input tuple (whose
@@ -175,16 +179,17 @@ type groupEntry struct {
 	next int32
 }
 
-func newGroupTable(spec groupSpec, capacity int) *groupTable {
+func newGroupTable(spec groupSpec, capacity int, mem *MemoryGauge) *groupTable {
 	if capacity < 16 {
 		capacity = 16
 	}
-	return &groupTable{spec: spec, index: make(map[uint64]int32, capacity)}
+	return &groupTable{spec: spec, index: make(map[uint64]int32, capacity), mem: mem}
 }
 
 // findOrCreate returns the index of t's group, creating it (with fresh
-// aggregate states) on first sight.
-func (g *groupTable) findOrCreate(t tuple.Tuple) int {
+// aggregate states) on first sight.  Creation fails when charging the new
+// group would exceed the table's memory budget.
+func (g *groupTable) findOrCreate(t tuple.Tuple) (int, error) {
 	h := t.HashOn(g.spec.groupCols)
 	head, ok := g.index[h]
 	if !ok {
@@ -192,7 +197,12 @@ func (g *groupTable) findOrCreate(t tuple.Tuple) int {
 	}
 	for i := head; i != -1; i = g.groups[i].next {
 		if equalOn(t, g.spec.groupCols, g.groups[i].rep, g.spec.groupCols) {
-			return int(i)
+			return int(i), nil
+		}
+	}
+	if g.mem != nil {
+		if err := g.mem.Grow(approxTupleBytes(t) + int64(len(g.spec.aggs))*aggStateBytes); err != nil {
+			return 0, err
 		}
 	}
 	gi := len(g.groups)
@@ -201,13 +211,16 @@ func (g *groupTable) findOrCreate(t tuple.Tuple) int {
 	for _, sp := range g.spec.aggs {
 		g.states = append(g.states, NewAggState(sp.Fn))
 	}
-	return gi
+	return gi, nil
 }
 
 // add folds one input chunk into its group's aggregate states, creating the
 // group on first sight.
 func (g *groupTable) add(t tuple.Tuple, count uint64) error {
-	gi := g.findOrCreate(t)
+	gi, err := g.findOrCreate(t)
+	if err != nil {
+		return err
+	}
 	k := len(g.spec.aggs)
 	states := g.states[gi*k : (gi+1)*k]
 	for i := range states {
@@ -222,16 +235,20 @@ func (g *groupTable) add(t tuple.Tuple, count uint64) error {
 // two-phase aggregation: groups match by their grouping attributes, and
 // matching groups' states combine via MergePartial.  Both tables must share
 // the same spec.
-func (g *groupTable) mergeFrom(o *groupTable) {
+func (g *groupTable) mergeFrom(o *groupTable) error {
 	k := len(g.spec.aggs)
 	for i := range o.groups {
-		gi := g.findOrCreate(o.groups[i].rep)
+		gi, err := g.findOrCreate(o.groups[i].rep)
+		if err != nil {
+			return err
+		}
 		dst := g.states[gi*k : (gi+1)*k]
 		src := o.states[i*k : (i+1)*k]
 		for j := range dst {
 			dst[j].MergePartial(&src[j])
 		}
 	}
+	return nil
 }
 
 // finalTuple renders one group's output tuple: the projected grouping

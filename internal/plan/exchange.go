@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"mra/internal/algebra"
@@ -172,6 +174,12 @@ func (p *partitionNode) runMorsels(ctx *execCtx, q *exec.MorselQueue, emit EmitB
 			return err
 		}
 		for {
+			// One cancellation checkpoint per claimed morsel: the amortised
+			// point where a gang worker notices its query was cancelled (by the
+			// user, a deadline, or a failed sibling).
+			if err := ctx.poll(); err != nil {
+				return err
+			}
 			lo, hi, ok := q.Next()
 			if !ok {
 				break
@@ -187,6 +195,9 @@ func (p *partitionNode) runMorsels(ctx *execCtx, q *exec.MorselQueue, emit EmitB
 		}
 	case *valuesNode:
 		for {
+			if err := ctx.poll(); err != nil {
+				return err
+			}
 			lo, hi, ok := q.Next()
 			if !ok {
 				break
@@ -360,8 +371,9 @@ func (m *mergeNode) gang(ctx *execCtx) (*exec.Partials, error) {
 	}
 	wctxs := make([]*execCtx, pool.Workers())
 	capEach := capacityFor(m.input.meta().capHint)/pool.Workers() + 1
-	parts, err := exec.Exchange(pool, m.input.Schema(), capEach, func(w int, into *multiset.Relation) error {
+	parts, err := exec.Exchange(ctx.queryCtx(), pool, m.input.Schema(), capEach, func(gctx context.Context, w int, into *multiset.Relation) error {
 		wctx := ctx.workerCtx(w, pool.Workers(), gs)
+		wctx.setContext(gctx)
 		wctx.src = snap
 		wctxs[w] = wctx
 		return wctx.collect(m.input, into)
@@ -369,7 +381,18 @@ func (m *mergeNode) gang(ctx *execCtx) (*exec.Partials, error) {
 	ctx.foldWorkers(wctxs)
 	// The per-worker partials are the exchange's materialised state.
 	ctx.materialised(m, parts.Cardinality())
-	return parts, err
+	return parts, wrapGangErr(m, err)
+}
+
+// wrapGangErr attaches the gang boundary's operator to a recovered worker
+// panic, so the surfaced error names both the worker (from exec.PanicError)
+// and the operator whose gang it crashed.
+func wrapGangErr(n Node, err error) error {
+	var pe *exec.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Errorf("%s: %w", n.Describe(), err)
+	}
+	return err
 }
 
 func (m *mergeNode) run(ctx *execCtx, emit Emit) error {
@@ -436,19 +459,22 @@ func (m *groupMergeNode) gangTables(ctx *execCtx) (*groupTable, error) {
 		return nil, err
 	}
 	wctxs := make([]*execCtx, pool.Workers())
-	tables, err := exec.Gather(pool, func(w int) (*groupTable, error) {
+	tables, err := exec.Gather(ctx.queryCtx(), pool, func(gctx context.Context, w int) (*groupTable, error) {
 		wctx := ctx.workerCtx(w, pool.Workers(), gs)
+		wctx.setContext(gctx)
 		wctx.src = snap
 		wctxs[w] = wctx
 		return m.agg.buildGroups(wctx)
 	})
 	ctx.foldWorkers(wctxs)
 	if err != nil {
-		return nil, err
+		return nil, wrapGangErr(m, err)
 	}
 	global := tables[0]
 	for _, tb := range tables[1:] {
-		global.mergeFrom(tb)
+		if err := global.mergeFrom(tb); err != nil {
+			return nil, err
+		}
 	}
 	// The exchange's own state is the merged global table; the per-worker
 	// partials were already charged to the aggregate node by buildGroups.

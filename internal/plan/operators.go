@@ -42,7 +42,10 @@ func (s *scanNode) run(ctx *execCtx, emit Emit) error {
 	if err != nil {
 		return err
 	}
-	return each(r, emit)
+	// Leaf streams are where long pipelines spend their time, so the scan is
+	// the scalar path's cancellation checkpoint (amortised to one poll per
+	// batchCap chunks; free on uncancellable contexts).
+	return each(r, ctx.pollingEmit(emit))
 }
 
 // runBatch implements batchRunner: the relation's distinct entries are
@@ -56,6 +59,11 @@ func (s *scanNode) runBatch(ctx *execCtx, emit EmitBatch) error {
 	var b Batch
 	var iterErr error
 	r.EachBatch(ctx.batchCap(), func(tuples []tuple.Tuple, counts []uint64) bool {
+		// One cancellation checkpoint per batch — the vectorised counterpart
+		// of the scalar path's pollingEmit.
+		if iterErr = ctx.poll(); iterErr != nil {
+			return false
+		}
 		b.Tuples, b.Counts = tuples, counts
 		iterErr = emit(&b)
 		return iterErr == nil
@@ -81,7 +89,8 @@ type valuesNode struct {
 func (v *valuesNode) Children() []Node { return nil }
 func (v *valuesNode) Describe() string { return fmt.Sprintf("Values (%d rows)", len(v.rows)) }
 
-func (v *valuesNode) run(_ *execCtx, emit Emit) error {
+func (v *valuesNode) run(ctx *execCtx, emit Emit) error {
+	emit = ctx.pollingEmit(emit)
 	for _, row := range v.rows {
 		if err := emit(tuple.New(row...), 1); err != nil {
 			return err
@@ -267,6 +276,9 @@ func (u *uniqueNode) run(ctx *execCtx, emit Emit) error {
 		if !seen.insert(t) {
 			return nil
 		}
+		if err := ctx.chargeTuple(t); err != nil {
+			return err
+		}
 		return emit(t, 1)
 	})
 	ctx.materialised(u, uint64(seen.len()))
@@ -406,6 +418,9 @@ func (j *hashJoinNode) buildTable(ctx *execCtx) (*joinTable, error) {
 	build, buildCols := j.buildSide()
 	tb := newJoinTable(capacityFor(build.meta().capHint))
 	err := ctx.run(build, func(t tuple.Tuple, n uint64) error {
+		if err := ctx.chargeTuple(t); err != nil {
+			return err
+		}
 		tb.insert(t, n, buildCols)
 		return nil
 	})
@@ -548,6 +563,9 @@ func (j *nestedLoopNode) run(ctx *execCtx, emit Emit) error {
 	chunks := make([]chunk, 0, capacityFor(inner.meta().capHint))
 	var held uint64
 	err := ctx.run(inner, func(t tuple.Tuple, n uint64) error {
+		if err := ctx.chargeTuple(t); err != nil {
+			return err
+		}
 		chunks = append(chunks, chunk{tup: t, count: n})
 		held += n
 		return nil
@@ -624,7 +642,7 @@ func (a *hashAggNode) Describe() string {
 // a parallel worker (where vectorised emission pays), chunk-at-a-time
 // otherwise — and charges the group count to the operator's state.
 func (a *hashAggNode) buildGroups(ctx *execCtx) (*groupTable, error) {
-	groups := newGroupTable(a.gb, capacityFor(a.capHint))
+	groups := newGroupTable(a.gb, capacityFor(a.capHint), ctx.mem)
 	var err error
 	if _, native := a.input.(batchRunner); native && ctx.workers > 1 {
 		err = ctx.runBatch(a.input, func(b *Batch) error {
@@ -690,7 +708,7 @@ func (d *differenceNode) run(ctx *execCtx, emit Emit) error {
 	if err != nil {
 		return err
 	}
-	return each(out, emit)
+	return each(out, ctx.pollingEmit(emit))
 }
 
 func (d *differenceNode) result(ctx *execCtx) (*multiset.Relation, error) {
@@ -715,7 +733,7 @@ func (i *intersectNode) run(ctx *execCtx, emit Emit) error {
 	if err != nil {
 		return err
 	}
-	return each(out, emit)
+	return each(out, ctx.pollingEmit(emit))
 }
 
 func (i *intersectNode) result(ctx *execCtx) (*multiset.Relation, error) {
@@ -741,13 +759,18 @@ func (t *tcloseNode) run(ctx *execCtx, emit Emit) error {
 	if err != nil {
 		return err
 	}
-	return each(out, emit)
+	return each(out, ctx.pollingEmit(emit))
 }
 
 func (t *tcloseNode) result(ctx *execCtx) (*multiset.Relation, error) {
 	in, err := ctx.materialize(t.input)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.mem != nil {
+		if err := each(in, func(tp tuple.Tuple, _ uint64) error { return ctx.chargeTuple(tp) }); err != nil {
+			return nil, err
+		}
 	}
 	ctx.materialised(t, in.Cardinality())
 	return TransitiveClosure(in), nil
@@ -775,7 +798,9 @@ func each(r *multiset.Relation, emit Emit) error {
 }
 
 // materializePair materialises both operands of a blocking binary operator,
-// charging their cardinalities to the operator's state.
+// charging their cardinalities to the operator's state — both for statistics
+// and against the query's memory budget: the two materialised relations are
+// exactly the state the operator holds.
 func materializePair(ctx *execCtx, op Node, left, right Node) (*multiset.Relation, *multiset.Relation, error) {
 	l, err := ctx.materialize(left)
 	if err != nil {
@@ -784,6 +809,14 @@ func materializePair(ctx *execCtx, op Node, left, right Node) (*multiset.Relatio
 	r, err := ctx.materialize(right)
 	if err != nil {
 		return nil, nil, err
+	}
+	if ctx.mem != nil {
+		if err := each(l, func(t tuple.Tuple, _ uint64) error { return ctx.chargeTuple(t) }); err != nil {
+			return nil, nil, err
+		}
+		if err := each(r, func(t tuple.Tuple, _ uint64) error { return ctx.chargeTuple(t) }); err != nil {
+			return nil, nil, err
+		}
 	}
 	ctx.materialised(op, l.Cardinality()+r.Cardinality())
 	return l, r, nil

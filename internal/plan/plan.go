@@ -78,6 +78,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -189,26 +190,41 @@ type Plan struct {
 	nodes []Node
 	// batchSize is the emit batch size the planner chose for this plan.
 	batchSize int
+	// memLimit is the per-execution memory budget in bytes the planner chose;
+	// zero disables enforcement.
+	memLimit int64
 }
 
 // Execute runs the plan against a source and materialises the root stream
 // into a relation.
 func (p *Plan) Execute(src Source) (*multiset.Relation, error) {
-	return p.exec(src, nil)
+	return p.exec(context.Background(), src, nil)
+}
+
+// ExecuteContext is Execute under a lifecycle context: the plan polls ctx at
+// amortised checkpoints (per morsel claim, per batch) and aborts with ctx.Err()
+// once it is cancelled or past its deadline.  A Background context makes every
+// checkpoint a no-op, so ExecuteContext(context.Background(), src) costs
+// exactly what Execute(src) does.
+func (p *Plan) ExecuteContext(ctx context.Context, src Source) (*multiset.Relation, error) {
+	return p.exec(ctx, src, nil)
 }
 
 // ExecuteStats is Execute with per-operator statistics accumulated into st.
 func (p *Plan) ExecuteStats(src Source, st *Stats) (*multiset.Relation, error) {
-	return p.exec(src, st)
+	return p.exec(context.Background(), src, st)
 }
 
-func (p *Plan) exec(src Source, st *Stats) (*multiset.Relation, error) {
-	ctx := &execCtx{src: src, stats: st, batchSize: p.batchSize}
-	if st != nil {
-		ctx.perOp = make([]OperatorStats, len(p.nodes))
-		for i, n := range p.nodes {
-			ctx.perOp[i].Operator = n.Describe()
-		}
+// ExecuteStatsContext is ExecuteContext with per-operator statistics
+// accumulated into st.
+func (p *Plan) ExecuteStatsContext(ctx context.Context, src Source, st *Stats) (*multiset.Relation, error) {
+	return p.exec(ctx, src, st)
+}
+
+func (p *Plan) exec(qctx context.Context, src Source, st *Stats) (*multiset.Relation, error) {
+	ctx := p.newExecCtx(qctx, src, st)
+	if err := ctx.poll(); err != nil {
+		return nil, err
 	}
 	var out *multiset.Relation
 	var err error
@@ -225,6 +241,25 @@ func (p *Plan) exec(src Source, st *Stats) (*multiset.Relation, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// newExecCtx builds the root execution context of one plan execution: the
+// lifecycle context (wired through setContext so uncancellable contexts keep
+// the zero-cost fast path), the memory gauge when the planner set a budget,
+// and the per-operator statistics slots.
+func (p *Plan) newExecCtx(qctx context.Context, src Source, st *Stats) *execCtx {
+	ctx := &execCtx{src: src, stats: st, batchSize: p.batchSize}
+	ctx.setContext(qctx)
+	if p.memLimit > 0 {
+		ctx.mem = NewMemoryGauge(p.memLimit)
+	}
+	if st != nil {
+		ctx.perOp = make([]OperatorStats, len(p.nodes))
+		for i, n := range p.nodes {
+			ctx.perOp[i].Operator = n.Describe()
+		}
+	}
+	return ctx
 }
 
 // String renders the plan as an indented operator tree with cardinality
@@ -273,6 +308,13 @@ type execCtx struct {
 	// gang is the shared read-only state of the enclosing exchange (morsel
 	// queues, pre-built join tables); nil outside parallel regions.
 	gang *gangState
+	// qctx is the query's lifecycle context and done its cached Done channel;
+	// a nil done (uncancellable context) disables every poll, which is the
+	// serial fast path.  See lifecycle.go.
+	qctx context.Context
+	done <-chan struct{}
+	// mem is the query's shared memory gauge; nil disables accounting.
+	mem *MemoryGauge
 }
 
 // batchCap returns the effective emit batch size.
@@ -287,7 +329,7 @@ func (ctx *execCtx) batchCap() int {
 // Statistics, when enabled on the parent, are recorded into fresh per-worker
 // counters and folded back by foldWorkers.
 func (ctx *execCtx) workerCtx(w, workers int, gang *gangState) *execCtx {
-	wctx := &execCtx{src: ctx.src, batchSize: ctx.batchSize, worker: w, workers: workers, gang: gang}
+	wctx := &execCtx{src: ctx.src, batchSize: ctx.batchSize, worker: w, workers: workers, gang: gang, mem: ctx.mem}
 	if ctx.stats != nil {
 		wctx.stats = &Stats{}
 		wctx.perOp = make([]OperatorStats, len(ctx.perOp))
@@ -296,13 +338,18 @@ func (ctx *execCtx) workerCtx(w, workers int, gang *gangState) *execCtx {
 }
 
 // foldWorkers accumulates the per-worker statistics of a finished gang into
-// the parent context: tuple counters sum, peaks take the maximum.
+// the parent context: tuple counters sum, peaks take the maximum.  Workers
+// that never started — a fault-injected panic can fire before the worker
+// context is built — appear as nil entries and fold nothing.
 func (ctx *execCtx) foldWorkers(workers []*execCtx) {
 	if ctx.stats == nil {
 		return
 	}
 	st := ctx.stats
 	for _, w := range workers {
+		if w == nil {
+			continue
+		}
 		st.IntermediateTuples += w.stats.IntermediateTuples
 		st.MaterialisedTuples += w.stats.MaterialisedTuples
 		st.Operators += w.stats.Operators
@@ -412,14 +459,17 @@ func (ctx *execCtx) materialize(n Node) (*multiset.Relation, error) {
 func (ctx *execCtx) collect(n Node, out *multiset.Relation) error {
 	if _, native := n.(batchRunner); native && ctx.workers > 1 {
 		return ctx.runBatch(n, func(b *Batch) error {
+			if err := ctx.poll(); err != nil {
+				return err
+			}
 			out.AddBatch(b.Tuples, b.Counts)
 			return nil
 		})
 	}
-	return ctx.run(n, func(t tuple.Tuple, c uint64) error {
+	return ctx.run(n, ctx.pollingEmit(func(t tuple.Tuple, c uint64) error {
 		out.Add(t, c)
 		return nil
-	})
+	}))
 }
 
 // materialised records tuples held in an operator's internal state.

@@ -52,6 +52,13 @@ type Planner struct {
 	// scheduler against its baseline.  Hash joins keep their shared build;
 	// only the scan split changes.
 	StaticSlices bool
+	// MemoryLimit bounds, in bytes, the operator-internal state one execution
+	// of a compiled plan may hold — hash-join build tables, group tables,
+	// Sort and nested-loop materialisations, the operand relations of the
+	// blocking set operators, Unique's seen set.  Executions
+	// that would exceed it fail with an error wrapping ErrMemoryBudget.  Zero
+	// (the default) disables enforcement.
+	MemoryLimit int64
 	// OnePhaseAgg reverts parallel grouped aggregation to the legacy
 	// one-phase shape — a static hash partition on the grouping columns under
 	// a Merge, so groups never span workers — for benchmarking the two-phase
@@ -73,7 +80,7 @@ func (pl *Planner) Plan(e algebra.Expr, cat algebra.Catalog) (*Plan, error) {
 		return nil, err
 	}
 	root = pl.parallelize(root)
-	p := &Plan{Root: root, nodes: make([]Node, 0, 8), batchSize: pl.BatchSize}
+	p := &Plan{Root: root, nodes: make([]Node, 0, 8), batchSize: pl.BatchSize, memLimit: pl.MemoryLimit}
 	number(root, &p.nodes)
 	return p, nil
 }

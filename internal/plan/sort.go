@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -80,11 +81,22 @@ func (s *sortNode) run(ctx *execCtx, emit Emit) error {
 		count uint64
 	}
 	chunks := make([]chunk, 0, in.DistinctCount())
+	var memErr error
 	in.Each(func(t tuple.Tuple, n uint64) bool {
+		if memErr = ctx.chargeTuple(t); memErr != nil {
+			return false
+		}
 		chunks = append(chunks, chunk{tup: t, count: n})
 		return true
 	})
+	if memErr != nil {
+		return memErr
+	}
+	if err := ctx.poll(); err != nil {
+		return err
+	}
 	sort.Slice(chunks, func(i, j int) bool { return compareKeys(s.keys, chunks[i].tup, chunks[j].tup) < 0 })
+	emit = ctx.pollingEmit(emit)
 	for _, c := range chunks {
 		if err := emit(c.tup, c.count); err != nil {
 			return err
@@ -113,7 +125,7 @@ func (pl *Planner) PlanOrdered(e algebra.Expr, cat algebra.Catalog, keys []SortK
 	s.est = root.Estimate()
 	s.exactEst = root.meta().exactEst
 	s.capHint = root.meta().capHint
-	p := &Plan{Root: s, nodes: make([]Node, 0, 8), batchSize: pl.BatchSize}
+	p := &Plan{Root: s, nodes: make([]Node, 0, 8), batchSize: pl.BatchSize, memLimit: pl.MemoryLimit}
 	number(s, &p.nodes)
 	return p, nil
 }
@@ -124,12 +136,15 @@ func (pl *Planner) PlanOrdered(e algebra.Expr, cat algebra.Catalog, keys []SortK
 // order-producing operator — a Sort, as built by PlanOrdered.  st, when
 // non-nil, accumulates per-operator statistics as in ExecuteStats.
 func (p *Plan) ExecuteOrdered(src Source, st *Stats) ([]tuple.Tuple, *multiset.Relation, error) {
-	ctx := &execCtx{src: src, stats: st, batchSize: p.batchSize}
-	if st != nil {
-		ctx.perOp = make([]OperatorStats, len(p.nodes))
-		for i, n := range p.nodes {
-			ctx.perOp[i].Operator = n.Describe()
-		}
+	return p.ExecuteOrderedContext(context.Background(), src, st)
+}
+
+// ExecuteOrderedContext is ExecuteOrdered under a lifecycle context, polled at
+// the same amortised checkpoints as ExecuteContext.
+func (p *Plan) ExecuteOrderedContext(qctx context.Context, src Source, st *Stats) ([]tuple.Tuple, *multiset.Relation, error) {
+	ctx := p.newExecCtx(qctx, src, st)
+	if err := ctx.poll(); err != nil {
+		return nil, nil, err
 	}
 	out := multiset.NewWithCapacity(p.Root.Schema(), capacityFor(p.Root.meta().capHint))
 	var ordered []tuple.Tuple

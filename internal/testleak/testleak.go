@@ -1,0 +1,52 @@
+// Package testleak is a stdlib-only goroutine-leak checker for tests: it
+// snapshots the goroutine count before the body under test and fails the test
+// when goroutines remain above the baseline afterwards.  It exists because the
+// lifecycle guarantees of the execution runtime — a cancelled or failed query
+// leaves zero workers behind — can silently rot without a check, and the
+// repository takes no external dependencies (no goleak).
+//
+// Counting goroutines is inherently racy: runtime-internal helpers come and
+// go, and freshly finished workers may not have been reaped yet.  Check
+// therefore retries with backoff before declaring a leak, and on failure dumps
+// all goroutine stacks so the offender is identifiable from the test log.
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and returns a function that
+// fails the test if the count has not returned to the baseline by the time it
+// runs (with retries, to absorb scheduler lag).  Use it around a body that
+// must not leak:
+//
+//	defer testleak.Check(t)()
+//
+// The returned function is cheap when nothing leaked (one count read).
+func Check(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		// Retry with backoff: finished goroutines are reaped asynchronously,
+		// so an immediate count can transiently exceed the baseline without
+		// any leak.  Total wait is ~2s, far above worker teardown time.
+		delay := time.Millisecond
+		for i := 0; i < 12; i++ {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(delay)
+			delay *= 2
+		}
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d goroutines, baseline %d; stacks:\n%s", n, base, buf)
+	}
+}

@@ -11,6 +11,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -50,6 +51,10 @@ type Manager struct {
 	// evaluation engine; at or below 1 evaluation is serial.  Guarded by mu
 	// (SetWorkers may race with concurrent Begin calls otherwise).
 	workers int
+	// memLimit is the per-query memory budget, in bytes, handed to each new
+	// transaction's evaluation engine; zero disables enforcement.  Guarded by
+	// mu like workers.
+	memLimit int64
 	// commitTime records, per relation name, the logical time of its last
 	// committed change; validation compares it with the transaction's start
 	// time.
@@ -73,6 +78,16 @@ func (m *Manager) SetWorkers(n int) {
 	m.workers = n
 }
 
+// SetMemoryLimit configures the per-query memory budget, in bytes, handed to
+// transactions begun afterwards; zero disables enforcement.  Queries whose
+// operator state would exceed the budget fail with an error wrapping
+// plan.ErrMemoryBudget.
+func (m *Manager) SetMemoryLimit(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.memLimit = n
+}
+
 // Begin opens a new transaction on the current database state.
 func (m *Manager) Begin() *Tx {
 	m.mu.Lock()
@@ -82,7 +97,7 @@ func (m *Manager) Begin() *Tx {
 		mgr:       m,
 		id:        m.nextID,
 		startTime: m.db.LogicalTime(),
-		engine:    &eval.Engine{Workers: m.workers},
+		engine:    &eval.Engine{Workers: m.workers, MemoryLimit: m.memLimit},
 		workspace: make(map[string]*multiset.Relation),
 		temps:     make(map[string]*multiset.Relation),
 		reads:     make(map[string]struct{}),
@@ -93,7 +108,15 @@ func (m *Manager) Begin() *Tx {
 // returning the query outputs.  On any error the transaction aborts and the
 // database is left unchanged.
 func (m *Manager) Run(p stmt.Program) ([]*multiset.Relation, error) {
-	tx := m.Begin()
+	return m.RunContext(context.Background(), p)
+}
+
+// RunContext is Run under a lifecycle context: every query the program
+// evaluates polls ctx at amortised checkpoints, and the transaction aborts —
+// leaving the database unchanged — as soon as a statement fails with
+// ctx.Err().  A Background context adds no cost over Run.
+func (m *Manager) RunContext(ctx context.Context, p stmt.Program) ([]*multiset.Relation, error) {
+	tx := m.Begin().WithContext(ctx)
 	if err := p.Execute(tx); err != nil {
 		tx.Abort()
 		return nil, err
@@ -140,6 +163,10 @@ type Tx struct {
 	startTime uint64
 	engine    *eval.Engine
 	state     State
+	// ctx is the transaction's lifecycle context: every evaluation runs under
+	// it, so cancelling it (or passing its deadline) aborts running queries
+	// with ctx.Err().  nil means Background.
+	ctx context.Context
 
 	// workspace holds modified database relations (copy-on-write).
 	workspace map[string]*multiset.Relation
@@ -149,6 +176,24 @@ type Tx struct {
 	reads map[string]struct{}
 	// outputs collects query statement results in execution order.
 	outputs []*multiset.Relation
+}
+
+// WithContext sets the transaction's lifecycle context and returns the same
+// transaction: subsequent query evaluations poll ctx and fail with ctx.Err()
+// once it is cancelled or past its deadline.  The statement layer is
+// untouched — the context rides on the transaction, not on every Statement.
+func (t *Tx) WithContext(ctx context.Context) *Tx {
+	t.ctx = ctx
+	return t
+}
+
+// Context returns the transaction's lifecycle context, Background when none
+// was set.
+func (t *Tx) Context() context.Context {
+	if t.ctx == nil {
+		return context.Background()
+	}
+	return t.ctx
 }
 
 // ID returns the transaction's identifier.
@@ -205,7 +250,7 @@ func (t *Tx) Evaluate(e algebra.Expr) (*multiset.Relation, error) {
 	if err := algebra.Validate(e, t.Catalog()); err != nil {
 		return nil, err
 	}
-	return t.engine.Eval(e, t)
+	return t.engine.EvalContext(t.Context(), e, t)
 }
 
 // Current implements stmt.Context.

@@ -26,6 +26,7 @@
 package mra
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -75,6 +76,8 @@ type DB struct {
 	// workers is the parallelism degree of the physical engine; see
 	// SetWorkers.
 	workers int
+	// memLimit is the per-query memory budget in bytes; see SetMemoryLimit.
+	memLimit int64
 	// Optimize controls whether queries are rewritten before evaluation.  It
 	// defaults to true.
 	Optimize bool
@@ -107,8 +110,27 @@ func (db *DB) SetWorkers(n int) {
 // Workers returns the configured parallel worker count.
 func (db *DB) Workers() int { return db.workers }
 
+// SetMemoryLimit configures the per-query memory budget in bytes for
+// subsequent queries and transactions: a query whose operator-internal state
+// (hash-join build tables, group tables, sorts) would exceed the budget fails
+// with an error wrapping plan.ErrMemoryBudget instead of exhausting the
+// process.  Zero — the default — disables enforcement.
+func (db *DB) SetMemoryLimit(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	db.memLimit = n
+	db.manager.SetMemoryLimit(n)
+}
+
+// MemoryLimit returns the configured per-query memory budget in bytes (zero
+// when unenforced).
+func (db *DB) MemoryLimit() int64 { return db.memLimit }
+
 // engine builds a physical evaluator with the database's configuration.
-func (db *DB) engine() *eval.Engine { return &eval.Engine{Workers: db.workers} }
+func (db *DB) engine() *eval.Engine {
+	return &eval.Engine{Workers: db.workers, MemoryLimit: db.memLimit}
+}
 
 // CreateRelation declares a new empty relation.
 func (db *DB) CreateRelation(name string, cols ...Column) error {
@@ -209,13 +231,20 @@ func (db *DB) prepare(e algebra.Expr) algebra.Expr {
 // QueryExpr validates, optionally optimises, and evaluates an algebra
 // expression, returning its result.
 func (db *DB) QueryExpr(e algebra.Expr) (*Result, error) {
+	return db.QueryExprContext(context.Background(), e)
+}
+
+// QueryExprContext is QueryExpr under a lifecycle context: execution polls ctx
+// at amortised checkpoints and fails with ctx.Err() once it is cancelled or
+// past its deadline.  A Background context adds no cost over QueryExpr.
+func (db *DB) QueryExprContext(ctx context.Context, e algebra.Expr) (*Result, error) {
 	if err := algebra.Validate(e, db.store); err != nil {
 		return nil, err
 	}
 	plan := db.prepare(e)
-	tx := db.manager.Begin()
+	tx := db.manager.Begin().WithContext(ctx)
 	defer tx.Abort()
-	rel, err := db.engine().Eval(plan, tx)
+	rel, err := db.engine().EvalContext(ctx, plan, tx)
 	if err != nil {
 		return nil, err
 	}
@@ -224,11 +253,17 @@ func (db *DB) QueryExpr(e algebra.Expr) (*Result, error) {
 
 // QueryXRA parses an XRA expression and evaluates it.
 func (db *DB) QueryXRA(expr string) (*Result, error) {
+	return db.QueryXRAContext(context.Background(), expr)
+}
+
+// QueryXRAContext is QueryXRA under a lifecycle context (see
+// QueryExprContext).
+func (db *DB) QueryXRAContext(ctx context.Context, expr string) (*Result, error) {
 	e, err := xraparse.ParseExpression(expr)
 	if err != nil {
 		return nil, err
 	}
-	return db.QueryExpr(e)
+	return db.QueryExprContext(ctx, e)
 }
 
 // QuerySQL compiles a SQL SELECT statement onto the algebra and evaluates it.
@@ -238,14 +273,20 @@ func (db *DB) QueryXRA(expr string) (*Result, error) {
 // expressions, carried as hidden sort columns when they are not output
 // columns), and LIMIT/OFFSET window the ordered occurrences.
 func (db *DB) QuerySQL(sql string) (*Result, error) {
+	return db.QuerySQLContext(context.Background(), sql)
+}
+
+// QuerySQLContext is QuerySQL under a lifecycle context (see
+// QueryExprContext).
+func (db *DB) QuerySQLContext(ctx context.Context, sql string) (*Result, error) {
 	q, err := sqlfront.CompileQuery(sql, db.store)
 	if err != nil {
 		return nil, err
 	}
 	if len(q.Mods.Order) > 0 {
-		return db.queryOrdered(q)
+		return db.queryOrdered(ctx, q)
 	}
-	res, err := db.QueryExpr(q.Expr)
+	res, err := db.QueryExprContext(ctx, q.Expr)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +297,7 @@ func (db *DB) QuerySQL(sql string) (*Result, error) {
 // operator: the plan is rooted with a Sort over the resolved keys, the root
 // stream's emission order is captured as the presentation order, and the
 // window and hidden-column modifiers are applied to it.
-func (db *DB) queryOrdered(q sqlfront.Query) (*Result, error) {
+func (db *DB) queryOrdered(ctx context.Context, q sqlfront.Query) (*Result, error) {
 	if err := algebra.Validate(q.Expr, db.store); err != nil {
 		return nil, err
 	}
@@ -265,9 +306,9 @@ func (db *DB) queryOrdered(q sqlfront.Query) (*Result, error) {
 	for i, k := range q.Mods.Order {
 		keys[i] = plan.SortKey{Col: k.Col, Desc: k.Desc}
 	}
-	tx := db.manager.Begin()
+	tx := db.manager.Begin().WithContext(ctx)
 	defer tx.Abort()
-	ordered, rel, err := db.engine().EvalOrdered(planned, tx, keys)
+	ordered, rel, err := db.engine().EvalOrderedContext(ctx, planned, tx, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +371,14 @@ func (db *DB) Explain(expr string) (*Explain, error) {
 // ExecProgram runs an extended relational algebra program as one transaction
 // and returns the query statement outputs.
 func (db *DB) ExecProgram(p stmt.Program) ([]*Result, error) {
-	outs, err := db.manager.Run(p)
+	return db.ExecProgramContext(context.Background(), p)
+}
+
+// ExecProgramContext is ExecProgram under a lifecycle context: the
+// transaction aborts, leaving the database unchanged, as soon as a statement
+// fails with ctx.Err().
+func (db *DB) ExecProgramContext(ctx context.Context, p stmt.Program) ([]*Result, error) {
+	outs, err := db.manager.RunContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -341,13 +389,20 @@ func (db *DB) ExecProgram(p stmt.Program) ([]*Result, error) {
 // runs as one transaction; bare statements run as single-statement
 // transactions.  It returns the outputs of all query statements, in order.
 func (db *DB) ExecXRA(script string) ([]*Result, error) {
+	return db.ExecXRAContext(context.Background(), script)
+}
+
+// ExecXRAContext is ExecXRA under a lifecycle context: a cancelled or expired
+// context aborts the running transaction (already committed transactions of
+// the script stay committed) and returns ctx.Err().
+func (db *DB) ExecXRAContext(ctx context.Context, script string) ([]*Result, error) {
 	txs, err := xraparse.ParseScript(script)
 	if err != nil {
 		return nil, err
 	}
 	var results []*Result
 	for _, t := range txs {
-		outs, err := db.manager.Run(t.Program)
+		outs, err := db.manager.RunContext(ctx, t.Program)
 		if err != nil {
 			return results, err
 		}
@@ -370,11 +425,17 @@ func (db *DB) MustExecXRA(script string) []*Result {
 // program and runs it as a single transaction.  ORDER BY / LIMIT clauses of
 // SELECT statements are applied to the corresponding results.
 func (db *DB) ExecSQL(script string) ([]*Result, error) {
+	return db.ExecSQLContext(context.Background(), script)
+}
+
+// ExecSQLContext is ExecSQL under a lifecycle context (see
+// ExecProgramContext).
+func (db *DB) ExecSQLContext(ctx context.Context, script string) ([]*Result, error) {
 	prog, mods, err := sqlfront.CompileScript(script, db.store)
 	if err != nil {
 		return nil, err
 	}
-	results, err := db.ExecProgram(prog)
+	results, err := db.ExecProgramContext(ctx, prog)
 	if err != nil {
 		return results, err
 	}
@@ -388,6 +449,14 @@ func (db *DB) ExecSQL(script string) ([]*Result, error) {
 
 // Begin opens an explicit transaction.
 func (db *DB) Begin() *Tx { return &Tx{inner: db.manager.Begin(), db: db} }
+
+// WithContext sets the transaction's lifecycle context and returns the same
+// transaction: subsequent query evaluations poll ctx and fail with ctx.Err()
+// once it is cancelled or past its deadline.
+func (t *Tx) WithContext(ctx context.Context) *Tx {
+	t.inner.WithContext(ctx)
+	return t
+}
 
 // History returns the committed single-step transitions of the database.
 func (db *DB) History() []storage.Transition { return db.store.History() }
