@@ -34,6 +34,7 @@ import (
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids to run (e.g. E1,E5,E7) or 'all'")
 	jsonLabel := flag.String("json", "", "instead of the experiment tables, run the E1/E2 benchmark set and write machine-readable BENCH_<label>.json")
+	benchSet := flag.String("set", "main", "with -json: which benchmark series to run — 'main' (E1/E2/E11/E12 defaults), 'vec' (columnar vs row-batch A/B over E11/E12 shapes), or 'all'")
 	compare := flag.String("compare", "", "with -json: compare the fresh series against a committed BENCH_<label>.json baseline and exit non-zero on regression")
 	maxRatio := flag.Float64("maxratio", 2.0, "with -compare: maximum allowed ns/op ratio (measured / baseline) before the run counts as a regression")
 	flag.IntVar(&workers, "workers", 1, "parallel worker count for the physical engine (1 = serial); applies to the experiments and the main -json series")
@@ -41,7 +42,7 @@ func main() {
 	flag.Parse()
 
 	if *jsonLabel != "" {
-		out, err := writeBenchJSON(*jsonLabel)
+		out, err := writeBenchJSON(*jsonLabel, *benchSet)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -484,16 +485,25 @@ func compareBaseline(fresh benchFile, baselinePath string, maxRatio float64) err
 // the same-named serial entries by hand or in the run's stderr summary.
 const parallelWorkers = 4
 
-// writeBenchJSON runs the benchmark series (E1/E2 operator shapes, the E11
-// skewed-scheduler set, and the E12 aggregate workloads) through
-// testing.Benchmark and writes them as BENCH_<label>.json, the
-// machine-readable baseline future performance PRs are compared against.  The
-// main series runs at the -workers count (default serial); shapes the planner
-// can parallelise are additionally measured as `/parallel-w4` variants, with
-// `-static` (legacy scan scheduler) and `-onephase` (legacy key-partitioned
-// aggregate) baselines beside the morsel/two-phase defaults.  It returns the
-// series it measured so callers can compare it against a committed baseline.
-func writeBenchJSON(label string) (benchFile, error) {
+// writeBenchJSON runs a benchmark series set through testing.Benchmark and
+// writes it as BENCH_<label>.json, the machine-readable baseline future
+// performance PRs are compared against.  The 'main' set covers the E1/E2
+// operator shapes, the E11 skewed-scheduler set (including the
+// morsel-parallel hash-build A/B) and the E12 aggregate workloads; it runs at
+// the -workers count (default serial), and shapes the planner can parallelise
+// are additionally measured as `/parallel-w4` variants, with `-static`
+// (legacy scan scheduler), `-onephase` (legacy key-partitioned aggregate) and
+// `-serialbuild` (single-threaded join build) baselines beside the defaults.
+// The 'vec' set measures the E11/E12 shapes serially through the batch-native
+// engine twice — `/batch-cols` on the columnar selection-vector loops and
+// `/batch-rows` on the legacy row-at-a-time batch loops — a within-file A/B
+// free of gang-scheduling noise that doubles as the stable series the ci-vec
+// gate pins.  It returns the series it measured so callers can compare it
+// against a committed baseline.
+func writeBenchJSON(label, set string) (benchFile, error) {
+	if set != "main" && set != "vec" && set != "all" {
+		return benchFile{}, fmt.Errorf("unknown -set %q (want main, vec or all)", set)
+	}
 	evalLoopEng := func(expr algebra.Expr, src eval.Source, eng eval.Engine) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
@@ -522,6 +532,63 @@ func writeBenchJSON(label string) (benchFile, error) {
 			fn   func(b *testing.B)
 		}{name, fn})
 	}
+	if set != "vec" {
+		mainSeries(add, evalLoop, evalLoopW, evalLoopEng)
+	}
+	if set != "main" {
+		vecSeries(add, evalLoopEng)
+	}
+
+	out := benchFile{
+		Label:     label,
+		Source:    "mrabench -json",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		if r.N == 0 {
+			// b.Fatal inside the closure aborts the benchmark goroutine and
+			// testing.Benchmark returns a zero result; surface the case name
+			// instead of letting NaN ns/op poison the JSON.
+			return benchFile{}, fmt.Errorf("benchmark %s failed (evaluation error); baseline not written", c.name)
+		}
+		out.Benchmarks = append(out.Benchmarks, benchResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%s\t%d iters\t%.0f ns/op\t%d B/op\t%d allocs/op\n",
+			c.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	summariseRatios(out)
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return benchFile{}, err
+	}
+	name := fmt.Sprintf("BENCH_%s.json", label)
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return benchFile{}, err
+	}
+	fmt.Printf("wrote %s\n", name)
+	return out, nil
+}
+
+// benchCase adders shared by the series builders.
+type addFunc = func(name string, fn func(b *testing.B))
+type loopEngFunc = func(expr algebra.Expr, src eval.Source, eng eval.Engine) func(b *testing.B)
+
+// mainSeries registers the 'main' benchmark set: E1/E2 operator shapes, the
+// E11 skewed-scheduler and parallel-build workloads, and the E12 aggregate
+// workloads.
+func mainSeries(add addFunc,
+	evalLoop func(algebra.Expr, eval.Source) func(b *testing.B),
+	evalLoopW func(algebra.Expr, eval.Source, int) func(b *testing.B),
+	evalLoopEng loopEngFunc) {
 	// addParallel measures the same shape serially and as a parallel variant.
 	addParallel := func(name string, expr algebra.Expr, src eval.Source) {
 		add(name, evalLoop(expr, src))
@@ -641,35 +708,73 @@ func writeBenchJSON(label string) (benchFile, error) {
 			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1}, {Fn: algebra.AggMin, Col: 1},
 		}, algebra.NewRel("zipf")), asrc)
 
-	out := benchFile{
-		Label:     label,
-		Source:    "mrabench -json",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+	// E11 — morsel-parallel hash build: a join whose build side is large
+	// enough (8000 rows ≥ the 4096-row default of BuildParallelThreshold)
+	// that the parallel planner builds the shared table with a worker gang.
+	// The `-serialbuild` variant disables the gang build (threshold pushed
+	// past any estimate) so the build phase runs single-threaded under the
+	// same parallel probe, isolating the build speedup.
+	bFact, bDim := workload.JoinPair(workload.JoinConfig{
+		LeftTuples: 20000, RightTuples: 8000, KeyRange: 8000, Seed: 12})
+	bsrc := eval.MapSource{"bfact": bFact, "bdim": bDim}
+	bigJoin := algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("bfact"), algebra.NewRel("bdim"))
+	add("E11_ParallelBuildJoin/big-build", evalLoop(bigJoin, bsrc))
+	add(fmt.Sprintf("E11_ParallelBuildJoin/big-build/parallel-w%d", parallelWorkers),
+		evalLoopW(bigJoin, bsrc, parallelWorkers))
+	add(fmt.Sprintf("E11_ParallelBuildJoin/big-build/parallel-w%d-serialbuild", parallelWorkers),
+		evalLoopEng(bigJoin, bsrc, eval.Engine{Workers: parallelWorkers, MorselSize: morselSize,
+			BuildParallelThreshold: 1e18}))
+}
+
+// vecSeries registers the 'vec' benchmark set: every E11/E12 shape measured
+// serially through the batch-native engine on the columnar selection-vector
+// loops (`/batch-cols`, Planner.SerialBatches) and on the legacy
+// row-at-a-time batch loops (`/batch-rows`, Planner.RowBatches) — the
+// within-file A/B for the vectorised operator kernels, and the stable serial
+// series the ci-vec benchmark gate compares against BENCH_vec.json.
+func vecSeries(add addFunc, evalLoopEng loopEngFunc) {
+	addVec := func(name string, expr algebra.Expr, src eval.Source) {
+		add(name+"/batch-cols", evalLoopEng(expr, src, eval.Engine{SerialBatches: true}))
+		add(name+"/batch-rows", evalLoopEng(expr, src, eval.Engine{SerialBatches: true, RowBatches: true}))
 	}
-	for _, c := range cases {
-		r := testing.Benchmark(c.fn)
-		if r.N == 0 {
-			// b.Fatal inside the closure aborts the benchmark goroutine and
-			// testing.Benchmark returns a zero result; surface the case name
-			// instead of letting NaN ns/op poison the JSON.
-			return benchFile{}, fmt.Errorf("benchmark %s failed (evaluation error); baseline not written", c.name)
-		}
-		out.Benchmarks = append(out.Benchmarks, benchResult{
-			Name:        c.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
-		fmt.Fprintf(os.Stderr, "%s\t%d iters\t%.0f ns/op\t%d B/op\t%d allocs/op\n",
-			c.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
-	}
-	// Summarise the parallel variants against their serial counterparts
-	// measured in this same run (ratio < 1 means the gang won), and the
-	// morsel scheduler against the static-slice baseline (ratio < 1 means
-	// morsel stealing won).
+
+	skFact, skDim := workload.JoinPair(workload.JoinConfig{
+		LeftTuples: 20000, RightTuples: 100, KeyRange: 100, Skew: 1.4, Seed: 11})
+	sksrc := eval.MapSource{"fact": skFact, "dim": skDim}
+	skPred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(1<<14)))
+	addVec("E11_SkewedScanPipeline/sigma-pi-zipf",
+		algebra.NewProject([]int{0}, algebra.NewSelect(skPred, algebra.NewRel("fact"))), sksrc)
+	addVec("E11_SkewedJoin/zipf-probe",
+		algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim")), sksrc)
+
+	loAgg, _ := workload.JoinPair(workload.JoinConfig{LeftTuples: 20000, RightTuples: 16, KeyRange: 16, Seed: 20})
+	zipfAgg, _ := workload.JoinPair(workload.JoinConfig{LeftTuples: 20000, RightTuples: 100, KeyRange: 100, Skew: 1.4, Seed: 22})
+	asrc := eval.MapSource{"lo": loAgg, "zipf": zipfAgg}
+	addVec("E12_GroupedAgg/low-card-sum",
+		algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("lo")), asrc)
+	// Aggregation over a projection: the projected batches arrive columnar
+	// (shared column slices), so the aggregate's update loop reads vectors
+	// directly — the row-batch baseline materialises one projected tuple per
+	// input row instead.
+	addVec("E12_GroupedAgg/low-card-sum-over-pi",
+		algebra.NewGroupBy([]int{1}, algebra.AggSum, 0,
+			algebra.NewProject([]int{1, 0}, algebra.NewRel("lo"))), asrc)
+	addVec("E12_MultiAgg/zipf-cnt-sum-max",
+		algebra.NewGroupByMulti([]int{0}, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1}, {Fn: algebra.AggMax, Col: 1},
+		}, algebra.NewRel("zipf")), asrc)
+	addVec("E12_GlobalAgg/zipf-cnt-sum-min",
+		algebra.NewGroupByMulti(nil, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1}, {Fn: algebra.AggMin, Col: 1},
+		}, algebra.NewRel("zipf")), asrc)
+}
+
+// summariseRatios prints the within-run comparisons to stderr: parallel
+// variants against their serial counterparts (ratio < 1 means the gang won),
+// the morsel scheduler against the static-slice baseline, the two-phase
+// aggregate against one-phase, the gang join build against the serial build,
+// and the columnar batch loops against the row-at-a-time baseline.
+func summariseRatios(out benchFile) {
 	byName := make(map[string]benchResult, len(out.Benchmarks))
 	for _, b := range out.Benchmarks {
 		byName[b.Name] = b
@@ -677,11 +782,19 @@ func writeBenchJSON(label string) (benchFile, error) {
 	msuffix := fmt.Sprintf("/parallel-w%d", parallelWorkers)
 	ssuffix := msuffix + "-static"
 	osuffix := msuffix + "-onephase"
+	bsuffix := msuffix + "-serialbuild"
 	for _, b := range out.Benchmarks {
 		if serialName, ok := strings.CutSuffix(b.Name, osuffix); ok {
 			if twoPhase, ok := byName[serialName+msuffix]; ok && b.NsPerOp > 0 {
 				fmt.Fprintf(os.Stderr, "twophase-vs-onephase w=%d %s: %.2fx (%.0f vs %.0f ns/op)\n",
 					parallelWorkers, serialName, twoPhase.NsPerOp/b.NsPerOp, twoPhase.NsPerOp, b.NsPerOp)
+			}
+			continue
+		}
+		if serialName, ok := strings.CutSuffix(b.Name, bsuffix); ok {
+			if parBuild, ok := byName[serialName+msuffix]; ok && b.NsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "parbuild-vs-serialbuild w=%d %s: %.2fx (%.0f vs %.0f ns/op)\n",
+					parallelWorkers, serialName, parBuild.NsPerOp/b.NsPerOp, parBuild.NsPerOp, b.NsPerOp)
 			}
 			continue
 		}
@@ -701,17 +814,13 @@ func writeBenchJSON(label string) (benchFile, error) {
 				fmt.Fprintf(os.Stderr, "parallel w=%d %s: %.2fx serial (%.0f vs %.0f ns/op)\n",
 					parallelWorkers, serialName, b.NsPerOp/base.NsPerOp, b.NsPerOp, base.NsPerOp)
 			}
+			continue
+		}
+		if rowsName, ok := strings.CutSuffix(b.Name, "/batch-rows"); ok {
+			if cols, ok := byName[rowsName+"/batch-cols"]; ok && b.NsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "cols-vs-rows %s: %.2fx (%.0f vs %.0f ns/op)\n",
+					rowsName, cols.NsPerOp/b.NsPerOp, cols.NsPerOp, b.NsPerOp)
+			}
 		}
 	}
-
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return benchFile{}, err
-	}
-	name := fmt.Sprintf("BENCH_%s.json", label)
-	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
-		return benchFile{}, err
-	}
-	fmt.Printf("wrote %s\n", name)
-	return out, nil
 }

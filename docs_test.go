@@ -11,13 +11,16 @@ import (
 )
 
 // TestExportedDocComments is the documentation gate for the engine packages:
-// every exported identifier of internal/exec and internal/plan — types,
+// every exported identifier of the execution-layer packages — types,
 // functions, methods on exported types, constants, variables, and exported
 // struct fields — must carry a doc comment.  ARCHITECTURE.md points readers
-// at these packages for the execution contracts, so their godoc must stay
-// complete.
+// at these packages for the execution and batch contracts, so their godoc
+// must stay complete.
 func TestExportedDocComments(t *testing.T) {
-	for _, dir := range []string{"internal/exec", "internal/plan"} {
+	for _, dir := range []string{
+		"internal/exec", "internal/plan", "internal/eval",
+		"internal/multiset", "internal/tuple", "internal/value",
+	} {
 		var missing []string
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {

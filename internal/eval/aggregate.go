@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 
 	"mra/internal/algebra"
 	"mra/internal/multiset"
@@ -118,9 +119,12 @@ func refAggregate(fn algebra.Aggregate, col int, chunks []refChunk) (value.Value
 		return value.NewInt(int64(total)), nil
 
 	case algebra.AggSum, algebra.AggAvg:
-		// SUM: Σ_x E(x)·x.p; AVG = SUM/CNT, undefined on empty inputs.
+		// SUM: Σ_x E(x)·x.p; AVG = SUM/CNT, undefined on empty inputs.  Float
+		// addends accumulate with Neumaier compensation, matching the physical
+		// layer's AggState term for term, so the oracle and the (possibly
+		// re-associated) two-phase plans agree bit for bit.
 		var isum int64
-		var fsum float64
+		var fsum, fcomp float64
 		var count uint64
 		fltIn := false
 		for _, c := range chunks {
@@ -130,7 +134,14 @@ func refAggregate(fn algebra.Aggregate, col int, chunks []refChunk) (value.Value
 			case value.KindInt:
 				isum += v.Int() * int64(c.count)
 			case value.KindFloat:
-				fsum += v.Float() * float64(c.count)
+				x := v.Float() * float64(c.count)
+				t := fsum + x
+				if math.Abs(fsum) >= math.Abs(x) {
+					fcomp += (fsum - t) + x
+				} else {
+					fcomp += (x - t) + fsum
+				}
+				fsum = t
 				fltIn = true
 			case value.KindNull:
 				// Nulls contribute nothing to the sum; CNT still counts them.
@@ -140,14 +151,14 @@ func refAggregate(fn algebra.Aggregate, col int, chunks []refChunk) (value.Value
 		}
 		if fn == algebra.AggSum {
 			if fltIn {
-				return value.NewFloat(fsum + float64(isum)), nil
+				return value.NewFloat(fsum + fcomp + float64(isum)), nil
 			}
 			return value.NewInt(isum), nil
 		}
 		if count == 0 {
 			return value.Null, ErrEmptyAggregate
 		}
-		return value.NewFloat((fsum + float64(isum)) / float64(count)), nil
+		return value.NewFloat((fsum + fcomp + float64(isum)) / float64(count)), nil
 
 	case algebra.AggMin, algebra.AggMax:
 		// MIN/MAX over the tuples with E(x) > 0; undefined when none (all

@@ -55,6 +55,18 @@ type Engine struct {
 	// one-phase key-partitioned shape, for benchmarking the two-phase
 	// partial/merge aggregate against its baseline.
 	OnePhaseAgg bool
+	// SerialBatches forces serial plans onto the batch-native columnar
+	// operator loops that parallel plans use, for benchmarking and testing the
+	// columnar path without gang scheduling noise.
+	SerialBatches bool
+	// RowBatches reverts batch-native operators to the legacy row-at-a-time
+	// tuple-batch loops, for benchmarking the columnar kernels against their
+	// baseline.
+	RowBatches bool
+	// BuildParallelThreshold overrides the estimated build-side cardinality
+	// above which parallel plans build hash-join tables with a worker gang;
+	// zero keeps the cost model's default.
+	BuildParallelThreshold float64
 }
 
 // Stats aggregates intermediate result sizes per physical operator, counting
@@ -75,6 +87,10 @@ func (e *Engine) planner(src Source) *plan.Planner {
 		MemoryLimit:       e.MemoryLimit,
 		StaticSlices:      e.StaticSlices,
 		OnePhaseAgg:       e.OnePhaseAgg,
+		SerialBatches:     e.SerialBatches,
+		RowBatches:        e.RowBatches,
+
+		BuildParallelThreshold: e.BuildParallelThreshold,
 	}
 }
 

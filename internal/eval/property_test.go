@@ -741,6 +741,84 @@ func TestPropertyMultiAggregateParallel(t *testing.T) {
 	}
 }
 
+// TestPropertyColumnarAdversarialSizes is the columnar-batch oracle at the
+// batch sizes that stress every selection-vector edge: BatchSize 1 makes each
+// batch a single physical row (a filter leaves it fully live or fully dead),
+// BatchSize 2 forces partial selections, and MorselSize 1 makes every morsel a
+// boundary.  The suite pins three engine configurations against Reference on
+// skewed data — hot tuples recur across many chunks, so the same tuple appears
+// repeatedly within and across batches:
+//
+//   - SerialBatches: the serial batch-native columnar loops (no gang noise);
+//   - the parallel columnar default at workers 2, 4 and 8, with
+//     BuildParallelThreshold 1 so eligible hash joins also exercise the
+//     morsel-parallel gang build;
+//   - RowBatches: the legacy row-at-a-time batch loops, pinning the A/B
+//     baseline the benchmarks compare against.
+//
+// Run with -race to check the shared build table and the gang build merge.
+func TestPropertyColumnarAdversarialSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7117))
+	pred := scalar.NewCompare(value.CmpGe, scalar.NewAttr(1), scalar.NewConst(value.NewInt(1)))
+	e1, e2 := algebra.NewRel("e1"), algebra.NewRel("e2")
+	exprs := []algebra.Expr{
+		// Vectorised filter kernels above and below projections.
+		algebra.NewProject([]int{1}, algebra.NewSelect(pred, e1)),
+		algebra.NewSelect(pred, algebra.NewProject([]int{1, 0}, e1)),
+		// A conjunction compiling to two kernels, and a predicate shape the
+		// kernel compiler rejects (attr-attr arithmetic inside the compare),
+		// exercising the row-wise fallback that still produces selections.
+		algebra.NewSelect(scalar.NewAnd(pred,
+			scalar.NewCompare(value.CmpLt, scalar.NewAttr(0), scalar.NewConst(value.NewInt(3)))), e1),
+		algebra.NewSelect(scalar.NewCompare(value.CmpLe,
+			scalar.NewArith(value.OpAdd, scalar.NewAttr(0), scalar.NewAttr(1)),
+			scalar.NewConst(value.NewInt(4))), e1),
+		// Extended projection evaluating expressions per live row.
+		algebra.NewExtProject(
+			[]scalar.Expr{scalar.NewArith(value.OpMul, scalar.NewAttr(0), scalar.NewAttr(1))}, nil, e1),
+		// Columnar join probe over a selection, with the gang build eligible.
+		algebra.NewJoin(scalar.Eq(0, 2), algebra.NewSelect(pred, e1), e2),
+		// Columnar aggregate update above a filter.
+		algebra.NewGroupByMulti([]int{0}, []algebra.AggSpec{
+			{Fn: algebra.AggCount, Col: 0}, {Fn: algebra.AggSum, Col: 1},
+			{Fn: algebra.AggMin, Col: 1}, {Fn: algebra.AggMax, Col: 1},
+		}, algebra.NewSelect(pred, e1)),
+	}
+	for round := 0; round < 15; round++ {
+		src := MapSource{
+			"e1": skewedRelation(rng, "e1", 40),
+			"e2": skewedRelation(rng, "e2", 40),
+		}
+		for _, e := range exprs {
+			ref, refErr := (Reference{}).Eval(e, src)
+			for _, bs := range []int{1, 2} {
+				engines := []*Engine{
+					{Workers: 1, SerialBatches: true, BatchSize: bs},
+					{Workers: 1, SerialBatches: true, RowBatches: true, BatchSize: bs},
+					{Workers: 2, ParallelThreshold: 1, MorselSize: 1, BatchSize: bs, BuildParallelThreshold: 1},
+					{Workers: 4, ParallelThreshold: 1, MorselSize: 1, BatchSize: bs, BuildParallelThreshold: 1},
+					{Workers: 8, ParallelThreshold: 1, MorselSize: 1, BatchSize: bs},
+					{Workers: 4, ParallelThreshold: 1, MorselSize: 1, BatchSize: bs, RowBatches: true},
+				}
+				for _, eng := range engines {
+					phys, physErr := eng.Eval(e, src)
+					if (refErr == nil) != (physErr == nil) {
+						t.Fatalf("round %d workers=%d batch=%d rows=%v: evaluators disagree on errors for %s:\nreference: %v\ncolumnar:  %v",
+							round, eng.Workers, bs, eng.RowBatches, e, refErr, physErr)
+					}
+					if refErr != nil {
+						continue
+					}
+					if !ref.Equal(phys) {
+						t.Fatalf("round %d workers=%d batch=%d rows=%v: columnar execution changed bag semantics of %s:\nreference: %s\ncolumnar:  %s",
+							round, eng.Workers, bs, eng.RowBatches, e, ref, phys)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestEmptyInputAggregatesParallel pins Definition 3.3's partiality under the
 // parallel runtime: AVG, MIN and MAX over an empty input must fail with
 // ErrEmptyAggregate at every worker count (the merged partial states of an

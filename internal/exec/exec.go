@@ -268,6 +268,11 @@ func (p Partitioner) Owner(t tuple.Tuple) int {
 	return int(t.HashOn(p.cols) % p.workers)
 }
 
+// OwnerHash returns the worker index for a pre-computed key hash.  Columnar
+// operators hash partition keys incrementally off column vectors
+// (tuple.HashMix) and map the result here, skipping tuple materialisation.
+func (p Partitioner) OwnerHash(h uint64) int { return int(h % p.workers) }
+
 // Partials holds the per-worker partial results of an exchange: one private
 // relation per worker, merged by summing multiplicities (the Merge side of the
 // exchange).  Disjoint input partitions may still produce overlapping output

@@ -339,6 +339,25 @@ func (r *Relation) AddBatch(tuples []tuple.Tuple, counts []uint64) {
 	}
 }
 
+// AddBatchSel is AddBatch over a selection vector: only the physical rows
+// listed in sel (ascending indices into tuples/counts) are added.  It is the
+// sink half of the columnar emit contract — a filtered batch lands in the
+// relation without ever being compacted.  Zero counts are skipped.
+func (r *Relation) AddBatchSel(tuples []tuple.Tuple, counts []uint64, sel []int32) {
+	if len(sel) == 0 {
+		return
+	}
+	r.materialize()
+	tab := r.tab
+	for _, i := range sel {
+		if counts[i] == 0 {
+			continue
+		}
+		t := tuples[i]
+		tab.add(t.Hash(), t, counts[i])
+	}
+}
+
 // MergeFrom adds every tuple of o to r with its multiplicity (multi-set union
 // in place): the merge step of the parallel runtime's exchange operators.  It
 // reuses o's cached entry hashes, so merging partial results never re-hashes

@@ -16,7 +16,9 @@ import (
 // ErrIncompatible is returned when an operation is applied to relations whose
 // schemas are not union-compatible.
 type ErrIncompatible struct {
-	Op          string
+	// Op names the operation that was applied (union, difference, ...).
+	Op string
+	// Left and Right are the incompatible operand schemas.
 	Left, Right schema.Relation
 }
 

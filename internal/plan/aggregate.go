@@ -3,6 +3,7 @@ package plan
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mra/internal/algebra"
 	"mra/internal/multiset"
@@ -38,18 +39,22 @@ type groupSpec struct {
 // partiality: AVG, MIN and MAX on a state that saw no input return
 // ErrEmptyAggregate.
 //
-// One machine-arithmetic caveat qualifies the exactness: the float half of a
-// sum (fsum) re-associates when partials merge, and float addition is not
-// associative, so SUM/AVG states over float attributes can round differently
-// than the serial fold.  Callers who need bit-exact parallel results must not
-// split float sums — the planner enforces this by planning such aggregates
-// one-phase (hashAggNode.twoPhaseExact).  Integer sums (isum) are exact
-// int64 arithmetic and merge bit for bit.
+// Machine arithmetic qualifies the exactness for floats: float addition is
+// not associative, so a naively re-associated float sum could round
+// differently when partials merge in a different order than the serial fold.
+// The float half of the state therefore carries compensated (Neumaier/Kahan)
+// summation: fsum accumulates the running sum and fcomp the rounding error
+// each addition discards, and Final returns fsum + fcomp — an error-free
+// transformation that makes the result of well-conditioned sums independent
+// of how the input was partitioned, which is what lets the planner run float
+// SUM/AVG two-phase.  Integer sums (isum) are exact int64 arithmetic and
+// merge bit for bit.
 type AggState struct {
 	fn    algebra.Aggregate
 	count uint64
 	isum  int64
 	fsum  float64
+	fcomp float64
 	fltIn bool
 	min   value.Value
 	max   value.Value
@@ -58,6 +63,20 @@ type AggState struct {
 
 // NewAggState returns the empty state of the given aggregate function.
 func NewAggState(fn algebra.Aggregate) AggState { return AggState{fn: fn} }
+
+// fadd folds x into the compensated float sum: Neumaier's variant of Kahan
+// summation, which keeps the larger-magnitude operand's discarded low-order
+// bits in fcomp so fsum + fcomp carries the sum at roughly double working
+// precision.
+func (s *AggState) fadd(x float64) {
+	t := s.fsum + x
+	if math.Abs(s.fsum) >= math.Abs(x) {
+		s.fcomp += (s.fsum - t) + x
+	} else {
+		s.fcomp += (x - t) + s.fsum
+	}
+	s.fsum = t
+}
 
 // Add folds in one stream chunk: the aggregated attribute's value with the
 // chunk's multiplicity.  Nulls count towards CNT (and AVG's divisor) but
@@ -73,7 +92,7 @@ func (s *AggState) Add(v value.Value, count uint64) error {
 		case value.KindInt:
 			s.isum += v.Int() * int64(count)
 		case value.KindFloat:
-			s.fsum += v.Float() * float64(count)
+			s.fadd(v.Float() * float64(count))
 			s.fltIn = true
 		case value.KindNull:
 			// Nulls contribute nothing to sums; CNT above still counts them.
@@ -107,7 +126,11 @@ func (s *AggState) Add(v value.Value, count uint64) error {
 func (s *AggState) MergePartial(o *AggState) {
 	s.count += o.count
 	s.isum += o.isum
-	s.fsum += o.fsum
+	// The partial's compensated sum folds in as one compensated addition of
+	// its sum plus a direct accumulation of its error term, so the merged
+	// state keeps the double-precision invariant fsum + fcomp ≈ true sum.
+	s.fadd(o.fsum)
+	s.fcomp += o.fcomp
 	s.fltIn = s.fltIn || o.fltIn
 	if o.seen {
 		if !s.seen {
@@ -132,14 +155,14 @@ func (s *AggState) Final() (value.Value, error) {
 		return value.NewInt(int64(s.count)), nil
 	case algebra.AggSum:
 		if s.fltIn {
-			return value.NewFloat(s.fsum + float64(s.isum)), nil
+			return value.NewFloat(s.fsum + s.fcomp + float64(s.isum)), nil
 		}
 		return value.NewInt(s.isum), nil
 	case algebra.AggAvg:
 		if s.count == 0 {
 			return value.Null, ErrEmptyAggregate
 		}
-		return value.NewFloat((s.fsum + float64(s.isum)) / float64(s.count)), nil
+		return value.NewFloat((s.fsum + s.fcomp + float64(s.isum)) / float64(s.count)), nil
 	case algebra.AggMin:
 		if !s.seen {
 			return value.Null, ErrEmptyAggregate
@@ -170,6 +193,10 @@ type groupTable struct {
 	// representative tuple plus its aggregate states), so a runaway grouping
 	// trips the query's memory budget instead of exhausting the process.
 	mem *MemoryGauge
+	// keyVecs/aggVecs are addBatch's per-batch column bindings, kept on the
+	// table (which is single-consumer) to avoid per-batch allocation.
+	keyVecs []value.Vec
+	aggVecs []value.Vec
 }
 
 // groupEntry is one group of the table: a representative input tuple (whose
@@ -229,6 +256,87 @@ func (g *groupTable) add(t tuple.Tuple, count uint64) error {
 		}
 	}
 	return nil
+}
+
+// addBatch folds a batch's live rows into the table column-at-a-time: group
+// keys hash incrementally off the grouping columns' vectors (hashRowOn) and
+// aggregate inputs stream from the aggregated columns' vectors, so the
+// per-row inner loop is a few vector indexings plus the state update — no
+// tuple is materialised except the representative of a newly created group.
+// Row-view batches take the tuple-wise path instead: gathering their columns
+// would cost one extra pass per column with nothing downstream saved, since
+// the per-row hash and state updates read the same values either way.
+func (g *groupTable) addBatch(b *Batch, cc *colCache) error {
+	if b.Cols == nil {
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			r := b.Row(i)
+			if err := g.add(b.Tuples[r], b.Counts[r]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cc.batch(b)
+	g.keyVecs = g.keyVecs[:0]
+	for _, c := range g.spec.groupCols {
+		g.keyVecs = append(g.keyVecs, cc.col(c))
+	}
+	g.aggVecs = g.aggVecs[:0]
+	for _, sp := range g.spec.aggs {
+		g.aggVecs = append(g.aggVecs, cc.col(sp.Col))
+	}
+	k := len(g.spec.aggs)
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		r := b.Row(i)
+		gi, err := g.findOrCreateRow(b, r)
+		if err != nil {
+			return err
+		}
+		states := g.states[gi*k : (gi+1)*k]
+		count := b.Counts[r]
+		for j := range states {
+			if err := states[j].Add(g.aggVecs[j][r], count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// findOrCreateRow is findOrCreate for one batch row, hashing and comparing
+// group-key values straight off the column vectors bound by addBatch and
+// materialising the row's tuple only when it founds a new group.
+func (g *groupTable) findOrCreateRow(b *Batch, r int) (int, error) {
+	h := hashRowOn(g.keyVecs, r)
+	head, ok := g.index[h]
+	if !ok {
+		head = -1
+	}
+outer:
+	for i := head; i != -1; i = g.groups[i].next {
+		rep := g.groups[i].rep
+		for k, c := range g.spec.groupCols {
+			if !g.keyVecs[k][r].Equal(rep.At(c)) {
+				continue outer
+			}
+		}
+		return int(i), nil
+	}
+	t := b.TupleAt(r)
+	if g.mem != nil {
+		if err := g.mem.Grow(approxTupleBytes(t) + int64(len(g.spec.aggs))*aggStateBytes); err != nil {
+			return 0, err
+		}
+	}
+	gi := len(g.groups)
+	g.index[h] = int32(gi)
+	g.groups = append(g.groups, groupEntry{rep: t, next: head})
+	for _, sp := range g.spec.aggs {
+		g.states = append(g.states, NewAggState(sp.Fn))
+	}
+	return gi, nil
 }
 
 // mergeFrom folds another table's partial groups into g — the global phase of

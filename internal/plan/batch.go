@@ -2,56 +2,152 @@ package plan
 
 import (
 	"mra/internal/tuple"
+	"mra/internal/value"
 )
 
 // This file implements the vectorised half of the streaming contract: the
-// Batch chunk vector, the EmitBatch consumer side, and the adapters that let
-// batch-native and chunk-at-a-time operators compose freely.  Batching exists
-// purely to amortise call overhead — a pipeline of batch-native operators
-// crosses operator boundaries once per batch instead of once per tuple — and
-// never changes the multi-set a stream denotes.
+// columnar Batch with its selection vector, the EmitBatch consumer side, and
+// the adapters that let batch-native and chunk-at-a-time operators compose
+// freely.  Batching exists to amortise call overhead — a pipeline of
+// batch-native operators crosses operator boundaries once per batch instead
+// of once per tuple — and, in columnar form, to let the hot operator loops
+// (filter, project, join probe, aggregate update) run column-at-a-time over
+// contiguous value vectors.  Neither changes the multi-set a stream denotes.
 
 // DefaultBatchSize is the number of chunks per emitted batch when the planner
 // does not size batches itself.  Large enough that per-batch call overhead
-// vanishes against per-tuple work, small enough that a batch of tuples stays
-// cache-resident.
+// vanishes against per-tuple work, small enough that a batch's column vectors
+// stay cache-resident.
 const DefaultBatchSize = 128
 
-// Batch is one vector of stream chunks: tuple Tuples[i] occurs Counts[i] more
-// times, for every i.  A batch denotes the multi-set summing its chunks, and
-// like the scalar Emit contract the same tuple may appear in several chunks
-// (even within one batch); consumers add multiplicities.
+// Batch is one vector of stream chunks in dual row/column representation.
+//
+// The batch holds rows physical rows.  Row r carries multiplicity Counts[r],
+// and its attribute values are readable through either view: row-major as
+// Tuples[r] (when the producer emitted tuples — scans hand out arena tuples
+// for free) or column-major as Cols[c][r] (when the producer emitted column
+// vectors — projections share input columns without copying).  At least one
+// view is always populated; Counts always is.
+//
+// Sel is the selection vector: the ascending physical row indices that are
+// live.  A nil Sel means every row is live.  Filters refine Sel instead of
+// compacting the batch, so a selective predicate costs index writes, never
+// value moves; every consumer iterates live rows only (b.Row maps a live
+// position to its physical row).  Dead rows may hold arbitrary values and
+// must never be read or evaluated — error semantics are defined over live
+// rows only.
+//
+// A batch denotes the multi-set summing its live chunks, and like the scalar
+// Emit contract the same tuple may appear in several chunks (even within one
+// batch); consumers add multiplicities.
 //
 // Ownership: a Batch handed to an EmitBatch is only valid for the duration of
-// the call — producers reuse the backing slices for the next batch.  The
-// tuples themselves are immutable and may be retained; the slices may not.
+// the call — producers reuse the backing slices (Tuples, Counts, Cols, Sel)
+// for the next batch.  The tuples and values themselves are immutable and may
+// be retained; the slices may not.
 type Batch struct {
-	// Tuples holds the chunk tuples.
+	// Tuples is the row-major view; nil when the batch is columnar-only.
 	Tuples []tuple.Tuple
-	// Counts holds the chunk multiplicities, parallel to Tuples.
+	// Counts holds the physical rows' multiplicities; always populated.
 	Counts []uint64
+	// Cols is the column-major view, one vector per attribute; nil when the
+	// batch is row-only.
+	Cols []value.Vec
+	// Sel lists the live physical rows in ascending order; nil means all rows
+	// are live.
+	Sel []int32
 }
 
-// Len returns the number of chunks in the batch.
-func (b *Batch) Len() int { return len(b.Tuples) }
+// rows returns the number of physical rows.
+func (b *Batch) rows() int { return len(b.Counts) }
+
+// Len returns the number of live chunks in the batch.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return len(b.Counts)
+}
+
+// Row maps live position i to its physical row index.
+func (b *Batch) Row(i int) int {
+	if b.Sel != nil {
+		return int(b.Sel[i])
+	}
+	return i
+}
 
 // Total returns the number of tuple occurrences the batch denotes: the sum of
-// its counts.
+// its live counts.
 func (b *Batch) Total() uint64 {
 	var s uint64
-	for _, c := range b.Counts {
-		s += c
+	if b.Sel == nil {
+		for _, c := range b.Counts {
+			s += c
+		}
+		return s
+	}
+	for _, r := range b.Sel {
+		s += b.Counts[r]
 	}
 	return s
 }
 
-// reset empties the batch, keeping the backing capacity for reuse.
+// arity returns the batch's attribute count, from whichever view is present.
+func (b *Batch) arity() int {
+	if b.Cols != nil {
+		return len(b.Cols)
+	}
+	if len(b.Tuples) > 0 {
+		return b.Tuples[0].Arity()
+	}
+	return 0
+}
+
+// TupleAt returns the tuple of physical row r, constructing it from the
+// column view when the batch is columnar-only.  Constructing allocates — it
+// is the materialise-to-tuples boundary consumers cross only for live rows
+// they actually retain or emit.
+func (b *Batch) TupleAt(r int) tuple.Tuple {
+	if b.Tuples != nil {
+		return b.Tuples[r]
+	}
+	vals := make([]value.Value, len(b.Cols))
+	for c := range b.Cols {
+		vals[c] = b.Cols[c][r]
+	}
+	return tuple.FromSlice(vals)
+}
+
+// forEach iterates the live rows as (tuple, count) chunks — the scalar edge
+// of the batch, used by the unbatched adapter and by chunk-at-a-time
+// consumers at the materialisation boundary.
+func (b *Batch) forEach(fn func(t tuple.Tuple, n uint64) error) error {
+	if b.Sel == nil {
+		for r := range b.Counts {
+			if err := fn(b.TupleAt(r), b.Counts[r]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range b.Sel {
+		if err := fn(b.TupleAt(int(r)), b.Counts[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reset empties the batch's row view, keeping the backing capacity for reuse.
 func (b *Batch) reset() {
 	b.Tuples = b.Tuples[:0]
 	b.Counts = b.Counts[:0]
+	b.Cols = nil
+	b.Sel = nil
 }
 
-// push appends one chunk.
+// push appends one live row-view chunk.
 func (b *Batch) push(t tuple.Tuple, n uint64) {
 	b.Tuples = append(b.Tuples, t)
 	b.Counts = append(b.Counts, n)
@@ -72,9 +168,9 @@ type batchRunner interface {
 	runBatch(ctx *execCtx, emit EmitBatch) error
 }
 
-// batchWriter accumulates chunks into a reusable batch and flushes it to emit
-// whenever it reaches the configured size.  Producers must call flush once at
-// end of stream.
+// batchWriter accumulates chunks into a reusable row-view batch and flushes it
+// to emit whenever it reaches the configured size.  Producers must call flush
+// once at end of stream.
 type batchWriter struct {
 	out  Batch
 	size int
@@ -113,31 +209,51 @@ func (w *batchWriter) flush() error {
 	return err
 }
 
-// mapped resizes a reusable output batch to mirror the chunk structure of an
-// input batch, sharing the input's Counts slice — safe under the no-retention
-// rule of the EmitBatch contract.  Per-tuple transforms (projections) fill
-// out.Tuples in their own tight loop, so a mapped boundary costs one tuple
-// store per chunk and nothing else.
-func mapped(out *Batch, b *Batch) {
-	if cap(out.Tuples) < len(b.Tuples) {
-		out.Tuples = make([]tuple.Tuple, len(b.Tuples))
+// colCache is a consumer-owned column gather cache: one reusable vector per
+// attribute of the batch it is currently bound to (batch binds it; col reads
+// it).  col returns the bound batch's column c, sharing the producer's vector
+// when the batch is columnar and gathering from the row view (tuple.Column,
+// one contiguous pass, at most once per batch and column) otherwise.
+// Gathered vectors are valid until the next batch, exactly like the batch
+// itself.  Operators allocate a colCache per runBatch call — never on the
+// node, which is shared across gang workers.
+type colCache struct {
+	b    *Batch
+	bufs []value.Vec
+	have []bool
+}
+
+// batch binds the cache to the next batch, invalidating gathered columns.
+func (cc *colCache) batch(b *Batch) {
+	cc.b = b
+	for i := range cc.have {
+		cc.have[i] = false
 	}
-	out.Tuples = out.Tuples[:len(b.Tuples)]
-	out.Counts = b.Counts
+}
+
+// col returns column c of the bound batch (see colCache).
+func (cc *colCache) col(c int) value.Vec {
+	if cc.b.Cols != nil {
+		return cc.b.Cols[c]
+	}
+	for len(cc.have) <= c {
+		cc.bufs = append(cc.bufs, nil)
+		cc.have = append(cc.have, false)
+	}
+	if !cc.have[c] {
+		cc.bufs[c] = tuple.Column(cc.b.Tuples, c, cc.bufs[c])
+		cc.have[c] = true
+	}
+	return cc.bufs[c]
 }
 
 // unbatched adapts a batch-native operator to the chunk-at-a-time Emit
-// contract: every chunk of every batch is forwarded individually.  It backs
-// the run methods of batch-native operators, so the scalar contract stays
-// universally available.
+// contract: every live chunk of every batch is forwarded individually.  It
+// backs the run methods of batch-native operators, so the scalar contract
+// stays universally available.
 func unbatched(ctx *execCtx, n batchRunner, emit Emit) error {
 	return n.runBatch(ctx, func(b *Batch) error {
-		for i := range b.Tuples {
-			if err := emit(b.Tuples[i], b.Counts[i]); err != nil {
-				return err
-			}
-		}
-		return nil
+		return b.forEach(emit)
 	})
 }
 

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 
-	"mra/internal/algebra"
 	"mra/internal/exec"
 	"mra/internal/multiset"
 	"mra/internal/tuple"
@@ -144,22 +143,71 @@ func (p *partitionNode) runBatch(ctx *execCtx, emit EmitBatch) error {
 		return w.flush()
 	}
 	part := exec.NewPartitioner(p.cols, ctx.workers)
-	w := newBatchWriter(ctx.batchCap(), emit)
-	err := ctx.runBatch(p.input, func(b *Batch) error {
-		for i, t := range b.Tuples {
-			if part.Owner(t) != ctx.worker {
-				continue
+	if ctx.rowBatches {
+		w := newBatchWriter(ctx.batchCap(), emit)
+		err := ctx.runBatch(p.input, func(b *Batch) error {
+			for i, t := range b.Tuples {
+				if part.Owner(t) != ctx.worker {
+					continue
+				}
+				if err := w.push(t, b.Counts[i]); err != nil {
+					return err
+				}
 			}
-			if err := w.push(t, b.Counts[i]); err != nil {
-				return err
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return w.flush()
+	}
+	// Columnar path: the worker's slice is a selection over the input batch —
+	// key hashes come off the row tuples when present (hashing a tuple walks
+	// its values once) or incrementally off the column vectors otherwise, and
+	// no chunk is copied either way.
+	var cc colCache
+	var keyVecs []value.Vec
+	var sel []int32
+	var out Batch
+	return ctx.runBatch(p.input, func(b *Batch) error {
+		if b.Tuples == nil {
+			cc.batch(b)
+			keyVecs = keyVecs[:0]
+			if p.cols == nil {
+				for c := 0; c < b.arity(); c++ {
+					keyVecs = append(keyVecs, cc.col(c))
+				}
+			} else {
+				for _, c := range p.cols {
+					keyVecs = append(keyVecs, cc.col(c))
+				}
 			}
 		}
-		return nil
+		sel = sel[:0]
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			r := b.Row(i)
+			var h uint64
+			switch {
+			case b.Tuples == nil:
+				h = hashRowOn(keyVecs, r)
+			case p.cols == nil:
+				h = b.Tuples[r].Hash()
+			default:
+				h = b.Tuples[r].HashOn(p.cols)
+			}
+			if part.OwnerHash(h) != ctx.worker {
+				continue
+			}
+			sel = append(sel, int32(r))
+		}
+		if len(sel) == 0 {
+			return nil
+		}
+		out = *b
+		out.Sel = sel
+		return emit(&out)
 	})
-	if err != nil {
-		return err
-	}
-	return w.flush()
 }
 
 // runMorsels drains the shared queue: the worker claims entry ranges of the
@@ -306,7 +354,19 @@ func prepare(ctx *execCtx, n Node, snap snapshotSource, gs *gangState) error {
 		}
 	case *hashJoinNode:
 		if x.shared {
-			tb, err := x.buildTable(ctx)
+			var tb *joinTable
+			var err error
+			if x.parBuild {
+				// The build side is itself morsel-partitioned: create its
+				// queues first, then run the build gang over them.
+				build, _ := x.buildSide()
+				if err := prepare(ctx, build, snap, gs); err != nil {
+					return err
+				}
+				tb, err = x.parallelBuildTable(ctx, gs)
+			} else {
+				tb, err = x.buildTable(ctx)
+			}
 			if err != nil {
 				return err
 			}
@@ -321,6 +381,47 @@ func prepare(ctx *execCtx, n Node, snap snapshotSource, gs *gangState) error {
 		}
 	}
 	return nil
+}
+
+// parallelBuildTable materialises a shared join's build side with a gang of
+// its own: each worker streams the morsel-partitioned build subtree (claiming
+// entry ranges from the queues prepare just created) into a partition-local
+// joinTable, and the partials are absorbed into one table for the probe gang.
+// Any disjoint split of the build stream is exact — insertion order within a
+// collision chain does not affect which tuples match, only match order, and
+// relations are unordered.
+func (j *hashJoinNode) parallelBuildTable(ctx *execCtx, gs *gangState) (*joinTable, error) {
+	build, buildCols := j.buildSide()
+	pool := exec.NewPool(j.buildWorkers)
+	wctxs := make([]*execCtx, pool.Workers())
+	capEach := capacityFor(build.meta().capHint)/pool.Workers() + 1
+	tables, err := exec.Gather(ctx.queryCtx(), pool, func(gctx context.Context, w int) (*joinTable, error) {
+		wctx := ctx.workerCtx(w, pool.Workers(), gs)
+		wctx.setContext(gctx)
+		wctxs[w] = wctx
+		tb := newJoinTable(capEach)
+		err := wctx.run(build, func(t tuple.Tuple, n uint64) error {
+			if err := wctx.chargeTuple(t); err != nil {
+				return err
+			}
+			tb.insert(t, n, buildCols)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return tb, nil
+	})
+	ctx.foldWorkers(wctxs)
+	if err != nil {
+		return nil, wrapGangErr(j, err)
+	}
+	global := tables[0]
+	for _, tb := range tables[1:] {
+		global.absorb(tb)
+	}
+	ctx.materialised(j, global.built)
+	return global, nil
 }
 
 // leafSpan returns the morsel index domain of a leaf: the entry-arena span of
@@ -545,12 +646,29 @@ func (pl *Planner) parallelizeNode(n Node, workers int, threshold float64) Node 
 		if x.left.Estimate()+x.right.Estimate() >= threshold && streamable(probe) {
 			x.shared = true
 			wrapped := pl.partitionLeaves(probe, workers)
+			// A large streamable build side is built morsel-parallel by a
+			// build gang of its own (parallelBuildTable); below the threshold
+			// — or when the build side is not a splittable pipeline — the
+			// parent builds serially, possibly over its own nested exchange.
+			build, _ := x.buildSide()
+			buildThreshold := pl.BuildParallelThreshold
+			if buildThreshold <= 0 {
+				buildThreshold = DefaultBuildParallelThreshold
+			}
+			var wrappedBuild Node
+			if streamable(build) && build.Estimate() >= buildThreshold {
+				x.parBuild = true
+				x.buildWorkers = workers
+				wrappedBuild = pl.partitionLeaves(build, workers)
+			} else {
+				wrappedBuild = pl.parallelizeNode(build, workers, threshold)
+			}
 			if x.buildLeft {
 				x.right = wrapped
-				x.left = pl.parallelizeNode(x.left, workers, threshold)
+				x.left = wrappedBuild
 			} else {
 				x.left = wrapped
-				x.right = pl.parallelizeNode(x.right, workers, threshold)
+				x.right = wrappedBuild
 			}
 			return newMerge(x, workers)
 		}
@@ -605,22 +723,15 @@ func (pl *Planner) parallelizeNode(n Node, workers int, threshold float64) Node 
 
 // twoPhaseExact reports whether every aggregate of the node's spec merges to
 // the serial result bit for bit under any disjoint split of the input.  CNT,
-// MIN and MAX always do, and so do SUM/AVG over integer attributes (exact
-// int64 sums commute and associate); SUM/AVG over a float attribute do not —
-// float addition is not associative, so per-worker partial sums can round
-// differently than the serial stream — and force the key-partitioned
-// one-phase shape, which feeds each group its serial chunk subsequence in
-// order and stays bit-exact.
+// MIN and MAX always do; SUM/AVG over integer attributes are exact int64
+// arithmetic; and SUM/AVG over float attributes carry compensated (Neumaier)
+// summation in AggState, whose fsum + fcomp holds the sum at roughly double
+// working precision — well past the rounding slack that re-associating
+// partial sums can introduce — so the finalised value matches the serial
+// fold's regardless of how the input was split.  Every aggregate of
+// Definition 3.3 therefore splits exactly today; the predicate remains the
+// gate future order-sensitive aggregates must pass to plan two-phase.
 func (a *hashAggNode) twoPhaseExact() bool {
-	in := a.input.Schema()
-	for _, sp := range a.gb.aggs {
-		switch sp.Fn {
-		case algebra.AggSum, algebra.AggAvg:
-			if in.Attribute(sp.Col).Type == value.KindFloat {
-				return false
-			}
-		}
-	}
 	return true
 }
 

@@ -108,9 +108,9 @@ func (g *MemoryGauge) Limit() int64 {
 const (
 	tupleHeaderBytes = 48
 	valueBytes       = 48
-	// aggStateBytes is the charged size of one AggState (counters, sums, and
-	// the two extremum Values).
-	aggStateBytes = 144
+	// aggStateBytes is the charged size of one AggState (counters, sums with
+	// their compensation term, and the two extremum Values).
+	aggStateBytes = 152
 )
 
 // approxTupleBytes estimates the resident bytes of one retained tuple.

@@ -140,10 +140,63 @@ func (f *filterNode) run(ctx *execCtx, emit Emit) error {
 	})
 }
 
-// runBatch implements batchRunner: each input batch is filtered in one pass
-// into a compacted output batch, so a selective filter crosses the downstream
-// operator boundary far less than once per input tuple.
+// runBatch implements batchRunner: the predicate is compiled into comparison
+// kernels that refine each input batch's selection vector — a selective filter
+// flips live-row indices in tight per-column loops and never moves a value.
+// Predicates the kernels cannot express fall back to row-wise Holds over live
+// rows, still producing a selection instead of compacting.
 func (f *filterNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	if ctx.rowBatches {
+		return f.runBatchRows(ctx, emit)
+	}
+	kernels, compiled := compileVecPred(f.pred)
+	var cc colCache
+	var selA, selB []int32
+	var out Batch
+	return ctx.runBatch(f.input, func(b *Batch) error {
+		cc.batch(b)
+		rows := b.rows()
+		cur, curNil := b.Sel, b.Sel == nil
+		if compiled {
+			for i := range kernels {
+				var err error
+				if selA, err = kernels[i].apply(&cc, cur, rows, selA[:0]); err != nil {
+					return err
+				}
+				cur, curNil = selA, false
+				selA, selB = selB, selA
+				if len(cur) == 0 {
+					break
+				}
+			}
+		} else {
+			selA = selA[:0]
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				r := b.Row(i)
+				ok, err := f.pred.Holds(b.TupleAt(r))
+				if err != nil {
+					return err
+				}
+				if ok {
+					selA = append(selA, int32(r))
+				}
+			}
+			cur, curNil = selA, false
+			selA, selB = selB, selA
+		}
+		if !curNil && len(cur) == 0 {
+			return nil
+		}
+		out = *b
+		out.Sel = cur
+		return emit(&out)
+	})
+}
+
+// runBatchRows is the legacy array-of-tuples filter loop, kept behind the
+// planner's RowBatches knob as the A/B baseline for the columnar kernels.
+func (f *filterNode) runBatchRows(ctx *execCtx, emit EmitBatch) error {
 	w := newBatchWriter(ctx.batchCap(), emit)
 	err := ctx.runBatch(f.input, func(b *Batch) error {
 		for i, t := range b.Tuples {
@@ -187,19 +240,41 @@ func (p *projectNode) run(ctx *execCtx, emit Emit) error {
 	})
 }
 
-// runBatch implements batchRunner: input batches are narrowed one-to-one into
-// a mapped output batch that reuses the input's chunk structure.
+// runBatch implements batchRunner: the output batch is the input's column
+// vectors re-ordered per the projection list — shared, never copied — with the
+// counts and selection passed through untouched.  Projection indices are
+// validated at plan time, so the columnar path needs no per-tuple range check.
 func (p *projectNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	if ctx.rowBatches {
+		return p.runBatchRows(ctx, emit)
+	}
+	var cc colCache
+	outCols := make([]value.Vec, len(p.cols))
 	var out Batch
 	return ctx.runBatch(p.input, func(b *Batch) error {
-		mapped(&out, b)
-		for i, t := range b.Tuples {
+		cc.batch(b)
+		for j, c := range p.cols {
+			outCols[j] = cc.col(c)
+		}
+		out = Batch{Counts: b.Counts, Cols: outCols, Sel: b.Sel}
+		return emit(&out)
+	})
+}
+
+// runBatchRows is the legacy per-tuple projection loop, kept behind the
+// planner's RowBatches knob as the A/B baseline for the columnar path.
+func (p *projectNode) runBatchRows(ctx *execCtx, emit EmitBatch) error {
+	var out Batch
+	return ctx.runBatch(p.input, func(b *Batch) error {
+		out.Tuples = out.Tuples[:0]
+		for _, t := range b.Tuples {
 			mt, err := t.Project(p.cols)
 			if err != nil {
 				return err
 			}
-			out.Tuples[i] = mt
+			out.Tuples = append(out.Tuples, mt)
 		}
+		out.Counts = b.Counts
 		return emit(&out)
 	})
 }
@@ -237,13 +312,55 @@ func (p *extProjectNode) run(ctx *execCtx, emit Emit) error {
 	})
 }
 
-// runBatch implements batchRunner: the arithmetic items are evaluated
-// one-to-one over each input batch into a mapped output batch.
+// runBatch implements batchRunner: bare attribute items share the input's
+// column vectors, computed items evaluate column-at-a-time (evalAt) into
+// reusable scratch vectors over live rows only — dead rows are never
+// evaluated, so expression errors surface exactly as on the scalar path.
 func (p *extProjectNode) runBatch(ctx *execCtx, emit EmitBatch) error {
+	if ctx.rowBatches {
+		return p.runBatchRows(ctx, emit)
+	}
+	var cc colCache
+	outCols := make([]value.Vec, len(p.items))
+	scratch := make([]value.Vec, len(p.items))
 	var out Batch
 	return ctx.runBatch(p.input, func(b *Batch) error {
-		mapped(&out, b)
-		for i, t := range b.Tuples {
+		cc.batch(b)
+		rows := b.rows()
+		n := b.Len()
+		for j, item := range p.items {
+			if a, ok := item.(scalar.Attr); ok {
+				outCols[j] = cc.col(a.Index)
+				continue
+			}
+			vec := scratch[j]
+			if cap(vec) < rows {
+				vec = make(value.Vec, rows)
+			} else {
+				vec = vec[:rows]
+			}
+			for i := 0; i < n; i++ {
+				r := b.Row(i)
+				v, err := evalAt(item, b, &cc, r)
+				if err != nil {
+					return err
+				}
+				vec[r] = v
+			}
+			scratch[j], outCols[j] = vec, vec
+		}
+		out = Batch{Counts: b.Counts, Cols: outCols, Sel: b.Sel}
+		return emit(&out)
+	})
+}
+
+// runBatchRows is the legacy per-tuple evaluation loop, kept behind the
+// planner's RowBatches knob as the A/B baseline for the columnar path.
+func (p *extProjectNode) runBatchRows(ctx *execCtx, emit EmitBatch) error {
+	var out Batch
+	return ctx.runBatch(p.input, func(b *Batch) error {
+		out.Tuples = out.Tuples[:0]
+		for _, t := range b.Tuples {
 			vals := make([]value.Value, len(p.items))
 			for j, item := range p.items {
 				v, err := item.Eval(t)
@@ -252,8 +369,9 @@ func (p *extProjectNode) runBatch(ctx *execCtx, emit EmitBatch) error {
 				}
 				vals[j] = v
 			}
-			out.Tuples[i] = tuple.FromSlice(vals)
+			out.Tuples = append(out.Tuples, tuple.FromSlice(vals))
 		}
+		out.Counts = b.Counts
 		return emit(&out)
 	})
 }
@@ -340,6 +458,33 @@ func newJoinTable(capacity int) *joinTable {
 	}
 }
 
+// absorb appends another table's arena to tb and splices its collision
+// chains into tb's index: node links shift by tb's old length, and where both
+// tables hold a hash bucket the absorbed chain's tail links onto tb's
+// existing head.  It is how the morsel-parallel build merges the gang's
+// partition-local tables into the one shared table the probe workers read.
+func (tb *joinTable) absorb(o *joinTable) {
+	off := int32(len(tb.nodes))
+	tb.nodes = append(tb.nodes, o.nodes...)
+	for i := off; i < int32(len(tb.nodes)); i++ {
+		if tb.nodes[i].next != -1 {
+			tb.nodes[i].next += off
+		}
+	}
+	for h, head := range o.index {
+		nh := head + off
+		if cur, ok := tb.index[h]; ok {
+			tail := nh
+			for tb.nodes[tail].next != -1 {
+				tail = tb.nodes[tail].next
+			}
+			tb.nodes[tail].next = cur
+		}
+		tb.index[h] = nh
+	}
+	tb.built += o.built
+}
+
 // insert adds one build chunk under the hash of its join columns.
 func (tb *joinTable) insert(t tuple.Tuple, n uint64, buildCols []int) {
 	h := t.HashOn(buildCols)
@@ -372,6 +517,14 @@ type hashJoinNode struct {
 	// table in the parent and workers only probe (their probe-side scans are
 	// morsel-partitioned, so the gang collectively probes each tuple once).
 	shared bool
+	// parBuild marks a shared join whose table is itself built
+	// morsel-parallel: the build side's scans are morsel-partitioned, a
+	// build gang of buildWorkers workers fills partition-local tables over
+	// the morsels it claims, and the exchange absorbs them into one table
+	// before the probe gang starts.  The planner enables it when the
+	// estimated build cardinality clears BuildParallelThreshold.
+	parBuild     bool
+	buildWorkers int
 }
 
 func (j *hashJoinNode) Children() []Node { return []Node{j.left, j.right} }
@@ -389,6 +542,9 @@ func (j *hashJoinNode) Describe() string {
 	s := fmt.Sprintf("HashJoin [%s] build=%s", strings.Join(pairs, ", "), side)
 	if j.shared {
 		s += " shared"
+	}
+	if j.parBuild {
+		s += fmt.Sprintf(" parbuild=%d", j.buildWorkers)
 	}
 	if j.residual != nil {
 		s += fmt.Sprintf(" residual=[%s]", j.residual)
@@ -491,9 +647,11 @@ func (j *hashJoinNode) run(ctx *execCtx, emit Emit) error {
 	})
 }
 
-// runBatch implements batchRunner: the probe stream is consumed batch-wise
-// and the joined output is re-batched, so a join pipeline crosses operator
-// boundaries once per batch on both sides of the table.
+// runBatch implements batchRunner: probe keys hash incrementally off the
+// probe batch's column vectors (hashRowOn — bit-identical to tuple.HashOn)
+// and chain candidates compare key values straight off the vectors, so a
+// probe row only materialises a tuple once it actually matches.  The joined
+// output is re-batched row-wise.
 func (j *hashJoinNode) runBatch(ctx *execCtx, emit EmitBatch) error {
 	tb := ctx.sharedBuild(j)
 	if tb == nil {
@@ -511,14 +669,72 @@ func (j *hashJoinNode) runBatch(ctx *execCtx, emit EmitBatch) error {
 
 	_, buildCols := j.buildSide()
 	w := newBatchWriter(ctx.batchCap(), emit)
-	err := ctx.runBatch(probe, func(b *Batch) error {
-		for k, pt := range b.Tuples {
-			if err := j.probeOne(tb, pt, b.Counts[k], probeCols, buildCols, w.push); err != nil {
-				return err
+	var err error
+	if ctx.rowBatches {
+		err = ctx.runBatch(probe, func(b *Batch) error {
+			for k, pt := range b.Tuples {
+				if err := j.probeOne(tb, pt, b.Counts[k], probeCols, buildCols, w.push); err != nil {
+					return err
+				}
 			}
-		}
-		return nil
-	})
+			return nil
+		})
+	} else {
+		var cc colCache
+		keyVecs := make([]value.Vec, len(probeCols))
+		err = ctx.runBatch(probe, func(b *Batch) error {
+			cc.batch(b)
+			for k, c := range probeCols {
+				keyVecs[k] = cc.col(c)
+			}
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				r := b.Row(i)
+				head, ok := tb.index[hashRowOn(keyVecs, r)]
+				if !ok {
+					continue
+				}
+				pc := b.Counts[r]
+				var pt tuple.Tuple
+				ptSet := false
+				for ni := head; ni != -1; ni = tb.nodes[ni].next {
+					bt := tb.nodes[ni].tup
+					match := true
+					for k := range keyVecs {
+						if !keyVecs[k][r].Equal(bt.At(buildCols[k])) {
+							match = false
+							break
+						}
+					}
+					if !match {
+						continue
+					}
+					if !ptSet {
+						pt, ptSet = b.TupleAt(r), true
+					}
+					var joined tuple.Tuple
+					if j.buildLeft {
+						joined = bt.Concat(pt)
+					} else {
+						joined = pt.Concat(bt)
+					}
+					if j.residual != nil {
+						ok, err := j.residual.Holds(joined)
+						if err != nil {
+							return err
+						}
+						if !ok {
+							continue
+						}
+					}
+					if err := w.push(joined, pc*tb.nodes[ni].count); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -638,21 +854,31 @@ func (a *hashAggNode) Describe() string {
 	return s
 }
 
-// buildGroups consumes the input into a fresh group table — batch-wise inside
-// a parallel worker (where vectorised emission pays), chunk-at-a-time
-// otherwise — and charges the group count to the operator's state.
+// buildGroups consumes the input into a fresh group table — batch-wise where
+// batch-native execution is on (parallel workers, or serially under the
+// SerialBatches knob), chunk-at-a-time otherwise — and charges the group
+// count to the operator's state.  The batch-wise path folds batches in
+// column-at-a-time (groupTable.addBatch) unless the RowBatches knob pins the
+// legacy tuple loop.
 func (a *hashAggNode) buildGroups(ctx *execCtx) (*groupTable, error) {
 	groups := newGroupTable(a.gb, capacityFor(a.capHint), ctx.mem)
 	var err error
-	if _, native := a.input.(batchRunner); native && ctx.workers > 1 {
-		err = ctx.runBatch(a.input, func(b *Batch) error {
-			for i, t := range b.Tuples {
-				if err := groups.add(t, b.Counts[i]); err != nil {
-					return err
+	if _, native := a.input.(batchRunner); native && ctx.batchNative() {
+		if ctx.rowBatches {
+			err = ctx.runBatch(a.input, func(b *Batch) error {
+				for i, t := range b.Tuples {
+					if err := groups.add(t, b.Counts[i]); err != nil {
+						return err
+					}
 				}
-			}
-			return nil
-		})
+				return nil
+			})
+		} else {
+			var cc colCache
+			err = ctx.runBatch(a.input, func(b *Batch) error {
+				return groups.addBatch(b, &cc)
+			})
+		}
 	} else {
 		err = ctx.run(a.input, func(t tuple.Tuple, n uint64) error {
 			return groups.add(t, n)

@@ -23,13 +23,22 @@
 // The contract has a vectorised form (batch.go): operators with a native
 // batch path additionally implement runBatch, which emits Batch vectors of
 // chunks instead of single chunks, amortising the per-chunk call overhead
-// across operator boundaries.  Consumers drive whichever form they prefer
+// across operator boundaries.  A Batch is columnar with a selection vector:
+// physical rows carry multiplicities (Counts) and attribute values readable
+// row-major (Tuples) or column-major (Cols, one value.Vec per attribute),
+// under a Sel vector listing the live physical rows — filters refine Sel
+// instead of compacting, projections share column slices, and the hot loops
+// (filter kernels, join probe, aggregate update — vec.go) run
+// column-at-a-time over live rows only.  Dead rows are never read or
+// evaluated; Batch.TupleAt is the materialisation boundary where a columnar
+// row becomes a tuple, crossed only for live rows a consumer retains or
+// emits.  Consumers drive whichever form they prefer
 // through execCtx.run / execCtx.runBatch; adapters bridge the two directions
 // (unbatched splits batches into chunks, the fallback shim buffers chunks
 // into batches), so batch-native and chunk-at-a-time operators compose
 // freely and both forms denote the same multi-set.  A batch is only valid
 // for the duration of the EmitBatch call — producers reuse its backing
-// slices — while the tuples inside it may be retained as usual.
+// slices — while the tuples and values inside it may be retained as usual.
 //
 // Ownership: emitted tuples are immutable and may be retained by the
 // consumer; they are often shared with the source relations.  Schema
@@ -57,7 +66,10 @@
 // queue, so a skewed slice never serialises the gang — while operators that
 // need key-consistent splits (grouped aggregation, the set operators)
 // partition statically by hash.  Parallel hash joins build their table once,
-// in the parent, and share it read-only across the gang's probe workers.
+// before the probe gang starts, and share it read-only across the gang's
+// probe workers; large streamable build sides are themselves built
+// morsel-parallel, each worker filling a private partial table the parent
+// splices together.
 // Bag semantics make every split exact: multiplicities sum across disjoint
 // partitions, so the merged partials equal the serial result.
 //
@@ -193,6 +205,10 @@ type Plan struct {
 	// memLimit is the per-execution memory budget in bytes the planner chose;
 	// zero disables enforcement.
 	memLimit int64
+	// serialBatches/rowBatches carry the planner's batch-path knobs into
+	// execution (see Planner.SerialBatches / Planner.RowBatches).
+	serialBatches bool
+	rowBatches    bool
 }
 
 // Execute runs the plan against a source and materialises the root stream
@@ -248,7 +264,7 @@ func (p *Plan) exec(qctx context.Context, src Source, st *Stats) (*multiset.Rela
 // the zero-cost fast path), the memory gauge when the planner set a budget,
 // and the per-operator statistics slots.
 func (p *Plan) newExecCtx(qctx context.Context, src Source, st *Stats) *execCtx {
-	ctx := &execCtx{src: src, stats: st, batchSize: p.batchSize}
+	ctx := &execCtx{src: src, stats: st, batchSize: p.batchSize, serialBatches: p.serialBatches, rowBatches: p.rowBatches}
 	ctx.setContext(qctx)
 	if p.memLimit > 0 {
 		ctx.mem = NewMemoryGauge(p.memLimit)
@@ -315,6 +331,20 @@ type execCtx struct {
 	done <-chan struct{}
 	// mem is the query's shared memory gauge; nil disables accounting.
 	mem *MemoryGauge
+	// serialBatches forces batch-native execution even at workers <= 1 (the
+	// planner's SerialBatches knob): the columnar path runs without an
+	// exchange, which is what the vectorised bench gate pins.
+	serialBatches bool
+	// rowBatches pins the legacy array-of-tuples batch loops (the planner's
+	// RowBatches knob), the A/B baseline for the columnar kernels.
+	rowBatches bool
+}
+
+// batchNative reports whether batch-native subtrees should execute through
+// their vectorised path: always inside a parallel gang, and serially when the
+// SerialBatches knob is set.
+func (ctx *execCtx) batchNative() bool {
+	return ctx.workers > 1 || ctx.serialBatches
 }
 
 // batchCap returns the effective emit batch size.
@@ -329,7 +359,7 @@ func (ctx *execCtx) batchCap() int {
 // Statistics, when enabled on the parent, are recorded into fresh per-worker
 // counters and folded back by foldWorkers.
 func (ctx *execCtx) workerCtx(w, workers int, gang *gangState) *execCtx {
-	wctx := &execCtx{src: ctx.src, batchSize: ctx.batchSize, worker: w, workers: workers, gang: gang, mem: ctx.mem}
+	wctx := &execCtx{src: ctx.src, batchSize: ctx.batchSize, worker: w, workers: workers, gang: gang, mem: ctx.mem, serialBatches: ctx.serialBatches, rowBatches: ctx.rowBatches}
 	if ctx.stats != nil {
 		wctx.stats = &Stats{}
 		wctx.perOp = make([]OperatorStats, len(ctx.perOp))
@@ -457,12 +487,31 @@ func (ctx *execCtx) materialize(n Node) (*multiset.Relation, error) {
 // run the scalar fast path instead: with no exchange in play, batching
 // would only buy buffer copies between the same two loops.
 func (ctx *execCtx) collect(n Node, out *multiset.Relation) error {
-	if _, native := n.(batchRunner); native && ctx.workers > 1 {
+	if _, native := n.(batchRunner); native && ctx.batchNative() {
+		var scratch []tuple.Tuple
+		var counts []uint64
 		return ctx.runBatch(n, func(b *Batch) error {
 			if err := ctx.poll(); err != nil {
 				return err
 			}
-			out.AddBatch(b.Tuples, b.Counts)
+			switch {
+			case b.Tuples != nil && b.Sel == nil:
+				out.AddBatch(b.Tuples, b.Counts)
+			case b.Tuples != nil:
+				out.AddBatchSel(b.Tuples, b.Counts, b.Sel)
+			default:
+				// Columnar-only batches materialise their live rows here — the
+				// sink is the last consumer, so this is the one place the
+				// column vectors must become tuples.
+				scratch, counts = scratch[:0], counts[:0]
+				n := b.Len()
+				for i := 0; i < n; i++ {
+					r := b.Row(i)
+					scratch = append(scratch, b.TupleAt(r))
+					counts = append(counts, b.Counts[r])
+				}
+				out.AddBatch(scratch, counts)
+			}
 			return nil
 		})
 	}

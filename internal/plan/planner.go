@@ -65,6 +65,20 @@ type Planner struct {
 	// partial/merge aggregate against its baseline.  Global aggregates stay
 	// serial under it (a single global group cannot be key-partitioned).
 	OnePhaseAgg bool
+	// SerialBatches forces batch-native (columnar) execution even in serial
+	// plans, which otherwise run the scalar chunk-at-a-time fast path.  It
+	// exists so the vectorised kernels can be benchmarked and gated on a
+	// stable serial series, without an exchange's scheduling noise.
+	SerialBatches bool
+	// RowBatches pins the legacy array-of-tuples batch loops (per-tuple
+	// filter compaction, per-tuple projection) instead of the columnar
+	// kernels — the A/B baseline the BENCH_vec series compares against.
+	RowBatches bool
+	// BuildParallelThreshold overrides DefaultBuildParallelThreshold when
+	// positive: the estimated build-side cardinality at which a shared hash
+	// join's table is built morsel-parallel by the gang instead of serially
+	// in the parent.
+	BuildParallelThreshold float64
 }
 
 // NewPlanner returns a serial planner drawing base cardinalities from cards
@@ -80,7 +94,7 @@ func (pl *Planner) Plan(e algebra.Expr, cat algebra.Catalog) (*Plan, error) {
 		return nil, err
 	}
 	root = pl.parallelize(root)
-	p := &Plan{Root: root, nodes: make([]Node, 0, 8), batchSize: pl.BatchSize, memLimit: pl.MemoryLimit}
+	p := &Plan{Root: root, nodes: make([]Node, 0, 8), batchSize: pl.BatchSize, memLimit: pl.MemoryLimit, serialBatches: pl.SerialBatches, rowBatches: pl.RowBatches}
 	number(root, &p.nodes)
 	return p, nil
 }

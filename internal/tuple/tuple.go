@@ -97,13 +97,30 @@ func (t Tuple) Compare(o Tuple) int {
 	return len(t.vals) - len(o.vals)
 }
 
+// HashSeed is the initial state of the incremental tuple hash: folding a
+// tuple's values into it with HashMix, in order, yields exactly Hash (or
+// HashOn for a projection).  Columnar operator kernels use the incremental
+// form to hash join and grouping keys straight off column vectors, without
+// materialising a tuple.
+const HashSeed uint64 = 14695981039346656037
+
+// hashPrime is the FNV-style multiplier of the tuple hash.
+const hashPrime uint64 = 1099511628211
+
+// HashMix folds one attribute value into an incremental tuple hash (see
+// HashSeed).
+func HashMix(h uint64, v value.Value) uint64 {
+	h ^= v.Hash()
+	h *= hashPrime
+	return h
+}
+
 // Hash returns a 64-bit hash of the tuple consistent with Equal.
 func (t Tuple) Hash() uint64 {
-	const prime64 = 1099511628211
-	h := uint64(14695981039346656037)
+	h := HashSeed
 	for _, v := range t.vals {
 		h ^= v.Hash()
-		h *= prime64
+		h *= hashPrime
 	}
 	return h
 }
@@ -112,13 +129,24 @@ func (t Tuple) Hash() uint64 {
 // consistent with equality of the corresponding projections.  It is the
 // hash the physical join and group-by operators partition on.
 func (t Tuple) HashOn(indices []int) uint64 {
-	const prime64 = 1099511628211
-	h := uint64(14695981039346656037)
+	h := HashSeed
 	for _, i := range indices {
 		h ^= t.vals[i].Hash()
-		h *= prime64
+		h *= hashPrime
 	}
 	return h
+}
+
+// Column gathers attribute c of every tuple in ts into dst (reset to length
+// zero first), returning the filled vector: the row-to-column transpose that
+// turns an arena tuple batch into the column vectors the vectorised operator
+// kernels run over.
+func Column(ts []Tuple, c int, dst []value.Value) []value.Value {
+	dst = dst[:0]
+	for i := range ts {
+		dst = append(dst, ts[i].vals[c])
+	}
+	return dst
 }
 
 // String renders the tuple as ⟨v1, v2, ...⟩ using the values' literal syntax.
