@@ -1,0 +1,197 @@
+// Command xrabench-serve benchmarks the serving layer end to end: it starts
+// an in-process xraserve over a seeded banking database (or targets an
+// already-running server via -addr), drives the weighted open-loop
+// transaction mix from concurrent TCP clients, and reports throughput and
+// commit-latency percentiles.
+//
+// With -json LABEL it writes machine-readable BENCH_<LABEL>.json; with
+// -compare LABEL it additionally gates the fresh run against the committed
+// baseline, failing when baseline_tps/fresh_tps exceeds -maxratio.  The gate
+// is deliberately generous: single-threaded CI machines make serving-layer
+// throughput noisy, so the gate catches collapses, not percentage creep.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"mra"
+	"mra/internal/loadgen"
+	"mra/internal/server"
+	"mra/internal/workload"
+)
+
+// benchFile is the committed benchmark artifact: the run's environment and
+// configuration alongside the measured report, so later comparisons know what
+// they are comparing against.
+type benchFile struct {
+	Label      string         `json:"label"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	NumCPU     int            `json:"num_cpu"`
+	Clients    int            `json:"clients"`
+	DurationMS int64          `json:"duration_ms"`
+	ThinkMS    int64          `json:"think_ms"`
+	Accounts   int            `json:"accounts"`
+	Hot        int            `json:"hot"`
+	Seed       int64          `json:"seed"`
+	Report     loadgen.Report `json:"report"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target an already-running xraserve instead of an in-process server")
+	clients := flag.Int("clients", 8, "concurrent client sessions")
+	duration := flag.Duration("duration", 2*time.Second, "measured run length")
+	think := flag.Duration("think", 0, "mean per-client think time between transactions (0 = saturation)")
+	accounts := flag.Int("accounts", 1024, "account rows seeded for the in-process server")
+	hot := flag.Int("hot", 8, "size of the hotspot account set")
+	analytics := flag.Int("analytics", 50, "weight of the read-only analytics kind")
+	transfer := flag.Int("transfer", 35, "weight of the uniform transfer kind")
+	hotspot := flag.Int("hotspot", 15, "weight of the conflict-heavy hotspot kind")
+	seed := flag.Int64("seed", 1, "random seed for data and client streams")
+	retries := flag.Int("retries", 10, "conflict retries per transaction")
+	workers := flag.Int("workers", 0, "per-session parallelism degree of the in-process server")
+	replay := flag.String("replay", "", "replay the transactions of this script file instead of the synthetic bank mix")
+	jsonLabel := flag.String("json", "", "write machine-readable BENCH_<label>.json")
+	compare := flag.String("compare", "", "compare against committed BENCH_<label>.json and exit non-zero on regression")
+	maxRatio := flag.Float64("maxratio", 3.0, "with -compare: maximum allowed baseline_tps/fresh_tps ratio")
+	flag.Parse()
+
+	mix := loadgen.BankMix(*accounts, *hot, *analytics, *transfer, *hotspot)
+	if *replay != "" {
+		text, err := os.ReadFile(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		txs, err := loadgen.ParseReplay(string(text))
+		if err != nil {
+			fatal(err)
+		}
+		mix = loadgen.ReplayMix(*replay, txs)
+	}
+
+	target := *addr
+	if target == "" {
+		srv, l, err := startInProcess(*accounts, *seed, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		target = l.Addr().String()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+	}
+
+	report, err := loadgen.RunOpenLoop(loadgen.OpenLoopConfig{
+		Addr:       target,
+		Clients:    *clients,
+		Think:      *think,
+		Duration:   *duration,
+		Seed:       *seed,
+		MaxRetries: *retries,
+		Mix:        mix,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("mix=%s clients=%d elapsed=%dms committed=%d conflicts=%d errors=%d\n",
+		report.Mix, report.Clients, report.ElapsedMS, report.Committed, report.Conflicts, report.Errors)
+	fmt.Printf("throughput=%.1f tx/s  p50=%dus p95=%dus p99=%dus\n",
+		report.TPS, report.P50US, report.P95US, report.P99US)
+	for name, ks := range report.Kinds {
+		fmt.Printf("  %-10s attempts=%d commits=%d conflicts=%d errors=%d\n",
+			name, ks.Attempts, ks.Commits, ks.Conflicts, ks.Errors)
+	}
+	if report.Committed == 0 {
+		fatal(fmt.Errorf("no transactions committed"))
+	}
+	if report.Errors > 0 {
+		fatal(fmt.Errorf("%d transactions failed with non-conflict errors", report.Errors))
+	}
+
+	if *jsonLabel != "" {
+		out := benchFile{
+			Label:      *jsonLabel,
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			Clients:    *clients,
+			DurationMS: duration.Milliseconds(),
+			ThinkMS:    think.Milliseconds(),
+			Accounts:   *accounts,
+			Hot:        *hot,
+			Seed:       *seed,
+			Report:     report,
+		}
+		path := "BENCH_" + *jsonLabel + ".json"
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	if *compare != "" {
+		if err := compareBaseline(report, *compare, *maxRatio); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// startInProcess seeds a banking database and serves it on an ephemeral
+// loopback port.
+func startInProcess(accounts int, seed int64, workers int) (*server.Server, net.Listener, error) {
+	db := mra.Open()
+	db.MustCreateRelation("account",
+		mra.Col("id", mra.Int), mra.Col("owner", mra.String), mra.Col("balance", mra.Float))
+	if err := db.InsertValues("account", workload.AccountRows(accounts, seed)...); err != nil {
+		return nil, nil, err
+	}
+	srv := server.New(db, server.Config{MaxSessions: 256, Workers: workers})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	go srv.Serve(l)
+	return srv, l, nil
+}
+
+// compareBaseline gates the fresh run against a committed baseline file on
+// throughput: it fails when baseline_tps/fresh_tps exceeds maxRatio.
+func compareBaseline(fresh loadgen.Report, label string, maxRatio float64) error {
+	data, err := os.ReadFile("BENCH_" + label + ".json")
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("decoding baseline: %w", err)
+	}
+	if base.Report.TPS <= 0 || fresh.TPS <= 0 {
+		return fmt.Errorf("cannot compare: baseline tps=%.1f, fresh tps=%.1f", base.Report.TPS, fresh.TPS)
+	}
+	ratio := base.Report.TPS / fresh.TPS
+	fmt.Printf("baseline=%.1f tx/s fresh=%.1f tx/s ratio=%.2f (max %.2f)\n",
+		base.Report.TPS, fresh.TPS, ratio, maxRatio)
+	if ratio > maxRatio {
+		return fmt.Errorf("serving throughput regressed: baseline/fresh ratio %.2f exceeds %.2f", ratio, maxRatio)
+	}
+	return nil
+}
+
+// fatal prints the error and exits non-zero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xrabench-serve:", err)
+	os.Exit(1)
+}

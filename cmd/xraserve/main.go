@@ -1,0 +1,102 @@
+// Command xraserve is the network front-end of the engine: it serves the
+// line/JSON transaction protocol over TCP and the same request shape over
+// HTTP, with one MVCC snapshot-isolation session per connection.
+//
+// Quick start:
+//
+//	xraserve -addr :7744 -http :7745 -accounts 1024
+//	curl -s localhost:7745/query -d 'select count(*) from account'
+//	printf 'begin\nupdate account set balance = balance + 1 where id = 0;\ncommit\n' | nc localhost 7744
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listeners close, idle
+// sessions are cut (their open transactions aborted), and in-flight
+// statements drain within -drain before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mra"
+	"mra/internal/server"
+	"mra/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":7744", "TCP listen address for the line/JSON protocol")
+	httpAddr := flag.String("http", "", "HTTP listen address for POST /query and GET /healthz (empty disables)")
+	maxSessions := flag.Int("max-sessions", 64, "maximum concurrent TCP sessions; extra connections are refused")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close sessions idle longer than this (aborting open transactions)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline so stalled clients cannot wedge sessions")
+	stmtTimeout := flag.Duration("statement-timeout", 0, "initial per-statement deadline of new sessions (0 disables; sessions override with \\set timeout)")
+	memLimit := flag.Int64("memlimit", 0, "initial per-query memory budget in bytes (0 disables; sessions override with \\set memlimit)")
+	workers := flag.Int("workers", 0, "initial per-session parallelism degree (0/1 serial; sessions override with \\set workers)")
+	xra := flag.Bool("xra", false, "new sessions speak XRA instead of SQL (sessions override with \\lang)")
+	accounts := flag.Int("accounts", 0, "preload the banking demo schema with this many accounts")
+	seed := flag.Int64("seed", 1, "random seed for -accounts data")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for draining in-flight statements")
+	flag.Parse()
+
+	db := mra.Open()
+	if *accounts > 0 {
+		db.MustCreateRelation("account",
+			mra.Col("id", mra.Int), mra.Col("owner", mra.String), mra.Col("balance", mra.Float))
+		if err := db.InsertValues("account", workload.AccountRows(*accounts, *seed)...); err != nil {
+			fmt.Fprintln(os.Stderr, "seeding accounts:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("seeded account relation with %d rows\n", *accounts)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxSessions:      *maxSessions,
+		IdleTimeout:      *idleTimeout,
+		WriteTimeout:     *writeTimeout,
+		StatementTimeout: *stmtTimeout,
+		MemoryLimit:      *memLimit,
+		Workers:          *workers,
+		XRA:              *xra,
+	})
+
+	errc := make(chan error, 2)
+	go func() {
+		fmt.Printf("xraserve: TCP on %s\n", *addr)
+		errc <- srv.ListenAndServe(*addr)
+	}()
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
+		go func() {
+			fmt.Printf("xraserve: HTTP on %s\n", *httpAddr)
+			errc <- httpSrv.ListenAndServe()
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("xraserve: %s, draining (budget %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if httpSrv != nil {
+			httpSrv.Shutdown(ctx)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "xraserve: drain cut short:", err)
+		}
+	case err := <-errc:
+		if err != nil && err != server.ErrServerClosed && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "xraserve:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("xraserve: served %d statements across %d sessions (refused %d)\n",
+		srv.Statements(), srv.ActiveSessions(), srv.Refused())
+}

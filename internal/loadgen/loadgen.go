@@ -1,0 +1,419 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mra/internal/server"
+)
+
+// TxKind is one weighted transaction template of a load mix.  Make generates
+// the command lines of one transaction instance: a single line is executed as
+// an auto-committed statement, several lines are wrapped in an explicit
+// begin/commit bracket by the driver.
+type TxKind struct {
+	// Name labels the kind in per-kind statistics.
+	Name string
+	// Weight is the kind's relative frequency in the mix.
+	Weight int
+	// ReadOnly marks kinds that never write; they cannot conflict and are
+	// not retried.
+	ReadOnly bool
+	// Make builds one transaction instance's statement lines from the
+	// client's private random stream.
+	Make func(rng *rand.Rand) []string
+}
+
+// Mix is a weighted set of transaction kinds.
+type Mix struct {
+	// Name labels the mix in reports.
+	Name string
+	// Kinds holds the weighted transaction templates.
+	Kinds []TxKind
+}
+
+// pick draws a kind according to the weights.
+func (m Mix) pick(rng *rand.Rand) TxKind {
+	total := 0
+	for _, k := range m.Kinds {
+		total += k.Weight
+	}
+	n := rng.Intn(total)
+	for _, k := range m.Kinds {
+		if n < k.Weight {
+			return k
+		}
+		n -= k.Weight
+	}
+	return m.Kinds[len(m.Kinds)-1]
+}
+
+// BankMix is the canonical serving-layer mix over the account relation:
+// read-only analytics scans, read-write transfers between uniformly random
+// accounts, and conflict-heavy transfers confined to a small hot set.  The
+// weights are percentages of the transaction stream.
+func BankMix(accounts, hotAccounts, analyticsPct, transferPct, hotspotPct int) Mix {
+	if accounts < 4 {
+		accounts = 4
+	}
+	if hotAccounts < 2 {
+		hotAccounts = 2
+	}
+	if hotAccounts > accounts {
+		hotAccounts = accounts
+	}
+	transfer := func(rng *rand.Rand, span int) []string {
+		from := rng.Intn(span)
+		to := rng.Intn(span - 1)
+		if to >= from {
+			to++
+		}
+		amt := float64(1+rng.Intn(500)) / 100
+		return []string{
+			fmt.Sprintf("update account set balance = balance - %.2f where id = %d;", amt, from),
+			fmt.Sprintf("update account set balance = balance + %.2f where id = %d;", amt, to),
+		}
+	}
+	return Mix{
+		Name: "bank",
+		Kinds: []TxKind{
+			{
+				Name:     "analytics",
+				Weight:   analyticsPct,
+				ReadOnly: true,
+				Make: func(rng *rand.Rand) []string {
+					floor := rng.Intn(900)
+					return []string{fmt.Sprintf(
+						"select count(*), sum(balance) from account where balance > %d;", floor)}
+				},
+			},
+			{
+				Name:   "transfer",
+				Weight: transferPct,
+				Make:   func(rng *rand.Rand) []string { return transfer(rng, accounts) },
+			},
+			{
+				Name:   "hotspot",
+				Weight: hotspotPct,
+				Make:   func(rng *rand.Rand) []string { return transfer(rng, hotAccounts) },
+			},
+		},
+	}
+}
+
+// OpenLoopConfig tunes a load-generation run against a serving address.
+type OpenLoopConfig struct {
+	// Addr is the xraserve TCP address.
+	Addr string
+	// Clients is the number of concurrent sessions.  Zero means 8.
+	Clients int
+	// Think is the mean per-client pause between transactions (uniform in
+	// [0.5, 1.5] × Think).  Zero means no think time (saturation mode).
+	Think time.Duration
+	// Duration bounds the run.  Zero means 2 seconds.
+	Duration time.Duration
+	// Seed makes client random streams reproducible.
+	Seed int64
+	// MaxRetries bounds conflict retries per transaction.  Zero means 10.
+	MaxRetries int
+	// Timeout bounds each request/response round trip.  Zero means 30s.
+	Timeout time.Duration
+	// Mix is the weighted transaction mix; required.
+	Mix Mix
+}
+
+// withDefaults fills in zero fields.
+func (c OpenLoopConfig) withDefaults() OpenLoopConfig {
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 10
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// KindStats aggregates one transaction kind's outcomes across all clients.
+type KindStats struct {
+	// Attempts counts transaction executions including conflict retries.
+	Attempts uint64 `json:"attempts"`
+	// Commits counts successfully committed transactions.
+	Commits uint64 `json:"commits"`
+	// Conflicts counts first-committer-wins aborts (each followed by a
+	// retry while attempts remain).
+	Conflicts uint64 `json:"conflicts"`
+	// Errors counts non-conflict failures.
+	Errors uint64 `json:"errors"`
+}
+
+// Report summarises one load-generation run.
+type Report struct {
+	// Mix names the transaction mix.
+	Mix string `json:"mix"`
+	// Clients is the number of concurrent sessions used.
+	Clients int `json:"clients"`
+	// ElapsedMS is the measured wall-clock run time in milliseconds.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// Committed counts committed transactions across all kinds.
+	Committed uint64 `json:"committed"`
+	// Conflicts counts first-committer-wins aborts across all kinds.
+	Conflicts uint64 `json:"conflicts"`
+	// Errors counts non-conflict failures across all kinds.
+	Errors uint64 `json:"errors"`
+	// TPS is committed transactions per second.
+	TPS float64 `json:"tps"`
+	// P50US, P95US and P99US are commit-latency percentiles in microseconds,
+	// measured from a transaction's first statement to its commit response
+	// (retries included).
+	P50US int64 `json:"p50_us"`
+	P95US int64 `json:"p95_us"`
+	P99US int64 `json:"p99_us"`
+	// Kinds breaks the outcomes down per transaction kind.
+	Kinds map[string]KindStats `json:"kinds"`
+}
+
+// RunOpenLoop drives the configured transaction mix against a running server
+// from cfg.Clients concurrent sessions, pausing each client for a think time
+// between transactions, retrying conflicted transactions, and reporting
+// throughput and latency percentiles.
+func RunOpenLoop(cfg OpenLoopConfig) (Report, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Mix.Kinds) == 0 {
+		return Report{}, errors.New("workload: open-loop config needs a transaction mix")
+	}
+
+	type clientResult struct {
+		latencies []time.Duration
+		kinds     map[string]*KindStats
+		err       error
+	}
+	results := make([]clientResult, cfg.Clients)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := &results[i]
+			res.kinds = make(map[string]*KindStats)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			cl, err := server.Dial(cfg.Addr, cfg.Timeout)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer cl.Close()
+			for time.Now().Before(deadline) {
+				kind := cfg.Mix.pick(rng)
+				stats := res.kinds[kind.Name]
+				if stats == nil {
+					stats = &KindStats{}
+					res.kinds[kind.Name] = stats
+				}
+				lines := kind.Make(rng)
+				lat, err := runTx(cl, lines, kind.ReadOnly, cfg.MaxRetries, stats)
+				if err != nil {
+					res.err = err
+					return
+				}
+				if lat > 0 {
+					res.latencies = append(res.latencies, lat)
+				}
+				if cfg.Think > 0 {
+					jitter := 0.5 + rng.Float64()
+					time.Sleep(time.Duration(float64(cfg.Think) * jitter))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := Report{
+		Mix:       cfg.Mix.Name,
+		Clients:   cfg.Clients,
+		ElapsedMS: elapsed.Milliseconds(),
+		Kinds:     make(map[string]KindStats),
+	}
+	var all []time.Duration
+	for i := range results {
+		if results[i].err != nil {
+			return report, fmt.Errorf("workload: client %d: %w", i, results[i].err)
+		}
+		all = append(all, results[i].latencies...)
+		for name, ks := range results[i].kinds {
+			agg := report.Kinds[name]
+			agg.Attempts += ks.Attempts
+			agg.Commits += ks.Commits
+			agg.Conflicts += ks.Conflicts
+			agg.Errors += ks.Errors
+			report.Kinds[name] = agg
+		}
+	}
+	for _, ks := range report.Kinds {
+		report.Committed += ks.Commits
+		report.Conflicts += ks.Conflicts
+		report.Errors += ks.Errors
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		report.TPS = float64(report.Committed) / secs
+	}
+	report.P50US, report.P95US, report.P99US = percentiles(all)
+	return report, nil
+}
+
+// runTx executes one transaction's lines on the client, retrying on conflict,
+// and returns the successful attempt's latency (0 when the transaction never
+// committed).  Transport errors are fatal; statement errors are counted and
+// swallowed so the run continues.
+func runTx(cl *server.Client, lines []string, readOnly bool, maxRetries int, stats *KindStats) (time.Duration, error) {
+	explicit := len(lines) > 1
+	for attempt := 0; ; attempt++ {
+		stats.Attempts++
+		start := time.Now()
+		resp, conflict, err := execTx(cl, lines, explicit)
+		if err != nil {
+			return 0, err
+		}
+		if resp.OK {
+			stats.Commits++
+			return time.Since(start), nil
+		}
+		if conflict && !readOnly && attempt < maxRetries {
+			stats.Conflicts++
+			continue
+		}
+		if conflict {
+			stats.Conflicts++
+		} else {
+			stats.Errors++
+		}
+		return 0, nil
+	}
+}
+
+// execTx runs one attempt: autocommit for a single line, an explicit
+// begin/commit bracket otherwise.  It reports whether the failure was a
+// retryable conflict.
+func execTx(cl *server.Client, lines []string, explicit bool) (server.Response, bool, error) {
+	if !explicit {
+		resp, err := cl.Do(lines[0])
+		return resp, resp.Conflict, err
+	}
+	if resp, err := cl.Begin(); err != nil || !resp.OK {
+		return resp, false, err
+	}
+	for _, line := range lines {
+		resp, err := cl.Do(line)
+		if err != nil {
+			return resp, false, err
+		}
+		if !resp.OK {
+			// A failed statement aborted the transaction server-side; the
+			// session needs a rollback to leave the aborted state.
+			if resp.State == server.StateAborted {
+				if _, err := cl.Rollback(); err != nil {
+					return resp, false, err
+				}
+			}
+			return resp, resp.Conflict, nil
+		}
+	}
+	resp, err := cl.Commit()
+	return resp, resp.Conflict, err
+}
+
+// percentiles returns the 50th, 95th and 99th percentile of the samples in
+// microseconds (zeros when there are no samples).
+func percentiles(samples []time.Duration) (p50, p95, p99 int64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(f float64) int64 {
+		idx := int(f * float64(len(samples)-1))
+		return samples[idx].Microseconds()
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// ParseReplay parses a pgcheetah-style replay script: one command per line,
+// '#' comments and blank lines ignored, begin/commit (or end) lines
+// bracketing multi-statement transactions, and bare statements outside
+// brackets standing alone as auto-committed transactions.  The parsed
+// transactions can be fed back through ReplayMix.
+func ParseReplay(text string) ([][]string, error) {
+	var (
+		txs     [][]string
+		current []string
+		inTx    bool
+	)
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch strings.ToLower(strings.TrimRight(line, "; \t")) {
+		case "begin":
+			if inTx {
+				return nil, fmt.Errorf("workload: replay line %d: nested begin", i+1)
+			}
+			inTx = true
+			current = nil
+		case "commit", "end":
+			if !inTx {
+				return nil, fmt.Errorf("workload: replay line %d: commit outside a transaction", i+1)
+			}
+			if len(current) > 0 {
+				txs = append(txs, current)
+			}
+			inTx = false
+		case "rollback", "abort":
+			if !inTx {
+				return nil, fmt.Errorf("workload: replay line %d: rollback outside a transaction", i+1)
+			}
+			inTx = false
+		default:
+			if inTx {
+				current = append(current, line)
+			} else {
+				txs = append(txs, []string{line})
+			}
+		}
+	}
+	if inTx {
+		return nil, errors.New("workload: replay script ends inside an open transaction")
+	}
+	if len(txs) == 0 {
+		return nil, errors.New("workload: replay script holds no transactions")
+	}
+	return txs, nil
+}
+
+// ReplayMix wraps parsed replay transactions as an equally weighted mix, so
+// captured workloads run through the same open-loop driver as synthetic ones.
+func ReplayMix(name string, txs [][]string) Mix {
+	kinds := make([]TxKind, len(txs))
+	for i, tx := range txs {
+		tx := tx
+		kinds[i] = TxKind{
+			Name:   fmt.Sprintf("tx%02d", i),
+			Weight: 1,
+			Make:   func(*rand.Rand) []string { return tx },
+		}
+	}
+	return Mix{Name: name, Kinds: kinds}
+}

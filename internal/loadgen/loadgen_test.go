@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"mra"
+	"mra/internal/server"
+	"mra/internal/workload"
+)
+
+// startBankServer serves a seeded banking database on an ephemeral port.
+func startBankServer(t *testing.T, accounts int) string {
+	t.Helper()
+	db := mra.Open()
+	db.MustCreateRelation("account",
+		mra.Col("id", mra.Int), mra.Col("owner", mra.String), mra.Col("balance", mra.Float))
+	if err := db.InsertValues("account", workload.AccountRows(accounts, 7)...); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{MaxSessions: 64})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return l.Addr().String()
+}
+
+// TestOpenLoopSoak is the serving-layer soak: eight concurrent sessions drive
+// the mixed banking workload against a live server.  Run under -race this
+// exercises concurrent snapshots, commits, conflict retries and the session
+// machinery all at once.  It asserts real concurrency outcomes: transactions
+// commit, conflicts happen and are retried to success, and nothing fails.
+func TestOpenLoopSoak(t *testing.T) {
+	duration := 2 * time.Second
+	if testing.Short() {
+		duration = 500 * time.Millisecond
+	}
+	addr := startBankServer(t, 256)
+	report, err := RunOpenLoop(OpenLoopConfig{
+		Addr:     addr,
+		Clients:  8,
+		Duration: duration,
+		Seed:     42,
+		Mix:      BankMix(256, 4, 50, 35, 15),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: committed=%d conflicts=%d tps=%.1f p50=%dus p99=%dus",
+		report.Committed, report.Conflicts, report.TPS, report.P50US, report.P99US)
+	if report.Committed == 0 {
+		t.Fatal("soak committed no transactions")
+	}
+	if report.Errors > 0 {
+		t.Fatalf("soak hit %d non-conflict errors", report.Errors)
+	}
+	if report.Conflicts == 0 {
+		t.Fatal("8 saturating clients over a hot account set must produce first-committer-wins conflicts")
+	}
+	ro := report.Kinds["analytics"]
+	if ro.Conflicts != 0 {
+		t.Fatalf("read-only transactions must never conflict, got %d", ro.Conflicts)
+	}
+	if ro.Commits == 0 {
+		t.Fatal("read-only transactions must commit alongside the writers")
+	}
+	if report.P50US <= 0 || report.P99US < report.P50US {
+		t.Fatalf("implausible latency percentiles: p50=%d p99=%d", report.P50US, report.P99US)
+	}
+}
+
+// TestOpenLoopThinkTime checks that think times throttle the offered load.
+func TestOpenLoopThinkTime(t *testing.T) {
+	addr := startBankServer(t, 64)
+	report, err := RunOpenLoop(OpenLoopConfig{
+		Addr:     addr,
+		Clients:  2,
+		Duration: 400 * time.Millisecond,
+		Think:    100 * time.Millisecond,
+		Seed:     1,
+		Mix:      BankMix(64, 4, 100, 0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two clients pausing ~100ms per transaction fit at most ~innerloop
+	// iterations in 400ms; allow generous slack for scheduling.
+	if report.Committed == 0 || report.Committed > 30 {
+		t.Fatalf("think time not respected: %d transactions in 400ms", report.Committed)
+	}
+}
+
+func TestParseReplay(t *testing.T) {
+	txs, err := ParseReplay(`
+# captured session
+select count(*) from account;
+begin
+update account set balance = 0 where id = 1;
+update account set balance = 1 where id = 2;
+commit
+begin
+select sum(balance) from account;
+rollback
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 2 {
+		t.Fatalf("got %d transactions, want 2 (rollback block dropped)", len(txs))
+	}
+	if len(txs[0]) != 1 || len(txs[1]) != 2 {
+		t.Fatalf("unexpected transaction shapes: %v", txs)
+	}
+
+	for _, bad := range []string{
+		"begin\nselect 1;",             // unterminated
+		"commit",                       // commit outside
+		"begin\nbegin\nselect 1;\nend", // nested
+		"# only comments",
+	} {
+		if _, err := ParseReplay(bad); err == nil {
+			t.Errorf("ParseReplay(%q) should fail", bad)
+		}
+	}
+}
+
+func TestReplayMixRoundTrip(t *testing.T) {
+	txs, err := ParseReplay("select count(*) from account;\nbegin\nupdate account set balance = 0 where id = 0;\ncommit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startBankServer(t, 32)
+	report, err := RunOpenLoop(OpenLoopConfig{
+		Addr:     addr,
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+		Seed:     3,
+		Mix:      ReplayMix("replay", txs),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Committed == 0 {
+		t.Fatal("replayed workload committed nothing")
+	}
+	if report.Errors > 0 {
+		t.Fatalf("replayed workload hit %d errors", report.Errors)
+	}
+}
+
+func TestBankMixGeneratesValidTransfers(t *testing.T) {
+	mix := BankMix(10, 2, 50, 35, 15)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		kind := mix.pick(rng)
+		lines := kind.Make(rng)
+		if kind.ReadOnly && len(lines) != 1 {
+			t.Fatalf("read-only kind %q produced %d lines", kind.Name, len(lines))
+		}
+		if !kind.ReadOnly && len(lines) != 2 {
+			t.Fatalf("transfer kind %q produced %d lines", kind.Name, len(lines))
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package server is the concurrent serving layer of the engine: a network
+// front-end that speaks a line/JSON protocol over TCP (and the same request
+// shape over HTTP for curl-ability), with one MVCC snapshot-isolation
+// transaction session per connection.
+//
+// Each connection gets its own session goroutine and its own transaction
+// state machine (idle → txn → aborted); sessions never share mutable engine
+// state, so N sessions drive N truly concurrent transactions — readers
+// proceed against their Begin-time snapshots while writers commit, and
+// conflicting writers surface first-committer-wins aborts the client retries.
+//
+// Lifecycle: Shutdown stops accepting, closes idle connections (aborting
+// their open transactions), and drains statements already executing — each
+// runs to completion and delivers its response before the session closes.
+// When the drain context expires first, in-flight statements are cancelled
+// through the per-statement lifecycle context instead of being abandoned.
+// Slow or stuck clients are bounded by per-read and per-write deadlines, so
+// one wedged connection can neither hold a session slot forever nor block the
+// accept loop.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mra"
+)
+
+// Config tunes a Server.  The zero value serves SQL with library defaults.
+type Config struct {
+	// MaxSessions caps concurrently connected TCP sessions; further
+	// connections are refused with an error response.  Zero means 64.
+	MaxSessions int
+	// IdleTimeout bounds how long a session may sit between commands before
+	// the server closes it (and aborts its open transaction).  Zero means 5
+	// minutes.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write, so a client that stops reading
+	// cannot wedge its session goroutine forever.  Zero means 30 seconds.
+	WriteTimeout time.Duration
+	// StatementTimeout is the initial per-statement deadline of new sessions
+	// (each session may override it with \set timeout).  Zero disables.
+	StatementTimeout time.Duration
+	// MemoryLimit is the initial per-query memory budget of new sessions in
+	// bytes (overridable with \set memlimit).  Zero disables.
+	MemoryLimit int64
+	// Workers is the initial per-session parallelism degree (overridable with
+	// \set workers).  Zero or one means serial.
+	Workers int
+	// XRA makes new sessions interpret statements as XRA instead of SQL
+	// (overridable per session with \lang).
+	XRA bool
+}
+
+// withDefaults fills in zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// ErrServerClosed is returned by Serve after Shutdown completes.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server accepts connections and runs one transaction session per
+// connection.  All methods are safe for concurrent use.
+type Server struct {
+	db  *mra.DB
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	sessions  map[*session]struct{}
+	draining  bool
+
+	wg         sync.WaitGroup
+	nextID     atomic.Uint64
+	statements atomic.Uint64
+	refused    atomic.Uint64
+}
+
+// New returns a server over the given database.
+func New(db *mra.DB, cfg Config) *Server {
+	return &Server{
+		db:        db,
+		cfg:       cfg.withDefaults(),
+		listeners: make(map[net.Listener]struct{}),
+		sessions:  make(map[*session]struct{}),
+	}
+}
+
+// DB returns the served database.
+func (s *Server) DB() *mra.DB { return s.db }
+
+// ActiveSessions returns the number of connected TCP sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Statements returns the number of command lines served so far.
+func (s *Server) Statements() uint64 { return s.statements.Load() }
+
+// Refused returns the number of connections refused at the session limit.
+func (s *Server) Refused() uint64 { return s.refused.Load() }
+
+// ListenAndServe listens on the TCP address and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on the listener until Shutdown, spawning one
+// session goroutine per connection.  It returns ErrServerClosed after a
+// shutdown, or the first non-temporary accept error otherwise.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		s.startSession(conn)
+	}
+}
+
+// startSession registers and launches a session for the connection, or
+// refuses it when the server is draining or at the session limit.  The
+// refusal is a normal protocol response followed by a close, so clients see
+// why instead of a bare RST.
+func (s *Server) startSession(conn net.Conn) {
+	s.mu.Lock()
+	if s.draining || len(s.sessions) >= s.cfg.MaxSessions {
+		draining := s.draining
+		s.mu.Unlock()
+		s.refused.Add(1)
+		msg := "server is shutting down"
+		if !draining {
+			msg = fmt.Sprintf("server at session limit (%d)", s.cfg.MaxSessions)
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		enc := json.NewEncoder(conn)
+		enc.Encode(Response{OK: false, State: StateIdle, Error: msg})
+		conn.Close()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := &session{
+		id:      s.nextID.Add(1),
+		srv:     s,
+		conn:    conn,
+		ctx:     ctx,
+		cancel:  cancel,
+		sql:     !s.cfg.XRA,
+		timeout: s.cfg.StatementTimeout,
+		opts:    mraTxOptions(s.cfg),
+	}
+	s.sessions[sess] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		defer s.dropSession(sess)
+		sess.serve()
+	}()
+}
+
+// mraTxOptions builds a fresh session's transaction options from the server
+// configuration.
+func mraTxOptions(cfg Config) mra.TxOptions {
+	return mra.TxOptions{
+		Workers:     cfg.Workers,
+		MemoryLimit: cfg.MemoryLimit,
+	}
+}
+
+// dropSession unregisters a finished session.
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}
+
+// Shutdown gracefully stops the server: it stops accepting, closes idle
+// sessions (aborting their open transactions), and waits for sessions
+// currently executing a statement to finish the statement and deliver its
+// response.  When ctx expires before the drain completes, the remaining
+// in-flight statements are cancelled through their lifecycle contexts and
+// their connections closed; Shutdown then still waits for the session
+// goroutines to unwind.  It returns ctx.Err() when the drain was cut short.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	// Close idle sessions now; busy ones finish their statement first and
+	// exit on the draining flag.  A session flipping from busy to idle after
+	// this pass exits on the same flag before its next read.
+	for sess := range s.sessions {
+		sess.closeIfIdle()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Drain deadline passed: cancel in-flight statements and tear down.
+	s.mu.Lock()
+	for sess := range s.sessions {
+		sess.cancel()
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}

@@ -1,0 +1,356 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fmt"
+	"math/rand"
+
+	"mra"
+)
+
+// testAccountRows generates deterministic banking rows (the workload package
+// cannot be imported here — it depends on this package's client).
+func testAccountRows(n int) [][]any {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{int64(i), fmt.Sprintf("owner%04d", i), float64(rng.Intn(100000)) / 100}
+	}
+	return rows
+}
+
+// startTestServer serves a seeded banking database on an ephemeral loopback
+// port and returns the server plus its address.
+func startTestServer(t *testing.T, accounts int, cfg Config) (*Server, string) {
+	t.Helper()
+	db := mra.Open()
+	db.MustCreateRelation("account",
+		mra.Col("id", mra.Int), mra.Col("owner", mra.String), mra.Col("balance", mra.Float))
+	if err := db.InsertValues("account", testAccountRows(accounts)...); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, l.Addr().String()
+}
+
+// mustDo sends a line and fails the test on a transport error.
+func mustDo(t *testing.T, cl *Client, line string) Response {
+	t.Helper()
+	resp, err := cl.Do(line)
+	if err != nil {
+		t.Fatalf("Do(%q): %v", line, err)
+	}
+	return resp
+}
+
+func TestProtocolBasics(t *testing.T) {
+	_, addr := startTestServer(t, 16, Config{})
+	cl, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	resp := mustDo(t, cl, "select count(*) from account;")
+	if !resp.OK || len(resp.Results) != 1 || resp.Results[0].RowCount != 1 {
+		t.Fatalf("autocommit select failed: %+v", resp)
+	}
+	if got := resp.Results[0].Rows[0][0]; got != float64(16) && got != int64(16) {
+		t.Fatalf("count = %v, want 16", got)
+	}
+
+	// Explicit transaction: update inside, visible after commit.
+	if resp := mustDo(t, cl, "begin"); !resp.OK || resp.State != StateTxn {
+		t.Fatalf("begin: %+v", resp)
+	}
+	if resp := mustDo(t, cl, "update account set balance = 0 where id = 3;"); !resp.OK {
+		t.Fatalf("update in txn: %+v", resp)
+	}
+	if resp := mustDo(t, cl, "commit"); !resp.OK || resp.State != StateIdle {
+		t.Fatalf("commit: %+v", resp)
+	}
+	resp = mustDo(t, cl, "select balance from account where id = 3;")
+	if !resp.OK || resp.Results[0].Rows[0][0] != float64(0) {
+		t.Fatalf("committed update not visible: %+v", resp)
+	}
+
+	// A statement error inside a transaction forces the aborted state until
+	// rollback; commit in that state rolls back with ok=false.
+	mustDo(t, cl, "begin")
+	if resp := mustDo(t, cl, "select nope from nothing;"); resp.OK || resp.State != StateAborted {
+		t.Fatalf("bad statement should abort the transaction: %+v", resp)
+	}
+	if resp := mustDo(t, cl, "select count(*) from account;"); resp.OK {
+		t.Fatalf("aborted session must reject statements: %+v", resp)
+	}
+	if resp := mustDo(t, cl, "rollback"); !resp.OK || resp.State != StateIdle {
+		t.Fatalf("rollback should clear the aborted state: %+v", resp)
+	}
+
+	// Session knobs.
+	if resp := mustDo(t, cl, `\set workers 2`); !resp.OK {
+		t.Fatalf("\\set workers: %+v", resp)
+	}
+	if resp := mustDo(t, cl, `\set serializable on`); !resp.OK {
+		t.Fatalf("\\set serializable: %+v", resp)
+	}
+	if resp := mustDo(t, cl, `\set bogus 1`); resp.OK {
+		t.Fatalf("unknown setting must fail: %+v", resp)
+	}
+	if resp := mustDo(t, cl, `\set timeout 50ms`); !resp.OK {
+		t.Fatalf("\\set timeout: %+v", resp)
+	}
+}
+
+func TestFirstCommitterWinsOverWire(t *testing.T) {
+	_, addr := startTestServer(t, 16, Config{})
+	a, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	mustDo(t, a, "begin")
+	mustDo(t, b, "begin")
+	if resp := mustDo(t, a, "update account set balance = balance + 1 where id = 0;"); !resp.OK {
+		t.Fatalf("a's update: %+v", resp)
+	}
+	if resp := mustDo(t, b, "update account set balance = balance + 2 where id = 1;"); !resp.OK {
+		t.Fatalf("b's update: %+v", resp)
+	}
+	if resp := mustDo(t, a, "commit"); !resp.OK {
+		t.Fatalf("first committer must win: %+v", resp)
+	}
+	resp := mustDo(t, b, "commit")
+	if resp.OK || !resp.Conflict {
+		t.Fatalf("second committer must lose with the conflict flag: %+v", resp)
+	}
+}
+
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	srv, addr := startTestServer(t, 2000, Config{})
+	cl, err := Dial(addr, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Fire a deliberately expensive statement, then shut down while it runs.
+	type result struct {
+		resp Response
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := cl.Do("select count(*) from account a, account b where a.balance < b.balance;")
+		done <- result{resp, err}
+	}()
+
+	// Wait until the statement is actually in flight.
+	busy := func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		for sess := range srv.sessions {
+			sess.mu.Lock()
+			b := sess.busy
+			sess.mu.Unlock()
+			if b {
+				return true
+			}
+		}
+		return false
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !busy() {
+		if time.Now().After(deadline) {
+			t.Fatal("statement never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown should drain, got %v", err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight statement lost its response: %v", res.err)
+	}
+	if !res.resp.OK {
+		t.Fatalf("drained statement should succeed: %+v", res.resp)
+	}
+}
+
+func TestShutdownAbortsIdleInTransaction(t *testing.T) {
+	srv, addr := startTestServer(t, 8, Config{})
+	cl, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mustDo(t, cl, "begin")
+	if resp := mustDo(t, cl, "update account set balance = -1 where id = 0;"); !resp.OK {
+		t.Fatalf("update: %+v", resp)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with only an idle-in-txn session should drain: %v", err)
+	}
+	// The uncommitted update must be gone.
+	res, err := srv.DB().QuerySQL("select balance from account where id = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows()[0][0] == float64(-1) {
+		t.Fatal("uncommitted update survived shutdown")
+	}
+}
+
+func TestSlowClientCannotWedgeServer(t *testing.T) {
+	srv, addr := startTestServer(t, 8, Config{IdleTimeout: 50 * time.Millisecond})
+
+	// A client that connects and never sends anything must be cut by the idle
+	// deadline rather than holding its session slot forever.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the server to close the silent connection")
+	}
+
+	// The listener must still serve new clients.
+	cl, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if resp := mustDo(t, cl, "select count(*) from account;"); !resp.OK {
+		t.Fatalf("server wedged after slow client: %+v", resp)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ActiveSessions() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session never reaped: %d active", srv.ActiveSessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMaxSessionsRefusal(t *testing.T) {
+	srv, addr := startTestServer(t, 8, Config{MaxSessions: 1})
+	first, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	mustDo(t, first, "select count(*) from account;")
+
+	second, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	resp, err := second.Do("select count(*) from account;")
+	if err != nil {
+		// The refusal response is written before our command line is read, so
+		// reading it directly is also acceptable.
+		t.Fatalf("expected a refusal response, got transport error %v", err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "session limit") {
+		t.Fatalf("expected a session-limit refusal, got %+v", resp)
+	}
+	if srv.Refused() == 0 {
+		t.Fatal("refusal counter did not advance")
+	}
+}
+
+func TestHTTPFrontEnd(t *testing.T) {
+	srv, _ := startTestServer(t, 16, Config{})
+	hs := httptest.NewServer(srv.HTTPHandler())
+	defer hs.Close()
+
+	resp, err := hs.Client().Post(hs.URL+"/query", "text/plain",
+		strings.NewReader("select count(*) from account"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /query status %d", resp.StatusCode)
+	}
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK || len(r.Results) != 1 {
+		t.Fatalf("http query: %+v", r)
+	}
+
+	health, err := hs.Client().Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != 200 {
+		t.Fatalf("GET /healthz status %d", health.StatusCode)
+	}
+
+	bad, err := hs.Client().Post(hs.URL+"/query", "application/json",
+		strings.NewReader(`{"query": "select nope from nothing"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode == 200 {
+		t.Fatal("bad query should not return 200")
+	}
+}
+
+func TestStatementTimeout(t *testing.T) {
+	_, addr := startTestServer(t, 3000, Config{})
+	cl, err := Dial(addr, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if resp := mustDo(t, cl, `\set timeout 1ms`); !resp.OK {
+		t.Fatalf("\\set timeout: %+v", resp)
+	}
+	resp := mustDo(t, cl, "select count(*) from account a, account b where a.balance < b.balance;")
+	if resp.OK {
+		t.Fatalf("statement should exceed its 1ms deadline: %+v", resp)
+	}
+	if !strings.Contains(resp.Error, "deadline") && !strings.Contains(resp.Error, "cancel") {
+		t.Fatalf("expected a deadline error, got %q", resp.Error)
+	}
+}

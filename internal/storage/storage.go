@@ -55,12 +55,22 @@ type Database struct {
 	relations   map[string]*multiset.Relation
 	logicalTime uint64
 	history     []Transition
+	// version is the database change clock: it advances on every committed
+	// Apply and on every DDL operation, and versions records, per relation,
+	// the clock value of its last change.  Snapshots capture the clock and
+	// ApplyValidated compares against it for first-committer-wins validation.
+	version  uint64
+	versions map[string]uint64
 }
 
 // NewDatabase returns an empty database (no relations) at logical time 0.
 func NewDatabase() *Database {
 	s, _ := schema.NewDatabase()
-	return &Database{schema: s, relations: make(map[string]*multiset.Relation)}
+	return &Database{
+		schema:    s,
+		relations: make(map[string]*multiset.Relation),
+		versions:  make(map[string]uint64),
+	}
 }
 
 // CreateRelation declares a new, empty relation with the given schema.  The
@@ -79,6 +89,8 @@ func (d *Database) CreateRelation(rel schema.Relation) error {
 		return err
 	}
 	d.relations[key] = multiset.New(rel)
+	d.version++
+	d.versions[key] = d.version
 	return nil
 }
 
@@ -92,6 +104,10 @@ func (d *Database) DropRelation(name string) error {
 	}
 	delete(d.relations, key)
 	d.schema.Remove(name)
+	// Stamp the name so a transaction that snapshotted the dropped relation
+	// conflicts instead of resurrecting it over a later re-creation.
+	d.version++
+	d.versions[key] = d.version
 	return nil
 }
 
@@ -192,7 +208,12 @@ func (d *Database) Cardinality(name string) uint64 {
 func (d *Database) Apply(changes map[string]*multiset.Relation) (Transition, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.applyLocked(changes)
+}
 
+// applyLocked installs new relation instances under an already-held write
+// lock; see Apply for the semantics.
+func (d *Database) applyLocked(changes map[string]*multiset.Relation) (Transition, error) {
 	// Validate first so the installation below cannot fail halfway.
 	keys := make([]string, 0, len(changes))
 	for name, inst := range changes {
@@ -226,6 +247,10 @@ func (d *Database) Apply(changes map[string]*multiset.Relation) (Transition, err
 	}
 	tr := Transition{From: d.logicalTime, To: d.logicalTime + 1, Changed: changed}
 	d.logicalTime++
+	d.version++
+	for _, key := range keys {
+		d.versions[key] = d.version
+	}
 	d.history = append(d.history, tr)
 	return tr, nil
 }

@@ -8,6 +8,15 @@
 // bracket either commits — temporary relations are discarded and D_t.n is
 // installed as D_{t+1} — or aborts, in which case D_t is preserved unchanged
 // (the atomicity property: T(D) = D_t.n or T(D) = D).
+//
+// Isolation is multi-version snapshot isolation: Begin captures a
+// copy-on-write snapshot of the database (O(1) per relation), every read of
+// the transaction resolves against that snapshot, and Commit validates the
+// write set first-committer-wins against relation versions advanced since the
+// snapshot.  Readers therefore never block writers or each other; concurrent
+// writers of the same relation race and the loser aborts with ErrConflict.
+// TxOptions.Serializable extends validation to the read set, trading write
+// skew for aborts.
 package txn
 
 import (
@@ -15,7 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"mra/internal/algebra"
 	"mra/internal/eval"
@@ -38,69 +47,96 @@ var (
 	ErrReservedName = errors.New("txn: name already denotes a database relation")
 )
 
-// Manager hands out transactions over one database and serialises their
-// commits.  Isolation is optimistic: each transaction works on a snapshot and
-// validates at commit time that the relations it touched were not changed by
-// a concurrent committer.
+// Manager hands out transactions over one database.  Concurrency control is
+// multi-version and optimistic (snapshot isolation): each Begin captures an
+// O(1) copy-on-write snapshot of the whole database, so readers never block
+// writers or each other and every statement of a transaction sees one
+// consistent state; Commit runs first-committer-wins validation of the write
+// set against relation versions advanced since the snapshot, and loses with
+// ErrConflict when a concurrent committer got there first.
+//
+// A Manager is safe for concurrent use: sessions Begin, evaluate and Commit
+// in parallel, and only the validate-and-install step of a commit briefly
+// serialises on the storage engine's lock.
 type Manager struct {
-	db *storage.Database
+	db     *storage.Database
+	nextID atomic.Uint64
+	// defaultWorkers and defaultMemLimit seed the options of transactions
+	// begun without explicit TxOptions; they are atomics so sessions can
+	// reconfigure defaults without a lock shared with Begin.
+	defaultWorkers  atomic.Int64
+	defaultMemLimit atomic.Int64
+}
 
-	mu     sync.Mutex
-	nextID uint64
-	// workers is the parallelism degree handed to each new transaction's
-	// evaluation engine; at or below 1 evaluation is serial.  Guarded by mu
-	// (SetWorkers may race with concurrent Begin calls otherwise).
-	workers int
-	// memLimit is the per-query memory budget, in bytes, handed to each new
-	// transaction's evaluation engine; zero disables enforcement.  Guarded by
-	// mu like workers.
-	memLimit int64
-	// commitTime records, per relation name, the logical time of its last
-	// committed change; validation compares it with the transaction's start
-	// time.
-	commitTime map[string]uint64
+// TxOptions configures one transaction.  The zero value inherits the
+// manager's defaults.
+type TxOptions struct {
+	// Workers is the parallelism degree of the transaction's evaluation
+	// engine; at or below zero the manager default applies (and a default at
+	// or below 1 means serial evaluation).
+	Workers int
+	// MemoryLimit is the per-query memory budget in bytes.  Zero inherits the
+	// manager default; a negative value disables enforcement for this
+	// transaction even when a default budget is set.
+	MemoryLimit int64
+	// Serializable additionally validates the read set at commit: the
+	// transaction aborts with ErrConflict when any relation it read — not just
+	// wrote — changed after its snapshot.  Off (the default) commits validate
+	// the write set only, i.e. classic snapshot isolation, which admits write
+	// skew across distinct relations but never lost updates.
+	Serializable bool
 }
 
 // NewManager returns a transaction manager over the given database.
 func NewManager(db *storage.Database) *Manager {
-	return &Manager{db: db, commitTime: make(map[string]uint64)}
+	return &Manager{db: db}
 }
 
 // Database returns the underlying storage engine.
 func (m *Manager) Database() *storage.Database { return m.db }
 
-// SetWorkers configures the parallelism degree handed to transactions begun
-// afterwards; at or below 1 evaluation is serial.  Transactions already in
-// flight keep their degree.
-func (m *Manager) SetWorkers(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.workers = n
-}
+// SetWorkers configures the default parallelism degree handed to transactions
+// begun afterwards without explicit options; at or below 1 evaluation is
+// serial.  Transactions already in flight keep their degree.
+func (m *Manager) SetWorkers(n int) { m.defaultWorkers.Store(int64(n)) }
 
-// SetMemoryLimit configures the per-query memory budget, in bytes, handed to
-// transactions begun afterwards; zero disables enforcement.  Queries whose
-// operator state would exceed the budget fail with an error wrapping
-// plan.ErrMemoryBudget.
-func (m *Manager) SetMemoryLimit(n int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.memLimit = n
-}
+// SetMemoryLimit configures the default per-query memory budget, in bytes,
+// handed to transactions begun afterwards without explicit options; zero
+// disables enforcement.  Queries whose operator state would exceed the budget
+// fail with an error wrapping plan.ErrMemoryBudget.
+func (m *Manager) SetMemoryLimit(n int64) { m.defaultMemLimit.Store(n) }
 
-// Begin opens a new transaction on the current database state.
-func (m *Manager) Begin() *Tx {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextID++
+// Begin opens a new transaction on the current database state with the
+// manager's default options.
+func (m *Manager) Begin() *Tx { return m.BeginTx(TxOptions{}) }
+
+// BeginTx opens a new transaction with per-transaction options, capturing a
+// copy-on-write snapshot of the current database state.  The snapshot is the
+// transaction's whole world: statements evaluate against it plus the
+// transaction's own uncommitted changes, and commits validate against
+// versions advanced past it.  BeginTx never blocks behind other
+// transactions' evaluation — only behind the microseconds-long storage lock.
+func (m *Manager) BeginTx(opts TxOptions) *Tx {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = int(m.defaultWorkers.Load())
+	}
+	memLimit := opts.MemoryLimit
+	switch {
+	case memLimit == 0:
+		memLimit = m.defaultMemLimit.Load()
+	case memLimit < 0:
+		memLimit = 0
+	}
 	return &Tx{
-		mgr:       m,
-		id:        m.nextID,
-		startTime: m.db.LogicalTime(),
-		engine:    &eval.Engine{Workers: m.workers, MemoryLimit: m.memLimit},
-		workspace: make(map[string]*multiset.Relation),
-		temps:     make(map[string]*multiset.Relation),
-		reads:     make(map[string]struct{}),
+		mgr:          m,
+		id:           m.nextID.Add(1),
+		snap:         m.db.Snapshot(),
+		serializable: opts.Serializable,
+		engine:       &eval.Engine{Workers: workers, MemoryLimit: memLimit},
+		workspace:    make(map[string]*multiset.Relation),
+		temps:        make(map[string]*multiset.Relation),
+		reads:        make(map[string]struct{}),
 	}
 }
 
@@ -154,15 +190,21 @@ func (s State) String() string {
 	}
 }
 
-// Tx is a single transaction: an isolated view of the database plus the
+// Tx is a single transaction: an isolated snapshot of the database plus the
 // uncommitted changes of the statements executed so far.  A Tx is not safe for
-// concurrent use by multiple goroutines; different transactions are.
+// concurrent use by multiple goroutines; different transactions are — reads
+// run entirely against the transaction's own snapshot, so concurrent
+// transactions share no mutable state until their commits meet in the storage
+// engine.
 type Tx struct {
-	mgr       *Manager
-	id        uint64
-	startTime uint64
-	engine    *eval.Engine
-	state     State
+	mgr *Manager
+	id  uint64
+	// snap is the copy-on-write database snapshot captured at Begin; all
+	// reads resolve against it, never against the live database.
+	snap         *storage.Snapshot
+	serializable bool
+	engine       *eval.Engine
+	state        State
 	// ctx is the transaction's lifecycle context: every evaluation runs under
 	// it, so cancelling it (or passing its deadline) aborts running queries
 	// with ctx.Err().  nil means Background.
@@ -211,7 +253,9 @@ func (t *Tx) Outputs() []*multiset.Relation {
 }
 
 // Relation implements eval.Source over the transaction's intermediate state:
-// temporaries shadow workspace copies, which shadow the committed state.
+// temporaries shadow workspace copies, which shadow the snapshot captured at
+// Begin.  Reads never touch the live database, so a long-running reader is
+// invisible to concurrent writers.
 func (t *Tx) Relation(name string) (*multiset.Relation, bool) {
 	key := strings.ToLower(name)
 	if r, ok := t.temps[key]; ok {
@@ -220,7 +264,7 @@ func (t *Tx) Relation(name string) (*multiset.Relation, bool) {
 	if r, ok := t.workspace[key]; ok {
 		return r, true
 	}
-	r, ok := t.mgr.db.Relation(name)
+	r, ok := t.snap.Relation(name)
 	if ok {
 		t.reads[key] = struct{}{}
 	}
@@ -267,7 +311,7 @@ func (t *Tx) Replace(name string, r *multiset.Relation) error {
 		t.temps[key] = r
 		return nil
 	}
-	cur, ok := t.mgr.db.Relation(name)
+	cur, ok := t.snap.Relation(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", storage.ErrNoSuchRelation, name)
 	}
@@ -286,7 +330,7 @@ func (t *Tx) Assign(name string, r *multiset.Relation) error {
 		return ErrDone
 	}
 	key := strings.ToLower(name)
-	if _, exists := t.mgr.db.Relation(name); exists {
+	if _, exists := t.snap.Relation(name); exists {
 		return fmt.Errorf("%w: %q", ErrReservedName, name)
 	}
 	t.temps[key] = r.WithSchema(r.Schema().Rename(name))
@@ -314,37 +358,50 @@ func (t *Tx) Run(p stmt.Program) error {
 
 // Commit ends the transaction: temporary relations are discarded, the modified
 // database relations are installed atomically as D_{t+1}, and the logical time
-// advances.  If a concurrent transaction committed a change to any relation
-// this transaction read or wrote, Commit aborts with ErrConflict and the
-// database remains unchanged.
+// advances.  Validation is first-committer-wins over the write set: if a
+// concurrent transaction committed a change to any relation this transaction
+// wrote (also any relation it read, under TxOptions.Serializable), Commit
+// aborts with ErrConflict and the database remains unchanged.  Validation and
+// installation are one atomic step in the storage engine, so of two racing
+// committers exactly one wins.
 func (t *Tx) Commit() error {
 	if t.state != StateActive {
 		return ErrDone
 	}
-	m := t.mgr
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	// Optimistic validation: no relation we depend on may have been committed
-	// after our snapshot time.
-	for name := range t.reads {
-		if ct, ok := m.commitTime[name]; ok && ct > t.startTime {
-			t.state = StateAborted
-			return fmt.Errorf("%w: relation %q changed at t=%d after snapshot t=%d", ErrConflict, name, ct, t.startTime)
-		}
-	}
-	if len(t.workspace) == 0 {
-		// Read-only transaction: nothing to install, no transition.
+	if len(t.workspace) == 0 && !t.serializable {
+		// Read-only transaction: its snapshot was consistent by construction,
+		// nothing to install, no transition.
 		t.state = StateCommitted
 		return nil
 	}
-	tr, err := m.db.Apply(t.workspace)
+	validate := make([]string, 0, len(t.workspace)+len(t.reads))
+	for name := range t.workspace {
+		validate = append(validate, name)
+	}
+	if t.serializable {
+		for name := range t.reads {
+			if _, written := t.workspace[name]; !written {
+				validate = append(validate, name)
+			}
+		}
+	}
+	if len(t.workspace) == 0 {
+		// Serializable read-only transaction: validate that the snapshot is
+		// still current, but install nothing.
+		if err := t.mgr.db.ValidateVersions(t.snap.Version(), validate); err != nil {
+			t.state = StateAborted
+			return fmt.Errorf("%w: %v", ErrConflict, err)
+		}
+		t.state = StateCommitted
+		return nil
+	}
+	_, err := t.mgr.db.ApplyValidated(t.snap.Version(), validate, t.workspace)
 	if err != nil {
 		t.state = StateAborted
+		if errors.Is(err, storage.ErrVersionConflict) {
+			return fmt.Errorf("%w: %v", ErrConflict, err)
+		}
 		return err
-	}
-	for _, name := range tr.Changed {
-		m.commitTime[strings.ToLower(name)] = tr.To
 	}
 	t.state = StateCommitted
 	return nil

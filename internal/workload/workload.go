@@ -255,6 +255,18 @@ func AccountsSchema() schema.Relation {
 	)
 }
 
+// AccountRows generates the same accounts as Accounts but as plain Go rows
+// for mra.DB.InsertValues, for callers seeding a database through the public
+// API rather than the storage layer.
+func AccountRows(n int, seed int64) [][]any {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{int64(i), fmt.Sprintf("owner%04d", i), float64(rng.Intn(100000)) / 100}
+	}
+	return rows
+}
+
 // Accounts generates n bank accounts with pseudo-random balances.
 func Accounts(n int, seed int64) *multiset.Relation {
 	rng := rand.New(rand.NewSource(seed))

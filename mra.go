@@ -447,8 +447,36 @@ func (db *DB) ExecSQLContext(ctx context.Context, script string) ([]*Result, err
 	return results, nil
 }
 
-// Begin opens an explicit transaction.
+// Begin opens an explicit transaction with the database's default options.
 func (db *DB) Begin() *Tx { return &Tx{inner: db.manager.Begin(), db: db} }
+
+// TxOptions configures one explicit transaction; the zero value inherits the
+// database defaults.  Serving-layer sessions use per-transaction options so
+// one session's settings never leak into another's.
+type TxOptions struct {
+	// Workers is the parallelism degree of this transaction's evaluation
+	// engine; at or below zero the database default applies.
+	Workers int
+	// MemoryLimit is the per-query memory budget in bytes: zero inherits the
+	// database default, negative disables enforcement for this transaction.
+	MemoryLimit int64
+	// Serializable extends commit validation from the write set to the read
+	// set: the transaction aborts with a conflict when any relation it read
+	// changed after its snapshot, trading write skew for aborts.
+	Serializable bool
+}
+
+// BeginTx opens an explicit transaction with per-transaction options.
+func (db *DB) BeginTx(opts TxOptions) *Tx {
+	return &Tx{
+		inner: db.manager.BeginTx(txn.TxOptions{
+			Workers:      opts.Workers,
+			MemoryLimit:  opts.MemoryLimit,
+			Serializable: opts.Serializable,
+		}),
+		db: db,
+	}
+}
 
 // WithContext sets the transaction's lifecycle context and returns the same
 // transaction: subsequent query evaluations poll ctx and fail with ctx.Err()
@@ -490,6 +518,51 @@ func (t *Tx) ExecSQL(sql string) error {
 // Exec executes an already-built statement inside the transaction.
 func (t *Tx) Exec(s stmt.Statement) error { return t.inner.Exec(s) }
 
+// ExecSQLScript compiles a SQL script (semicolon-separated statements) against
+// the transaction's intermediate state and executes it inside the
+// transaction, returning the results of the script's query statements with
+// their ORDER BY / LIMIT modifiers applied.  On a statement error the results
+// produced so far are returned alongside the error; the transaction is left
+// active so the caller decides between rollback and recovery.
+func (t *Tx) ExecSQLScript(script string) ([]*Result, error) {
+	prog, mods, err := sqlfront.CompileScript(script, t.inner.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	before := len(t.inner.Outputs())
+	execErr := t.inner.Run(prog)
+	results := wrapResults(t.inner.Outputs()[before:])
+	for i := range results {
+		if i < len(mods) {
+			results[i] = results[i].withModifiers(mods[i])
+		}
+	}
+	return results, execErr
+}
+
+// ExecXRAScript parses an XRA script and executes its statements inside the
+// transaction.  Explicit `begin ... end` blocks are rejected — the bracket is
+// this transaction itself — and like ExecSQLScript, partial results accompany
+// a statement error with the transaction left active.
+func (t *Tx) ExecXRAScript(script string) ([]*Result, error) {
+	txs, err := xraparse.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	before := len(t.inner.Outputs())
+	var execErr error
+	for _, parsed := range txs {
+		if parsed.Explicit {
+			execErr = errors.New("mra: begin/end blocks are not allowed inside an open transaction")
+			break
+		}
+		if execErr = t.inner.Run(parsed.Program); execErr != nil {
+			break
+		}
+	}
+	return wrapResults(t.inner.Outputs()[before:]), execErr
+}
+
 // Query evaluates an XRA expression against the transaction's intermediate
 // state (including its own uncommitted changes and temporaries).
 func (t *Tx) Query(expr string) (*Result, error) {
@@ -506,6 +579,10 @@ func (t *Tx) Query(expr string) (*Result, error) {
 
 // Outputs returns the results of the query statements executed so far.
 func (t *Tx) Outputs() []*Result { return wrapResults(t.inner.Outputs()) }
+
+// Active reports whether the transaction still accepts statements (it has
+// neither committed nor aborted).
+func (t *Tx) Active() bool { return t.inner.State() == txn.StateActive }
 
 // Commit installs the transaction's effects as the next database state.
 func (t *Tx) Commit() error { return t.inner.Commit() }
