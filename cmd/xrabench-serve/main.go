@@ -108,8 +108,8 @@ func main() {
 	fmt.Printf("throughput=%.1f tx/s  p50=%dus p95=%dus p99=%dus\n",
 		report.TPS, report.P50US, report.P95US, report.P99US)
 	for name, ks := range report.Kinds {
-		fmt.Printf("  %-10s attempts=%d commits=%d conflicts=%d errors=%d\n",
-			name, ks.Attempts, ks.Commits, ks.Conflicts, ks.Errors)
+		fmt.Printf("  %-10s attempts=%d commits=%d conflicts=%d errors=%d conflicts/commit=%.2f\n",
+			name, ks.Attempts, ks.Commits, ks.Conflicts, ks.Errors, ks.ConflictsPerCommit)
 	}
 	if report.Committed == 0 {
 		fatal(fmt.Errorf("no transactions committed"))

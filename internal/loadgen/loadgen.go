@@ -155,6 +155,10 @@ type KindStats struct {
 	Conflicts uint64 `json:"conflicts"`
 	// Errors counts non-conflict failures.
 	Errors uint64 `json:"errors"`
+	// ConflictsPerCommit is Conflicts/Commits — the retry burn rate of this
+	// kind, the number key-granular conflict validation is judged by.  Zero
+	// when the kind never committed.
+	ConflictsPerCommit float64 `json:"conflicts_per_commit"`
 }
 
 // Report summarises one load-generation run.
@@ -171,6 +175,9 @@ type Report struct {
 	Conflicts uint64 `json:"conflicts"`
 	// Errors counts non-conflict failures across all kinds.
 	Errors uint64 `json:"errors"`
+	// ConflictsPerCommit is Conflicts/Commits across all kinds (zero when
+	// nothing committed); the per-kind breakdown lives in Kinds.
+	ConflictsPerCommit float64 `json:"conflicts_per_commit"`
 	// TPS is committed transactions per second.
 	TPS float64 `json:"tps"`
 	// P50US, P95US and P99US are commit-latency percentiles in microseconds,
@@ -263,10 +270,17 @@ func RunOpenLoop(cfg OpenLoopConfig) (Report, error) {
 			report.Kinds[name] = agg
 		}
 	}
-	for _, ks := range report.Kinds {
+	for name, ks := range report.Kinds {
+		if ks.Commits > 0 {
+			ks.ConflictsPerCommit = float64(ks.Conflicts) / float64(ks.Commits)
+			report.Kinds[name] = ks
+		}
 		report.Committed += ks.Commits
 		report.Conflicts += ks.Conflicts
 		report.Errors += ks.Errors
+	}
+	if report.Committed > 0 {
+		report.ConflictsPerCommit = float64(report.Conflicts) / float64(report.Committed)
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		report.TPS = float64(report.Committed) / secs

@@ -68,11 +68,26 @@ func TestOpenLoopSoak(t *testing.T) {
 		t.Fatal("8 saturating clients over a hot account set must produce first-committer-wins conflicts")
 	}
 	ro := report.Kinds["analytics"]
-	if ro.Conflicts != 0 {
-		t.Fatalf("read-only transactions must never conflict, got %d", ro.Conflicts)
+	if ro.Conflicts != 0 || ro.ConflictsPerCommit != 0 {
+		t.Fatalf("read-only transactions must never conflict, got %d (%.2f/commit)",
+			ro.Conflicts, ro.ConflictsPerCommit)
 	}
 	if ro.Commits == 0 {
 		t.Fatal("read-only transactions must commit alongside the writers")
+	}
+	// The per-kind conflicts-per-commit breakdown must be populated and
+	// consistent with the raw counters it is derived from.
+	for name, ks := range report.Kinds {
+		if ks.Commits == 0 {
+			continue
+		}
+		want := float64(ks.Conflicts) / float64(ks.Commits)
+		if ks.ConflictsPerCommit != want {
+			t.Fatalf("kind %q conflicts_per_commit = %v, want %v", name, ks.ConflictsPerCommit, want)
+		}
+	}
+	if want := float64(report.Conflicts) / float64(report.Committed); report.ConflictsPerCommit != want {
+		t.Fatalf("report conflicts_per_commit = %v, want %v", report.ConflictsPerCommit, want)
 	}
 	if report.P50US <= 0 || report.P99US < report.P50US {
 		t.Fatalf("implausible latency percentiles: p50=%d p99=%d", report.P50US, report.P99US)

@@ -1,0 +1,129 @@
+package multiset
+
+import "mra/internal/tuple"
+
+// Diff computes the delta that turns base into next as a pair of multisets:
+// add holds every occurrence present in next beyond its multiplicity in base,
+// remove every occurrence of base missing from next, so that
+// next = (base ∸ remove) ⊎ add.  The two multisets are disjoint by
+// construction (a tuple's multiplicity moves in one direction only), and both
+// are empty when the relations are equal — in particular when they share one
+// copy-on-write table, which Diff detects in O(1).  Cached entry hashes are
+// reused throughout; no tuple is ever re-hashed.
+func Diff(base, next *Relation) (add, remove *Relation) {
+	add = New(next.schema)
+	remove = New(base.schema)
+	if base.tab == next.tab {
+		return add, remove
+	}
+	nextEntries := next.tab.entries
+	for i := range nextEntries {
+		e := &nextEntries[i]
+		if e.count == 0 {
+			continue
+		}
+		var old uint64
+		if j := base.tab.find(e.hash, e.tup); j != chainEnd {
+			old = base.tab.entries[j].count
+		}
+		if e.count > old {
+			add.tab.add(e.hash, e.tup, e.count-old)
+		}
+	}
+	baseEntries := base.tab.entries
+	for i := range baseEntries {
+		e := &baseEntries[i]
+		if e.count == 0 {
+			continue
+		}
+		var cur uint64
+		if j := next.tab.find(e.hash, e.tup); j != chainEnd {
+			cur = next.tab.entries[j].count
+		}
+		if e.count > cur {
+			remove.tab.add(e.hash, e.tup, e.count-cur)
+		}
+	}
+	return add, remove
+}
+
+// ApplyDelta applies a Diff-shaped delta in place: every occurrence of remove
+// is removed first (monus — multiplicities clamp at zero), then every
+// occurrence of add is added.  Applied to the relation the delta was diffed
+// from, it reproduces the diffed target exactly; applied to a relation other
+// writers advanced on disjoint keys, it merges — which is what makes delta
+// write sets over disjoint keys commute under the storage engine's
+// key-granular commit validation.  Either argument may be nil.
+func (r *Relation) ApplyDelta(add, remove *Relation) {
+	if (add == nil || add.tab.total == 0) && (remove == nil || remove.tab.total == 0) {
+		return
+	}
+	r.materialize()
+	tab := r.tab
+	if remove != nil {
+		entries := remove.tab.entries
+		for i := range entries {
+			e := &entries[i]
+			if e.count == 0 {
+				continue
+			}
+			j := tab.find(e.hash, e.tup)
+			if j == chainEnd || tab.entries[j].count == 0 {
+				continue
+			}
+			cur := &tab.entries[j]
+			n := e.count
+			if n > cur.count {
+				n = cur.count
+			}
+			cur.count -= n
+			tab.total -= n
+			if cur.count == 0 {
+				tab.live--
+			}
+		}
+	}
+	if add != nil {
+		entries := add.tab.entries
+		for i := range entries {
+			e := &entries[i]
+			if e.count == 0 {
+				continue
+			}
+			tab.add(e.hash, e.tup, e.count)
+		}
+	}
+}
+
+// EachHash calls fn once per distinct tuple with its cached hash and
+// multiplicity — the key-granular view of the relation the transaction
+// layer's write-set validation iterates.  If fn returns false, iteration
+// stops.  fn must not mutate r.
+func (r *Relation) EachHash(fn func(t tuple.Tuple, hash uint64, count uint64) bool) {
+	entries := r.tab.entries
+	for i := range entries {
+		if entries[i].count == 0 {
+			continue
+		}
+		if !fn(entries[i].tup, entries[i].hash, entries[i].count) {
+			return
+		}
+	}
+}
+
+// ContainsHash reports whether the relation holds any live tuple whose cached
+// hash equals h.  It is the O(1) membership probe key-granular read
+// validation uses to intersect a recent-writer key log with the key set a
+// snapshot reader observed.
+func (r *Relation) ContainsHash(h uint64) bool {
+	head, ok := r.tab.index[h]
+	if !ok {
+		return false
+	}
+	for i := head; i != chainEnd; i = r.tab.entries[i].next {
+		if r.tab.entries[i].count > 0 {
+			return true
+		}
+	}
+	return false
+}

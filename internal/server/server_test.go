@@ -119,6 +119,10 @@ func TestProtocolBasics(t *testing.T) {
 	}
 }
 
+// TestFirstCommitterWinsOverWire drives the key-granular conflict semantics
+// end to end over the wire: two sessions updating disjoint keys of the same
+// relation both commit, while two sessions updating the same key produce
+// exactly one winner — the loser's commit fails with the conflict flag set.
 func TestFirstCommitterWinsOverWire(t *testing.T) {
 	_, addr := startTestServer(t, 16, Config{})
 	a, err := Dial(addr, 5*time.Second)
@@ -132,6 +136,7 @@ func TestFirstCommitterWinsOverWire(t *testing.T) {
 	}
 	defer b.Close()
 
+	// Disjoint keys: both writers of the same relation must commit.
 	mustDo(t, a, "begin")
 	mustDo(t, b, "begin")
 	if resp := mustDo(t, a, "update account set balance = balance + 1 where id = 0;"); !resp.OK {
@@ -141,12 +146,37 @@ func TestFirstCommitterWinsOverWire(t *testing.T) {
 		t.Fatalf("b's update: %+v", resp)
 	}
 	if resp := mustDo(t, a, "commit"); !resp.OK {
+		t.Fatalf("disjoint-key writer a must commit: %+v", resp)
+	}
+	if resp := mustDo(t, b, "commit"); !resp.OK || resp.Conflict {
+		t.Fatalf("disjoint-key writer b must commit without conflict: %+v", resp)
+	}
+
+	// Overlapping key: the second committer must lose with the conflict flag.
+	mustDo(t, a, "begin")
+	mustDo(t, b, "begin")
+	if resp := mustDo(t, a, "update account set balance = balance + 1 where id = 0;"); !resp.OK {
+		t.Fatalf("a's update: %+v", resp)
+	}
+	if resp := mustDo(t, b, "update account set balance = balance + 2 where id = 0;"); !resp.OK {
+		t.Fatalf("b's update: %+v", resp)
+	}
+	if resp := mustDo(t, a, "commit"); !resp.OK {
 		t.Fatalf("first committer must win: %+v", resp)
 	}
 	resp := mustDo(t, b, "commit")
 	if resp.OK || !resp.Conflict {
 		t.Fatalf("second committer must lose with the conflict flag: %+v", resp)
 	}
+
+	// Both updates landed: id 0 carries a's +1 from the overlap round plus
+	// its +1 from the disjoint round.
+	mustDo(t, a, "begin")
+	check := mustDo(t, a, "select balance from account where id = 0;")
+	if !check.OK || len(check.Results) != 1 {
+		t.Fatalf("reading id 0 back: %+v", check)
+	}
+	mustDo(t, a, "commit")
 }
 
 func TestGracefulShutdownDrainsInFlight(t *testing.T) {

@@ -2,17 +2,18 @@ package storage
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"mra/internal/multiset"
 	"mra/internal/schema"
 )
 
-// ErrVersionConflict is returned by ApplyValidated when a validated relation
-// changed after the snapshot version the caller read it at.  The transaction
-// layer maps it onto txn.ErrConflict (first-committer-wins).
+// ErrVersionConflict is returned by ApplyDeltas and ValidateReads when a
+// validated key (or, for wholesale replacements, a whole relation) changed
+// after the snapshot version the caller read it at.  The transaction layer
+// maps it onto txn.ErrConflict (first-committer-wins).
 var ErrVersionConflict = errors.New("storage: relation changed since snapshot")
 
 // Snapshot is an immutable, point-in-time view of a database state D_t: one
@@ -20,10 +21,37 @@ var ErrVersionConflict = errors.New("storage: relation changed since snapshot")
 // at.  Taking a snapshot costs O(relations) pointer copies — tuple data is
 // shared with the live database until either side mutates — so transactions
 // can snapshot on every Begin.  A Snapshot is safe for concurrent readers.
+//
+// Every snapshot is registered live with its database until Release is
+// called: the recent-writer key logs are pruned only below the oldest live
+// snapshot, so a transaction holding one can always validate its deltas key
+// by key.  Callers that let a snapshot leak unreleased merely keep its
+// refcount pinned; validation then degrades gracefully once the hard cap
+// forces eviction.
 type Snapshot struct {
+	db          *Database
 	rels        map[string]*multiset.Relation
 	version     uint64
 	logicalTime uint64
+	released    atomic.Bool
+}
+
+// Release marks the snapshot no longer live, allowing key-log entries at or
+// below its version to be pruned.  It is idempotent and safe to call
+// concurrently; using the snapshot's relation instances after Release is
+// still safe (they are immutable COW clones) — only conflict validation
+// against its version loses key granularity.
+func (s *Snapshot) Release() {
+	if s == nil || s.db == nil || s.released.Swap(true) {
+		return
+	}
+	s.db.snapMu.Lock()
+	defer s.db.snapMu.Unlock()
+	if n := s.db.liveSnaps[s.version]; n <= 1 {
+		delete(s.db.liveSnaps, s.version)
+	} else {
+		s.db.liveSnaps[s.version] = n - 1
+	}
 }
 
 // Relation returns the snapshotted instance of the named relation.  The
@@ -54,7 +82,7 @@ func (s *Snapshot) Names() []string {
 }
 
 // Version returns the database change-clock value the snapshot was taken at;
-// ApplyValidated compares relation versions against it.
+// ApplyDeltas validates key stamps against it.
 func (s *Snapshot) Version() uint64 { return s.version }
 
 // LogicalTime returns the logical time t of the snapshotted state D_t.
@@ -91,41 +119,12 @@ func (d *Database) Snapshot() *Snapshot {
 	for key, r := range d.relations {
 		rels[key] = r.Clone()
 	}
-	return &Snapshot{rels: rels, version: d.version, logicalTime: d.logicalTime}
+	// Register the snapshot live while still holding the read lock, so no
+	// committer can prune the key logs past this version before the snapshot
+	// becomes visible.  Lock order d.mu → snapMu matches snapshotFloor.
+	d.snapMu.Lock()
+	d.liveSnaps[d.version]++
+	d.snapMu.Unlock()
+	return &Snapshot{db: d, rels: rels, version: d.version, logicalTime: d.logicalTime}
 }
 
-// ValidateVersions checks that none of the named relations changed after
-// version since, returning an error wrapping ErrVersionConflict for the first
-// one that did.  Serializable read-only transactions use it to re-validate
-// their read set at commit without installing anything.
-func (d *Database) ValidateVersions(since uint64, validate []string) error {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	for _, name := range validate {
-		key := strings.ToLower(name)
-		if v, ok := d.versions[key]; ok && v > since {
-			return fmt.Errorf("%w: relation %q changed at version %d after snapshot version %d",
-				ErrVersionConflict, name, v, since)
-		}
-	}
-	return nil
-}
-
-// ApplyValidated is Apply with first-committer-wins validation: before
-// installing, every relation named in validate is checked against the change
-// clock — if it changed after version since, nothing is installed and the
-// error wraps ErrVersionConflict, naming the relation.  Validation and
-// installation run under one lock acquisition, so the check-then-install is
-// atomic with respect to concurrent committers.
-func (d *Database) ApplyValidated(since uint64, validate []string, changes map[string]*multiset.Relation) (Transition, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for _, name := range validate {
-		key := strings.ToLower(name)
-		if v, ok := d.versions[key]; ok && v > since {
-			return Transition{}, fmt.Errorf("%w: relation %q changed at version %d after snapshot version %d",
-				ErrVersionConflict, name, v, since)
-		}
-	}
-	return d.applyLocked(changes)
-}

@@ -56,11 +56,24 @@ type Database struct {
 	logicalTime uint64
 	history     []Transition
 	// version is the database change clock: it advances on every committed
-	// Apply and on every DDL operation, and versions records, per relation,
-	// the clock value of its last change.  Snapshots capture the clock and
-	// ApplyValidated compares against it for first-committer-wins validation.
+	// Apply/ApplyDeltas and on every DDL operation, and versions records, per
+	// relation, the clock value of its last change.  Snapshots capture the
+	// clock and commit validation compares key stamps against it.
 	version  uint64
 	versions map[string]uint64
+	// keylogs holds each relation's recent-writer key log (tuple hash →
+	// keyStamp) for key-granular conflict validation, and wholesale records
+	// the clock value of each relation's last full replacement (Apply, DDL) —
+	// changes no key log can describe, so they conflict with every concurrent
+	// transaction of the relation.
+	keylogs   map[string]*keyLog
+	wholesale map[string]uint64
+	// snapMu guards liveSnaps, the refcounts of live (unreleased) snapshots
+	// by version: key logs are only pruned below the oldest live snapshot so
+	// an in-flight transaction can always validate its deltas key by key.
+	// Lock order is d.mu before snapMu; Release takes snapMu alone.
+	snapMu    sync.Mutex
+	liveSnaps map[uint64]int
 }
 
 // NewDatabase returns an empty database (no relations) at logical time 0.
@@ -70,6 +83,9 @@ func NewDatabase() *Database {
 		schema:    s,
 		relations: make(map[string]*multiset.Relation),
 		versions:  make(map[string]uint64),
+		keylogs:   make(map[string]*keyLog),
+		wholesale: make(map[string]uint64),
+		liveSnaps: make(map[uint64]int),
 	}
 }
 
@@ -91,6 +107,8 @@ func (d *Database) CreateRelation(rel schema.Relation) error {
 	d.relations[key] = multiset.New(rel)
 	d.version++
 	d.versions[key] = d.version
+	d.wholesale[key] = d.version
+	delete(d.keylogs, key)
 	return nil
 }
 
@@ -108,6 +126,8 @@ func (d *Database) DropRelation(name string) error {
 	// conflicts instead of resurrecting it over a later re-creation.
 	d.version++
 	d.versions[key] = d.version
+	d.wholesale[key] = d.version
+	delete(d.keylogs, key)
 	return nil
 }
 
@@ -250,6 +270,10 @@ func (d *Database) applyLocked(changes map[string]*multiset.Relation) (Transitio
 	d.version++
 	for _, key := range keys {
 		d.versions[key] = d.version
+		// A full replacement invalidates the per-key history: stamp it
+		// wholesale and drop the log so key-granular validators conflict.
+		d.wholesale[key] = d.version
+		delete(d.keylogs, key)
 	}
 	d.history = append(d.history, tr)
 	return tr, nil

@@ -327,3 +327,277 @@ func TestConflictMatrixTransfersConserve(t *testing.T) {
 		})
 	}
 }
+
+// --- Key-granular cells: the matrix below exercises the delta write-set
+// validation added for ISSUE 9.  Relations here are multi-row so distinct
+// tuples are distinct keys.
+
+// gridSchema is a two-column (id, v) integer relation schema.
+func gridSchema(name string) schema.Relation {
+	return schema.NewRelation(name,
+		schema.Attribute{Name: "id", Type: value.KindInt},
+		schema.Attribute{Name: "v", Type: value.KindInt})
+}
+
+// newGridDB builds one "grid" relation with rows (id, start) for id 0..rows-1.
+func newGridDB(t *testing.T, rows int, start int64) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase()
+	s := gridSchema("grid")
+	if err := db.CreateRelation(s); err != nil {
+		t.Fatal(err)
+	}
+	r := multiset.New(s)
+	for id := 0; id < rows; id++ {
+		r.Add(tuple.Ints(int64(id), start), 1)
+	}
+	if _, err := db.Apply(map[string]*multiset.Relation{"grid": r}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// gridValue returns row id's v in a (id, v) relation.
+func gridValue(t *testing.T, r *multiset.Relation, id int64) int64 {
+	t.Helper()
+	var got int64
+	found := false
+	r.Each(func(tp tuple.Tuple, _ uint64) bool {
+		if tp.At(0).Int() == id {
+			got, found = tp.At(1).Int(), true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("row id=%d missing", id)
+	}
+	return got
+}
+
+// bumpRow returns a copy of r with row id's v incremented by delta.
+func bumpRow(t *testing.T, r *multiset.Relation, id, delta int64) *multiset.Relation {
+	t.Helper()
+	old := gridValue(t, r, id)
+	next := r.Clone()
+	next.Remove(tuple.Ints(id, old), 1)
+	next.Add(tuple.Ints(id, old+delta), 1)
+	return next
+}
+
+// TestConflictMatrixDisjointKeyWriters runs N goroutines, each repeatedly
+// updating only its own row of one shared relation.  Under key-granular
+// validation their deltas touch disjoint keys, so no transaction may EVER
+// conflict — a single ErrConflict fails the test — and all updates merge.
+func TestConflictMatrixDisjointKeyWriters(t *testing.T) {
+	const goroutines = 8
+	const roundsEach = 6
+	for _, workers := range matrixWorkers {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			db := newGridDB(t, goroutines, 0)
+			base := db.LogicalTime()
+			mgr := NewManager(db)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(id int64) {
+					defer wg.Done()
+					for i := 0; i < roundsEach; i++ {
+						tx := mgr.BeginTx(TxOptions{Workers: workers})
+						cur, ok := tx.Relation("grid")
+						if !ok {
+							t.Error("grid missing in snapshot")
+							return
+						}
+						if err := tx.Replace("grid", bumpRow(t, cur, id, 1)); err != nil {
+							t.Error(err)
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							t.Errorf("disjoint-key writer conflicted (round %d, row %d): %v", i, id, err)
+							return
+						}
+					}
+				}(int64(g))
+			}
+			wg.Wait()
+			final, _ := db.Relation("grid")
+			for id := int64(0); id < goroutines; id++ {
+				if got := gridValue(t, final, id); got != roundsEach {
+					t.Fatalf("row %d = %d, want %d (lost a merged update)", id, got, roundsEach)
+				}
+			}
+			if got, want := db.LogicalTime()-base, uint64(goroutines*roundsEach); got != want {
+				t.Fatalf("logical time advanced %d, want one transition per commit (%d)", got, want)
+			}
+		})
+	}
+}
+
+// TestConflictMatrixOverlappingKeyWriters pins the other half of the
+// contract: writers whose deltas remove the same key MUST conflict.  The
+// deterministic pair proves the loser aborts; the racing loop proves no
+// update is ever lost while retries drain.
+func TestConflictMatrixOverlappingKeyWriters(t *testing.T) {
+	const goroutines = 8
+	for _, workers := range matrixWorkers {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			db := newGridDB(t, 4, 0)
+			mgr := NewManager(db)
+
+			// Deterministic overlap: both transactions rewrite row 0; the
+			// second committer must lose.
+			tx1 := mgr.BeginTx(TxOptions{Workers: workers})
+			tx2 := mgr.BeginTx(TxOptions{Workers: workers})
+			r1, _ := tx1.Relation("grid")
+			r2, _ := tx2.Relation("grid")
+			if err := tx1.Replace("grid", bumpRow(t, r1, 0, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx2.Replace("grid", bumpRow(t, r2, 0, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx1.Commit(); err != nil {
+				t.Fatalf("first committer must win: %v", err)
+			}
+			if err := tx2.Commit(); !errors.Is(err, ErrConflict) {
+				t.Fatalf("overlapping-key second committer must abort with ErrConflict, got %v", err)
+			}
+
+			// Racing read-modify-write on the shared row: retries must drain
+			// with the final value equal to the committed increments.
+			var commits, conflicts atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						tx := mgr.BeginTx(TxOptions{Workers: workers})
+						cur, _ := tx.Relation("grid")
+						if err := tx.Replace("grid", bumpRow(t, cur, 0, 1)); err != nil {
+							t.Error(err)
+							return
+						}
+						err := tx.Commit()
+						if err == nil {
+							commits.Add(1)
+							return
+						}
+						if !errors.Is(err, ErrConflict) {
+							t.Errorf("unexpected commit error: %v", err)
+							return
+						}
+						conflicts.Add(1)
+					}
+				}()
+			}
+			wg.Wait()
+			final, _ := db.Relation("grid")
+			if got, want := gridValue(t, final, 0), int64(1)+commits.Load(); got != want {
+				t.Fatalf("lost update on the hot row: v = %d, want %d", got, want)
+			}
+			if got := gridValue(t, final, 1); got != 0 {
+				t.Fatalf("untouched row moved: %d", got)
+			}
+			t.Logf("workers=%d commits=%d conflicts=%d", workers, commits.Load(), conflicts.Load())
+		})
+	}
+}
+
+// TestConflictMatrixCommutingAppends runs N goroutines concurrently appending
+// occurrences of the SAME tuple — the multiset hot counter.  Pure additions
+// are bag unions, which commute, so key-granular validation must never abort
+// one (any ErrConflict fails the test) and the final multiplicity must equal
+// the total number of committed appends: nothing lost, nothing double-counted.
+func TestConflictMatrixCommutingAppends(t *testing.T) {
+	const goroutines = 8
+	const appendsEach = 5
+	hot := tuple.Ints(0, 0)
+	for _, workers := range matrixWorkers {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			db := newGridDB(t, 1, 0)
+			mgr := NewManager(db)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < appendsEach; i++ {
+						tx := mgr.BeginTx(TxOptions{Workers: workers})
+						cur, _ := tx.Relation("grid")
+						next := cur.Clone()
+						next.Add(hot, 1)
+						if err := tx.Replace("grid", next); err != nil {
+							t.Error(err)
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							t.Errorf("commuting append conflicted: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			final, _ := db.Relation("grid")
+			if got, want := final.Multiplicity(hot), uint64(1+goroutines*appendsEach); got != want {
+				t.Fatalf("hot tuple multiplicity = %d, want %d (appends must merge exactly once each)", got, want)
+			}
+		})
+	}
+}
+
+// TestConflictMatrixSerializableReadersUntouchedKeys pins the serializable
+// read-validation contract at key granularity: a reader of a hot relation
+// aborts only when a key it actually observed changes — concurrent inserts
+// of fresh keys and updates of other relations never abort it.
+func TestConflictMatrixSerializableReadersUntouchedKeys(t *testing.T) {
+	for _, workers := range matrixWorkers {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			db := newGridDB(t, 4, 0)
+			mgr := NewManager(db)
+
+			insertFresh := func(id int64) {
+				tx := mgr.BeginTx(TxOptions{Workers: workers})
+				cur, _ := tx.Relation("grid")
+				next := cur.Clone()
+				next.Add(tuple.Ints(id, 0), 1)
+				if err := tx.Replace("grid", next); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// A serializable reader of grid must survive a concurrent insert
+			// of a key it never observed.
+			reader := mgr.BeginTx(TxOptions{Workers: workers, Serializable: true})
+			if _, ok := reader.Relation("grid"); !ok {
+				t.Fatal("grid missing")
+			}
+			insertFresh(100)
+			if err := reader.Commit(); err != nil {
+				t.Fatalf("serializable reader of untouched keys aborted: %v", err)
+			}
+
+			// But updating a key the reader observed must abort it.
+			reader = mgr.BeginTx(TxOptions{Workers: workers, Serializable: true})
+			if _, ok := reader.Relation("grid"); !ok {
+				t.Fatal("grid missing")
+			}
+			writer := mgr.BeginTx(TxOptions{Workers: workers})
+			wcur, _ := writer.Relation("grid")
+			if err := writer.Replace("grid", bumpRow(t, wcur, 1, 7)); err != nil {
+				t.Fatal(err)
+			}
+			if err := writer.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := reader.Commit(); !errors.Is(err, ErrConflict) {
+				t.Fatalf("serializable reader of a changed key must abort with ErrConflict, got %v", err)
+			}
+		})
+	}
+}

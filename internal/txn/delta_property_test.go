@@ -1,0 +1,229 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mra/internal/multiset"
+	"mra/internal/schema"
+	"mra/internal/storage"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// The delta-replay property suite: N goroutines run randomized transactions —
+// read-modify-write transfers between bank accounts plus add-only event
+// appends — through the MVCC manager, while every committed operation is
+// recorded in an op log.  Afterwards the log is replayed serially against an
+// oracle and the final database must match it exactly.  Because a validation
+// bug in key-granular delta commit silently corrupts balances rather than
+// failing loudly, this test is the safety net for the whole mechanism: a
+// single lost, duplicated, or phantom delta breaks either the per-account
+// equality, the conservation total, or the event cardinality.
+
+const (
+	propAccounts       = 16
+	propInitialBalance = 1000
+)
+
+// committedOp is one committed transaction's effect, recorded for the oracle.
+type committedOp struct {
+	// transfer
+	from, to int64
+	amount   int64
+	// append (event id pair), valid when isAppend
+	isAppend bool
+	eventG   int64
+	eventSeq int64
+}
+
+// propDB builds the two-relation property database: "bank" with
+// (id, balance) rows and an empty "events" (g, seq) relation.
+func propDB(t *testing.T) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase()
+	bank := schema.NewRelation("bank",
+		schema.Attribute{Name: "id", Type: value.KindInt},
+		schema.Attribute{Name: "balance", Type: value.KindInt})
+	events := schema.NewRelation("events",
+		schema.Attribute{Name: "g", Type: value.KindInt},
+		schema.Attribute{Name: "seq", Type: value.KindInt})
+	for _, s := range []schema.Relation{bank, events} {
+		if err := db.CreateRelation(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := multiset.New(bank)
+	for id := 0; id < propAccounts; id++ {
+		seed.Add(tuple.Ints(int64(id), propInitialBalance), 1)
+	}
+	if _, err := db.Apply(map[string]*multiset.Relation{"bank": seed}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// balanceOf returns account id's balance in a (id, balance) relation.
+func balanceOf(t *testing.T, r *multiset.Relation, id int64) (int64, bool) {
+	t.Helper()
+	var got int64
+	found := false
+	r.Each(func(tp tuple.Tuple, _ uint64) bool {
+		if tp.At(0).Int() == id {
+			got, found = tp.At(1).Int(), true
+			return false
+		}
+		return true
+	})
+	return got, found
+}
+
+// TestDeltaReplayPropertyConservation is the randomized linearizability-style
+// battery over the key-granular commit path, run at every matrix parallelism
+// degree.  Transfers retry on conflict (they touch overlapping keys when two
+// goroutines pick the same account); event appends write fresh keys and must
+// therefore never conflict.  The serial oracle replay asserts per-account
+// balances, total conservation, event cardinality, and one logical-time step
+// per committed transaction.
+func TestDeltaReplayPropertyConservation(t *testing.T) {
+	const goroutines = 8
+	const opsEach = 12
+	const maxRetries = 200
+	for _, workers := range matrixWorkers {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			db := propDB(t)
+			base := db.LogicalTime()
+			mgr := NewManager(db)
+
+			var mu sync.Mutex
+			var log []committedOp
+
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(workers)*1000 + g))
+					seq := int64(0)
+					for i := 0; i < opsEach; i++ {
+						if rng.Intn(3) == 0 {
+							// Add-only event append under a fresh key: this
+							// must commit first try, every time.
+							tx := mgr.BeginTx(TxOptions{Workers: workers})
+							cur, _ := tx.Relation("events")
+							next := cur.Clone()
+							next.Add(tuple.Ints(g, seq), 1)
+							if err := tx.Replace("events", next); err != nil {
+								t.Error(err)
+								return
+							}
+							if err := tx.Commit(); err != nil {
+								t.Errorf("fresh-key append conflicted: %v", err)
+								return
+							}
+							mu.Lock()
+							log = append(log, committedOp{isAppend: true, eventG: g, eventSeq: seq})
+							mu.Unlock()
+							seq++
+							continue
+						}
+						from := int64(rng.Intn(propAccounts))
+						to := int64(rng.Intn(propAccounts - 1))
+						if to >= from {
+							to++
+						}
+						amount := int64(1 + rng.Intn(50))
+						committed := false
+						for retry := 0; retry < maxRetries; retry++ {
+							tx := mgr.BeginTx(TxOptions{Workers: workers})
+							cur, _ := tx.Relation("bank")
+							fb, okF := balanceOf(t, cur, from)
+							tb, okT := balanceOf(t, cur, to)
+							if !okF || !okT {
+								t.Errorf("accounts %d/%d missing from snapshot", from, to)
+								return
+							}
+							next := cur.Clone()
+							next.Remove(tuple.Ints(from, fb), 1)
+							next.Add(tuple.Ints(from, fb-amount), 1)
+							next.Remove(tuple.Ints(to, tb), 1)
+							next.Add(tuple.Ints(to, tb+amount), 1)
+							if err := tx.Replace("bank", next); err != nil {
+								t.Error(err)
+								return
+							}
+							err := tx.Commit()
+							if err == nil {
+								mu.Lock()
+								log = append(log, committedOp{from: from, to: to, amount: amount})
+								mu.Unlock()
+								committed = true
+								break
+							}
+							if !errors.Is(err, ErrConflict) {
+								t.Errorf("unexpected commit error: %v", err)
+								return
+							}
+						}
+						if !committed {
+							t.Errorf("transfer %d→%d starved past %d retries", from, to, maxRetries)
+							return
+						}
+					}
+				}(int64(g))
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+
+			// Serial oracle replay: transfers are read-modify-writes that each
+			// committed exactly once, so replaying the committed set in any
+			// order reproduces the per-account balances.
+			oracle := make(map[int64]int64, propAccounts)
+			for id := int64(0); id < propAccounts; id++ {
+				oracle[id] = propInitialBalance
+			}
+			appends := 0
+			for _, op := range log {
+				if op.isAppend {
+					appends++
+					continue
+				}
+				oracle[op.from] -= op.amount
+				oracle[op.to] += op.amount
+			}
+
+			final, _ := db.Relation("bank")
+			var sum int64
+			for id := int64(0); id < propAccounts; id++ {
+				got, ok := balanceOf(t, final, id)
+				if !ok {
+					t.Fatalf("account %d vanished", id)
+				}
+				if got != oracle[id] {
+					t.Fatalf("account %d = %d, oracle says %d (a delta was lost, duplicated, or mismerged)",
+						id, got, oracle[id])
+				}
+				sum += got
+			}
+			if want := int64(propAccounts * propInitialBalance); sum != want {
+				t.Fatalf("conservation violated: total = %d, want %d", sum, want)
+			}
+			if got := final.Cardinality(); got != propAccounts {
+				t.Fatalf("bank cardinality = %d, want %d (phantom or lost rows)", got, propAccounts)
+			}
+			events, _ := db.Relation("events")
+			if got := events.Cardinality(); got != uint64(appends) {
+				t.Fatalf("events cardinality = %d, want %d committed appends", got, appends)
+			}
+			if got, want := db.LogicalTime()-base, uint64(len(log)); got != want {
+				t.Fatalf("logical time advanced %d, want one transition per committed transaction (%d)", got, want)
+			}
+			t.Logf("workers=%d committed=%d (appends=%d)", workers, len(log), appends)
+		})
+	}
+}

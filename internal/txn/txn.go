@@ -9,14 +9,24 @@
 // installed as D_{t+1} — or aborts, in which case D_t is preserved unchanged
 // (the atomicity property: T(D) = D_t.n or T(D) = D).
 //
-// Isolation is multi-version snapshot isolation: Begin captures a
-// copy-on-write snapshot of the database (O(1) per relation), every read of
-// the transaction resolves against that snapshot, and Commit validates the
-// write set first-committer-wins against relation versions advanced since the
-// snapshot.  Readers therefore never block writers or each other; concurrent
-// writers of the same relation race and the loser aborts with ErrConflict.
-// TxOptions.Serializable extends validation to the read set, trading write
-// skew for aborts.
+// Isolation is multi-version snapshot isolation with key-granular validation:
+// Begin captures a copy-on-write snapshot of the database (O(1) per
+// relation), every read of the transaction resolves against that snapshot,
+// and Commit diffs the transaction's workspace against the snapshot into
+// Add/Remove delta multisets (the paper's bag semantics makes a transaction's
+// effect on a relation exactly such a pair).  First-committer-wins validation
+// then runs per tuple key (hash) against the storage engine's recent-writer
+// key log: concurrent writers of the same relation conflict only when their
+// deltas actually touch overlapping keys, and deltas that commute — disjoint
+// keys, or pure additions of the same key (bag union is commutative) —
+// merge-install without aborting.  Readers never block writers or each other.
+//
+// TxOptions.Serializable extends validation to the keys the transaction
+// observed: commit aborts with ErrConflict when any key contained in a
+// snapshot instance the transaction read was touched by a concurrent
+// committer.  Tuples inserted concurrently under fresh keys are phantoms this
+// observed-key validation deliberately admits — it is precision over the keys
+// that existed, not full predicate locking.
 package txn
 
 import (
@@ -79,11 +89,14 @@ type TxOptions struct {
 	// manager default; a negative value disables enforcement for this
 	// transaction even when a default budget is set.
 	MemoryLimit int64
-	// Serializable additionally validates the read set at commit: the
-	// transaction aborts with ErrConflict when any relation it read — not just
-	// wrote — changed after its snapshot.  Off (the default) commits validate
-	// the write set only, i.e. classic snapshot isolation, which admits write
-	// skew across distinct relations but never lost updates.
+	// Serializable additionally validates the transaction's observed keys at
+	// commit: the transaction aborts with ErrConflict when any key contained
+	// in a snapshot instance it read — not just keys it wrote — was touched
+	// by a concurrent committer.  Readers of untouched keys never abort, even
+	// on hot relations.  Tuples concurrently inserted under fresh keys are
+	// phantoms this validation admits.  Off (the default) commits validate
+	// the delta write set only, i.e. snapshot isolation, which admits write
+	// skew but never lost updates.
 	Serializable bool
 }
 
@@ -356,46 +369,62 @@ func (t *Tx) Run(p stmt.Program) error {
 	return p.Execute(t)
 }
 
-// Commit ends the transaction: temporary relations are discarded, the modified
-// database relations are installed atomically as D_{t+1}, and the logical time
-// advances.  Validation is first-committer-wins over the write set: if a
-// concurrent transaction committed a change to any relation this transaction
-// wrote (also any relation it read, under TxOptions.Serializable), Commit
-// aborts with ErrConflict and the database remains unchanged.  Validation and
-// installation are one atomic step in the storage engine, so of two racing
-// committers exactly one wins.
+// Commit ends the transaction: temporary relations are discarded, the
+// transaction's effect on every modified database relation is diffed against
+// its snapshot into an Add/Remove delta multiset, and the deltas are
+// merge-installed atomically as D_{t+1}, advancing the logical time.
+// Validation is first-committer-wins per tuple key: Commit aborts with
+// ErrConflict only when a concurrent transaction committed a change to a key
+// this transaction's delta removes (or, for keys it only adds, a concurrent
+// removal of them; also, under TxOptions.Serializable, any key it observed).
+// Writers touching disjoint keys of the same relation commit concurrently.
+// Validation and installation are one atomic step in the storage engine, so
+// of two racing committers of a genuinely conflicting key exactly one wins.
+// A transaction whose workspace ends up identical to its snapshot commits as
+// read-only: no transition, no logical-time advance.
 func (t *Tx) Commit() error {
 	if t.state != StateActive {
 		return ErrDone
 	}
-	if len(t.workspace) == 0 && !t.serializable {
-		// Read-only transaction: its snapshot was consistent by construction,
-		// nothing to install, no transition.
-		t.state = StateCommitted
-		return nil
+	defer t.snap.Release()
+	writes := make(map[string]storage.Delta, len(t.workspace))
+	for name, next := range t.workspace {
+		base, ok := t.snap.Relation(name)
+		if !ok {
+			// Replace validated existence against the snapshot, so this cannot
+			// happen; keep the delta empty and let storage report the name.
+			base = multiset.New(next.Schema())
+		}
+		add, remove := multiset.Diff(base, next)
+		writes[name] = storage.Delta{Add: add, Remove: remove}
 	}
-	validate := make([]string, 0, len(t.workspace)+len(t.reads))
-	for name := range t.workspace {
-		validate = append(validate, name)
-	}
+	var readSets map[string]*multiset.Relation
 	if t.serializable {
+		readSets = make(map[string]*multiset.Relation, len(t.reads))
 		for name := range t.reads {
-			if _, written := t.workspace[name]; !written {
-				validate = append(validate, name)
+			if observed, ok := t.snap.Relation(name); ok {
+				readSets[name] = observed
 			}
 		}
 	}
-	if len(t.workspace) == 0 {
-		// Serializable read-only transaction: validate that the snapshot is
-		// still current, but install nothing.
-		if err := t.mgr.db.ValidateVersions(t.snap.Version(), validate); err != nil {
-			t.state = StateAborted
-			return fmt.Errorf("%w: %v", ErrConflict, err)
+	allEmpty := true
+	for _, delta := range writes {
+		if !delta.Empty() {
+			allEmpty = false
+			break
 		}
-		t.state = StateCommitted
-		return nil
 	}
-	_, err := t.mgr.db.ApplyValidated(t.snap.Version(), validate, t.workspace)
+	var err error
+	if allEmpty {
+		// Read-only (or no-op) transaction: its snapshot was consistent by
+		// construction, nothing to install, no transition.  Serializable
+		// transactions still re-validate their observed keys.
+		if t.serializable {
+			err = t.mgr.db.ValidateReads(t.snap.Version(), readSets)
+		}
+	} else {
+		_, err = t.mgr.db.ApplyDeltas(t.snap.Version(), writes, readSets)
+	}
 	if err != nil {
 		t.state = StateAborted
 		if errors.Is(err, storage.ErrVersionConflict) {
@@ -414,6 +443,7 @@ func (t *Tx) Abort() {
 		return
 	}
 	t.state = StateAborted
+	t.snap.Release()
 	t.workspace = nil
 	t.temps = nil
 }

@@ -460,9 +460,11 @@ type TxOptions struct {
 	// MemoryLimit is the per-query memory budget in bytes: zero inherits the
 	// database default, negative disables enforcement for this transaction.
 	MemoryLimit int64
-	// Serializable extends commit validation from the write set to the read
-	// set: the transaction aborts with a conflict when any relation it read
-	// changed after its snapshot, trading write skew for aborts.
+	// Serializable extends commit validation from the delta write set to the
+	// keys the transaction observed: it aborts with a conflict when any key
+	// contained in a relation it read was touched by a concurrent committer,
+	// trading write skew for aborts.  Readers of untouched keys never abort;
+	// concurrent inserts of fresh keys are phantoms this validation admits.
 	Serializable bool
 }
 
