@@ -34,7 +34,7 @@ import (
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids to run (e.g. E1,E5,E7) or 'all'")
 	jsonLabel := flag.String("json", "", "instead of the experiment tables, run the E1/E2 benchmark set and write machine-readable BENCH_<label>.json")
-	benchSet := flag.String("set", "main", "with -json: which benchmark series to run — 'main' (E1/E2/E11/E12 defaults), 'vec' (columnar vs row-batch A/B over E11/E12 shapes), or 'all'")
+	benchSet := flag.String("set", "main", "with -json: which benchmark series to run — 'main' (E1/E2/E11/E12 defaults), 'vec' (columnar vs row-batch A/B over E11/E12 shapes), 'joins' (E13 join-order enumerator vs written order), or 'all'")
 	compare := flag.String("compare", "", "with -json: compare the fresh series against a committed BENCH_<label>.json baseline and exit non-zero on regression")
 	maxRatio := flag.Float64("maxratio", 2.0, "with -compare: maximum allowed ns/op ratio (measured / baseline) before the run counts as a regression")
 	flag.IntVar(&workers, "workers", 1, "parallel worker count for the physical engine (1 = serial); applies to the experiments and the main -json series")
@@ -498,11 +498,14 @@ const parallelWorkers = 4
 // engine twice — `/batch-cols` on the columnar selection-vector loops and
 // `/batch-rows` on the legacy row-at-a-time batch loops — a within-file A/B
 // free of gang-scheduling noise that doubles as the stable series the ci-vec
-// gate pins.  It returns the series it measured so callers can compare it
-// against a committed baseline.
+// gate pins.  The 'joins' set measures the E13 multi-join shapes serially
+// through the cost-based join-order enumerator (`/reorder`) and the written
+// order (`/written`, Engine.NoJoinReorder) over ANALYZE-grade statistics — the
+// A/B the ci-join gate pins.  It returns the series it measured so callers can
+// compare it against a committed baseline.
 func writeBenchJSON(label, set string) (benchFile, error) {
-	if set != "main" && set != "vec" && set != "all" {
-		return benchFile{}, fmt.Errorf("unknown -set %q (want main, vec or all)", set)
+	if set != "main" && set != "vec" && set != "joins" && set != "all" {
+		return benchFile{}, fmt.Errorf("unknown -set %q (want main, vec, joins or all)", set)
 	}
 	evalLoopEng := func(expr algebra.Expr, src eval.Source, eng eval.Engine) func(b *testing.B) {
 		return func(b *testing.B) {
@@ -532,11 +535,14 @@ func writeBenchJSON(label, set string) (benchFile, error) {
 			fn   func(b *testing.B)
 		}{name, fn})
 	}
-	if set != "vec" {
+	if set == "main" || set == "all" {
 		mainSeries(add, evalLoop, evalLoopW, evalLoopEng)
 	}
-	if set != "main" {
+	if set == "vec" || set == "all" {
 		vecSeries(add, evalLoopEng)
+	}
+	if set == "joins" || set == "all" {
+		joinSeries(add, evalLoopEng)
 	}
 
 	out := benchFile{
@@ -692,7 +698,11 @@ func mainSeries(add addFunc,
 	loAgg, _ := workload.JoinPair(workload.JoinConfig{LeftTuples: 20000, RightTuples: 16, KeyRange: 16, Seed: 20})
 	hiAgg, _ := workload.JoinPair(workload.JoinConfig{LeftTuples: 20000, RightTuples: 100, KeyRange: 10000, Seed: 21})
 	zipfAgg, _ := workload.JoinPair(workload.JoinConfig{LeftTuples: 20000, RightTuples: 100, KeyRange: 100, Skew: 1.4, Seed: 22})
-	asrc := eval.MapSource{"lo": loAgg, "hi": hiAgg, "zipf": zipfAgg}
+	// ANALYZE-grade statistics let the planner read the true grouping-key NDV:
+	// the high-card workload now plans one-phase even at workers=4 (per-worker
+	// partial tables would approach the input size), so its /parallel-w4 and
+	// /parallel-w4-onephase entries measure the same shape by design.
+	asrc := eval.AnalyzeSource(eval.MapSource{"lo": loAgg, "hi": hiAgg, "zipf": zipfAgg})
 	addAggPhases("E12_GroupedAgg/low-card-sum",
 		algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("lo")), asrc)
 	addAggPhases("E12_GroupedAgg/high-card-sum",
@@ -769,6 +779,64 @@ func vecSeries(add addFunc, evalLoopEng loopEngFunc) {
 		}, algebra.NewRel("zipf")), asrc)
 }
 
+// joinSeries registers the 'joins' benchmark set: the E13 multi-join shapes —
+// a star written dimensions-first, a chain written big-relation-first, and a
+// triangle cycle — each measured serially through the cost-based join-order
+// enumerator (`/reorder`) and through the written order (`/written`,
+// Engine.NoJoinReorder).  Every source carries ANALYZE-grade statistics so the
+// enumerator's cardinality estimates come from the sketches and histograms,
+// and the engines run serial so the A/B is free of gang-scheduling noise and
+// stable enough for the ci-join gate.
+func joinSeries(add addFunc, evalLoopEng loopEngFunc) {
+	addJoinOrder := func(name string, expr algebra.Expr, src eval.Source) {
+		add(name+"/reorder", evalLoopEng(expr, src, eval.Engine{}))
+		add(name+"/written", evalLoopEng(expr, src, eval.Engine{NoJoinReorder: true}))
+	}
+
+	// Star, written worst-first: the three 60-row dimensions are
+	// cross-multiplied (216000 rows) before the 20000-row fact table joins.
+	// The enumerator starts from the fact table instead and keeps every
+	// intermediate at fact size.
+	starFact, starDims := workload.Star(workload.StarConfig{Seed: 13})
+	starSrc := eval.MapSource{"fact": starFact}
+	for i, d := range starDims {
+		starSrc[fmt.Sprintf("d%d", i+1)] = d
+	}
+	starWritten := algebra.NewJoin(
+		scalar.NewAnd(scalar.Eq(0, 6), scalar.NewAnd(scalar.Eq(2, 7), scalar.Eq(4, 8))),
+		algebra.NewProduct(algebra.NewProduct(algebra.NewRel("d1"), algebra.NewRel("d2")), algebra.NewRel("d3")),
+		algebra.NewRel("fact"))
+	addJoinOrder("E13_MultiJoin/star", starWritten, eval.AnalyzeSource(starSrc))
+
+	// Chain, written big-first: the head joins its fan-out link first
+	// (100000-row intermediate) before the selective tail links prune the
+	// stream; the enumerator joins the tiny selective tail (8/200 rows) first
+	// and touches the 20000-row head in a single final probe.
+	chainRels := workload.Chain(workload.ChainConfig{Seed: 14})
+	chainSrc := eval.MapSource{"head": chainRels[0]}
+	for i, r := range chainRels[1:] {
+		chainSrc[fmt.Sprintf("link%d", i+1)] = r
+	}
+	chainWritten := algebra.Expr(algebra.NewRel("head"))
+	for k := 1; k < len(chainRels); k++ {
+		chainWritten = algebra.NewJoin(scalar.Eq(2*k-1, 2*k), chainWritten, algebra.NewRel(fmt.Sprintf("link%d", k)))
+	}
+	addJoinOrder("E13_MultiJoin/chain", chainWritten, eval.AnalyzeSource(chainSrc))
+
+	// Cycle: the triangle query over a random edge relation, written as a
+	// three-edge chain with the closing predicate as a selection on top — the
+	// shape the planner's flattener folds into the DP search as an extra join
+	// conjunct.  The cycle is symmetric, so this mainly pins the enumerator's
+	// overhead on a query it cannot improve.
+	edges := workload.Graph(workload.GraphConfig{Nodes: 500, OutDegree: 4, Seed: 15})
+	cycleSrc := eval.MapSource{"edge": edges}
+	cycle := algebra.NewSelect(scalar.Eq(5, 0),
+		algebra.NewJoin(scalar.Eq(3, 4),
+			algebra.NewJoin(scalar.Eq(1, 2), algebra.NewRel("edge"), algebra.NewRel("edge")),
+			algebra.NewRel("edge")))
+	addJoinOrder("E13_MultiJoin/cycle-triangle", cycle, eval.AnalyzeSource(cycleSrc))
+}
+
 // summariseRatios prints the within-run comparisons to stderr: parallel
 // variants against their serial counterparts (ratio < 1 means the gang won),
 // the morsel scheduler against the static-slice baseline, the two-phase
@@ -820,6 +888,13 @@ func summariseRatios(out benchFile) {
 			if cols, ok := byName[rowsName+"/batch-cols"]; ok && b.NsPerOp > 0 {
 				fmt.Fprintf(os.Stderr, "cols-vs-rows %s: %.2fx (%.0f vs %.0f ns/op)\n",
 					rowsName, cols.NsPerOp/b.NsPerOp, cols.NsPerOp, b.NsPerOp)
+			}
+			continue
+		}
+		if writtenName, ok := strings.CutSuffix(b.Name, "/written"); ok {
+			if reorder, ok := byName[writtenName+"/reorder"]; ok && b.NsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "reorder-vs-written %s: %.2fx (%.0f vs %.0f ns/op)\n",
+					writtenName, reorder.NsPerOp/b.NsPerOp, reorder.NsPerOp, b.NsPerOp)
 			}
 		}
 	}

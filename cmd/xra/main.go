@@ -17,6 +17,7 @@
 //	\d                  list relations
 //	\d name             show a relation's schema and cardinality
 //	\explain <expr>     show the original and optimised plan of an XRA expression
+//	\stats name         show a relation's optimizer statistics (run analyze(name) first)
 //	\set workers N      set the parallel worker count (1 = serial, 0 = auto)
 //	\set timeout <dur>  set a per-statement deadline (e.g. 500ms, 2s; 0 = off)
 //	\set memlimit <n>   set a per-query memory budget in bytes (0 = off)
@@ -245,6 +246,37 @@ func handleMeta(db *mra.DB, cmd string, timing *bool, timeout *time.Duration, ou
 		fmt.Fprintln(out, "physical :")
 		for _, line := range strings.Split(ex.Physical, "\n") {
 			fmt.Fprintln(out, "  "+line)
+		}
+	case "\\stats":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: \\stats <relation>")
+			return false
+		}
+		name := fields[1]
+		st, ok := db.RelationStats(name)
+		if !ok {
+			if _, exists := db.Catalog().RelationSchema(name); !exists {
+				fmt.Fprintf(out, "no such relation %q\n", name)
+			} else {
+				fmt.Fprintf(out, "no statistics for %q; run analyze(%s); first\n", name, name)
+			}
+			return false
+		}
+		fmt.Fprintf(out, "%s: %d rows, ~%d distinct tuples (version %d)\n",
+			st.Relation, st.Rows, st.DistinctTuples, st.Version)
+		for i, c := range st.Columns {
+			label := c.Name
+			if label == "" {
+				label = fmt.Sprintf("%%%d", i+1)
+			}
+			fmt.Fprintf(out, "  %s: ndv~%d nulls=%.1f%%", label, c.NDV, 100*c.NullFraction)
+			if c.Min != "" || c.Max != "" {
+				fmt.Fprintf(out, " range=[%s .. %s]", c.Min, c.Max)
+			}
+			if c.HistogramBuckets > 0 {
+				fmt.Fprintf(out, " histogram=%d buckets", c.HistogramBuckets)
+			}
+			fmt.Fprintln(out)
 		}
 	default:
 		fmt.Fprintf(out, "unknown meta-command %s\n", fields[0])

@@ -45,11 +45,11 @@ func TestExplainGoldenExample32(t *testing.T) {
 		t.Errorf("rules = %q, want %q", got, want)
 	}
 	wantPhysical := strings.Join([]string{
-		"HashAggregate [(%1) AVG(%2)]  (~1 rows)",
-		"└─ Project [%6, %3]  (~2 rows)",
-		"   └─ HashJoin [%2 = %4] build=right  (~2 rows)",
-		"      ├─ Scan beer  (5 rows)",
-		"      └─ Scan brewery  (4 rows)",
+		"HashAggregate [(%1) AVG(%2)]  (est~1 rows, act=3)",
+		"└─ Project [%6, %3]  (est~2 rows, act=5)",
+		"   └─ HashJoin [%2 = %4] build=right  (est~2 rows, act=5)",
+		"      ├─ Scan beer  (est=5 rows)",
+		"      └─ Scan brewery  (est=4 rows)",
 	}, "\n")
 	if ex.Physical != wantPhysical {
 		t.Errorf("physical plan:\n%s\nwant:\n%s", ex.Physical, wantPhysical)
@@ -69,11 +69,11 @@ func TestExplainGoldenExample31(t *testing.T) {
 		t.Errorf("optimised plan:\n got %s\nwant %s", got, want)
 	}
 	wantPhysical := strings.Join([]string{
-		"Project [%1]  (~1 rows)",
-		"└─ HashJoin [%2 = %4] build=right  (~1 rows)",
-		"   ├─ Scan beer  (5 rows)",
-		"   └─ Filter [%3 = 'netherlands']  (~1 rows)",
-		"      └─ Scan brewery  (4 rows)",
+		"Project [%1]  (est~1 rows, act=3)",
+		"└─ HashJoin [%2 = %4] build=right  (est~1 rows, act=3)",
+		"   ├─ Scan beer  (est=5 rows)",
+		"   └─ Filter [%3 = 'netherlands']  (est~1 rows, act=2)",
+		"      └─ Scan brewery  (est=4 rows)",
 	}, "\n")
 	if ex.Physical != wantPhysical {
 		t.Errorf("physical plan:\n%s\nwant:\n%s", ex.Physical, wantPhysical)
@@ -145,11 +145,11 @@ func TestExplainParallelExchange(t *testing.T) {
 		t.Errorf("Explain.Workers = %d", ex.Workers)
 	}
 	wantPhysical := strings.Join([]string{
-		"Merge [workers=4]  (~15000 rows)",
-		"└─ HashJoin [%1 = %3] build=right shared  (~15000 rows)",
-		"   ├─ Partition [morsel size=64]  (1500 rows)",
-		"   │  └─ Scan fact  (1500 rows)",
-		"   └─ Scan dim  (100 rows)",
+		"Merge [workers=4]  (est~15000 rows, act=1500)",
+		"└─ HashJoin [%1 = %3] build=right shared  (est~15000 rows, act=1500)",
+		"   ├─ Partition [morsel size=64]  (est=1500 rows, act=1500)",
+		"   │  └─ Scan fact  (est=1500 rows)",
+		"   └─ Scan dim  (est=100 rows)",
 	}, "\n")
 	if ex.Physical != wantPhysical {
 		t.Errorf("parallel physical plan:\n%s\nwant:\n%s", ex.Physical, wantPhysical)
@@ -201,11 +201,14 @@ func TestExplainTwoPhaseAggregate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The partial aggregate shows act=0: it hands per-worker group tables to
+	// the GroupMerge rather than emitting tuples, so the merge reports the
+	// actual group count and the partial reports none.
 	wantGrouped := strings.Join([]string{
-		"GroupMerge [workers=4]  (~300 rows)",
-		"└─ HashAggregate [(%1) SUM(%2)] partial  (~300 rows)",
-		"   └─ Partition [morsel size=64]  (1500 rows)",
-		"      └─ Scan fact  (1500 rows)",
+		"GroupMerge [workers=4]  (est~300 rows, act=100)",
+		"└─ HashAggregate [(%1) SUM(%2)] partial  (est~300 rows, act=0)",
+		"   └─ Partition [morsel size=64]  (est=1500 rows, act=1500)",
+		"      └─ Scan fact  (est=1500 rows)",
 	}, "\n")
 	if ex.Physical != wantGrouped {
 		t.Errorf("two-phase grouped plan:\n%s\nwant:\n%s", ex.Physical, wantGrouped)
@@ -216,10 +219,10 @@ func TestExplainTwoPhaseAggregate(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantGlobal := strings.Join([]string{
-		"GroupMerge [workers=4]  (~1 rows)",
-		"└─ HashAggregate [() CNT(%1), MAX(%2)] partial  (~1 rows)",
-		"   └─ Partition [morsel size=64]  (1500 rows)",
-		"      └─ Scan fact  (1500 rows)",
+		"GroupMerge [workers=4]  (est~1 rows, act=1)",
+		"└─ HashAggregate [() CNT(%1), MAX(%2)] partial  (est~1 rows, act=0)",
+		"   └─ Partition [morsel size=64]  (est=1500 rows, act=1500)",
+		"      └─ Scan fact  (est=1500 rows)",
 	}, "\n")
 	if exGlobal.Physical != wantGlobal {
 		t.Errorf("two-phase global plan:\n%s\nwant:\n%s", exGlobal.Physical, wantGlobal)

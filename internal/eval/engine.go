@@ -67,6 +67,10 @@ type Engine struct {
 	// above which parallel plans build hash-join tables with a worker gang;
 	// zero keeps the cost model's default.
 	BuildParallelThreshold float64
+	// NoJoinReorder pins multi-join queries to their written evaluation order
+	// by disabling the planner's cost-based join-order enumerator — the A/B
+	// baseline of the E13 multi-join bench series.
+	NoJoinReorder bool
 }
 
 // Stats aggregates intermediate result sizes per physical operator, counting
@@ -89,6 +93,7 @@ func (e *Engine) planner(src Source) *plan.Planner {
 		OnePhaseAgg:       e.OnePhaseAgg,
 		SerialBatches:     e.SerialBatches,
 		RowBatches:        e.RowBatches,
+		NoJoinReorder:     e.NoJoinReorder,
 
 		BuildParallelThreshold: e.BuildParallelThreshold,
 	}

@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"mra/internal/algebra"
+	"mra/internal/scalar"
+)
+
+// multiJoinSource builds n random two-attribute relations r1..rn with small
+// key ranges, so multi-join queries produce matches, duplicates and empty
+// intermediate results with useful probability.
+func multiJoinSource(rng *rand.Rand, n int) MapSource {
+	src := make(MapSource, n)
+	for i := 0; i < n; i++ {
+		name := string(rune('p' + i))
+		src[name] = randomRelationN(rng, name, 2, 2+rng.Intn(14), 3)
+	}
+	return src
+}
+
+// chainJoinExpr builds the left-deep written order of the chain query
+// r1 ⋈ r2 ⋈ … ⋈ rn with conditions r_k.b = r_{k+1}.a.  Every relation has
+// arity 2, so after joining k relations the combined arity is 2k.
+func chainJoinExpr(names []string) algebra.Expr {
+	e := algebra.Expr(algebra.NewRel(names[0]))
+	for k := 1; k < len(names); k++ {
+		e = algebra.NewJoin(scalar.Eq(2*k-1, 2*k), e, algebra.NewRel(names[k]))
+	}
+	return e
+}
+
+// starJoinExpr builds the left-deep written order of the star query joining
+// every r_k (k ≥ 2) to r1 on r1.a = r_k.a.
+func starJoinExpr(names []string) algebra.Expr {
+	e := algebra.Expr(algebra.NewRel(names[0]))
+	for k := 1; k < len(names); k++ {
+		e = algebra.NewJoin(scalar.Eq(0, 2*k), e, algebra.NewRel(names[k]))
+	}
+	return e
+}
+
+// cycleJoinExpr closes the chain with the edge r_n.b = r1.a, written as a
+// selection over the chain join — the shape the enumerator's flattener folds
+// into the search as an extra join conjunct.
+func cycleJoinExpr(names []string) algebra.Expr {
+	n := len(names)
+	return algebra.NewSelect(scalar.Eq(2*n-1, 0), chainJoinExpr(names))
+}
+
+// TestPropertyJoinOrderMatchesReference is the enumerator's oracle property:
+// for random databases and 3–6-relation chain, star and cycle queries, the
+// engine — whose planner replaces the written join order with the DP
+// enumerator's cost-based order, planning against ANALYZE-grade statistics —
+// must produce exactly the Reference evaluator's multi-set at every tested
+// worker count, and the written-order baseline (NoJoinReorder) must agree.
+// MorselSize 1 and ParallelThreshold 1 force maximal parallel scheduling onto
+// the tiny inputs.  Run with -race to check the parallel runtime.
+func TestPropertyJoinOrderMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	workerCounts := []int{1, 2, 4, 8}
+	shapes := []struct {
+		name  string
+		build func([]string) algebra.Expr
+	}{
+		{"chain", chainJoinExpr},
+		{"star", starJoinExpr},
+		{"cycle", cycleJoinExpr},
+	}
+	for round := 0; round < 25; round++ {
+		n := 3 + rng.Intn(4)
+		src := multiJoinSource(rng, n)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('p' + i))
+		}
+		// Analyzed statistics drive the enumerator's cardinality estimates.
+		analyzed := AnalyzeSource(src)
+		for _, shape := range shapes {
+			e := shape.build(names)
+			ref := evalOrFatal(t, e, src)
+			for _, workers := range workerCounts {
+				eng := &Engine{Workers: workers, MorselSize: 1, ParallelThreshold: 1}
+				got, err := eng.Eval(e, analyzed)
+				if err != nil {
+					t.Fatalf("round %d: %s/%d relations/workers=%d: %v", round, shape.name, n, workers, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("round %d: %s over %d relations at workers=%d: enumerator changed the bag:\nreference: %s\ngot:       %s",
+						round, shape.name, n, workers, ref, got)
+				}
+				baseline := &Engine{Workers: workers, MorselSize: 1, ParallelThreshold: 1, NoJoinReorder: true}
+				base, err := baseline.Eval(e, analyzed)
+				if err != nil {
+					t.Fatalf("round %d: %s written order at workers=%d: %v", round, shape.name, workers, err)
+				}
+				if !base.Equal(ref) {
+					t.Fatalf("round %d: %s written-order baseline at workers=%d diverged:\nreference: %s\ngot:       %s",
+						round, shape.name, workers, ref, base)
+				}
+			}
+			// Without statistics the enumerator falls back to flat
+			// selectivities; the bag must still be exact.
+			got, err := (&Engine{}).Eval(e, src)
+			if err != nil {
+				t.Fatalf("round %d: %s without stats: %v", round, shape.name, err)
+			}
+			if !got.Equal(ref) {
+				t.Fatalf("round %d: %s without stats changed the bag:\nreference: %s\ngot:       %s",
+					round, shape.name, ref, got)
+			}
+		}
+	}
+}
+
+// TestJoinOrderPicksSmallSideFirst pins the enumerator's effect on a star
+// query written worst-first: dimensions cross-multiplied before the fact
+// table.  The cost-based order must start from the selective fact joins, so
+// the peak intermediate result stays near the final result size instead of
+// the dimensions' cross product.
+func TestJoinOrderPicksSmallSideFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	src := MapSource{
+		"fact": randomRelationN(rng, "fact", 2, 60, 1),
+		"d1":   randomRelationN(rng, "d1", 2, 12, 1),
+		"d2":   randomRelationN(rng, "d2", 2, 12, 1),
+		"d3":   randomRelationN(rng, "d3", 2, 12, 1),
+	}
+	// Written order: ((d1 × d2) × d3) ⋈ fact — the three dimension joins
+	// carry no condition until fact arrives (its conditions reference each
+	// dimension's first column).
+	e := algebra.NewJoin(
+		scalar.NewAnd(scalar.Eq(0, 6), scalar.NewAnd(scalar.Eq(2, 6), scalar.Eq(4, 6))),
+		algebra.NewProduct(algebra.NewProduct(algebra.NewRel("d1"), algebra.NewRel("d2")), algebra.NewRel("d3")),
+		algebra.NewRel("fact"))
+	ref := evalOrFatal(t, e, src)
+
+	analyzed := AnalyzeSource(src)
+	reorder := &Engine{CollectStats: true}
+	got, err := reorder.Eval(e, analyzed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref) {
+		t.Fatalf("enumerator changed the bag:\nreference: %s\ngot: %s", ref, got)
+	}
+	baseline := &Engine{CollectStats: true, NoJoinReorder: true}
+	if _, err := baseline.Eval(e, analyzed); err != nil {
+		t.Fatal(err)
+	}
+	if reorder.Stats.PeakRelationTuples >= baseline.Stats.PeakRelationTuples {
+		t.Errorf("enumerator peak %d not below written-order peak %d",
+			reorder.Stats.PeakRelationTuples, baseline.Stats.PeakRelationTuples)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"mra/internal/multiset"
 	"mra/internal/plan"
 	"mra/internal/schema"
+	"mra/internal/stats"
 )
 
 // Source resolves database relation names to relation instances.  The storage
@@ -100,8 +101,55 @@ func (c sourceCards) RelationDistinctCount(name string) (int, bool) {
 	return r.DistinctCount(), true
 }
 
+// TableStats implements plan.TableStatsSource by forwarding to the wrapped
+// Source when it carries per-column statistics (transaction snapshots, the
+// storage engine after ANALYZE, StatsSource wrappers); sources without
+// statistics report none and the planner falls back to flat selectivities.
+func (c sourceCards) TableStats(name string) (*stats.Table, bool) {
+	if s, ok := c.src.(interface {
+		TableStats(name string) (*stats.Table, bool)
+	}); ok {
+		return s.TableStats(name)
+	}
+	return nil, false
+}
+
 // Cardinalities wraps a Source as a plan.CardinalitySource.
 func Cardinalities(src Source) plan.CardinalitySource { return sourceCards{src: src} }
+
+// StatsSource decorates a Source with precomputed per-relation statistics, so
+// callers without a storage database underneath (benchmarks over MapSource,
+// tests) can feed the planner ANALYZE-grade summaries.  Lookup is
+// case-insensitive, matching MapSource.
+type StatsSource struct {
+	Source
+	// Tables maps relation names to their statistics summaries.
+	Tables map[string]*stats.Table
+}
+
+// TableStats implements plan.TableStatsSource.
+func (s StatsSource) TableStats(name string) (*stats.Table, bool) {
+	if t, ok := s.Tables[name]; ok {
+		return t, true
+	}
+	for k, t := range s.Tables {
+		if strings.EqualFold(k, name) {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// AnalyzeSource builds statistics for every relation of a map source,
+// wrapping it as a StatsSource — the in-memory equivalent of running ANALYZE
+// on each relation.
+func AnalyzeSource(m MapSource) StatsSource {
+	tables := make(map[string]*stats.Table, len(m))
+	for name, r := range m {
+		tables[name] = stats.Analyze(r, 0)
+	}
+	return StatsSource{Source: m, Tables: tables}
+}
 
 // lookup fetches a relation from a source, converting a miss into an error.
 func lookup(src Source, name string) (*multiset.Relation, error) {

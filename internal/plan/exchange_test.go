@@ -167,7 +167,7 @@ func TestParallelSetOperatorExchanges(t *testing.T) {
 	}
 	// Filters preserve tuples, so the full-tuple partition sinks below the
 	// filter to the scan, where the cached-entry-hash fast path applies.
-	if !strings.Contains(rendering, "Filter [%2 >= 100]  (~250 rows)\n      └─ Partition [hash workers=4]") {
+	if !strings.Contains(rendering, "Filter [%2 >= 100]  (est~250 rows)\n      └─ Partition [hash workers=4]") {
 		t.Errorf("partition not sunk below the tuple-preserving filter:\n%s", rendering)
 	}
 
@@ -181,7 +181,7 @@ func TestParallelSetOperatorExchanges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(pp.String(), "Partition [hash workers=4]  (~1000 rows)\n   │  └─ Project [%1]") {
+	if !strings.Contains(pp.String(), "Partition [hash workers=4]  (est~1000 rows)\n   │  └─ Project [%1]") {
 		t.Errorf("projection operand must partition at its root:\n%s", pp)
 	}
 	serialProj, err := mustPlan(t, projDiff, src).Execute(src)
@@ -253,11 +253,11 @@ func TestParallelPlanRendering(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := strings.Join([]string{
-		"Merge [workers=4]  (~10000 rows)",
-		"└─ HashJoin [%1 = %3] build=right shared  (~10000 rows)",
-		"   ├─ Partition [morsel size=64]  (1000 rows)",
-		"   │  └─ Scan fact  (1000 rows)",
-		"   └─ Scan dim  (100 rows)",
+		"Merge [workers=4]  (est~10000 rows)",
+		"└─ HashJoin [%1 = %3] build=right shared  (est~10000 rows)",
+		"   ├─ Partition [morsel size=64]  (est=1000 rows)",
+		"   │  └─ Scan fact  (est=1000 rows)",
+		"   └─ Scan dim  (est=100 rows)",
 	}, "\n")
 	if got := p.String(); got != want {
 		t.Errorf("parallel plan rendering:\n%s\nwant:\n%s", got, want)

@@ -146,6 +146,14 @@ type base struct {
 	// sized by its probe side, and scans size by distinct tuples rather than
 	// occurrences when the source can tell them apart.
 	capHint float64
+	// ndvHint, when positive, is the planner's distinct-tuple estimate for
+	// this operator's output, rendered as ndv= in explain output.  Zero means
+	// no distinct estimate is known (or it equals est and adds nothing).
+	ndvHint float64
+	// cols carries the per-output-column statistics (distinct-value
+	// estimates, histogram provenance) the planner propagates from analysed
+	// base relations; nil when no statistics are available.
+	colStats []colStat
 }
 
 func (b *base) Schema() schema.Relation { return b.schema }
@@ -280,28 +288,48 @@ func (p *Plan) newExecCtx(qctx context.Context, src Source, st *Stats) *execCtx 
 
 // String renders the plan as an indented operator tree with cardinality
 // estimates, suitable for explain output.
-func (p *Plan) String() string {
+func (p *Plan) String() string { return p.Render(nil) }
+
+// Render renders the plan like String and, when st carries the per-operator
+// statistics of an execution of this very plan, annotates every non-leaf
+// operator with the actual number of tuples it emitted (act=).  Operators with
+// a distinct-tuple estimate differing from their row estimate additionally
+// show it as ndv=.  A nil st (or stats from a different plan shape) renders
+// estimates only.
+func (p *Plan) Render(st *Stats) string {
+	var acts []OperatorStats
+	if st != nil && len(st.PerOperator) == len(p.nodes) {
+		acts = st.PerOperator
+	}
 	var b strings.Builder
-	renderNode(&b, p.Root, "", "")
+	renderNode(&b, p.Root, "", "", acts)
 	return strings.TrimRight(b.String(), "\n")
 }
 
-func renderNode(b *strings.Builder, n Node, head, tail string) {
+func renderNode(b *strings.Builder, n Node, head, tail string, acts []OperatorStats) {
+	m := n.meta()
 	marker := "~"
-	if n.meta().exactEst {
-		marker = ""
+	if m.exactEst {
+		marker = "="
 	}
 	rows := int64(n.Estimate() + 0.5)
 	if rows == 0 && n.Estimate() > 0 {
 		rows = 1
 	}
-	fmt.Fprintf(b, "%s%s  (%s%d rows)\n", head, n.Describe(), marker, rows)
+	fmt.Fprintf(b, "%s%s  (est%s%d rows", head, n.Describe(), marker, rows)
+	if ndv := int64(m.ndvHint + 0.5); ndv > 0 && ndv != rows {
+		fmt.Fprintf(b, ", ndv=%d", ndv)
+	}
 	children := n.Children()
+	if acts != nil && len(children) > 0 {
+		fmt.Fprintf(b, ", act=%d", acts[m.id].Emitted)
+	}
+	b.WriteString(")\n")
 	for i, c := range children {
 		if i == len(children)-1 {
-			renderNode(b, c, tail+"└─ ", tail+"   ")
+			renderNode(b, c, tail+"└─ ", tail+"   ", acts)
 		} else {
-			renderNode(b, c, tail+"├─ ", tail+"│  ")
+			renderNode(b, c, tail+"├─ ", tail+"│  ", acts)
 		}
 	}
 }

@@ -263,10 +263,10 @@ func TestPlanString(t *testing.T) {
 			algebra.NewJoin(scalar.Eq(0, 2), algebra.NewRel("fact"), algebra.NewRel("dim"))))
 	got := mustPlan(t, expr, src).String()
 	want := strings.Join([]string{
-		"Project [%2]  (~10000 rows)",
-		"└─ HashJoin [%1 = %3] build=right residual=[%4 > 10]  (~10000 rows)",
-		"   ├─ Scan fact  (1000 rows)",
-		"   └─ Scan dim  (100 rows)",
+		"Project [%2]  (est~10000 rows)",
+		"└─ HashJoin [%1 = %3] build=right residual=[%4 > 10]  (est~10000 rows)",
+		"   ├─ Scan fact  (est=1000 rows)",
+		"   └─ Scan dim  (est=100 rows)",
 	}, "\n")
 	if got != want {
 		t.Errorf("plan rendering:\n%s\nwant:\n%s", got, want)

@@ -79,6 +79,11 @@ type Planner struct {
 	// join's table is built morsel-parallel by the gang instead of serially
 	// in the parent.
 	BuildParallelThreshold float64
+	// NoJoinReorder disables the cost-based join-order enumerator
+	// (joinorder.go), pinning multi-join queries to their written evaluation
+	// order.  It exists as the A/B baseline for the E13 multi-join bench
+	// series and as an escape hatch for plans the estimates mislead.
+	NoJoinReorder bool
 }
 
 // NewPlanner returns a serial planner drawing base cardinalities from cards
@@ -141,8 +146,10 @@ func (pl *Planner) compile(e algebra.Expr, cat algebra.Catalog) (Node, error) {
 		if d, ok := pl.Cards.(DistinctCardinalitySource); ok {
 			if c, ok := d.RelationDistinctCount(n.Name); ok {
 				node.capHint = float64(c)
+				node.ndvHint = float64(c)
 			}
 		}
+		node.colStats = pl.scanColStats(n.Name, s.Arity())
 		return node, nil
 
 	case algebra.Literal:
@@ -179,11 +186,7 @@ func (pl *Planner) compile(e algebra.Expr, cat algebra.Catalog) (Node, error) {
 		if err := n.Cond.Validate(input.Schema()); err != nil {
 			return nil, fmt.Errorf("%w: %v", algebra.ErrPlan, err)
 		}
-		node := &filterNode{pred: n.Cond, input: input}
-		node.schema = input.Schema()
-		node.est = input.Estimate() * selectionSelectivity
-		node.capHint = node.est
-		return node, nil
+		return pl.makeFilter(n.Cond, input), nil
 
 	case algebra.Project:
 		input, err := pl.compile(n.Input, cat)
@@ -201,6 +204,15 @@ func (pl *Planner) compile(e algebra.Expr, cat algebra.Catalog) (Node, error) {
 		node.schema = s
 		node.est = input.Estimate()
 		node.capHint = input.meta().capHint
+		if in := input.meta().colStats; in != nil {
+			cs := make([]colStat, len(n.Columns))
+			for i, c := range n.Columns {
+				if c >= 0 && c < len(in) {
+					cs[i] = in[c]
+				}
+			}
+			node.colStats = cs
+		}
 		return node, nil
 
 	case algebra.ExtProject:
@@ -216,6 +228,15 @@ func (pl *Planner) compile(e algebra.Expr, cat algebra.Catalog) (Node, error) {
 		node.schema = s
 		node.est = input.Estimate()
 		node.capHint = input.meta().capHint
+		if in := input.meta().colStats; in != nil {
+			cs := make([]colStat, len(n.Items))
+			for i, item := range n.Items {
+				if a, ok := item.(scalar.Attr); ok && a.Index >= 0 && a.Index < len(in) {
+					cs[i] = in[a.Index]
+				}
+			}
+			node.colStats = cs
+		}
 		return node, nil
 
 	case algebra.Product:
@@ -269,6 +290,7 @@ func (pl *Planner) compile(e algebra.Expr, cat algebra.Catalog) (Node, error) {
 		node.schema = input.Schema()
 		node.est = input.Estimate() * uniqueReduction
 		node.capHint = input.meta().capHint
+		node.colStats = clampCols(append([]colStat(nil), input.meta().colStats...), node.est)
 		return node, nil
 
 	case algebra.GroupBy:
@@ -302,6 +324,29 @@ func (pl *Planner) compile(e algebra.Expr, cat algebra.Catalog) (Node, error) {
 			} else if node.capHint > hint {
 				node.capHint = hint
 			}
+		}
+		// Per-column statistics sharpen the hint further: the group count is
+		// at most the product of the grouping columns' distinct-value
+		// estimates (and at least informative when that product is large —
+		// high-cardinality groupings gain nothing from a partial phase, which
+		// is exactly what twoPhaseProfitable needs to see).
+		if len(n.GroupCols) > 0 {
+			if hint, ok := groupCapHint(n.GroupCols, input.meta().colStats); ok {
+				if hint > input.Estimate() {
+					hint = input.Estimate()
+				}
+				node.capHint = hint
+				node.est = hint
+			}
+		}
+		if in := input.meta().colStats; in != nil {
+			cs := make([]colStat, s.Arity())
+			for i, gc := range n.GroupCols {
+				if i < len(cs) && gc >= 0 && gc < len(in) {
+					cs[i] = in[gc]
+				}
+			}
+			node.colStats = clampCols(cs, node.est)
 		}
 		return node, nil
 
@@ -344,8 +389,16 @@ func (pl *Planner) compilePair(op string, le, re algebra.Expr, cat algebra.Catal
 }
 
 // compileJoin plans E1 ⋈φ E2 (and σφ(E1 × E2), which is the same thing by
-// Theorem 3.1).  A nil condition is a bare Cartesian product.
+// Theorem 3.1).  A nil condition is a bare Cartesian product.  When the join
+// is the top of a larger join tree, the cost-based enumerator (joinorder.go)
+// searches for a cheaper evaluation order first; the written order is the
+// fallback.
 func (pl *Planner) compileJoin(cond scalar.Predicate, le, re algebra.Expr, cat algebra.Catalog) (Node, error) {
+	if node, ok, err := pl.enumerateJoinOrder(cond, le, re, cat); err != nil {
+		return nil, err
+	} else if ok {
+		return node, nil
+	}
 	left, err := pl.compile(le, cat)
 	if err != nil {
 		return nil, err
@@ -354,13 +407,38 @@ func (pl *Planner) compileJoin(cond scalar.Predicate, le, re algebra.Expr, cat a
 	if err != nil {
 		return nil, err
 	}
+	return pl.makeJoin(cond, left, right)
+}
+
+// makeFilter builds a selection node over a compiled input, estimating its
+// selectivity from the input's column statistics when available.
+func (pl *Planner) makeFilter(cond scalar.Predicate, input Node) Node {
+	node := &filterNode{pred: cond, input: input}
+	node.schema = input.Schema()
+	sel, known := predSelectivity(cond, input.meta().colStats)
+	if !known {
+		sel = selectionSelectivity
+	}
+	node.est = input.Estimate() * sel
+	node.capHint = node.est
+	node.colStats = clampCols(append([]colStat(nil), input.meta().colStats...), node.est)
+	return node
+}
+
+// makeJoin builds the physical join of two compiled operands under the given
+// condition (nil for a bare product): a hash join when an equality conjunct
+// links the sides, nested loops otherwise.  Build side, output estimate, and
+// capacity hints come from the operands' statistics.
+func (pl *Planner) makeJoin(cond scalar.Predicate, left, right Node) (Node, error) {
 	outSchema := left.Schema().Concat(right.Schema())
+	outCols := concatCols(left.meta().colStats, right.meta().colStats)
 
 	if cond == nil {
 		node := &nestedLoopNode{left: left, right: right, innerRight: right.Estimate() <= left.Estimate()}
 		node.schema = outSchema
 		node.est = left.Estimate() * right.Estimate()
 		node.capHint = node.est
+		node.colStats = clampCols(outCols, node.est)
 		return node, nil
 	}
 	if err := cond.Validate(outSchema); err != nil {
@@ -368,12 +446,14 @@ func (pl *Planner) compileJoin(cond scalar.Predicate, le, re algebra.Expr, cat a
 	}
 
 	leftCols, rightCols, residual := equiCols(cond, left.Schema().Arity())
-	est := left.Estimate() * right.Estimate() * joinSelectivity
+	sel := joinPairSelectivity(leftCols, rightCols, left.meta().colStats, right.meta().colStats)
+	est := left.Estimate() * right.Estimate() * sel
 	if len(leftCols) == 0 {
 		node := &nestedLoopNode{left: left, right: right, cond: cond, innerRight: right.Estimate() <= left.Estimate()}
 		node.schema = outSchema
 		node.est = est
 		node.capHint = est
+		node.colStats = clampCols(outCols, node.est)
 		return node, nil
 	}
 	node := &hashJoinNode{
@@ -396,6 +476,7 @@ func (pl *Planner) compileJoin(cond scalar.Predicate, le, re algebra.Expr, cat a
 		probe = left
 	}
 	node.capHint = probe.meta().capHint
+	node.colStats = clampCols(outCols, node.est)
 	return node, nil
 }
 

@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"mra/internal/algebra"
+	"mra/internal/multiset"
+	"mra/internal/schema"
+	"mra/internal/stats"
+	"mra/internal/tuple"
+	"mra/internal/value"
+)
+
+// analyzedCards is a test double wiring ANALYZE-grade statistics into the
+// planner: cardinalities, distinct counts and per-column summaries all come
+// from the actual relations.
+type analyzedCards struct {
+	src    mapSource
+	tables map[string]*stats.Table
+}
+
+func analyze(src mapSource) analyzedCards {
+	tables := make(map[string]*stats.Table, len(src))
+	for name, r := range src {
+		tables[name] = stats.Analyze(r, 0)
+	}
+	return analyzedCards{src: src, tables: tables}
+}
+
+func (a analyzedCards) RelationCardinality(name string) (uint64, bool) {
+	r, ok := a.src[name]
+	if !ok {
+		return 0, false
+	}
+	return r.Cardinality(), true
+}
+
+func (a analyzedCards) RelationDistinctCount(name string) (int, bool) {
+	r, ok := a.src[name]
+	if !ok {
+		return 0, false
+	}
+	return r.DistinctCount(), true
+}
+
+func (a analyzedCards) TableStats(name string) (*stats.Table, bool) {
+	t, ok := a.tables[name]
+	return t, ok
+}
+
+// groupedRelation builds rows rows of (i % keyRange, i).
+func groupedRelation(name string, rows, keyRange int) *multiset.Relation {
+	r := multiset.New(schema.NewRelation(name,
+		schema.Attribute{Name: "key", Type: value.KindInt},
+		schema.Attribute{Name: "payload", Type: value.KindInt}))
+	for i := 0; i < rows; i++ {
+		r.Add(tuple.Ints(int64(i%keyRange), int64(i)), 1)
+	}
+	return r
+}
+
+// TestTwoPhaseChoiceFromGroupingNDV pins the E12 phase decision to the
+// per-grouping-column NDV of analyzed statistics: low-cardinality and
+// moderate (zipf-range) groupings keep the two-phase partial/merge shape,
+// while a high-cardinality grouping — where per-worker partial tables would
+// approach the input size — falls back to the one-phase key-partitioned
+// shape.  Without statistics the flat groupReduction estimate kept high-card
+// groupings two-phase, serialising the merge on ~10000 partial groups per
+// worker.
+func TestTwoPhaseChoiceFromGroupingNDV(t *testing.T) {
+	cases := []struct {
+		name     string
+		keyRange int
+		twoPhase bool
+	}{
+		{"low-card", 16, true},
+		{"zipf-range", 100, true},
+		{"high-card", 10000, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := mapSource{"fact": groupedRelation("fact", 20000, tc.keyRange)}
+			expr := algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("fact"))
+			p, err := (&Planner{Cards: analyze(src), Workers: 4}).Plan(expr, catalogOf(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rendering := p.String()
+			if got := strings.Contains(rendering, "partial"); got != tc.twoPhase {
+				t.Errorf("keyRange=%d: two-phase = %v, want %v:\n%s",
+					tc.keyRange, got, tc.twoPhase, rendering)
+			}
+			// Either shape computes the exact grouped sums.
+			out, err := p.Execute(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := int(out.Cardinality()), min(tc.keyRange, 20000); got != want {
+				t.Errorf("keyRange=%d: %d groups, want %d", tc.keyRange, got, want)
+			}
+		})
+	}
+}
+
+// TestGroupEstimateFromStats checks the group-by output estimate itself: with
+// statistics the planner estimates the group count from the grouping-column
+// NDV instead of the flat 20% reduction.
+func TestGroupEstimateFromStats(t *testing.T) {
+	src := mapSource{"fact": groupedRelation("fact", 20000, 50)}
+	expr := algebra.NewGroupBy([]int{0}, algebra.AggSum, 1, algebra.NewRel("fact"))
+	p, err := (&Planner{Cards: analyze(src)}).Plan(expr, catalogOf(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := p.Root.Estimate()
+	if est < 40 || est > 60 {
+		t.Errorf("group estimate = %v, want ~50 (flat guess would be 4000)", est)
+	}
+}

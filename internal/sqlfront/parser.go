@@ -119,6 +119,12 @@ type deleteStmt struct {
 	where sqlExpr
 }
 
+// analyzeStmt is a parsed ANALYZE [table] statement; an empty table name
+// means every relation.
+type analyzeStmt struct {
+	table string
+}
+
 // updateStmt is a parsed UPDATE ... SET statement.
 type updateStmt struct {
 	table string
@@ -210,9 +216,23 @@ func (p *parser) parseStatement() (any, error) {
 		return p.parseDelete()
 	case t.isKeyword("update"):
 		return p.parseUpdate()
+	case t.isKeyword("analyze"):
+		return p.parseAnalyze()
 	default:
-		return nil, errf(t.pos, "expected SELECT, INSERT, DELETE or UPDATE, found %s", t)
+		return nil, errf(t.pos, "expected SELECT, INSERT, DELETE, UPDATE or ANALYZE, found %s", t)
 	}
+}
+
+func (p *parser) parseAnalyze() (*analyzeStmt, error) {
+	p.next() // ANALYZE
+	an := &analyzeStmt{}
+	if t := p.peek(); t.kind == tIdent {
+		an.table = p.next().text
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return an, nil
 }
 
 func (p *parser) parseSelect() (*selectQuery, error) {

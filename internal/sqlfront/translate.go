@@ -110,6 +110,13 @@ func compileStatement(sql string, cat algebra.Catalog) (stmt.Statement, Modifier
 	case *updateStmt:
 		s, err := translateUpdate(n, cat)
 		return s, Modifiers{}, err
+	case *analyzeStmt:
+		if n.table != "" {
+			if _, ok := cat.RelationSchema(n.table); !ok {
+				return nil, Modifiers{}, errf(0, "unknown table %q", n.table)
+			}
+		}
+		return stmt.Analyze{Target: n.table}, Modifiers{}, nil
 	default:
 		return nil, Modifiers{}, errf(0, "unsupported statement %T", node)
 	}

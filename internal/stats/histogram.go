@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"sort"
+
+	"mra/internal/value"
+)
+
+// DefaultBuckets is the equi-depth bucket count ANALYZE builds per column.
+// 32 buckets resolve range selectivities to ~3% of the row count, matching
+// the accuracy of the HyperLogLog sketches alongside them.
+const DefaultBuckets = 32
+
+// Histogram is an equi-depth (equal-height) histogram over one column's
+// non-null values.  Bucket i covers the half-open value interval
+// (upper[i-1], upper[i]] — bucket 0 additionally includes lower — and counts
+// row occurrences, not distinct values.  Bounds are frozen at build time;
+// incremental maintenance adjusts counts and stretches the outermost bounds,
+// so a histogram degrades gracefully between ANALYZE runs instead of
+// becoming wrong.
+type Histogram struct {
+	lower  value.Value
+	upper  []value.Value
+	counts []float64
+	total  float64
+}
+
+// buildHistogram constructs an equi-depth histogram from a column's non-null
+// (value, multiplicity) pairs.  It returns nil when there are no values.
+func buildHistogram(vals []value.Value, counts []uint64, buckets int) *Histogram {
+	if len(vals) == 0 {
+		return nil
+	}
+	order := make([]int, len(vals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return vals[order[a]].Less(vals[order[b]])
+	})
+	total := 0.0
+	for _, c := range counts {
+		total += float64(c)
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	depth := total / float64(buckets)
+	h := &Histogram{lower: vals[order[0]], total: total}
+	acc := 0.0
+	for rank, i := range order {
+		acc += float64(counts[i])
+		last := rank == len(order)-1
+		// Close a bucket once it reaches the target depth, keeping all
+		// occurrences of equal values in one bucket (the next value is
+		// strictly greater by the sort).
+		if last || acc >= depth {
+			h.upper = append(h.upper, vals[i])
+			h.counts = append(h.counts, acc)
+			acc = 0
+		}
+	}
+	return h
+}
+
+// clone returns an independent copy (bounds shared — they are immutable
+// values — counts copied).
+func (h *Histogram) clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	cp := &Histogram{lower: h.lower, total: h.total}
+	cp.upper = append([]value.Value(nil), h.upper...)
+	cp.counts = append([]float64(nil), h.counts...)
+	return cp
+}
+
+// bucketOf returns the index of the bucket whose interval contains v,
+// clamping values outside the histogram range to the outermost buckets.
+func (h *Histogram) bucketOf(v value.Value) int {
+	i := sort.Search(len(h.upper), func(i int) bool {
+		return !h.upper[i].Less(v) // upper[i] >= v
+	})
+	if i >= len(h.upper) {
+		i = len(h.upper) - 1
+	}
+	return i
+}
+
+// add records n new occurrences of v, stretching the outermost bounds when v
+// falls outside the built range.
+func (h *Histogram) add(v value.Value, n float64) {
+	if v.Less(h.lower) {
+		h.lower = v
+	}
+	if h.upper[len(h.upper)-1].Less(v) {
+		h.upper[len(h.upper)-1] = v
+	}
+	h.counts[h.bucketOf(v)] += n
+	h.total += n
+}
+
+// remove forgets n occurrences of v, clamping at empty: a histogram never
+// reports negative rows even if the delta stream and the build raced.
+func (h *Histogram) remove(v value.Value, n float64) {
+	i := h.bucketOf(v)
+	if h.counts[i] < n {
+		n = h.counts[i]
+	}
+	h.counts[i] -= n
+	if h.total < n {
+		h.total = n
+	}
+	h.total -= n
+}
+
+// FracLE estimates the fraction of the histogram's rows with value <= v
+// (inclusive) or < v (exclusive), interpolating linearly inside the bucket
+// containing v when both bucket bounds and v are numeric; non-numeric values
+// use the half-bucket convention.
+func (h *Histogram) FracLE(v value.Value, inclusive bool) float64 {
+	if h == nil || h.total <= 0 {
+		return 0
+	}
+	if v.Less(h.lower) {
+		return 0
+	}
+	last := h.upper[len(h.upper)-1]
+	if last.Less(v) || (inclusive && last.Equal(v)) {
+		return 1
+	}
+	i := h.bucketOf(v)
+	below := 0.0
+	for b := 0; b < i; b++ {
+		below += h.counts[b]
+	}
+	lo := h.lower
+	if i > 0 {
+		lo = h.upper[i-1]
+	}
+	frac := 0.5
+	if fv, ok := v.AsFloat(); ok {
+		flo, okLo := lo.AsFloat()
+		fhi, okHi := h.upper[i].AsFloat()
+		if okLo && okHi && fhi > flo {
+			frac = (fv - flo) / (fhi - flo)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+		}
+	}
+	return (below + frac*h.counts[i]) / h.total
+}
+
+// Buckets returns the bucket boundaries and row counts for display: bucket i
+// covers (lo[i], hi[i]] with count[i] occurrences.
+func (h *Histogram) Buckets() (lo, hi []value.Value, count []float64) {
+	if h == nil {
+		return nil, nil, nil
+	}
+	lo = make([]value.Value, len(h.upper))
+	for i := range h.upper {
+		if i == 0 {
+			lo[i] = h.lower
+		} else {
+			lo[i] = h.upper[i-1]
+		}
+	}
+	return lo, append([]value.Value(nil), h.upper...), append([]float64(nil), h.counts...)
+}

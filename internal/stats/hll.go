@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// hllPrecision is the HyperLogLog precision p: sketches use m = 2^p one-byte
+// registers.  p = 12 gives 4 KiB per sketch and a relative standard error of
+// 1.04/sqrt(m) ~= 1.6%, which is far below the factor-of-two accuracy the
+// cost model needs.
+const hllPrecision = 12
+
+// hllRegisters is m = 2^p, the register count of every sketch.
+const hllRegisters = 1 << hllPrecision
+
+// Sketch is a HyperLogLog distinct-count sketch over 64-bit hashes.  The zero
+// value is not usable; create sketches with NewSketch.  A Sketch is
+// insert-only: it can absorb new hashes and merge with other sketches, but it
+// cannot forget — deleting a value from the underlying relation leaves the
+// estimate unchanged (see Table.ApplyDelta for how the maintenance layer
+// bounds the resulting staleness).
+type Sketch struct {
+	reg []uint8
+}
+
+// NewSketch returns an empty sketch (estimate 0).
+func NewSketch() *Sketch {
+	return &Sketch{reg: make([]uint8, hllRegisters)}
+}
+
+// Clone returns an independent copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	cp := make([]uint8, hllRegisters)
+	copy(cp, s.reg)
+	return &Sketch{reg: cp}
+}
+
+// fmix64 is the 64-bit murmur3 finaliser: the value hashes feeding the
+// sketch (FNV-1a over few bytes) do not avalanche well enough for the top
+// bits to act as uniform register selectors, so every hash is scrambled once
+// more on the way in.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add observes one 64-bit hash.  The top p bits select a register; the rank
+// (position of the first 1-bit) of the remaining bits updates it.
+func (s *Sketch) Add(h uint64) {
+	h = fmix64(h)
+	idx := h >> (64 - hllPrecision)
+	rank := uint8(bits.LeadingZeros64(h<<hllPrecision|1<<(hllPrecision-1))) + 1
+	if rank > s.reg[idx] {
+		s.reg[idx] = rank
+	}
+}
+
+// Merge folds another sketch into s (register-wise max), so the estimate of s
+// becomes an estimate of the union of the two observed hash sets.
+func (s *Sketch) Merge(o *Sketch) {
+	for i, r := range o.reg {
+		if r > s.reg[i] {
+			s.reg[i] = r
+		}
+	}
+}
+
+// Estimate returns the estimated number of distinct hashes observed, using
+// the standard HyperLogLog estimator with the linear-counting correction for
+// small cardinalities.
+func (s *Sketch) Estimate() float64 {
+	const m = float64(hllRegisters)
+	alpha := 0.7213 / (1 + 1.079/m)
+	sum := 0.0
+	zeros := 0
+	for _, r := range s.reg {
+		sum += 1.0 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		// Small-range correction: linear counting on empty registers.
+		e = m * math.Log(m/float64(zeros))
+	}
+	return e
+}

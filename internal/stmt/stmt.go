@@ -279,3 +279,29 @@ func (s Query) Execute(ctx Context) error {
 
 // String implements Statement.
 func (s Query) String() string { return fmt.Sprintf("?%s", s.Source) }
+
+// Analyze is the statement analyze(R): it (re)builds the per-column
+// statistics summary — distinct-value sketches, equi-depth histograms,
+// null/min/max — of a database relation, feeding the planner's cost model.
+// It has no effect on relation contents.  Contexts without a statistics
+// subsystem reject it.
+type Analyze struct {
+	// Target is the relation to summarise.
+	Target string
+}
+
+// Execute implements Statement.  The context must additionally implement
+// AnalyzeRelation (transactions do); otherwise the statement fails.
+func (s Analyze) Execute(ctx Context) error {
+	a, ok := ctx.(interface{ AnalyzeRelation(name string) error })
+	if !ok {
+		return fmt.Errorf("%w: context does not support analyze", ErrStatement)
+	}
+	if err := a.AnalyzeRelation(s.Target); err != nil {
+		return fmt.Errorf("%w: %v", ErrStatement, err)
+	}
+	return nil
+}
+
+// String implements Statement.
+func (s Analyze) String() string { return fmt.Sprintf("analyze(%s)", s.Target) }

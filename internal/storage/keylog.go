@@ -299,6 +299,12 @@ func (d *Database) ApplyDeltas(since uint64, writes map[string]Delta, reads map[
 			continue
 		}
 		d.relations[key].ApplyDelta(delta.Add, delta.Remove)
+		if st, ok := d.stats[key]; ok {
+			// Maintain statistics incrementally from the same delta stream,
+			// copy-on-update: snapshots holding the old *stats.Table keep a
+			// consistent view of their own version.
+			d.stats[key] = st.ApplyDelta(delta.Add, delta.Remove).WithVersion(v)
+		}
 		log, ok := d.keylogs[key]
 		if !ok {
 			log = &keyLog{keys: make(map[uint64]keyStamp)}

@@ -8,6 +8,7 @@ import (
 
 	"mra/internal/multiset"
 	"mra/internal/schema"
+	"mra/internal/stats"
 )
 
 // ErrVersionConflict is returned by ApplyDeltas and ValidateReads when a
@@ -31,6 +32,7 @@ var ErrVersionConflict = errors.New("storage: relation changed since snapshot")
 type Snapshot struct {
 	db          *Database
 	rels        map[string]*multiset.Relation
+	stats       map[string]*stats.Table
 	version     uint64
 	logicalTime uint64
 	released    atomic.Bool
@@ -107,6 +109,14 @@ func (s *Snapshot) RelationDistinctCount(name string) (int, bool) {
 	return r.DistinctCount(), true
 }
 
+// TableStats implements plan.TableStatsSource over the snapshot: transactions
+// plan against the statistics of the version they read, not whatever the live
+// database has moved on to.
+func (s *Snapshot) TableStats(name string) (*stats.Table, bool) {
+	t, ok := s.stats[strings.ToLower(name)]
+	return t, ok
+}
+
 // Snapshot captures the current database state as an immutable point-in-time
 // view.  The capture runs under the read lock only long enough to clone each
 // relation (O(1) per relation, copy-on-write), so writers are blocked for
@@ -119,12 +129,22 @@ func (d *Database) Snapshot() *Snapshot {
 	for key, r := range d.relations {
 		rels[key] = r.Clone()
 	}
+	// Statistics tables are immutable (ApplyDeltas replaces, never mutates),
+	// so capturing the pointers gives the snapshot a consistent stats view of
+	// its own version for free.
+	var st map[string]*stats.Table
+	if len(d.stats) > 0 {
+		st = make(map[string]*stats.Table, len(d.stats))
+		for key, t := range d.stats {
+			st[key] = t
+		}
+	}
 	// Register the snapshot live while still holding the read lock, so no
 	// committer can prune the key logs past this version before the snapshot
 	// becomes visible.  Lock order d.mu → snapMu matches snapshotFloor.
 	d.snapMu.Lock()
 	d.liveSnaps[d.version]++
 	d.snapMu.Unlock()
-	return &Snapshot{db: d, rels: rels, version: d.version, logicalTime: d.logicalTime}
+	return &Snapshot{db: d, rels: rels, stats: st, version: d.version, logicalTime: d.logicalTime}
 }
 

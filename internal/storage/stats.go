@@ -1,0 +1,46 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"mra/internal/stats"
+)
+
+// Analyze rebuilds optimizer statistics for the named relation from its
+// current instance, stamps them with the current database version, installs
+// them, and returns them.  From then on ApplyDeltas maintains the summary
+// incrementally; wholesale replacements (Apply, DDL) drop it again.
+func (d *Database) Analyze(name string) (*stats.Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(name)
+	r, ok := d.relations[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchRelation, name)
+	}
+	t := stats.Analyze(r, d.version)
+	d.stats[key] = t
+	return t, nil
+}
+
+// AnalyzeAll rebuilds statistics for every relation (ANALYZE with no
+// argument).
+func (d *Database) AnalyzeAll() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for key, r := range d.relations {
+		d.stats[key] = stats.Analyze(r, d.version)
+	}
+	return nil
+}
+
+// TableStats implements plan.TableStatsSource: it returns the named
+// relation's statistics summary, or false when the relation was never
+// analyzed (or its statistics were invalidated by a wholesale replacement).
+func (d *Database) TableStats(name string) (*stats.Table, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.stats[strings.ToLower(name)]
+	return t, ok
+}

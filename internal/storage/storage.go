@@ -18,6 +18,7 @@ import (
 
 	"mra/internal/multiset"
 	"mra/internal/schema"
+	"mra/internal/stats"
 )
 
 // Common storage errors.
@@ -68,6 +69,12 @@ type Database struct {
 	// transaction of the relation.
 	keylogs   map[string]*keyLog
 	wholesale map[string]uint64
+	// stats holds the per-relation optimizer statistics built by Analyze and
+	// maintained incrementally (copy-on-update) by ApplyDeltas, so snapshots
+	// can capture the map's *stats.Table pointers without locks.  Wholesale
+	// replacements (Apply, DDL) invalidate a relation's entry: no delta
+	// stream describes them.
+	stats map[string]*stats.Table
 	// snapMu guards liveSnaps, the refcounts of live (unreleased) snapshots
 	// by version: key logs are only pruned below the oldest live snapshot so
 	// an in-flight transaction can always validate its deltas key by key.
@@ -85,6 +92,7 @@ func NewDatabase() *Database {
 		versions:  make(map[string]uint64),
 		keylogs:   make(map[string]*keyLog),
 		wholesale: make(map[string]uint64),
+		stats:     make(map[string]*stats.Table),
 		liveSnaps: make(map[uint64]int),
 	}
 }
@@ -109,6 +117,7 @@ func (d *Database) CreateRelation(rel schema.Relation) error {
 	d.versions[key] = d.version
 	d.wholesale[key] = d.version
 	delete(d.keylogs, key)
+	delete(d.stats, key)
 	return nil
 }
 
@@ -128,6 +137,7 @@ func (d *Database) DropRelation(name string) error {
 	d.versions[key] = d.version
 	d.wholesale[key] = d.version
 	delete(d.keylogs, key)
+	delete(d.stats, key)
 	return nil
 }
 
@@ -272,8 +282,10 @@ func (d *Database) applyLocked(changes map[string]*multiset.Relation) (Transitio
 		d.versions[key] = d.version
 		// A full replacement invalidates the per-key history: stamp it
 		// wholesale and drop the log so key-granular validators conflict.
+		// Statistics go the same way — no delta stream describes the change.
 		d.wholesale[key] = d.version
 		delete(d.keylogs, key)
+		delete(d.stats, key)
 	}
 	d.history = append(d.history, tr)
 	return tr, nil

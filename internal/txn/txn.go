@@ -40,6 +40,7 @@ import (
 	"mra/internal/eval"
 	"mra/internal/multiset"
 	"mra/internal/schema"
+	"mra/internal/stats"
 	"mra/internal/stmt"
 	"mra/internal/storage"
 )
@@ -229,6 +230,9 @@ type Tx struct {
 	temps map[string]*multiset.Relation
 	// reads records database relations read or written, for commit validation.
 	reads map[string]struct{}
+	// localStats holds statistics rebuilt by ANALYZE inside this transaction,
+	// shadowing the snapshot's summaries for its own planning.
+	localStats map[string]*stats.Table
 	// outputs collects query statement results in execution order.
 	outputs []*multiset.Relation
 }
@@ -282,6 +286,69 @@ func (t *Tx) Relation(name string) (*multiset.Relation, bool) {
 		t.reads[key] = struct{}{}
 	}
 	return r, ok
+}
+
+// TableStats implements plan.TableStatsSource (via eval's source adapter)
+// over the snapshot captured at Begin, so queries inside the transaction plan
+// against the statistics of the version they read.  Local analyzes shadow the
+// snapshot; statistics are advisory planner input, so workspace modifications
+// merely make them slightly stale until commit.
+func (t *Tx) TableStats(name string) (*stats.Table, bool) {
+	if t.localStats != nil {
+		if st, ok := t.localStats[strings.ToLower(name)]; ok {
+			return st, true
+		}
+	}
+	return t.snap.TableStats(name)
+}
+
+// AnalyzeRelation implements the optional statement hook behind the ANALYZE
+// statement: it rebuilds statistics for the named relation from the
+// transaction's own view (temporaries and workspace included) and installs
+// them both transaction-locally and — because statistics are advisory
+// metadata, not versioned data — into the live database when the relation is
+// an unmodified database relation, so later transactions benefit without an
+// explicit commit.
+func (t *Tx) AnalyzeRelation(name string) error {
+	if name == "" {
+		// Bare ANALYZE: every relation visible to this transaction.
+		for _, n := range t.snap.Names() {
+			if err := t.AnalyzeRelation(n); err != nil {
+				return err
+			}
+		}
+		for n := range t.temps {
+			if err := t.AnalyzeRelation(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	key := strings.ToLower(name)
+	if _, ok := t.temps[key]; !ok {
+		if _, ok := t.workspace[key]; !ok {
+			// Unmodified database relation: analyze the live instance so the
+			// summary outlives this transaction.
+			st, err := t.mgr.db.Analyze(name)
+			if err != nil {
+				return err
+			}
+			if t.localStats == nil {
+				t.localStats = make(map[string]*stats.Table)
+			}
+			t.localStats[key] = st
+			return nil
+		}
+	}
+	r, ok := t.Relation(name)
+	if !ok {
+		return fmt.Errorf("txn: analyze: unknown relation %q", name)
+	}
+	if t.localStats == nil {
+		t.localStats = make(map[string]*stats.Table)
+	}
+	t.localStats[key] = stats.Analyze(r, t.snap.Version())
+	return nil
 }
 
 // Catalog implements stmt.Context.

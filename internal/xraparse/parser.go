@@ -223,6 +223,8 @@ func (p *parser) parseStatement() (stmt.Statement, error) {
 		return p.parseInsertDelete(false)
 	case t.kind == tokIdent && strings.EqualFold(t.text, "update"):
 		return p.parseUpdate()
+	case t.kind == tokIdent && strings.EqualFold(t.text, "analyze"):
+		return p.parseAnalyze()
 
 	case t.kind == tokIdent:
 		// Either an assignment "name = expr" or a bare expression used as a
@@ -273,6 +275,22 @@ func (p *parser) parseInsertDelete(insert bool) (stmt.Statement, error) {
 		return stmt.Insert{Target: target.text, Source: e}, nil
 	}
 	return stmt.Delete{Target: target.text, Source: e}, nil
+}
+
+// parseAnalyze parses analyze(R), the statistics-rebuild statement.
+func (p *parser) parseAnalyze() (stmt.Statement, error) {
+	p.next() // analyze
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	target := p.next()
+	if target.kind != tokIdent {
+		return nil, p.errorf(target, "expected a relation name, found %s", target)
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return stmt.Analyze{Target: target.text}, nil
 }
 
 func (p *parser) parseUpdate() (stmt.Statement, error) {

@@ -328,8 +328,12 @@ type Explain struct {
 	// Rules names the applied rewrite rules, in order.
 	Rules []string
 	// Physical is the multi-line rendering of the physical operator tree the
-	// planner would execute, including any Partition/Merge exchange operators
-	// inserted for parallel execution.
+	// planner executed: every operator carries its estimated output
+	// cardinality (est=, exact; est~, approximate), its distinct-tuple
+	// estimate (ndv=) where the planner knows one differing from the row
+	// estimate, and — for non-leaf operators — the number of tuples it
+	// actually emitted (act=).  Join nesting shows the order the cost-based
+	// enumerator chose, not necessarily the written order.
 	Physical string
 	// Workers is the parallelism degree the plan was compiled for (1 when
 	// serial).
@@ -337,7 +341,9 @@ type Explain struct {
 }
 
 // Explain compiles an XRA expression through the rewriter and the physical
-// planner without executing it.
+// planner, then executes the plan once to annotate every operator with the
+// tuple count it actually emitted.  The query's result is discarded; the
+// database is left unchanged.
 func (db *DB) Explain(expr string) (*Explain, error) {
 	e, err := xraparse.ParseExpression(expr)
 	if err != nil {
@@ -359,13 +365,108 @@ func (db *DB) Explain(expr string) (*Explain, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Execute the plan once against a snapshot to collect per-operator
+	// actuals; rendering falls back to estimates only if execution fails.
+	rendered := phys.String()
+	tx := db.manager.Begin()
+	var st plan.Stats
+	if _, err := phys.ExecuteStats(tx, &st); err == nil {
+		rendered = phys.Render(&st)
+	}
+	tx.Abort()
 	return &Explain{
 		Logical:   e.String(),
 		Optimised: opt.String(),
 		Rules:     names,
-		Physical:  phys.String(),
+		Physical:  rendered,
 		Workers:   db.workers,
 	}, nil
+}
+
+// ColumnStats is the public summary of one column's optimizer statistics.
+type ColumnStats struct {
+	// Name is the column's attribute name (may be empty).
+	Name string
+	// NDV is the estimated number of distinct non-null values; zero when the
+	// column holds only nulls.
+	NDV uint64
+	// NullFraction is the fraction of rows with a null in this column.
+	NullFraction float64
+	// Min and Max render the observed value range; both empty when the
+	// column holds only nulls.
+	Min, Max string
+	// HistogramBuckets is the number of equi-depth histogram buckets kept
+	// for the column (zero when the column has too few distinct values for a
+	// histogram to add information).
+	HistogramBuckets int
+}
+
+// RelationStats is the public summary of one relation's optimizer statistics
+// — the ANALYZE-built, incrementally maintained input of the planner's cost
+// model.
+type RelationStats struct {
+	// Relation is the relation's name.
+	Relation string
+	// Rows is the exact row count (with multiplicities) at the summary's
+	// version.
+	Rows uint64
+	// DistinctTuples estimates the number of distinct tuples.
+	DistinctTuples uint64
+	// Version is the database version the summary describes.
+	Version uint64
+	// Columns holds the per-column summaries in schema order.
+	Columns []ColumnStats
+}
+
+// Analyze (re)builds optimizer statistics for the named relation — or for
+// every relation when name is empty — from its current instance.  Committed
+// write deltas maintain the summaries incrementally from then on; wholesale
+// replacements (DDL, Replace) drop them until the next Analyze.
+func (db *DB) Analyze(name string) error {
+	if name == "" {
+		return db.store.AnalyzeAll()
+	}
+	_, err := db.store.Analyze(name)
+	return err
+}
+
+// RelationStats returns the current statistics summary of a relation, or
+// false when the relation was never analyzed (or its summary was invalidated
+// by a wholesale replacement).
+func (db *DB) RelationStats(name string) (RelationStats, bool) {
+	t, ok := db.store.TableStats(name)
+	if !ok {
+		return RelationStats{}, false
+	}
+	s, ok := db.store.RelationSchema(name)
+	if !ok {
+		return RelationStats{}, false
+	}
+	out := RelationStats{
+		Relation:       s.Name(),
+		Rows:           uint64(t.Rows() + 0.5),
+		DistinctTuples: uint64(t.DistinctTuples() + 0.5),
+		Version:        t.Version(),
+		Columns:        make([]ColumnStats, t.Cols()),
+	}
+	for c := 0; c < t.Cols(); c++ {
+		cs := ColumnStats{NullFraction: t.NullFraction(c)}
+		if c < s.Arity() {
+			cs.Name = s.Attribute(c).Name
+		}
+		if ndv, ok := t.NDV(c); ok {
+			cs.NDV = uint64(ndv + 0.5)
+		}
+		if min, max, ok := t.Range(c); ok {
+			cs.Min, cs.Max = min.String(), max.String()
+		}
+		if h := t.Histogram(c); h != nil {
+			_, _, counts := h.Buckets()
+			cs.HistogramBuckets = len(counts)
+		}
+		out.Columns[c] = cs
+	}
+	return out, true
 }
 
 // ExecProgram runs an extended relational algebra program as one transaction

@@ -1,0 +1,170 @@
+package mra
+
+import (
+	"strings"
+	"testing"
+)
+
+// statsDB builds a relation with known shape: 1000 rows, key column with 50
+// distinct values, payload column 0..999.
+func statsDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	db.MustCreateRelation("fact", Col("key", Int), Col("payload", Int))
+	rows := make([][]any, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, []any{i % 50, i})
+	}
+	if err := db.InsertValues("fact", rows...); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestAnalyzeAndRelationStats exercises the public statistics facade: ANALYZE
+// builds a summary whose row count is exact and whose per-column NDV is
+// within sketch tolerance, and incremental maintenance keeps it alive across
+// committed inserts.
+func TestAnalyzeAndRelationStats(t *testing.T) {
+	db := statsDB(t)
+	if _, ok := db.RelationStats("fact"); ok {
+		t.Fatal("statistics present before ANALYZE")
+	}
+	if err := db.Analyze("fact"); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := db.RelationStats("fact")
+	if !ok {
+		t.Fatal("no statistics after ANALYZE")
+	}
+	if st.Rows != 1000 {
+		t.Errorf("Rows = %d, want 1000", st.Rows)
+	}
+	if len(st.Columns) != 2 {
+		t.Fatalf("Columns = %d, want 2", len(st.Columns))
+	}
+	key := st.Columns[0]
+	if key.Name != "key" || key.NDV < 45 || key.NDV > 55 {
+		t.Errorf("key column = %+v, want ndv~50", key)
+	}
+	if key.Min != "0" || key.Max != "49" {
+		t.Errorf("key range = [%s .. %s], want [0 .. 49]", key.Min, key.Max)
+	}
+	if key.HistogramBuckets == 0 {
+		t.Errorf("key column has no histogram")
+	}
+
+	// A committed insert maintains the summary incrementally (no re-ANALYZE).
+	db.MustExecXRA("insert(fact, [(999, 12345)])")
+	st2, ok := db.RelationStats("fact")
+	if !ok {
+		t.Fatal("statistics dropped by incremental insert")
+	}
+	if st2.Rows != 1001 {
+		t.Errorf("Rows after insert = %d, want 1001", st2.Rows)
+	}
+	if st2.Columns[0].Max != "999" {
+		t.Errorf("key max after insert = %s, want 999", st2.Columns[0].Max)
+	}
+	if st2.Version <= st.Version {
+		t.Errorf("version did not advance: %d -> %d", st.Version, st2.Version)
+	}
+}
+
+// TestAnalyzeStatementForms runs ANALYZE through both language front-ends:
+// the XRA statement analyze(R) and the SQL statement ANALYZE [rel].
+func TestAnalyzeStatementForms(t *testing.T) {
+	t.Run("xra", func(t *testing.T) {
+		db := statsDB(t)
+		if _, err := db.ExecXRA("analyze(fact);"); err != nil {
+			t.Fatal(err)
+		}
+		if st, ok := db.RelationStats("fact"); !ok || st.Rows != 1000 {
+			t.Fatalf("RelationStats after analyze(fact) = %+v, %v", st, ok)
+		}
+	})
+	t.Run("sql-named", func(t *testing.T) {
+		db := statsDB(t)
+		if _, err := db.ExecSQL("ANALYZE fact"); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := db.RelationStats("fact"); !ok {
+			t.Fatal("no statistics after ANALYZE fact")
+		}
+	})
+	t.Run("sql-bare", func(t *testing.T) {
+		db := statsDB(t)
+		db.MustCreateRelation("dim", Col("key", Int))
+		if err := db.InsertValues("dim", []any{1}, []any{2}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.ExecSQL("ANALYZE"); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"fact", "dim"} {
+			if _, ok := db.RelationStats(name); !ok {
+				t.Errorf("bare ANALYZE skipped %q", name)
+			}
+		}
+	})
+	t.Run("sql-unknown", func(t *testing.T) {
+		db := statsDB(t)
+		if _, err := db.ExecSQL("ANALYZE nosuch"); err == nil {
+			t.Fatal("ANALYZE of unknown table did not fail")
+		}
+	})
+}
+
+// TestAnalyzeInvalidatedByWholesaleReplace pins the invalidation contract:
+// DDL drops summaries, and the replacement forms (which rewrite the relation
+// wholesale rather than through deltas) drop rather than corrupt them.
+func TestAnalyzeInvalidatedByWholesaleReplace(t *testing.T) {
+	db := statsDB(t)
+	if err := db.Analyze("fact"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropRelation("fact"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustCreateRelation("fact", Col("key", Int), Col("payload", Int))
+	if _, ok := db.RelationStats("fact"); ok {
+		t.Fatal("statistics survived drop+recreate of the relation")
+	}
+}
+
+// TestExplainShowsNDVAfterAnalyze checks the explain integration: once a
+// relation is analyzed, scans render their distinct-tuple estimate and the
+// planner's filter estimates come from the histogram rather than the flat
+// 0.25 selectivity guess.
+func TestExplainShowsNDVAfterAnalyze(t *testing.T) {
+	db := statsDB(t)
+	if err := db.Analyze("fact"); err != nil {
+		t.Fatal(err)
+	}
+	// A projection of fact onto its key column holds 1000 occurrences of 50
+	// distinct tuples, so its scan renders the distinct-tuple estimate.
+	db.MustCreateRelation("keys", Col("key", Int))
+	db.MustExecXRA("insert(keys, project[%1](fact))")
+	exDup, err := db.Explain("select[%1 = 7](keys)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exDup.Physical, "Scan keys  (est=1000 rows, ndv=50)") {
+		t.Errorf("duplicate-heavy scan does not render ndv:\n%s", exDup.Physical)
+	}
+
+	ex, err := db.Explain("select[%1 = 7](fact)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 rows over ~50 distinct keys: the histogram estimates ~20 rows for
+	// an equality, far from the flat-guess 250.  Allow sketch slack.
+	if !strings.Contains(ex.Physical, "act=20") {
+		t.Errorf("filter actuals missing:\n%s", ex.Physical)
+	}
+	for _, bad := range []string{"(est~250 rows", "(est~251 rows"} {
+		if strings.Contains(ex.Physical, bad) {
+			t.Errorf("filter estimate still the flat 0.25 guess:\n%s", ex.Physical)
+		}
+	}
+}
